@@ -1,0 +1,33 @@
+//! Ablation: i-parallel block (tile) size. The paper's §4.3 design note —
+//! threads-per-block trades tile reuse against block count; 256 is the sweet
+//! spot on Evergreen.
+
+use bench::{kernel_seconds, simulated, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plans::prelude::{IParallel, PlanConfig};
+
+fn ablation(c: &mut Criterion) {
+    let set = workload(4096);
+    let mut group = c.benchmark_group("ablation_block_size");
+    group.sample_size(10);
+    // iter_custom returns *simulated* seconds; keep Criterion's budget small
+    // so it does not schedule thousands of (wall-expensive) iterations, and
+    // use flat sampling so low-iteration samples don't break the regression
+    group.sampling_mode(criterion::SamplingMode::Flat);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    for block in [64_usize, 128, 256] {
+        let plan = IParallel::new(PlanConfig { block_size: block, ..Default::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(block), &block, |b, _| {
+            b.iter_custom(|iters| simulated(&plan, &set, iters, kernel_seconds));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::deterministic_criterion();
+    targets = ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation: strong scaling over compute units. Reruns jw-parallel on
+//! hypothetical devices with 4–32 CUs (bandwidth scaled proportionally) —
+//! the PTPM question "does the plan keep the space dimension full as the
+//! space grows?" answered empirically.
+
+use bench::{gravity, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::prelude::{Device, DeviceSpec, TransferModel};
+use plans::prelude::{ExecutionPlan, JwParallel};
+
+fn ablation(c: &mut Criterion) {
+    let set = workload(8192);
+    let params = gravity();
+    let mut group = c.benchmark_group("ablation_compute_units");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(300));
+    for cus in [4_u32, 9, 18, 32] {
+        let spec = DeviceSpec::radeon_hd_5850().with_compute_units(cus);
+        group.bench_with_input(BenchmarkId::from_parameter(cus), &cus, |b, _| {
+            b.iter_custom(|iters| {
+                let mut dev =
+                    Device::with_transfer_model(spec.clone(), TransferModel::pcie2_x16());
+                let plan = JwParallel::default();
+                let mut seconds = 0.0;
+                for _ in 0..iters {
+                    seconds += plan.evaluate(&mut dev, &set, &params).kernel_s;
+                }
+                std::time::Duration::from_secs_f64(seconds)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::deterministic_criterion();
+    targets = ablation
+}
+criterion_main!(benches);

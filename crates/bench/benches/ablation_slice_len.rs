@@ -1,0 +1,33 @@
+//! Ablation: jw-parallel slice length L — the paper's core design choice.
+//! Small L multiplies blocks (occupancy, balance) but pays per-block
+//! overhead; large L degenerates to w-parallel.
+
+use bench::{kernel_seconds, simulated, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plans::prelude::{JwParallel, PlanConfig};
+
+fn ablation(c: &mut Criterion) {
+    let set = workload(4096);
+    let mut group = c.benchmark_group("ablation_slice_len");
+    group.sample_size(10);
+    // iter_custom returns *simulated* seconds; keep Criterion's budget small
+    // so it does not schedule thousands of (wall-expensive) iterations, and
+    // use flat sampling so low-iteration samples don't break the regression
+    group.sampling_mode(criterion::SamplingMode::Flat);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    for len in [64_usize, 256, 1024, 8192] {
+        let plan = JwParallel::new(PlanConfig { jw_slice_len: Some(len), ..Default::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter_custom(|iters| simulated(&plan, &set, iters, kernel_seconds));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::deterministic_criterion();
+    targets = ablation
+}
+criterion_main!(benches);

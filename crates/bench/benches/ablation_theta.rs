@@ -1,0 +1,34 @@
+//! Ablation: opening angle θ for jw-parallel — the accuracy/throughput knob
+//! of every tree plan (interactions scale steeply with θ).
+
+use bench::{kernel_seconds, simulated, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plans::prelude::{JwParallel, PlanConfig};
+
+fn ablation(c: &mut Criterion) {
+    let set = workload(8192);
+    let mut group = c.benchmark_group("ablation_theta");
+    group.sample_size(10);
+    // iter_custom returns *simulated* seconds; keep Criterion's budget small
+    // so it does not schedule thousands of (wall-expensive) iterations, and
+    // use flat sampling so low-iteration samples don't break the regression
+    group.sampling_mode(criterion::SamplingMode::Flat);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    for theta in [0.3_f64, 0.5, 0.8] {
+        let plan = JwParallel::new(PlanConfig { theta, ..Default::default() });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{theta}")),
+            &theta,
+            |b, _| b.iter_custom(|iters| simulated(&plan, &set, iters, kernel_seconds)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::deterministic_criterion();
+    targets = ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation: walk size for the tree plans — bigger walks cut host-side list
+//! generation per interaction but inflate the lists themselves (group MAC
+//! gets more conservative).
+
+use bench::{simulated, total_seconds, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plans::prelude::{JwParallel, PlanConfig};
+
+fn ablation(c: &mut Criterion) {
+    let set = workload(8192);
+    let mut group = c.benchmark_group("ablation_walk_size");
+    group.sample_size(10);
+    // iter_custom returns *simulated* seconds; keep Criterion's budget small
+    // so it does not schedule thousands of (wall-expensive) iterations, and
+    // use flat sampling so low-iteration samples don't break the regression
+    group.sampling_mode(criterion::SamplingMode::Flat);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    for ws in [64_usize, 128, 256] {
+        let plan = JwParallel::new(PlanConfig { walk_size: ws, ..Default::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(ws), &ws, |b, _| {
+            b.iter_custom(|iters| simulated(&plan, &set, iters, total_seconds));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::deterministic_criterion();
+    targets = ablation
+}
+criterion_main!(benches);

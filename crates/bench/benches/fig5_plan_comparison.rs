@@ -1,0 +1,37 @@
+//! Figure 5 bench: simulated kernel time of all four plans at the sizes
+//! where the paper's curves diverge most (1K) and begin converging (4K).
+
+use bench::{kernel_seconds, simulated, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plans::make_plan;
+use plans::prelude::{PlanConfig, PlanKind};
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_plan_comparison");
+    group.sample_size(10);
+    // iter_custom returns *simulated* seconds; keep Criterion's budget small
+    // so it does not schedule thousands of (wall-expensive) iterations, and
+    // use flat sampling so low-iteration samples don't break the regression
+    group.sampling_mode(criterion::SamplingMode::Flat);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    for n in [1024_usize, 4096] {
+        let set = workload(n);
+        for kind in PlanKind::all() {
+            let plan = make_plan(kind, PlanConfig::default());
+            group.bench_with_input(
+                BenchmarkId::new(kind.id(), n),
+                &n,
+                |b, _| b.iter_custom(|iters| simulated(plan.as_ref(), &set, iters, kernel_seconds)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::deterministic_criterion();
+    targets = fig5
+}
+criterion_main!(benches);

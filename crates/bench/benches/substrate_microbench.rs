@@ -1,0 +1,48 @@
+//! Microbenches of the substrates themselves (real wall time): octree
+//! build, walk generation, CPU BH evaluation, and the functional execution
+//! throughput of the simulated device.
+
+use bench::{gravity, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::prelude::*;
+use nbody_core::prelude::*;
+use plans::prelude::IParallel;
+use plans::prelude::ExecutionPlan;
+use treecode::prelude::*;
+
+fn substrates(c: &mut Criterion) {
+    let params = gravity();
+
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+
+    for n in [1024_usize, 8192] {
+        let set = workload(n);
+        group.bench_with_input(BenchmarkId::new("octree_build", n), &n, |b, _| {
+            b.iter(|| Octree::build(&set, TreeParams::default()));
+        });
+        let tree = Octree::build(&set, TreeParams::default());
+        group.bench_with_input(BenchmarkId::new("walk_generation", n), &n, |b, _| {
+            b.iter(|| build_walks(&tree, &set, OpeningAngle::new(0.5), 256));
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_bh_forces", n), &n, |b, _| {
+            let mut acc = vec![Vec3::ZERO; set.len()];
+            b.iter(|| accelerations_bh(&tree, &set, OpeningAngle::new(0.5), &params, &mut acc));
+        });
+    }
+
+    // how fast the *simulator itself* runs (host wall time per simulated eval)
+    let set = workload(2048);
+    group.bench_function("simulator_functional_throughput_n2048", |b| {
+        let mut dev = Device::with_transfer_model(
+            DeviceSpec::radeon_hd_5850(),
+            TransferModel::free(),
+        );
+        let plan = IParallel::default();
+        b.iter(|| plan.evaluate(&mut dev, &set, &params));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, substrates);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Table 1 bench: the CPU baselines (real wall time on this machine) against
+//! the simulated-GPU plans (simulated device time). The CPU rows measure the
+//! actual scalar reference code; the paper's E2140 scaling factor is applied
+//! by the harness, not here.
+
+use bench::{gravity, simulated, total_seconds, workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use nbody_core::prelude::*;
+use plans::prelude::{IParallel, JwParallel};
+use treecode::prelude::*;
+
+fn table1(c: &mut Criterion) {
+    let n = 1024;
+    let set = workload(n);
+    let params = gravity();
+    let mut group = c.benchmark_group("table1_cpu_vs_gpu");
+    group.sample_size(10);
+    // iter_custom returns *simulated* seconds; keep Criterion's budget small
+    // so it does not schedule thousands of (wall-expensive) iterations, and
+    // use flat sampling so low-iteration samples don't break the regression
+    group.sampling_mode(criterion::SamplingMode::Flat);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("cpu_pp_scalar", |b| {
+        let mut acc = vec![Vec3::ZERO; n];
+        b.iter(|| accelerations_pp(&set, &params, &mut acc));
+    });
+    group.bench_function("cpu_pp_parallel", |b| {
+        let mut acc = vec![Vec3::ZERO; n];
+        b.iter(|| accelerations_pp_parallel(&set, &params, &mut acc, 8));
+    });
+    group.bench_function("cpu_barnes_hut", |b| {
+        let mut acc = vec![Vec3::ZERO; n];
+        b.iter(|| {
+            let tree = Octree::build(&set, TreeParams::default());
+            accelerations_bh(&tree, &set, OpeningAngle::new(0.5), &params, &mut acc)
+        });
+    });
+    group.bench_function("gpu_pp_i_parallel_simulated", |b| {
+        let plan = IParallel::default();
+        b.iter_custom(|iters| simulated(&plan, &set, iters, total_seconds));
+    });
+    group.bench_function("gpu_jw_parallel_simulated", |b| {
+        let plan = JwParallel::default();
+        b.iter_custom(|iters| simulated(&plan, &set, iters, total_seconds));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::deterministic_criterion();
+    targets = table1
+}
+criterion_main!(benches);

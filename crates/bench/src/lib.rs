@@ -1,0 +1,69 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Two measurement styles are used across the bench suite:
+//!
+//! * **wall time** (`b.iter(..)`) for real host computations — the CPU
+//!   baselines of Table 1;
+//! * **simulated device time** (`b.iter_custom(..)` + [`simulated`]) for
+//!   everything that ran on the simulated HD 5850 — Criterion then reports
+//!   the *device model's* seconds, which is what the paper's tables contain,
+//!   independent of how fast the machine running the benchmark is.
+
+use gpu_sim::prelude::{Device, DeviceSpec, TransferModel};
+use nbody_core::body::ParticleSet;
+use nbody_core::gravity::GravityParams;
+use plans::prelude::{ExecutionPlan, PlanOutcome};
+use std::time::Duration;
+use workloads::prelude::{plummer, PlummerParams};
+
+/// The gravity model every bench uses (paper setup).
+pub fn gravity() -> GravityParams {
+    GravityParams { g: 1.0, softening: 0.05 }
+}
+
+/// A fresh simulated HD 5850 with the paper-era PCIe link.
+pub fn device() -> Device {
+    Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::pcie2_x16())
+}
+
+/// The benchmark workload at one size (seeded Plummer sphere).
+pub fn workload(n: usize) -> ParticleSet {
+    plummer(n, PlummerParams::default(), 20110101)
+}
+
+/// Runs `iters` evaluations of `plan` and returns the accumulated simulated
+/// seconds selected by `pick` (kernel-only, total, ...), as a `Duration`
+/// suitable for `Bencher::iter_custom`.
+pub fn simulated(
+    plan: &dyn ExecutionPlan,
+    set: &ParticleSet,
+    iters: u64,
+    pick: fn(&PlanOutcome) -> f64,
+) -> Duration {
+    let mut dev = device();
+    let params = gravity();
+    let mut seconds = 0.0;
+    for _ in 0..iters {
+        let outcome = plan.evaluate(&mut dev, set, &params);
+        seconds += pick(&outcome);
+    }
+    Duration::from_secs_f64(seconds)
+}
+
+/// Criterion config for deterministic simulated-time benches: plots are
+/// disabled because zero-variance samples (the device model is exactly
+/// deterministic) make the KDE plot backend produce NaNs — and a density
+/// plot of identical values carries no information anyway.
+pub fn deterministic_criterion() -> criterion::Criterion {
+    criterion::Criterion::default().without_plots()
+}
+
+/// Picker: simulated kernel seconds (Table 3 semantics).
+pub fn kernel_seconds(o: &PlanOutcome) -> f64 {
+    o.kernel_s
+}
+
+/// Picker: simulated total seconds (Table 2 semantics).
+pub fn total_seconds(o: &PlanOutcome) -> f64 {
+    o.total_seconds()
+}

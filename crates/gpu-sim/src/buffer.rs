@@ -1,0 +1,139 @@
+//! Device buffers.
+//!
+//! The simulated device owns all global memory. Host code refers to buffers
+//! through typed handles ([`BufF32`], [`BufU32`]) issued by the
+//! [`BufferPool`]; kernels access them through the execution context so that
+//! every access is cost-accounted. Two element types cover everything the
+//! N-body plans need: `f32` for positions/masses/accelerations (the device
+//! works in single precision like the real HD 5850) and `u32` for
+//! interaction lists and walk offsets.
+
+use serde::{Deserialize, Serialize};
+
+/// Handle to an `f32` device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BufF32(pub(crate) u32);
+
+impl BufF32 {
+    /// Raw handle index (used by the race detector's reports).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Handle to a `u32` device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BufU32(pub(crate) u32);
+
+impl BufU32 {
+    /// Raw handle index (used by the race detector's reports).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// All global memory of one simulated device.
+#[derive(Debug, Default, Clone)]
+pub struct BufferPool {
+    f32_bufs: Vec<Vec<f32>>,
+    u32_bufs: Vec<Vec<u32>>,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a zero-initialized `f32` buffer of `len` elements.
+    pub fn alloc_f32(&mut self, len: usize) -> BufF32 {
+        let id = BufF32(self.f32_bufs.len() as u32);
+        self.f32_bufs.push(vec![0.0; len]);
+        id
+    }
+
+    /// Allocates a zero-initialized `u32` buffer of `len` elements.
+    pub fn alloc_u32(&mut self, len: usize) -> BufU32 {
+        let id = BufU32(self.u32_bufs.len() as u32);
+        self.u32_bufs.push(vec![0; len]);
+        id
+    }
+
+    /// Read-only view of an `f32` buffer.
+    pub fn f32(&self, id: BufF32) -> &[f32] {
+        &self.f32_bufs[id.0 as usize]
+    }
+
+    /// Mutable view of an `f32` buffer.
+    pub fn f32_mut(&mut self, id: BufF32) -> &mut [f32] {
+        &mut self.f32_bufs[id.0 as usize]
+    }
+
+    /// Read-only view of a `u32` buffer.
+    pub fn u32(&self, id: BufU32) -> &[u32] {
+        &self.u32_bufs[id.0 as usize]
+    }
+
+    /// Mutable view of a `u32` buffer.
+    pub fn u32_mut(&mut self, id: BufU32) -> &mut [u32] {
+        &mut self.u32_bufs[id.0 as usize]
+    }
+
+    /// Length in elements of an `f32` buffer.
+    pub fn len_f32(&self, id: BufF32) -> usize {
+        self.f32_bufs[id.0 as usize].len()
+    }
+
+    /// Length in elements of a `u32` buffer.
+    pub fn len_u32(&self, id: BufU32) -> usize {
+        self.u32_bufs[id.0 as usize].len()
+    }
+
+    /// Total allocated bytes across all buffers.
+    pub fn total_bytes(&self) -> usize {
+        let f: usize = self.f32_bufs.iter().map(|b| b.len() * 4).sum();
+        let u: usize = self.u32_bufs.iter().map(|b| b.len() * 4).sum();
+        f + u
+    }
+
+    /// Number of live buffers (both types).
+    pub fn buffer_count(&self) -> usize {
+        self.f32_bufs.len() + self.u32_bufs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_zero_initialized() {
+        let mut p = BufferPool::new();
+        let a = p.alloc_f32(8);
+        let b = p.alloc_u32(4);
+        assert_eq!(p.f32(a), &[0.0; 8]);
+        assert_eq!(p.u32(b), &[0; 4]);
+        assert_eq!(p.len_f32(a), 8);
+        assert_eq!(p.len_u32(b), 4);
+    }
+
+    #[test]
+    fn handles_are_independent() {
+        let mut p = BufferPool::new();
+        let a = p.alloc_f32(2);
+        let b = p.alloc_f32(2);
+        p.f32_mut(a)[0] = 1.0;
+        p.f32_mut(b)[1] = 2.0;
+        assert_eq!(p.f32(a), &[1.0, 0.0]);
+        assert_eq!(p.f32(b), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn accounting() {
+        let mut p = BufferPool::new();
+        p.alloc_f32(100);
+        p.alloc_u32(50);
+        assert_eq!(p.total_bytes(), 600);
+        assert_eq!(p.buffer_count(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Event counters.
+//!
+//! Functional kernel execution records *events* — flops, LDS traffic, global
+//! memory traffic split into coalesced and gathered accesses, barriers. The
+//! scheduler (`sched`) later converts the per-group event counts into cycles
+//! and seconds. Keeping counting separate from timing lets the same
+//! functional run be re-timed under different device specs (used by the
+//! ablation benches).
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Events recorded by one work-group over one kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupCost {
+    /// Floating-point operations charged by the kernel (convention flops).
+    pub flops: f64,
+    /// LDS words read or written.
+    pub lds_accesses: f64,
+    /// Bytes read from global memory.
+    pub read_bytes: f64,
+    /// Bytes written to global memory.
+    pub write_bytes: f64,
+    /// Read transactions issued (fractional: coalesced accesses amortize a
+    /// transaction over the lanes that share it).
+    pub read_transactions: f64,
+    /// Write transactions issued.
+    pub write_transactions: f64,
+    /// Barriers executed (phase boundaries).
+    pub barriers: u64,
+    /// Work-items that executed at least one phase.
+    pub items: u64,
+}
+
+impl GroupCost {
+    /// All global memory bytes moved.
+    pub fn total_bytes(&self) -> f64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// All global transactions issued.
+    pub fn total_transactions(&self) -> f64 {
+        self.read_transactions + self.write_transactions
+    }
+
+    /// True if no event of any kind was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl Add for GroupCost {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            flops: self.flops + rhs.flops,
+            lds_accesses: self.lds_accesses + rhs.lds_accesses,
+            read_bytes: self.read_bytes + rhs.read_bytes,
+            write_bytes: self.write_bytes + rhs.write_bytes,
+            read_transactions: self.read_transactions + rhs.read_transactions,
+            write_transactions: self.write_transactions + rhs.write_transactions,
+            barriers: self.barriers + rhs.barriers,
+            items: self.items + rhs.items,
+        }
+    }
+}
+
+impl AddAssign for GroupCost {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for GroupCost {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_zero() {
+        let c = GroupCost {
+            flops: 10.0,
+            lds_accesses: 5.0,
+            read_bytes: 100.0,
+            write_bytes: 50.0,
+            read_transactions: 2.0,
+            write_transactions: 1.0,
+            barriers: 3,
+            items: 4,
+        };
+        assert_eq!(c.total_bytes(), 150.0);
+        assert_eq!(c.total_transactions(), 3.0);
+        assert!(!c.is_zero());
+        assert!(GroupCost::default().is_zero());
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let a = GroupCost { flops: 1.0, barriers: 2, ..Default::default() };
+        let b = GroupCost { flops: 3.0, read_bytes: 8.0, ..Default::default() };
+        let s = a + b;
+        assert_eq!(s.flops, 4.0);
+        assert_eq!(s.barriers, 2);
+        assert_eq!(s.read_bytes, 8.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let costs = vec![
+            GroupCost { flops: 1.0, ..Default::default() },
+            GroupCost { flops: 2.0, ..Default::default() },
+        ];
+        let total: GroupCost = costs.into_iter().sum();
+        assert_eq!(total.flops, 3.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The simulated device: buffers + executor + scheduler + clocks.
+//!
+//! [`Device`] is what host code (the `plans` crate) programs against. It
+//! owns global memory, executes kernels functionally, times them with the
+//! scheduler, and keeps two clocks:
+//!
+//! * the **kernel clock** — simulated seconds the device spent in kernels;
+//! * the **transfer clock** — simulated seconds spent on PCIe transfers.
+//!
+//! Their sum plus any host-side time the caller measures is the "total time"
+//! of the paper's Table 2.
+
+use crate::buffer::{BufF32, BufU32, BufferPool};
+use crate::exec::{execute_launch, execute_launch_checked};
+use crate::kernel::{Kernel, NdRange};
+use crate::race::Race;
+use crate::pcie::TransferModel;
+use crate::sched::{schedule_launch, LaunchTiming};
+use crate::spec::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one kernel launch kept in the device log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LaunchRecord {
+    /// Kernel name.
+    pub kernel: String,
+    /// Launch geometry.
+    pub grid: NdRange,
+    /// Timing under the device model.
+    pub timing: LaunchTiming,
+}
+
+/// Summary of one transfer kept in the device log.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Bytes moved.
+    pub bytes: usize,
+    /// True for host→device.
+    pub to_device: bool,
+    /// Simulated seconds.
+    pub seconds: f64,
+}
+
+/// A simulated GPU.
+#[derive(Debug)]
+pub struct Device {
+    spec: DeviceSpec,
+    transfer_model: TransferModel,
+    pool: BufferPool,
+    kernel_seconds: f64,
+    transfer_seconds: f64,
+    launches: Vec<LaunchRecord>,
+    transfers: Vec<TransferRecord>,
+    race_checking: bool,
+    races: Vec<Race>,
+}
+
+impl Device {
+    /// Creates a device with the default PCIe model.
+    ///
+    /// # Panics
+    /// Panics if the spec fails validation.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self::with_transfer_model(spec, TransferModel::default())
+    }
+
+    /// Creates a device with an explicit transfer model.
+    pub fn with_transfer_model(spec: DeviceSpec, transfer_model: TransferModel) -> Self {
+        spec.validate().expect("invalid device spec");
+        Self {
+            spec,
+            transfer_model,
+            pool: BufferPool::new(),
+            kernel_seconds: 0.0,
+            transfer_seconds: 0.0,
+            launches: Vec::new(),
+            transfers: Vec::new(),
+            race_checking: false,
+            races: Vec::new(),
+        }
+    }
+
+    /// Enables or disables data-race detection for subsequent launches.
+    /// Races found accumulate in [`Device::races`]. Checking slows the
+    /// functional execution; use it in tests and debugging, not sweeps.
+    pub fn set_race_checking(&mut self, on: bool) {
+        self.race_checking = on;
+    }
+
+    /// Races detected by checked launches since the last reset.
+    pub fn races(&self) -> &[Race] {
+        &self.races
+    }
+
+    /// The device description.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The transfer model in effect.
+    pub fn transfer_model(&self) -> &TransferModel {
+        &self.transfer_model
+    }
+
+    /// Allocates a zeroed `f32` buffer.
+    pub fn alloc_f32(&mut self, len: usize) -> BufF32 {
+        self.pool.alloc_f32(len)
+    }
+
+    /// Allocates a zeroed `u32` buffer.
+    pub fn alloc_u32(&mut self, len: usize) -> BufU32 {
+        self.pool.alloc_u32(len)
+    }
+
+    /// Host→device copy, charged to the transfer clock.
+    ///
+    /// # Panics
+    /// Panics if `data` is longer than the buffer.
+    pub fn upload_f32(&mut self, buf: BufF32, data: &[f32]) {
+        self.pool.f32_mut(buf)[..data.len()].copy_from_slice(data);
+        self.record_transfer(data.len() * 4, true);
+    }
+
+    /// Host→device copy of `u32` data, charged to the transfer clock.
+    pub fn upload_u32(&mut self, buf: BufU32, data: &[u32]) {
+        self.pool.u32_mut(buf)[..data.len()].copy_from_slice(data);
+        self.record_transfer(data.len() * 4, true);
+    }
+
+    /// Device→host copy, charged to the transfer clock.
+    pub fn download_f32(&mut self, buf: BufF32) -> Vec<f32> {
+        let data = self.pool.f32(buf).to_vec();
+        self.record_transfer(data.len() * 4, false);
+        data
+    }
+
+    /// Device→host copy of `u32` data, charged to the transfer clock.
+    pub fn download_u32(&mut self, buf: BufU32) -> Vec<u32> {
+        let data = self.pool.u32(buf).to_vec();
+        self.record_transfer(data.len() * 4, false);
+        data
+    }
+
+    /// Untimed host access for test setup and assertions — never use on a
+    /// measured path.
+    pub fn debug_pool_mut(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    /// Untimed read-only host access.
+    pub fn debug_pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Executes `kernel` over `grid`: runs it functionally, times it, and
+    /// advances the kernel clock. Honors [`Device::set_race_checking`].
+    pub fn launch<K: Kernel>(&mut self, kernel: &K, grid: NdRange) -> LaunchTiming {
+        if self.race_checking {
+            return self.launch_checked(kernel, grid).0;
+        }
+        let outcome = execute_launch(kernel, grid, &self.spec, &mut self.pool);
+        let timing = schedule_launch(&self.spec, grid.local, kernel.lds_words(), &outcome.group_costs);
+        self.kernel_seconds += timing.seconds;
+        self.launches.push(LaunchRecord {
+            kernel: kernel.name().to_string(),
+            grid,
+            timing: timing.clone(),
+        });
+        timing
+    }
+
+    /// Like [`Device::launch`], but with intra-phase data-race detection.
+    /// Returns the timing plus every race found (see `race` module); racy
+    /// kernels still execute (in deterministic local-id order) so the
+    /// corrupted output can be inspected.
+    pub fn launch_checked<K: Kernel>(&mut self, kernel: &K, grid: NdRange) -> (LaunchTiming, Vec<Race>) {
+        let (outcome, races) =
+            execute_launch_checked(kernel, grid, &self.spec, &mut self.pool);
+        let timing =
+            schedule_launch(&self.spec, grid.local, kernel.lds_words(), &outcome.group_costs);
+        self.kernel_seconds += timing.seconds;
+        self.launches.push(LaunchRecord {
+            kernel: kernel.name().to_string(),
+            grid,
+            timing: timing.clone(),
+        });
+        self.races.extend(races.iter().cloned());
+        (timing, races)
+    }
+
+    /// Simulated seconds spent in kernels since the last reset.
+    pub fn kernel_seconds(&self) -> f64 {
+        self.kernel_seconds
+    }
+
+    /// Simulated seconds spent in transfers since the last reset.
+    pub fn transfer_seconds(&self) -> f64 {
+        self.transfer_seconds
+    }
+
+    /// Kernel + transfer seconds.
+    pub fn device_seconds(&self) -> f64 {
+        self.kernel_seconds + self.transfer_seconds
+    }
+
+    /// Clears the clocks and logs (buffers are kept; the race-checking mode
+    /// flag is kept too).
+    pub fn reset_clocks(&mut self) {
+        self.kernel_seconds = 0.0;
+        self.transfer_seconds = 0.0;
+        self.launches.clear();
+        self.transfers.clear();
+        self.races.clear();
+    }
+
+    /// Launch log since the last reset.
+    pub fn launches(&self) -> &[LaunchRecord] {
+        &self.launches
+    }
+
+    /// Transfer log since the last reset.
+    pub fn transfers(&self) -> &[TransferRecord] {
+        &self.transfers
+    }
+
+    fn record_transfer(&mut self, bytes: usize, to_device: bool) {
+        let seconds = self.transfer_model.seconds(bytes);
+        self.transfer_seconds += seconds;
+        self.transfers.push(TransferRecord { bytes, to_device, seconds });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ItemCtx;
+    use crate::kernel::{Control, GroupInfo};
+
+    struct AddOne {
+        buf: BufF32,
+        n: usize,
+    }
+
+    impl Kernel for AddOne {
+        type ItemRegs = ();
+        type GroupRegs = ();
+        fn name(&self) -> &str {
+            "add-one"
+        }
+        fn lds_words(&self) -> usize {
+            0
+        }
+        fn phase(&self, _p: usize, ctx: &mut ItemCtx<'_>, _r: &mut (), _g: &()) {
+            let i = ctx.global_id;
+            if i < self.n {
+                let v = ctx.read_f32_coalesced(self.buf, i);
+                ctx.flops(1);
+                ctx.write_f32_coalesced(self.buf, i, v + 1.0);
+            }
+        }
+        fn control(&self, _p: usize, _g: &mut (), _i: &GroupInfo) -> Control {
+            Control::Done
+        }
+    }
+
+    fn device() -> Device {
+        Device::with_transfer_model(DeviceSpec::tiny_test_device(), TransferModel::free())
+    }
+
+    #[test]
+    fn upload_launch_download_roundtrip() {
+        let mut dev = device();
+        let buf = dev.alloc_f32(8);
+        dev.upload_f32(buf, &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        dev.launch(&AddOne { buf, n: 8 }, NdRange { global: 8, local: 4 });
+        let out = dev.download_f32(buf);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn clocks_accumulate() {
+        let mut dev = Device::with_transfer_model(
+            DeviceSpec::tiny_test_device(),
+            TransferModel { bandwidth_bytes_per_sec: 1e6, latency_s: 1e-3 },
+        );
+        let buf = dev.alloc_f32(250);
+        dev.upload_f32(buf, &vec![0.0; 250]); // 1000 bytes at 1e6 B/s + 1 ms = 2 ms
+        assert!((dev.transfer_seconds() - 2e-3).abs() < 1e-9);
+        dev.launch(&AddOne { buf, n: 250 }, NdRange::round_up(250, 8));
+        assert!(dev.kernel_seconds() > 0.0);
+        assert!(dev.device_seconds() > dev.kernel_seconds());
+        assert_eq!(dev.launches().len(), 1);
+        assert_eq!(dev.transfers().len(), 1);
+        dev.reset_clocks();
+        assert_eq!(dev.device_seconds(), 0.0);
+        assert!(dev.launches().is_empty());
+    }
+
+    #[test]
+    fn launch_records_kernel_name_and_grid() {
+        let mut dev = device();
+        let buf = dev.alloc_f32(4);
+        dev.launch(&AddOne { buf, n: 4 }, NdRange { global: 4, local: 4 });
+        let rec = &dev.launches()[0];
+        assert_eq!(rec.kernel, "add-one");
+        assert_eq!(rec.grid.num_groups(), 1);
+        assert_eq!(rec.timing.total_cost.flops, 4.0);
+    }
+
+    #[test]
+    fn transfer_directions_logged() {
+        let mut dev = device();
+        let buf = dev.alloc_f32(4);
+        dev.upload_f32(buf, &[1.0; 4]);
+        let _ = dev.download_f32(buf);
+        assert!(dev.transfers()[0].to_device);
+        assert!(!dev.transfers()[1].to_device);
+        assert_eq!(dev.transfers()[0].bytes, 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_spec_rejected() {
+        let mut spec = DeviceSpec::tiny_test_device();
+        spec.compute_units = 0;
+        let _ = Device::new(spec);
+    }
+
+    #[test]
+    fn u32_buffers_roundtrip() {
+        let mut dev = device();
+        let buf = dev.alloc_u32(3);
+        dev.upload_u32(buf, &[7, 8, 9]);
+        assert_eq!(dev.download_u32(buf), vec![7, 8, 9]);
+    }
+}

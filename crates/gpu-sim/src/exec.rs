@@ -1,0 +1,653 @@
+//! Functional execution of kernels, with event accounting.
+//!
+//! [`ItemCtx`] is the device-side API surface a kernel phase sees: work-item
+//! ids, LDS, and global buffers. Every access goes through a method that
+//! both performs the operation and records its cost. Global accesses come in
+//! two flavours mirroring how one reasons about OpenCL memory:
+//!
+//! * `*_coalesced` — the wavefront accesses consecutive addresses, so a
+//!   128-byte transaction is amortized over the lanes that share it
+//!   (charged as `4 / transaction_bytes` transactions per element);
+//! * plain (gather/scatter) — each lane pays a full transaction.
+//!
+//! Execution is single-threaded and deterministic: groups run in index
+//! order, items in local-id order, phases separated by implicit barriers.
+
+use crate::buffer::{BufF32, BufU32, BufferPool};
+use crate::cost::GroupCost;
+use crate::kernel::{Control, GroupInfo, Kernel, NdRange};
+use crate::race::{Race, RaceDetector, Space};
+use crate::spec::DeviceSpec;
+
+/// Hard cap on phases executed per group — an infinite `Jump` loop in a
+/// kernel panics instead of hanging the process.
+const MAX_PHASES_PER_GROUP: usize = 1 << 24;
+
+/// The device-side view one work-item has during one phase.
+pub struct ItemCtx<'a> {
+    /// Flat work-item index across the launch.
+    pub global_id: usize,
+    /// Index within the work-group.
+    pub local_id: usize,
+    /// Work-group index.
+    pub group_id: usize,
+    /// Items per group.
+    pub local_size: usize,
+    /// Total items in the launch.
+    pub global_size: usize,
+    lds: &'a mut [f32],
+    pool: &'a mut BufferPool,
+    cost: &'a mut GroupCost,
+    inv_transaction_bytes: f64,
+    race: Option<&'a mut RaceDetector>,
+}
+
+impl<'a> ItemCtx<'a> {
+    /// Charges `n` convention flops to this group.
+    #[inline]
+    pub fn flops(&mut self, n: u64) {
+        self.cost.flops += n as f64;
+    }
+
+    /// Reads a word of LDS.
+    #[inline]
+    pub fn lds_read(&mut self, idx: usize) -> f32 {
+        self.cost.lds_accesses += 1.0;
+        if let Some(d) = self.race.as_deref_mut() {
+            d.read(self.local_id, Space::Lds, idx);
+        }
+        self.lds[idx]
+    }
+
+    /// Writes a word of LDS.
+    #[inline]
+    pub fn lds_write(&mut self, idx: usize, v: f32) {
+        self.cost.lds_accesses += 1.0;
+        if let Some(d) = self.race.as_deref_mut() {
+            d.write(self.local_id, Space::Lds, idx);
+        }
+        self.lds[idx] = v;
+    }
+
+    /// Writes `data.len()` consecutive LDS words (charged and race-tracked
+    /// per word) — the staple of tile staging.
+    #[inline]
+    pub fn lds_write_slice(&mut self, base: usize, data: &[f32]) {
+        self.cost.lds_accesses += data.len() as f64;
+        if let Some(d) = self.race.as_deref_mut() {
+            for i in base..base + data.len() {
+                d.write(self.local_id, Space::Lds, i);
+            }
+        }
+        self.lds[base..base + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads `len` consecutive LDS words as a slice (charged and
+    /// race-tracked per word). Charge happens up front, so the returned
+    /// borrow can feed a tight inner loop.
+    #[inline]
+    pub fn lds_read_slice(&mut self, base: usize, len: usize) -> &[f32] {
+        self.cost.lds_accesses += len as f64;
+        if let Some(d) = self.race.as_deref_mut() {
+            for i in base..base + len {
+                d.read(self.local_id, Space::Lds, i);
+            }
+        }
+        &self.lds[base..base + len]
+    }
+
+    /// Reads `COUNT` consecutive LDS words (charged per word); the staple of
+    /// tile-processing inner loops.
+    #[inline]
+    pub fn lds_read_vec<const COUNT: usize>(&mut self, base: usize) -> [f32; COUNT] {
+        self.cost.lds_accesses += COUNT as f64;
+        let mut out = [0.0; COUNT];
+        out.copy_from_slice(&self.lds[base..base + COUNT]);
+        out
+    }
+
+    /// Reads one `f32` with wavefront-coalesced addressing.
+    #[inline]
+    pub fn read_f32_coalesced(&mut self, buf: BufF32, idx: usize) -> f32 {
+        self.cost.read_bytes += 4.0;
+        self.cost.read_transactions += 4.0 * self.inv_transaction_bytes;
+        if let Some(d) = self.race.as_deref_mut() {
+            d.read(self.local_id, Space::GlobalF32(buf.raw()), idx);
+        }
+        self.pool.f32(buf)[idx]
+    }
+
+    /// Reads one `f32` with gather (uncoalesced) addressing.
+    #[inline]
+    pub fn read_f32(&mut self, buf: BufF32, idx: usize) -> f32 {
+        self.cost.read_bytes += 4.0;
+        self.cost.read_transactions += 1.0;
+        if let Some(d) = self.race.as_deref_mut() {
+            d.read(self.local_id, Space::GlobalF32(buf.raw()), idx);
+        }
+        self.pool.f32(buf)[idx]
+    }
+
+    /// Reads `COUNT` consecutive `f32` (a float2/float4 load), coalesced.
+    #[inline]
+    pub fn read_f32_vec_coalesced<const COUNT: usize>(
+        &mut self,
+        buf: BufF32,
+        base: usize,
+    ) -> [f32; COUNT] {
+        self.cost.read_bytes += 4.0 * COUNT as f64;
+        self.cost.read_transactions += 4.0 * COUNT as f64 * self.inv_transaction_bytes;
+        if let Some(d) = self.race.as_deref_mut() {
+            for i in base..base + COUNT {
+                d.read(self.local_id, Space::GlobalF32(buf.raw()), i);
+            }
+        }
+        let mut out = [0.0; COUNT];
+        out.copy_from_slice(&self.pool.f32(buf)[base..base + COUNT]);
+        out
+    }
+
+    /// Reads `COUNT` consecutive `f32` as a gather (one transaction, since
+    /// consecutive words of one lane share a burst).
+    #[inline]
+    pub fn read_f32_vec<const COUNT: usize>(&mut self, buf: BufF32, base: usize) -> [f32; COUNT] {
+        self.cost.read_bytes += 4.0 * COUNT as f64;
+        self.cost.read_transactions += 1.0;
+        if let Some(d) = self.race.as_deref_mut() {
+            for i in base..base + COUNT {
+                d.read(self.local_id, Space::GlobalF32(buf.raw()), i);
+            }
+        }
+        let mut out = [0.0; COUNT];
+        out.copy_from_slice(&self.pool.f32(buf)[base..base + COUNT]);
+        out
+    }
+
+    /// Writes one `f32`, coalesced.
+    #[inline]
+    pub fn write_f32_coalesced(&mut self, buf: BufF32, idx: usize, v: f32) {
+        self.cost.write_bytes += 4.0;
+        self.cost.write_transactions += 4.0 * self.inv_transaction_bytes;
+        if let Some(d) = self.race.as_deref_mut() {
+            d.write(self.local_id, Space::GlobalF32(buf.raw()), idx);
+        }
+        self.pool.f32_mut(buf)[idx] = v;
+    }
+
+    /// Writes one `f32` as a scatter.
+    #[inline]
+    pub fn write_f32(&mut self, buf: BufF32, idx: usize, v: f32) {
+        self.cost.write_bytes += 4.0;
+        self.cost.write_transactions += 1.0;
+        if let Some(d) = self.race.as_deref_mut() {
+            d.write(self.local_id, Space::GlobalF32(buf.raw()), idx);
+        }
+        self.pool.f32_mut(buf)[idx] = v;
+    }
+
+    /// Writes `COUNT` consecutive `f32`, coalesced.
+    #[inline]
+    pub fn write_f32_vec_coalesced<const COUNT: usize>(
+        &mut self,
+        buf: BufF32,
+        base: usize,
+        v: [f32; COUNT],
+    ) {
+        self.cost.write_bytes += 4.0 * COUNT as f64;
+        self.cost.write_transactions += 4.0 * COUNT as f64 * self.inv_transaction_bytes;
+        if let Some(d) = self.race.as_deref_mut() {
+            for i in base..base + COUNT {
+                d.write(self.local_id, Space::GlobalF32(buf.raw()), i);
+            }
+        }
+        self.pool.f32_mut(buf)[base..base + COUNT].copy_from_slice(&v);
+    }
+
+    /// Writes `COUNT` consecutive `f32` as a scatter (one transaction: one
+    /// lane's consecutive words share a burst).
+    #[inline]
+    pub fn write_f32_vec<const COUNT: usize>(
+        &mut self,
+        buf: BufF32,
+        base: usize,
+        v: [f32; COUNT],
+    ) {
+        self.cost.write_bytes += 4.0 * COUNT as f64;
+        self.cost.write_transactions += 1.0;
+        if let Some(d) = self.race.as_deref_mut() {
+            for i in base..base + COUNT {
+                d.write(self.local_id, Space::GlobalF32(buf.raw()), i);
+            }
+        }
+        self.pool.f32_mut(buf)[base..base + COUNT].copy_from_slice(&v);
+    }
+
+    /// Reads one `u32`, coalesced.
+    #[inline]
+    pub fn read_u32_coalesced(&mut self, buf: BufU32, idx: usize) -> u32 {
+        self.cost.read_bytes += 4.0;
+        self.cost.read_transactions += 4.0 * self.inv_transaction_bytes;
+        if let Some(d) = self.race.as_deref_mut() {
+            d.read(self.local_id, Space::GlobalU32(buf.raw()), idx);
+        }
+        self.pool.u32(buf)[idx]
+    }
+
+    /// Reads one `u32` as a gather.
+    #[inline]
+    pub fn read_u32(&mut self, buf: BufU32, idx: usize) -> u32 {
+        self.cost.read_bytes += 4.0;
+        self.cost.read_transactions += 1.0;
+        if let Some(d) = self.race.as_deref_mut() {
+            d.read(self.local_id, Space::GlobalU32(buf.raw()), idx);
+        }
+        self.pool.u32(buf)[idx]
+    }
+
+    /// Writes one `u32`, coalesced.
+    #[inline]
+    pub fn write_u32_coalesced(&mut self, buf: BufU32, idx: usize, v: u32) {
+        self.cost.write_bytes += 4.0;
+        self.cost.write_transactions += 4.0 * self.inv_transaction_bytes;
+        if let Some(d) = self.race.as_deref_mut() {
+            d.write(self.local_id, Space::GlobalU32(buf.raw()), idx);
+        }
+        self.pool.u32_mut(buf)[idx] = v;
+    }
+
+    /// Length of an `f32` buffer (free: lengths are kernel arguments on real
+    /// devices).
+    #[inline]
+    pub fn len_f32(&self, buf: BufF32) -> usize {
+        self.pool.len_f32(buf)
+    }
+
+    // --- Bulk accessors for hot inner loops -------------------------------
+    //
+    // The per-access methods above cost one counter update per element; a
+    // tile loop evaluating hundreds of interactions per phase call wants a
+    // tight slice loop instead. These accessors are *uncounted*: the kernel
+    // must charge the equivalent events explicitly with `charge_*`. Misuse
+    // shows up immediately in the cost-model tests, which compare charged
+    // totals against analytic expectations.
+
+    /// Uncounted, race-untracked read-only view of LDS. Pair with
+    /// [`ItemCtx::charge_lds`]; prefer [`ItemCtx::lds_read_slice`], which is
+    /// charged and visible to the race detector.
+    #[inline]
+    pub fn lds(&self) -> &[f32] {
+        self.lds
+    }
+
+    /// Uncounted, race-untracked mutable view of LDS. Pair with
+    /// [`ItemCtx::charge_lds`]; prefer [`ItemCtx::lds_write_slice`].
+    #[inline]
+    pub fn lds_mut(&mut self) -> &mut [f32] {
+        self.lds
+    }
+
+    /// Charges `words` LDS accesses without touching memory.
+    #[inline]
+    pub fn charge_lds(&mut self, words: f64) {
+        self.cost.lds_accesses += words;
+    }
+
+    /// Charges `n` convention flops (alias of [`ItemCtx::flops`] taking
+    /// fractional counts for amortized charging).
+    #[inline]
+    pub fn charge_flops(&mut self, n: f64) {
+        self.cost.flops += n;
+    }
+}
+
+/// Result of functionally executing a full launch: one cost per group, in
+/// group order.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Per-group event counts.
+    pub group_costs: Vec<GroupCost>,
+    /// Phases executed per group (same order).
+    pub group_phases: Vec<u64>,
+}
+
+impl ExecOutcome {
+    /// Sum of all group costs.
+    pub fn total(&self) -> GroupCost {
+        self.group_costs.iter().copied().sum()
+    }
+}
+
+/// Functionally executes every work-group of `grid` and records costs.
+///
+/// # Panics
+/// Panics if the grid is invalid, the local size exceeds the device limit,
+/// the kernel's LDS request exceeds the device LDS, or a group exceeds the
+/// phase budget (runaway loop).
+pub fn execute_launch<K: Kernel>(
+    kernel: &K,
+    grid: NdRange,
+    spec: &DeviceSpec,
+    pool: &mut BufferPool,
+) -> ExecOutcome {
+    let (outcome, _races) = execute_launch_opts(kernel, grid, spec, pool, false);
+    outcome
+}
+
+/// Like [`execute_launch`], but with intra-phase data-race detection: every
+/// tracked access is checked against the rule that no two work-items may
+/// touch the same word between barriers unless all accesses are reads.
+/// Returns the outcome plus all detected races (capped at 64).
+pub fn execute_launch_checked<K: Kernel>(
+    kernel: &K,
+    grid: NdRange,
+    spec: &DeviceSpec,
+    pool: &mut BufferPool,
+) -> (ExecOutcome, Vec<Race>) {
+    execute_launch_opts(kernel, grid, spec, pool, true)
+}
+
+fn execute_launch_opts<K: Kernel>(
+    kernel: &K,
+    grid: NdRange,
+    spec: &DeviceSpec,
+    pool: &mut BufferPool,
+    check_races: bool,
+) -> (ExecOutcome, Vec<Race>) {
+    grid.validate().unwrap_or_else(|e| panic!("kernel `{}`: {e}", kernel.name()));
+    assert!(
+        grid.local <= spec.max_workgroup_size as usize,
+        "kernel `{}`: local size {} exceeds device max {}",
+        kernel.name(),
+        grid.local,
+        spec.max_workgroup_size
+    );
+    assert!(
+        kernel.lds_words() <= spec.lds_words_per_cu as usize,
+        "kernel `{}`: LDS request {} words exceeds device LDS {} words",
+        kernel.name(),
+        kernel.lds_words(),
+        spec.lds_words_per_cu
+    );
+
+    let num_groups = grid.num_groups();
+    let mut group_costs = Vec::with_capacity(num_groups);
+    let mut group_phases = Vec::with_capacity(num_groups);
+    let mut lds = vec![0.0_f32; kernel.lds_words()];
+    let inv_tb = 1.0 / f64::from(spec.transaction_bytes);
+    let mut detector = check_races.then(|| RaceDetector::new(64));
+
+    for group_id in 0..num_groups {
+        lds.iter_mut().for_each(|w| *w = 0.0);
+        let mut cost = GroupCost { items: grid.local as u64, ..Default::default() };
+        let mut group_regs = K::GroupRegs::default();
+        let mut item_regs = vec![K::ItemRegs::default(); grid.local];
+        let info = GroupInfo {
+            group_id,
+            local_size: grid.local,
+            global_size: grid.global,
+            num_groups,
+        };
+
+        let mut phase = 0_usize;
+        let mut executed = 0_u64;
+        loop {
+            if let Some(d) = detector.as_mut() {
+                d.begin_phase(group_id, phase);
+            }
+            for (local_id, regs) in item_regs.iter_mut().enumerate() {
+                let mut ctx = ItemCtx {
+                    global_id: group_id * grid.local + local_id,
+                    local_id,
+                    group_id,
+                    local_size: grid.local,
+                    global_size: grid.global,
+                    lds: &mut lds,
+                    pool,
+                    cost: &mut cost,
+                    inv_transaction_bytes: inv_tb,
+                    race: detector.as_mut(),
+                };
+                kernel.phase(phase, &mut ctx, regs, &group_regs);
+            }
+            cost.barriers += 1;
+            executed += 1;
+            assert!(
+                (executed as usize) < MAX_PHASES_PER_GROUP,
+                "kernel `{}` group {group_id}: phase budget exhausted (runaway loop?)",
+                kernel.name()
+            );
+            match kernel.control(phase, &mut group_regs, &info) {
+                Control::Next => phase += 1,
+                Control::Jump(p) => phase = p,
+                Control::Done => break,
+            }
+        }
+        group_costs.push(cost);
+        group_phases.push(executed);
+    }
+
+    let races = detector.map(|d| d.races().to_vec()).unwrap_or_default();
+    (ExecOutcome { group_costs, group_phases }, races)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Doubles every element: out[i] = 2 * in[i]. Single phase.
+    struct DoubleKernel {
+        input: BufF32,
+        output: BufF32,
+        n: usize,
+    }
+
+    impl Kernel for DoubleKernel {
+        type ItemRegs = ();
+        type GroupRegs = ();
+
+        fn name(&self) -> &str {
+            "double"
+        }
+
+        fn lds_words(&self) -> usize {
+            0
+        }
+
+        fn phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>, _regs: &mut (), _group: &()) {
+            let i = ctx.global_id;
+            if i < self.n {
+                let v = ctx.read_f32_coalesced(self.input, i);
+                ctx.flops(1);
+                ctx.write_f32_coalesced(self.output, i, 2.0 * v);
+            }
+        }
+
+        fn control(&self, _phase: usize, _group: &mut (), _info: &GroupInfo) -> Control {
+            Control::Done
+        }
+    }
+
+    /// Group-wide LDS reduction over `rounds` tiles, exercising Jump loops:
+    /// each item writes its id to LDS, then item 0 sums the tile.
+    struct LoopKernel {
+        output: BufF32,
+        rounds: usize,
+    }
+
+    #[derive(Default)]
+    struct LoopGroupRegs {
+        round: usize,
+    }
+
+    impl Kernel for LoopKernel {
+        type ItemRegs = ();
+        type GroupRegs = LoopGroupRegs;
+
+        fn name(&self) -> &str {
+            "loop"
+        }
+
+        fn lds_words(&self) -> usize {
+            8
+        }
+
+        fn phase(&self, phase: usize, ctx: &mut ItemCtx<'_>, _regs: &mut (), group: &LoopGroupRegs) {
+            match phase {
+                0 => ctx.lds_write(ctx.local_id, (group.round + 1) as f32),
+                1 => {
+                    if ctx.local_id == 0 {
+                        let mut sum = 0.0;
+                        for k in 0..ctx.local_size {
+                            sum += ctx.lds_read(k);
+                        }
+                        let prev = ctx.read_f32(self.output, ctx.group_id);
+                        ctx.write_f32(self.output, ctx.group_id, prev + sum);
+                    }
+                }
+                _ => unreachable!("loop kernel has two phases"),
+            }
+        }
+
+        fn control(&self, phase: usize, group: &mut LoopGroupRegs, _info: &GroupInfo) -> Control {
+            match phase {
+                0 => Control::Next,
+                1 => {
+                    group.round += 1;
+                    if group.round < self.rounds {
+                        Control::Jump(0)
+                    } else {
+                        Control::Done
+                    }
+                }
+                _ => Control::Done,
+            }
+        }
+    }
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::tiny_test_device()
+    }
+
+    #[test]
+    fn functional_correctness_simple() {
+        let spec = spec();
+        let mut pool = BufferPool::new();
+        let input = pool.alloc_f32(10);
+        let output = pool.alloc_f32(10);
+        for i in 0..10 {
+            pool.f32_mut(input)[i] = i as f32;
+        }
+        let k = DoubleKernel { input, output, n: 10 };
+        let grid = NdRange::round_up(10, 4);
+        let out = execute_launch(&k, grid, &spec, &mut pool);
+        for i in 0..10 {
+            assert_eq!(pool.f32(output)[i], 2.0 * i as f32);
+        }
+        assert_eq!(out.group_costs.len(), 3); // ceil(10/4) groups
+    }
+
+    #[test]
+    fn cost_accounting_simple() {
+        let spec = spec();
+        let mut pool = BufferPool::new();
+        let input = pool.alloc_f32(8);
+        let output = pool.alloc_f32(8);
+        let k = DoubleKernel { input, output, n: 8 };
+        let out = execute_launch(&k, NdRange { global: 8, local: 4 }, &spec, &mut pool);
+        let total = out.total();
+        assert_eq!(total.flops, 8.0);
+        assert_eq!(total.read_bytes, 32.0);
+        assert_eq!(total.write_bytes, 32.0);
+        // coalesced: 4 bytes / 64-byte transaction each
+        assert!((total.read_transactions - 32.0 / 64.0).abs() < 1e-12);
+        assert_eq!(total.barriers, 2); // one phase per group, 2 groups
+        assert_eq!(total.items, 8);
+    }
+
+    #[test]
+    fn tail_items_guarded_by_kernel() {
+        let spec = spec();
+        let mut pool = BufferPool::new();
+        let input = pool.alloc_f32(5);
+        let output = pool.alloc_f32(5);
+        let k = DoubleKernel { input, output, n: 5 };
+        // rounded up to 8 items; items 5..8 must not touch the buffers
+        let grid = NdRange::round_up(5, 4);
+        assert_eq!(grid.global, 8);
+        let out = execute_launch(&k, grid, &spec, &mut pool);
+        assert_eq!(out.total().flops, 5.0);
+    }
+
+    #[test]
+    fn jump_loops_and_lds() {
+        let spec = spec();
+        let mut pool = BufferPool::new();
+        let output = pool.alloc_f32(2);
+        let k = LoopKernel { output, rounds: 3 };
+        let out = execute_launch(&k, NdRange { global: 8, local: 4 }, &spec, &mut pool);
+        // each round: 4 items write round+1 -> sum = 4*(round+1); 3 rounds: 4*(1+2+3)=24
+        assert_eq!(pool.f32(output), &[24.0, 24.0]);
+        // each group executed 2 phases × 3 rounds = 6 barriers
+        assert_eq!(out.group_costs[0].barriers, 6);
+        assert_eq!(out.group_phases[0], 6);
+        // LDS traffic: per round 4 writes + 4 reads = 8, ×3 rounds
+        assert_eq!(out.group_costs[0].lds_accesses, 24.0);
+    }
+
+    #[test]
+    fn lds_cleared_between_groups() {
+        // LoopKernel sums whatever is in LDS; if LDS leaked across groups the
+        // second group's output would differ.
+        let spec = spec();
+        let mut pool = BufferPool::new();
+        let output = pool.alloc_f32(2);
+        let k = LoopKernel { output, rounds: 1 };
+        execute_launch(&k, NdRange { global: 8, local: 4 }, &spec, &mut pool);
+        assert_eq!(pool.f32(output)[0], pool.f32(output)[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "local size")]
+    fn oversized_group_rejected() {
+        let spec = spec();
+        let mut pool = BufferPool::new();
+        let input = pool.alloc_f32(1);
+        let output = pool.alloc_f32(1);
+        let k = DoubleKernel { input, output, n: 1 };
+        execute_launch(&k, NdRange { global: 32, local: 16 }, &spec, &mut pool);
+    }
+
+    #[test]
+    #[should_panic(expected = "LDS request")]
+    fn oversized_lds_rejected() {
+        struct Greedy;
+        impl Kernel for Greedy {
+            type ItemRegs = ();
+            type GroupRegs = ();
+            fn name(&self) -> &str {
+                "greedy"
+            }
+            fn lds_words(&self) -> usize {
+                1 << 20
+            }
+            fn phase(&self, _: usize, _: &mut ItemCtx<'_>, _: &mut (), _: &()) {}
+            fn control(&self, _: usize, _: &mut (), _: &GroupInfo) -> Control {
+                Control::Done
+            }
+        }
+        let spec = spec();
+        let mut pool = BufferPool::new();
+        execute_launch(&Greedy, NdRange { global: 4, local: 4 }, &spec, &mut pool);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn invalid_grid_rejected() {
+        let spec = spec();
+        let mut pool = BufferPool::new();
+        let input = pool.alloc_f32(1);
+        let output = pool.alloc_f32(1);
+        let k = DoubleKernel { input, output, n: 1 };
+        execute_launch(&k, NdRange { global: 5, local: 4 }, &spec, &mut pool);
+    }
+}

@@ -1,0 +1,68 @@
+//! Host↔device transfer model (PCIe).
+//!
+//! The paper's Table 2 reports *total* time — kernel time plus transfers and
+//! host-side tree work — so transfer costs matter for reproducing the plan
+//! ranking. The model is the usual affine one: `latency + bytes / bandwidth`.
+//! Defaults approximate a 2010-era PCIe 2.0 ×16 link as seen by OpenCL
+//! (effective ≈ 5 GB/s, ≈ 20 µs per transfer call).
+
+use serde::{Deserialize, Serialize};
+
+/// Affine transfer cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed per-call latency in seconds.
+    pub latency_s: f64,
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        Self::pcie2_x16()
+    }
+}
+
+impl TransferModel {
+    /// PCIe 2.0 ×16 as effectively seen by OpenCL clEnqueue{Read,Write}Buffer
+    /// circa 2010.
+    pub fn pcie2_x16() -> Self {
+        Self { bandwidth_bytes_per_sec: 5e9, latency_s: 20e-6 }
+    }
+
+    /// A free transfer model (for experiments isolating kernel time).
+    pub fn free() -> Self {
+        Self { bandwidth_bytes_per_sec: f64::INFINITY, latency_s: 0.0 }
+    }
+
+    /// Seconds to move `bytes` in one call.
+    pub fn seconds(&self, bytes: usize) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_cost() {
+        let m = TransferModel { bandwidth_bytes_per_sec: 1e9, latency_s: 1e-5 };
+        assert!((m.seconds(0) - 1e-5).abs() < 1e-15);
+        assert!((m.seconds(1_000_000_000) - (1.0 + 1e-5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_model_costs_nothing() {
+        let m = TransferModel::free();
+        assert_eq!(m.seconds(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn default_is_pcie2() {
+        assert_eq!(TransferModel::default(), TransferModel::pcie2_x16());
+        // 1 GB at 5 GB/s ≈ 0.2 s
+        let t = TransferModel::default().seconds(1 << 30);
+        assert!(t > 0.2 && t < 0.22, "{t}");
+    }
+}

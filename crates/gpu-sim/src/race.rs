@@ -1,0 +1,253 @@
+//! Data-race detection for kernel validation.
+//!
+//! Between two barriers, OpenCL gives no ordering among the work-items of a
+//! group: if item A writes an LDS (or global) word and item B reads or
+//! writes the same word *in the same phase*, the kernel is racy — it only
+//! appears correct under this executor because items run in local-id order.
+//! The checked execution mode records, per phase, which items touched each
+//! word and reports conflicts instead of silently producing
+//! order-dependent results.
+//!
+//! The detector is exact for the access patterns the tracked API can
+//! express (word-granular, per-phase), and is intended for tests and
+//! debugging: it allocates shadow state per LDS/global word touched.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which memory space an access touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// Work-group local memory.
+    Lds,
+    /// A global `f32` buffer (by handle index).
+    GlobalF32(u32),
+    /// A global `u32` buffer (by handle index).
+    GlobalU32(u32),
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Space::Lds => write!(f, "LDS"),
+            Space::GlobalF32(b) => write!(f, "global f32 buffer #{b}"),
+            Space::GlobalU32(b) => write!(f, "global u32 buffer #{b}"),
+        }
+    }
+}
+
+/// A detected conflict between two work-items in one phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// Group in which the race occurred.
+    pub group_id: usize,
+    /// Phase (barrier interval) of the race.
+    pub phase: usize,
+    /// Memory space.
+    pub space: Space,
+    /// Word index within the space.
+    pub index: usize,
+    /// Local id of the earlier-writing item.
+    pub writer: usize,
+    /// Local id of the conflicting item.
+    pub other: usize,
+    /// True if the conflicting access was also a write.
+    pub other_is_write: bool,
+}
+
+impl fmt::Display for Race {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "group {} phase {}: item {} wrote {}[{}], item {} {} it in the same phase",
+            self.group_id,
+            self.phase,
+            self.writer,
+            self.space,
+            self.index,
+            self.other,
+            if self.other_is_write { "also wrote" } else { "read" }
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WordState {
+    writer: Option<usize>,
+    readers_except_writer: bool,
+    first_reader: usize,
+}
+
+/// Per-phase shadow memory. Cleared at every barrier.
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    words: HashMap<(Space, usize), WordState>,
+    races: Vec<Race>,
+    group_id: usize,
+    phase: usize,
+    /// Hard cap so a hopelessly racy kernel doesn't accumulate unbounded
+    /// reports.
+    max_races: usize,
+}
+
+impl RaceDetector {
+    /// Creates a detector reporting at most `max_races` conflicts.
+    pub fn new(max_races: usize) -> Self {
+        Self { max_races, ..Default::default() }
+    }
+
+    /// Begins a new phase of `group_id` (clears shadow state).
+    pub fn begin_phase(&mut self, group_id: usize, phase: usize) {
+        self.words.clear();
+        self.group_id = group_id;
+        self.phase = phase;
+    }
+
+    /// Records a read of one word by `item`.
+    pub fn read(&mut self, item: usize, space: Space, index: usize) {
+        let state = self.words.entry((space, index)).or_insert(WordState {
+            writer: None,
+            readers_except_writer: false,
+            first_reader: item,
+        });
+        if let Some(writer) = state.writer {
+            if writer != item {
+                self.push_race(space, index, writer, item, false);
+            }
+        } else if !state.readers_except_writer && state.first_reader != item {
+            state.readers_except_writer = true;
+        }
+    }
+
+    /// Records a write of one word by `item`.
+    pub fn write(&mut self, item: usize, space: Space, index: usize) {
+        let state = self.words.entry((space, index)).or_insert(WordState {
+            writer: None,
+            readers_except_writer: false,
+            first_reader: item,
+        });
+        match state.writer {
+            Some(writer) if writer != item => {
+                self.push_race(space, index, writer, item, true);
+            }
+            Some(_) => {}
+            None => {
+                // write-after-read by a different item is also a race
+                let conflicting_reader = (state.first_reader != item
+                    || state.readers_except_writer)
+                    .then_some(state.first_reader);
+                state.writer = Some(item);
+                if let Some(reader) = conflicting_reader {
+                    self.push_race(space, index, item, reader, false);
+                }
+            }
+        }
+    }
+
+    fn push_race(&mut self, space: Space, index: usize, writer: usize, other: usize, w: bool) {
+        if self.races.len() < self.max_races {
+            self.races.push(Race {
+                group_id: self.group_id,
+                phase: self.phase,
+                space,
+                index,
+                writer,
+                other,
+                other_is_write: w,
+            });
+        }
+    }
+
+    /// Races found so far.
+    pub fn races(&self) -> &[Race] {
+        &self.races
+    }
+
+    /// True if any race was found.
+    pub fn is_racy(&self) -> bool {
+        !self.races.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_accesses_are_clean() {
+        let mut d = RaceDetector::new(16);
+        d.begin_phase(0, 0);
+        d.write(0, Space::Lds, 0);
+        d.write(1, Space::Lds, 1);
+        d.read(0, Space::Lds, 0); // own word
+        d.read(2, Space::GlobalF32(0), 5);
+        d.read(3, Space::GlobalF32(0), 5); // shared reads are fine
+        assert!(!d.is_racy());
+    }
+
+    #[test]
+    fn write_then_foreign_read_is_a_race() {
+        let mut d = RaceDetector::new(16);
+        d.begin_phase(3, 1);
+        d.write(0, Space::Lds, 7);
+        d.read(1, Space::Lds, 7);
+        assert!(d.is_racy());
+        let r = &d.races()[0];
+        assert_eq!(r.group_id, 3);
+        assert_eq!(r.phase, 1);
+        assert_eq!(r.writer, 0);
+        assert_eq!(r.other, 1);
+        assert!(!r.other_is_write);
+        assert!(r.to_string().contains("read"));
+    }
+
+    #[test]
+    fn write_write_conflict_detected() {
+        let mut d = RaceDetector::new(16);
+        d.begin_phase(0, 0);
+        d.write(0, Space::GlobalF32(2), 4);
+        d.write(5, Space::GlobalF32(2), 4);
+        assert!(d.is_racy());
+        assert!(d.races()[0].other_is_write);
+    }
+
+    #[test]
+    fn read_then_foreign_write_is_a_race() {
+        let mut d = RaceDetector::new(16);
+        d.begin_phase(0, 0);
+        d.read(2, Space::Lds, 9);
+        d.write(3, Space::Lds, 9);
+        assert!(d.is_racy());
+    }
+
+    #[test]
+    fn barrier_clears_shadow_state() {
+        let mut d = RaceDetector::new(16);
+        d.begin_phase(0, 0);
+        d.write(0, Space::Lds, 1);
+        d.begin_phase(0, 1);
+        d.read(1, Space::Lds, 1); // previous phase's write is now safe
+        assert!(!d.is_racy());
+    }
+
+    #[test]
+    fn race_cap_respected() {
+        let mut d = RaceDetector::new(2);
+        d.begin_phase(0, 0);
+        for i in 0..10 {
+            d.write(0, Space::Lds, i);
+            d.write(1, Space::Lds, i);
+        }
+        assert_eq!(d.races().len(), 2);
+    }
+
+    #[test]
+    fn same_item_rewrites_are_fine() {
+        let mut d = RaceDetector::new(16);
+        d.begin_phase(0, 0);
+        d.write(4, Space::Lds, 0);
+        d.write(4, Space::Lds, 0);
+        d.read(4, Space::Lds, 0);
+        assert!(!d.is_racy());
+    }
+}

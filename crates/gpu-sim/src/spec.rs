@@ -1,0 +1,278 @@
+//! Device specifications.
+//!
+//! A [`DeviceSpec`] is the static description of a simulated GPU: geometry
+//! (compute units, wavefront width, work-group limits), memory system (LDS
+//! size, global bandwidth, transaction size), and calibrated throughput
+//! constants. The preset [`DeviceSpec::radeon_hd_5850`] models the AMD
+//! "Cypress" board the paper evaluates on.
+//!
+//! ## Calibration note
+//!
+//! The HD 5850's theoretical peak is 1440 ALUs × 725 MHz × 2 = 2.088 TFLOPS.
+//! Real N-body kernels sustain a fraction of that: VLIW5 packing is imperfect,
+//! the reciprocal square root occupies the transcendental slot, and LDS reads
+//! share issue bandwidth. The paper's best kernel reports 431 GFLOPS under
+//! the 38-flop GRAPE convention. We therefore calibrate
+//! `charged_flops_per_cycle_per_cu` so that a fully occupied, ALU-bound
+//! device sustains ≈ 430 "convention" GFLOPS:
+//! `18 CU × 33 flops/cycle × 725 MHz ≈ 430.7 GFLOPS`.
+//! This constant affects only the absolute time scale, never the *relative*
+//! behaviour of the four execution plans.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a simulated GPU device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Number of compute units (OpenCL CUs / AMD SIMD engines).
+    pub compute_units: u32,
+    /// Work-items that execute in lockstep (AMD wavefront = 64).
+    pub wavefront_size: u32,
+    /// Maximum work-items per work-group.
+    pub max_workgroup_size: u32,
+    /// Maximum wavefronts resident per CU (occupancy ceiling).
+    pub max_waves_per_cu: u32,
+    /// Maximum work-groups resident per CU regardless of other limits.
+    pub max_groups_per_cu: u32,
+    /// Local data share per CU, in 4-byte words.
+    pub lds_words_per_cu: u32,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Sustained "convention" flops per cycle per CU (see module docs).
+    pub charged_flops_per_cycle_per_cu: f64,
+    /// LDS words served per cycle per CU.
+    pub lds_words_per_cycle_per_cu: f64,
+    /// Global memory bandwidth in bytes/second.
+    pub global_bandwidth_bytes_per_sec: f64,
+    /// Size of one global memory transaction in bytes (cache line / burst).
+    pub transaction_bytes: u32,
+    /// Latency of one global transaction in core cycles (hidden by
+    /// multi-wavefront occupancy). Charged once per group: within a
+    /// wavefront, outstanding transactions pipeline.
+    pub mem_latency_cycles: f64,
+    /// Per-CU issue/occupancy cost of one pipelined global transaction, in
+    /// core cycles. Roughly `transaction_bytes / (per-CU share of device
+    /// bandwidth per cycle)`.
+    pub mem_throughput_cycles_per_transaction: f64,
+    /// Fixed host-side cost of one kernel launch, in seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl DeviceSpec {
+    /// The AMD Radeon HD 5850 ("Cypress") used in the paper's evaluation:
+    /// 1440 ALUs = 18 CUs × 16 lanes × VLIW5, 725 MHz, 32 KB LDS per CU,
+    /// 128 GB/s GDDR5.
+    pub fn radeon_hd_5850() -> Self {
+        Self {
+            name: "AMD Radeon HD 5850 (simulated)".to_string(),
+            compute_units: 18,
+            wavefront_size: 64,
+            max_workgroup_size: 256,
+            max_waves_per_cu: 24,
+            max_groups_per_cu: 8,
+            lds_words_per_cu: 32 * 1024 / 4,
+            clock_hz: 725e6,
+            charged_flops_per_cycle_per_cu: 33.0,
+            lds_words_per_cycle_per_cu: 32.0,
+            global_bandwidth_bytes_per_sec: 128e9,
+            transaction_bytes: 128,
+            mem_latency_cycles: 350.0,
+            mem_throughput_cycles_per_transaction: 13.0,
+            launch_overhead_s: 12e-6,
+        }
+    }
+
+    /// The AMD Radeon HD 5870, Cypress XT: the HD 5850's bigger sibling
+    /// (20 CUs, 850 MHz, 153.6 GB/s). Used by the what-if device ablation.
+    pub fn radeon_hd_5870() -> Self {
+        Self {
+            name: "AMD Radeon HD 5870 (simulated)".to_string(),
+            compute_units: 20,
+            clock_hz: 850e6,
+            global_bandwidth_bytes_per_sec: 153.6e9,
+            ..Self::radeon_hd_5850()
+        }
+    }
+
+    /// A copy of this spec with a different compute-unit count and
+    /// proportionally scaled bandwidth — the strong-scaling ablation knob.
+    pub fn with_compute_units(&self, cus: u32) -> Self {
+        assert!(cus > 0, "need at least one CU");
+        Self {
+            name: format!("{} [{} CUs]", self.name, cus),
+            compute_units: cus,
+            global_bandwidth_bytes_per_sec: self.global_bandwidth_bytes_per_sec
+                * f64::from(cus)
+                / f64::from(self.compute_units),
+            ..self.clone()
+        }
+    }
+
+    /// A deliberately tiny device for unit tests: 2 CUs, wavefront 4,
+    /// work-groups up to 8, small LDS. Costs are round numbers so tests can
+    /// assert exact cycle counts.
+    pub fn tiny_test_device() -> Self {
+        Self {
+            name: "tiny-test-device".to_string(),
+            compute_units: 2,
+            wavefront_size: 4,
+            max_workgroup_size: 8,
+            max_waves_per_cu: 4,
+            max_groups_per_cu: 2,
+            lds_words_per_cu: 256,
+            clock_hz: 1e6,
+            charged_flops_per_cycle_per_cu: 1.0,
+            lds_words_per_cycle_per_cu: 1.0,
+            global_bandwidth_bytes_per_sec: 1e9,
+            transaction_bytes: 64,
+            mem_latency_cycles: 10.0,
+            mem_throughput_cycles_per_transaction: 1.0,
+            launch_overhead_s: 0.0,
+        }
+    }
+
+    /// Theoretical peak under the charged-flop calibration, in GFLOPS.
+    pub fn peak_charged_gflops(&self) -> f64 {
+        f64::from(self.compute_units) * self.charged_flops_per_cycle_per_cu * self.clock_hz / 1e9
+    }
+
+    /// Wavefronts needed to cover a work-group of `local_size` items.
+    pub fn waves_per_group(&self, local_size: usize) -> usize {
+        local_size.div_ceil(self.wavefront_size as usize)
+    }
+
+    /// How many groups of `local_size` items using `lds_words` words of LDS
+    /// can be resident on one CU simultaneously.
+    pub fn groups_per_cu(&self, local_size: usize, lds_words: usize) -> usize {
+        let by_lds = (self.lds_words_per_cu as usize)
+            .checked_div(lds_words)
+            .unwrap_or(usize::MAX);
+        let waves = self.waves_per_group(local_size).max(1);
+        let by_waves = (self.max_waves_per_cu as usize) / waves;
+        by_lds.min(by_waves).min(self.max_groups_per_cu as usize)
+    }
+
+    /// Validates internal consistency; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.compute_units == 0 {
+            return Err("compute_units must be > 0".into());
+        }
+        if self.wavefront_size == 0 {
+            return Err("wavefront_size must be > 0".into());
+        }
+        if self.max_workgroup_size == 0
+            || !self.max_workgroup_size.is_multiple_of(self.wavefront_size)
+        {
+            return Err(format!(
+                "max_workgroup_size {} must be a positive multiple of wavefront_size {}",
+                self.max_workgroup_size, self.wavefront_size
+            ));
+        }
+        if self.clock_hz <= 0.0 {
+            return Err("clock_hz must be positive".into());
+        }
+        if self.charged_flops_per_cycle_per_cu <= 0.0 {
+            return Err("charged_flops_per_cycle_per_cu must be positive".into());
+        }
+        if self.global_bandwidth_bytes_per_sec <= 0.0 {
+            return Err("global_bandwidth_bytes_per_sec must be positive".into());
+        }
+        if self.transaction_bytes == 0 {
+            return Err("transaction_bytes must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hd5850_matches_paper_hardware() {
+        let s = DeviceSpec::radeon_hd_5850();
+        assert_eq!(s.compute_units, 18);
+        assert_eq!(s.wavefront_size, 64);
+        assert_eq!(s.lds_words_per_cu * 4, 32 * 1024);
+        assert!(s.validate().is_ok());
+        // calibration: saturated convention throughput near the paper's 431
+        let peak = s.peak_charged_gflops();
+        assert!((peak - 430.65).abs() < 1.0, "peak {peak}");
+    }
+
+    #[test]
+    fn waves_per_group_rounds_up() {
+        let s = DeviceSpec::radeon_hd_5850();
+        assert_eq!(s.waves_per_group(64), 1);
+        assert_eq!(s.waves_per_group(65), 2);
+        assert_eq!(s.waves_per_group(256), 4);
+        assert_eq!(s.waves_per_group(1), 1);
+    }
+
+    #[test]
+    fn groups_per_cu_limited_by_lds() {
+        let s = DeviceSpec::radeon_hd_5850();
+        // group uses half the LDS -> at most 2 resident
+        let half = (s.lds_words_per_cu / 2) as usize;
+        assert_eq!(s.groups_per_cu(64, half), 2);
+        // tiny LDS use -> limited by wave slots or group cap
+        let g = s.groups_per_cu(256, 16);
+        assert_eq!(g, 6); // 24 wave slots / 4 waves = 6 (< max_groups 8)
+    }
+
+    #[test]
+    fn groups_per_cu_zero_lds_ok() {
+        let s = DeviceSpec::radeon_hd_5850();
+        assert_eq!(s.groups_per_cu(64, 0), 8); // capped by max_groups_per_cu
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut s = DeviceSpec::tiny_test_device();
+        s.compute_units = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = DeviceSpec::tiny_test_device();
+        s.max_workgroup_size = 6; // not a multiple of wavefront 4
+        assert!(s.validate().is_err());
+
+        let mut s = DeviceSpec::tiny_test_device();
+        s.clock_hz = 0.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn tiny_device_is_valid() {
+        assert!(DeviceSpec::tiny_test_device().validate().is_ok());
+    }
+
+    #[test]
+    fn hd5870_is_a_bigger_5850() {
+        let a = DeviceSpec::radeon_hd_5850();
+        let b = DeviceSpec::radeon_hd_5870();
+        assert!(b.validate().is_ok());
+        assert!(b.compute_units > a.compute_units);
+        assert!(b.clock_hz > a.clock_hz);
+        assert!(b.peak_charged_gflops() > a.peak_charged_gflops());
+        assert_eq!(b.wavefront_size, a.wavefront_size);
+    }
+
+    #[test]
+    fn cu_scaling_scales_bandwidth_proportionally() {
+        let base = DeviceSpec::radeon_hd_5850();
+        let half = base.with_compute_units(9);
+        assert_eq!(half.compute_units, 9);
+        assert!((half.global_bandwidth_bytes_per_sec - 64e9).abs() < 1e6);
+        assert!(half.validate().is_ok());
+        assert!((half.peak_charged_gflops() - base.peak_charged_gflops() / 2.0).abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CU")]
+    fn zero_cu_scaling_rejected() {
+        DeviceSpec::radeon_hd_5850().with_compute_units(0);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 4.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = harness::config_from_args(&args);
+    let mut runner = harness::Runner::new(cfg);
+    let rows = harness::fig4::fig4(&mut runner);
+    print!("{}", harness::fig4::render(&rows));
+}

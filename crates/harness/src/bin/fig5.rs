@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 5.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = harness::config_from_args(&args);
+    let mut runner = harness::Runner::new(cfg);
+    let rows = harness::fig5::fig5(&mut runner);
+    print!("{}", harness::fig5::render(&rows));
+}

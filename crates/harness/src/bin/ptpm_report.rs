@@ -1,0 +1,8 @@
+//! Prints the PTPM forecast-vs-simulator validation table.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = harness::config_from_args(&args);
+    let mut runner = harness::Runner::new(cfg);
+    let rows = harness::ptpm_report::ptpm_report(&mut runner);
+    print!("{}", harness::ptpm_report::render(&rows));
+}

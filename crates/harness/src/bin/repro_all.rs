@@ -1,0 +1,26 @@
+//! Regenerates every table and figure of the paper in one run, sharing one
+//! measurement cache so all artifacts describe the same experiment.
+//! `--json <path>` additionally writes the machine-readable results.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = harness::config_from_args(&args);
+    let steps = cfg.steps;
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|p| args.get(p + 1))
+        .cloned();
+
+    println!("== PTPM fast N-body reproduction: full experiment suite ==\n");
+    let results = harness::export::SuiteResults::run(cfg);
+    println!("{}", harness::fig4::render(&results.fig4));
+    println!("{}", harness::fig5::render(&results.fig5));
+    println!("{}", harness::table1::render(&results.table1, steps));
+    println!("{}", harness::table2::render(&results.table2, steps));
+    println!("{}", harness::table3::render(&results.table3, steps));
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, results.to_json()).expect("write JSON results");
+        println!("machine-readable results written to {path}");
+    }
+}

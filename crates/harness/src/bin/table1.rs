@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 1.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = harness::config_from_args(&args);
+    let steps = cfg.steps;
+    let mut runner = harness::Runner::new(cfg);
+    let rows = harness::table1::table1(&mut runner);
+    print!("{}", harness::table1::render(&rows, steps));
+}

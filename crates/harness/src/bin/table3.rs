@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 3.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = harness::config_from_args(&args);
+    let steps = cfg.steps;
+    let mut runner = harness::Runner::new(cfg);
+    let rows = harness::table3::table3(&mut runner);
+    print!("{}", harness::table3::render(&rows, steps));
+}

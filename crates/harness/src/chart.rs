@@ -1,0 +1,128 @@
+//! ASCII line charts for the figure binaries.
+//!
+//! The paper's Figures 4–5 are plots; the harness renders the same series
+//! as terminal charts so the saturation knee and the plan crossovers are
+//! visible at a glance, not just as numbers in a table.
+
+/// A labelled series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders one or more series into a fixed-size ASCII chart. X values are
+/// plotted on a log₂ axis (the experiment sweeps double N), y linearly from
+/// zero to the data maximum. Each series draws with its own glyph.
+pub fn render_chart(title: &str, y_label: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let x_min = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min).max(1.0);
+    let x_max = all.iter().map(|p| p.0).fold(0.0, f64::max).max(x_min * 2.0);
+    let y_max = all.iter().map(|p| p.1).fold(0.0, f64::max).max(1e-12);
+    let lx_min = x_min.log2();
+    let lx_span = (x_max.log2() - lx_min).max(1e-9);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x.max(1.0).log2() - lx_min) / lx_span) * (width - 1) as f64).round()
+                as usize;
+            let cy = ((y / y_max) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, row) in grid.iter().enumerate() {
+        let y_tick = if r == 0 {
+            format!("{y_max:>8.0}")
+        } else if r == height - 1 {
+            format!("{:>8.0}", 0.0)
+        } else {
+            " ".repeat(8)
+        };
+        out.push_str(&format!("{y_tick} |{}|\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "{:>8}  {}{}\n",
+        y_label,
+        format_args!("N = {x_min:.0} .. {x_max:.0} (log2 axis)   "),
+        series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{} {}", glyphs[i % glyphs.len()], s.label))
+            .collect::<Vec<_>>()
+            .join("   ")
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Vec<Series> {
+        vec![
+            Series {
+                label: "a".into(),
+                points: vec![(256.0, 10.0), (1024.0, 100.0), (4096.0, 400.0)],
+            },
+            Series {
+                label: "b".into(),
+                points: vec![(256.0, 40.0), (1024.0, 250.0), (4096.0, 410.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn chart_has_expected_dimensions() {
+        let s = render_chart("T", "GFLOPS", &demo(), 40, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 12); // title + 10 rows + legend
+        assert!(lines[0].contains('T'));
+        for row in &lines[1..11] {
+            assert!(row.contains('|'));
+        }
+    }
+
+    #[test]
+    fn both_series_appear() {
+        let s = render_chart("T", "y", &demo(), 40, 10);
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("* a"));
+        assert!(s.contains("o b"));
+    }
+
+    #[test]
+    fn max_point_hits_top_row() {
+        let s = render_chart("T", "y", &demo(), 40, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        // 410 is the max; top data row must contain a marker
+        assert!(lines[1].contains('o') || lines[1].contains('*'));
+    }
+
+    #[test]
+    fn empty_series_safe() {
+        let s = render_chart("T", "y", &[], 40, 10);
+        assert!(s.contains("no data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn tiny_chart_rejected() {
+        render_chart("T", "y", &demo(), 4, 2);
+    }
+}

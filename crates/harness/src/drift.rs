@@ -1,0 +1,118 @@
+//! Integrator drift study: relative energy drift versus step size for the
+//! three integrator families over a fixed physical horizon.
+//!
+//! A physics-validation artifact (not in the paper): it demonstrates that
+//! the workspace's integrators behave as their orders promise — Euler drifts
+//! linearly in dt, leapfrog quadratically with bounded oscillation, Hermite
+//! quartically — which is what justifies trusting the long experiment runs.
+
+use crate::table::TextTable;
+use nbody_core::energy::total_energy;
+use nbody_core::gravity::GravityParams;
+use nbody_core::hermite::Hermite4;
+use nbody_core::integrator::{run, DirectPp, LeapfrogKdk, SymplecticEuler};
+use serde::{Deserialize, Serialize};
+use workloads::prelude::{plummer, PlummerParams};
+
+/// One (dt, integrator) measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftRow {
+    /// Step size.
+    pub dt: f64,
+    /// Relative energy drift of symplectic Euler.
+    pub euler: f64,
+    /// Relative energy drift of leapfrog KDK.
+    pub leapfrog: f64,
+    /// Relative energy drift of 4th-order Hermite.
+    pub hermite: f64,
+}
+
+/// Runs the drift sweep on an `n`-body Plummer sphere over a horizon of
+/// `t_total` time units.
+pub fn drift_study(n: usize, t_total: f64, dts: &[f64], seed: u64) -> Vec<DriftRow> {
+    let params = GravityParams { g: 1.0, softening: 0.05 };
+    let set0 = plummer(n, PlummerParams::default(), seed);
+    let e0 = total_energy(&set0, &params);
+
+    dts.iter()
+        .map(|&dt| {
+            let steps = (t_total / dt).round() as usize;
+            let drift = |e1: f64| ((e1 - e0) / e0).abs();
+
+            let mut s = set0.clone();
+            let mut engine = DirectPp::new(params);
+            run(&mut s, &mut engine, &SymplecticEuler, dt, steps);
+            let euler = drift(total_energy(&s, &params));
+
+            let mut s = set0.clone();
+            run(&mut s, &mut engine, &LeapfrogKdk, dt, steps);
+            let leapfrog = drift(total_energy(&s, &params));
+
+            let mut s = set0.clone();
+            let mut h = Hermite4::new(params, s.len());
+            h.run(&mut s, dt, steps);
+            let hermite = drift(total_energy(&s, &params));
+
+            DriftRow { dt, euler, leapfrog, hermite }
+        })
+        .collect()
+}
+
+/// Renders the study.
+pub fn render(rows: &[DriftRow], n: usize, t_total: f64) -> String {
+    let mut t = TextTable::new(
+        format!("Energy drift over t = {t_total} on an N = {n} Plummer sphere (relative |ΔE/E|)"),
+        &["dt", "symplectic Euler", "leapfrog KDK", "Hermite 4th"],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{:.4}", r.dt),
+            format!("{:.2e}", r.euler),
+            format!("{:.2e}", r.leapfrog),
+            format!("{:.2e}", r.hermite),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrator_hierarchy_holds() {
+        let rows = drift_study(48, 0.5, &[0.01, 0.005], 7);
+        for r in &rows {
+            assert!(
+                r.leapfrog < r.euler,
+                "leapfrog {} should beat Euler {} at dt {}",
+                r.leapfrog,
+                r.euler,
+                r.dt
+            );
+            assert!(
+                r.hermite < r.leapfrog,
+                "Hermite {} should beat leapfrog {} at dt {}",
+                r.hermite,
+                r.leapfrog,
+                r.dt
+            );
+        }
+    }
+
+    #[test]
+    fn drift_shrinks_with_dt() {
+        let rows = drift_study(48, 0.5, &[0.02, 0.005], 8);
+        assert!(rows[1].euler < rows[0].euler);
+        assert!(rows[1].leapfrog < rows[0].leapfrog);
+    }
+
+    #[test]
+    fn render_shows_all_dts() {
+        let rows = drift_study(32, 0.2, &[0.01, 0.002], 9);
+        let s = render(&rows, 32, 0.2);
+        assert!(s.contains("0.0100"));
+        assert!(s.contains("0.0020"));
+        assert!(s.contains("Hermite"));
+    }
+}

@@ -1,0 +1,81 @@
+//! JSON export of experiment results.
+//!
+//! Every row type of the figures/tables is `serde`-serializable; this
+//! module bundles a full suite run into one document with its configuration
+//! so a result file is self-describing and re-plottable.
+
+use crate::config::ExperimentConfig;
+use crate::fig4::Fig4Row;
+use crate::fig5::Fig5Row;
+use crate::table1::Table1Row;
+use crate::table2::Table2Row;
+use crate::table3::Table3Row;
+use serde::{Deserialize, Serialize};
+
+/// A complete suite result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteResults {
+    /// The configuration that produced the rows.
+    pub config: ExperimentConfig,
+    /// Figure 4 series.
+    pub fig4: Vec<Fig4Row>,
+    /// Figure 5 series.
+    pub fig5: Vec<Fig5Row>,
+    /// Table 1 rows.
+    pub table1: Vec<Table1Row>,
+    /// Table 2 rows.
+    pub table2: Vec<Table2Row>,
+    /// Table 3 rows.
+    pub table3: Vec<Table3Row>,
+}
+
+impl SuiteResults {
+    /// Runs the whole suite against one shared runner.
+    pub fn run(cfg: ExperimentConfig) -> Self {
+        let mut runner = crate::Runner::new(cfg.clone());
+        Self {
+            config: cfg,
+            fig4: crate::fig4::fig4(&mut runner),
+            fig5: crate::fig5::fig5(&mut runner),
+            table1: crate::table1::table1(&mut runner),
+            table2: crate::table2::table2(&mut runner),
+            table3: crate::table3::table3(&mut runner),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("suite results serialize")
+    }
+
+    /// Parses a previously exported document.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_roundtrips_through_json() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.sizes = vec![256]; // keep the test fast
+        let results = SuiteResults::run(cfg);
+        let json = results.to_json();
+        let back = SuiteResults::from_json(&json).unwrap();
+        assert_eq!(back.fig4.len(), 1);
+        assert_eq!(back.fig5.len(), 1);
+        assert_eq!(back.table2.len(), 1);
+        // simulated values survive the roundtrip exactly
+        assert_eq!(back.fig4[0].kernel_s, results.fig4[0].kernel_s);
+        assert_eq!(back.table3[0].jw_kernel_s, results.table3[0].jw_kernel_s);
+        assert!(json.contains("\"fig4\""));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(SuiteResults::from_json("{not json").is_err());
+    }
+}

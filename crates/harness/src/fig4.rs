@@ -1,0 +1,107 @@
+//! Figure 4: jw-parallel throughput versus problem size.
+//!
+//! The paper's Fig. 4 plots sustained GFLOPS of jw-parallel on the HD 5850
+//! against N, rising steeply and saturating above N ≈ 4096 at ≈ 300 GFLOPS
+//! (431 GFLOPS under the 38-flop convention at the largest sizes). The
+//! harness reports both flop conventions explicitly.
+
+use crate::runner::Runner;
+use crate::table::{fmt_gflops, fmt_seconds, TextTable};
+use nbody_core::flops::FlopConvention;
+use plans::prelude::PlanKind;
+use serde::{Deserialize, Serialize};
+
+/// One point of the Fig. 4 series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Row {
+    /// Problem size.
+    pub n: usize,
+    /// Pairwise interactions of one evaluation.
+    pub interactions: u64,
+    /// Simulated kernel seconds of one evaluation.
+    pub kernel_s: f64,
+    /// GFLOPS under the 38-flop GRAPE convention (the paper's headline).
+    pub gflops38: f64,
+    /// GFLOPS under the 20-flop executed convention.
+    pub gflops20: f64,
+}
+
+/// Runs the Fig. 4 sweep.
+pub fn fig4(runner: &mut Runner) -> Vec<Fig4Row> {
+    let sizes = runner.cfg.sizes.clone();
+    sizes
+        .into_iter()
+        .map(|n| {
+            let o = runner.outcome(PlanKind::JwParallel, n);
+            Fig4Row {
+                n,
+                interactions: o.interactions,
+                kernel_s: o.kernel_s,
+                gflops38: o.gflops(FlopConvention::Grape38),
+                gflops20: o.gflops(FlopConvention::Executed20),
+            }
+        })
+        .collect()
+}
+
+/// Renders the series as a text table plus an ASCII plot of the curve.
+pub fn render(rows: &[Fig4Row]) -> String {
+    let mut t = TextTable::new(
+        "Figure 4 — jw-parallel performance vs number of particles (simulated HD 5850)",
+        &["N", "interactions", "kernel time", "GFLOPS (38-flop)", "GFLOPS (20-flop)"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            r.interactions.to_string(),
+            fmt_seconds(r.kernel_s),
+            fmt_gflops(r.gflops38),
+            fmt_gflops(r.gflops20),
+        ]);
+    }
+    let mut out = t.render();
+    if rows.len() >= 2 {
+        out.push('\n');
+        out.push_str(&crate::chart::render_chart(
+            "jw-parallel GFLOPS vs N",
+            "GFLOPS",
+            &[crate::chart::Series {
+                label: "jw-parallel (38-flop)".to_string(),
+                points: rows.iter().map(|r| (r.n as f64, r.gflops38)).collect(),
+            }],
+            64,
+            12,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn fig4_shape_throughput_rises_with_n() {
+        let mut runner = Runner::new(ExperimentConfig::quick());
+        let rows = fig4(&mut runner);
+        assert_eq!(rows.len(), 3);
+        // throughput grows with N in the pre-saturation regime
+        assert!(rows[2].gflops38 > rows[0].gflops38);
+        // convention ratio is exactly 38/20
+        for r in &rows {
+            assert!((r.gflops38 / r.gflops20 - 1.9).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn render_includes_every_size() {
+        let mut runner = Runner::new(ExperimentConfig::quick());
+        let rows = fig4(&mut runner);
+        let s = render(&rows);
+        for r in &rows {
+            assert!(s.contains(&r.n.to_string()));
+        }
+        assert!(s.contains("Figure 4"));
+    }
+}

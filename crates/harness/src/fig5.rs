@@ -1,0 +1,131 @@
+//! Figure 5: throughput of all four plans versus problem size.
+//!
+//! The paper's Fig. 5 overlays jw-, i-, j- and w-parallel. Expected shape:
+//! jw leads everywhere; the gap over i-parallel is largest (2–5×) below
+//! N ≈ 4096 where i-parallel cannot fill the device; the curves converge
+//! (within a small factor) at the largest sizes.
+
+use crate::runner::Runner;
+use crate::table::{fmt_gflops, TextTable};
+use nbody_core::flops::FlopConvention;
+use plans::prelude::PlanKind;
+use serde::{Deserialize, Serialize};
+
+/// One row: all four plans at one size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Problem size.
+    pub n: usize,
+    /// i-parallel GFLOPS (38-flop convention).
+    pub i_gflops: f64,
+    /// j-parallel GFLOPS.
+    pub j_gflops: f64,
+    /// w-parallel GFLOPS.
+    pub w_gflops: f64,
+    /// jw-parallel GFLOPS.
+    pub jw_gflops: f64,
+}
+
+impl Fig5Row {
+    /// GFLOPS of a plan by kind.
+    pub fn of(&self, kind: PlanKind) -> f64 {
+        match kind {
+            PlanKind::IParallel => self.i_gflops,
+            PlanKind::JParallel => self.j_gflops,
+            PlanKind::WParallel => self.w_gflops,
+            PlanKind::JwParallel => self.jw_gflops,
+        }
+    }
+}
+
+/// Runs the Fig. 5 sweep.
+pub fn fig5(runner: &mut Runner) -> Vec<Fig5Row> {
+    let conv = FlopConvention::Grape38;
+    let sizes = runner.cfg.sizes.clone();
+    sizes
+        .into_iter()
+        .map(|n| Fig5Row {
+            n,
+            i_gflops: runner.outcome(PlanKind::IParallel, n).gflops(conv),
+            j_gflops: runner.outcome(PlanKind::JParallel, n).gflops(conv),
+            w_gflops: runner.outcome(PlanKind::WParallel, n).gflops(conv),
+            jw_gflops: runner.outcome(PlanKind::JwParallel, n).gflops(conv),
+        })
+        .collect()
+}
+
+/// Renders the series as a text table plus an ASCII plot of all four
+/// curves.
+pub fn render(rows: &[Fig5Row]) -> String {
+    let mut t = TextTable::new(
+        "Figure 5 — GFLOPS of jw/i/j/w-parallel vs number of particles (38-flop convention)",
+        &["N", "i-parallel", "j-parallel", "w-parallel", "jw-parallel", "jw/i"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            fmt_gflops(r.i_gflops),
+            fmt_gflops(r.j_gflops),
+            fmt_gflops(r.w_gflops),
+            fmt_gflops(r.jw_gflops),
+            format!("{:.1}x", r.jw_gflops / r.i_gflops),
+        ]);
+    }
+    let mut out = t.render();
+    if rows.len() >= 2 {
+        out.push('\n');
+        let series: Vec<crate::chart::Series> = PlanKind::all()
+            .into_iter()
+            .map(|kind| crate::chart::Series {
+                label: kind.id().to_string(),
+                points: rows.iter().map(|r| (r.n as f64, r.of(kind))).collect(),
+            })
+            .collect();
+        out.push_str(&crate::chart::render_chart(
+            "GFLOPS of all four plans vs N",
+            "GFLOPS",
+            &series,
+            64,
+            12,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn fig5_shape_jw_leads_at_small_n() {
+        let mut runner = Runner::new(ExperimentConfig::quick());
+        let rows = fig5(&mut runner);
+        let small = &rows[0]; // N = 256
+        assert!(small.jw_gflops > small.i_gflops, "{small:?}");
+        assert!(small.j_gflops > small.i_gflops, "{small:?}");
+    }
+
+    #[test]
+    fn fig5_shape_gap_narrows_at_larger_n() {
+        let mut runner = Runner::new(ExperimentConfig::quick());
+        let rows = fig5(&mut runner);
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        let gap_small = first.jw_gflops / first.i_gflops;
+        let gap_large = last.jw_gflops / last.i_gflops;
+        assert!(
+            gap_large < gap_small,
+            "jw/i gap should narrow: {gap_small} -> {gap_large}"
+        );
+    }
+
+    #[test]
+    fn render_mentions_all_plans() {
+        let mut runner = Runner::new(ExperimentConfig::quick());
+        let s = render(&fig5(&mut runner));
+        for name in ["i-parallel", "j-parallel", "w-parallel", "jw-parallel"] {
+            assert!(s.contains(name));
+        }
+    }
+}

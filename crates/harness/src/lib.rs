@@ -1,0 +1,71 @@
+//! # harness
+//!
+//! The experiment harness: regenerates every table and figure of the PTPM
+//! N-body paper's evaluation section on the simulated device.
+//!
+//! | module | paper artifact | binary |
+//! |--------|----------------|--------|
+//! | [`fig4`] | Fig. 4 — jw-parallel GFLOPS vs N | `cargo run -p harness --release --bin fig4` |
+//! | [`fig5`] | Fig. 5 — GFLOPS of all four plans vs N | `--bin fig5` |
+//! | [`table1`] | Table 1 — CPU vs GPU running time, 100 steps | `--bin table1` |
+//! | [`table2`] | Table 2 — total time of the four plans | `--bin table2` |
+//! | [`table3`] | Table 3 — kernel-only time of the four plans | `--bin table3` |
+//!
+//! `--bin repro-all` runs the full suite. Every binary accepts `--quick`
+//! for a reduced sweep.
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod config;
+pub mod cpu_baseline;
+pub mod drift;
+pub mod export;
+pub mod fig4;
+pub mod fig5;
+pub mod imbalance;
+pub mod ptpm_report;
+pub mod runner;
+pub mod table;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod whatif;
+
+pub use config::ExperimentConfig;
+pub use runner::Runner;
+
+/// Parses the common CLI convention of the harness binaries: `--quick`
+/// selects the reduced sweep, `--max-n <N>` truncates the size sweep.
+pub fn config_from_args(args: &[String]) -> ExperimentConfig {
+    let mut cfg = if args.iter().any(|a| a == "--quick") {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--max-n") {
+        if let Some(max) = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
+            cfg.sizes.retain(|&n| n <= max);
+        }
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_select_quick() {
+        let cfg = config_from_args(&["--quick".to_string()]);
+        assert_eq!(cfg.sizes, ExperimentConfig::quick().sizes);
+        let cfg = config_from_args(&[]);
+        assert_eq!(cfg.sizes, ExperimentConfig::paper().sizes);
+    }
+
+    #[test]
+    fn max_n_truncates() {
+        let cfg = config_from_args(&["--max-n".to_string(), "4096".to_string()]);
+        assert_eq!(*cfg.sizes.last().unwrap(), 4096);
+    }
+}

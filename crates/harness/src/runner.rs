@@ -1,0 +1,95 @@
+//! The experiment runner: evaluates each (plan, N) point once and caches the
+//! outcome so all tables and figures derive from the same measurements.
+
+use crate::config::ExperimentConfig;
+use gpu_sim::device::Device;
+use nbody_core::body::ParticleSet;
+use plans::prelude::*;
+use plans::make_plan;
+use std::collections::HashMap;
+
+/// Caching evaluator over the experiment grid.
+pub struct Runner {
+    /// The configuration in force.
+    pub cfg: ExperimentConfig,
+    device: Device,
+    sets: HashMap<usize, ParticleSet>,
+    outcomes: HashMap<(PlanKind, usize), PlanOutcome>,
+}
+
+impl Runner {
+    /// Creates a runner for a configuration.
+    pub fn new(cfg: ExperimentConfig) -> Self {
+        let device = cfg.device();
+        Self { cfg, device, sets: HashMap::new(), outcomes: HashMap::new() }
+    }
+
+    /// The workload at size `n` (generated once).
+    pub fn set(&mut self, n: usize) -> &ParticleSet {
+        let cfg = &self.cfg;
+        self.sets.entry(n).or_insert_with(|| cfg.workload(n).generate())
+    }
+
+    /// The outcome of one plan at one size (evaluated once).
+    pub fn outcome(&mut self, kind: PlanKind, n: usize) -> PlanOutcome {
+        if let Some(o) = self.outcomes.get(&(kind, n)) {
+            return o.clone();
+        }
+        let set = self.set(n).clone();
+        let plan = make_plan(kind, self.cfg.plan);
+        let outcome = plan.evaluate(&mut self.device, &set, &self.cfg.gravity);
+        self.outcomes.insert((kind, n), outcome.clone());
+        outcome
+    }
+
+    /// Measured host-baseline seconds scaled by the configured CPU slowdown
+    /// (used only for the Table 1 CPU columns; plan host times are already
+    /// simulated by the [`plans::common::HostCostModel`]).
+    pub fn scaled_host(&self, seconds: f64) -> f64 {
+        seconds * self.cfg.host_slowdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_are_cached() {
+        let mut r = Runner::new(ExperimentConfig::quick());
+        let a = r.outcome(PlanKind::IParallel, 256);
+        let b = r.outcome(PlanKind::IParallel, 256);
+        // identical object contents (same simulated clocks, same forces)
+        assert_eq!(a.kernel_s, b.kernel_s);
+        assert_eq!(a.acc, b.acc);
+    }
+
+    #[test]
+    fn sets_are_shared_across_plans() {
+        let mut r = Runner::new(ExperimentConfig::quick());
+        let i = r.outcome(PlanKind::IParallel, 256);
+        let j = r.outcome(PlanKind::JParallel, 256);
+        // same workload -> near-identical physics
+        let err = nbody_core::gravity::max_relative_error(&i.acc, &j.acc);
+        assert!(err < 1e-4, "{err}");
+    }
+
+    #[test]
+    fn scaled_host_applies_slowdown() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.host_slowdown = 10.0;
+        let r = Runner::new(cfg);
+        assert!((r.scaled_host(0.5) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_plan_outcomes_report_simulated_host_times() {
+        let mut r = Runner::new(ExperimentConfig::quick());
+        let o = r.outcome(PlanKind::JwParallel, 1024);
+        // simulated by the host model, deterministic
+        let model = r.cfg.plan.host_model;
+        assert!((o.host_tree_s - model.tree_seconds(1024)).abs() < 1e-15);
+        assert!(o.host_walk_s > 0.0);
+        assert!(o.host_measured_s > 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Plain-text table rendering for the experiment reports.
+
+/// A column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns (first column left-aligned, the rest
+    /// right-aligned, as is conventional for numeric tables).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                if c == 0 {
+                    line.push_str(&format!("{:<width$}", cell, width = widths[c]));
+                } else {
+                    line.push_str(&format!("{:>width$}", cell, width = widths[c]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats seconds with an adaptive unit (s / ms / µs).
+pub fn fmt_seconds(s: f64) -> String {
+    if !s.is_finite() {
+        return format!("{s}");
+    }
+    let a = s.abs();
+    if a >= 1.0 {
+        format!("{s:.3} s")
+    } else if a >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Formats a dimensionless ratio like `412x`.
+pub fn fmt_ratio(r: f64) -> String {
+    if r >= 100.0 {
+        format!("{r:.0}x")
+    } else {
+        format!("{r:.1}x")
+    }
+}
+
+/// Formats GFLOPS to one decimal.
+pub fn fmt_gflops(g: f64) -> String {
+    format!("{g:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new("Demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.starts_with("Demo\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
+        // all data lines same width
+        assert_eq!(lines[3].len(), lines[4].len());
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_rejected() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn second_formatting() {
+        assert_eq!(fmt_seconds(2.5), "2.500 s");
+        assert_eq!(fmt_seconds(0.0025), "2.500 ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.5 µs");
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(412.3), "412x");
+        assert_eq!(fmt_ratio(4.26), "4.3x");
+    }
+}

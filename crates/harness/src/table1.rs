@@ -1,0 +1,127 @@
+//! Table 1: CPU versus GPU running time over 100 steps.
+//!
+//! The paper reports ~400× speedup of the GPU implementation over the CPU
+//! implementation on the Pentium E2140. The like-for-like comparison is PP
+//! against PP (the 400× headline); we additionally report the treecode
+//! pairing (CPU Barnes-Hut vs GPU jw-parallel) since the paper covers both
+//! method families. CPU columns are measured on the host and scaled by the
+//! configured slowdown factor (see `config::HOST_SLOWDOWN`); GPU columns are
+//! simulated totals × steps.
+
+use crate::cpu_baseline::measure_cpu;
+use crate::runner::Runner;
+use crate::table::{fmt_ratio, fmt_seconds, TextTable};
+use plans::prelude::PlanKind;
+use serde::{Deserialize, Serialize};
+
+/// One Table 1 row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Problem size.
+    pub n: usize,
+    /// CPU direct PP seconds for the configured number of steps.
+    pub cpu_pp_s: f64,
+    /// GPU PP (i-parallel) seconds for the configured number of steps.
+    pub gpu_pp_s: f64,
+    /// CPU-PP / GPU-PP speedup — the paper's ~400× headline.
+    pub speedup_pp: f64,
+    /// CPU Barnes-Hut seconds for the configured number of steps.
+    pub cpu_bh_s: f64,
+    /// GPU jw-parallel total seconds for the configured number of steps.
+    pub gpu_jw_s: f64,
+    /// CPU-BH / GPU-jw speedup.
+    pub speedup_tree: f64,
+}
+
+/// Runs the Table 1 sweep.
+pub fn table1(runner: &mut Runner) -> Vec<Table1Row> {
+    let steps = runner.cfg.steps as f64;
+    let theta = runner.cfg.plan.theta;
+    let gravity = runner.cfg.gravity;
+    let sizes = runner.cfg.sizes.clone();
+    sizes
+        .into_iter()
+        .map(|n| {
+            let set = runner.set(n).clone();
+            let cpu = measure_cpu(&set, &gravity, theta);
+            let pp = runner.outcome(PlanKind::IParallel, n);
+            let jw = runner.outcome(PlanKind::JwParallel, n);
+            let gpu_pp_s = pp.total_seconds() * steps;
+            let gpu_jw_s = jw.total_seconds() * steps;
+            let cpu_pp_s = runner.scaled_host(cpu.pp_seconds) * steps;
+            let cpu_bh_s = runner.scaled_host(cpu.bh_seconds) * steps;
+            Table1Row {
+                n,
+                cpu_pp_s,
+                gpu_pp_s,
+                speedup_pp: cpu_pp_s / gpu_pp_s,
+                cpu_bh_s,
+                gpu_jw_s,
+                speedup_tree: cpu_bh_s / gpu_jw_s,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn render(rows: &[Table1Row], steps: usize) -> String {
+    let mut t = TextTable::new(
+        format!("Table 1 — running time of {steps} steps: CPU vs GPU"),
+        &[
+            "N",
+            "CPU PP",
+            "GPU PP (i-par)",
+            "speedup",
+            "CPU BH",
+            "GPU jw-parallel",
+            "speedup",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            fmt_seconds(r.cpu_pp_s),
+            fmt_seconds(r.gpu_pp_s),
+            fmt_ratio(r.speedup_pp),
+            fmt_seconds(r.cpu_bh_s),
+            fmt_seconds(r.gpu_jw_s),
+            fmt_ratio(r.speedup_tree),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn gpu_beats_cpu_by_orders_of_magnitude() {
+        let mut runner = Runner::new(ExperimentConfig::quick());
+        let rows = table1(&mut runner);
+        let big = rows.last().unwrap(); // N = 8192
+        assert!(
+            big.speedup_pp > 50.0,
+            "expected a large PP speedup at N=8192, got {}",
+            big.speedup_pp
+        );
+        assert!(big.speedup_tree > 1.0, "tree speedup {}", big.speedup_tree);
+    }
+
+    #[test]
+    fn speedup_grows_with_n() {
+        let mut runner = Runner::new(ExperimentConfig::quick());
+        let rows = table1(&mut runner);
+        assert!(rows.last().unwrap().speedup_pp > rows[0].speedup_pp);
+    }
+
+    #[test]
+    fn render_contains_speedups() {
+        let mut runner = Runner::new(ExperimentConfig::quick());
+        let rows = table1(&mut runner);
+        let s = render(&rows, runner.cfg.steps);
+        assert!(s.contains("Table 1"));
+        assert!(s.contains('x'));
+    }
+}

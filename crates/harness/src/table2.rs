@@ -1,0 +1,141 @@
+//! Table 2: total time of the four GPU plans over 100 steps.
+//!
+//! "Total" is the paper's end-to-end per-step cost: host tree build, walk
+//! generation (overlapped with the kernel for the w/jw plans, as in §4.3),
+//! kernel time, and PCIe transfers. This is the table where w-parallel's
+//! CPU-side walk cost and j-parallel's reduction stop being free — and
+//! where jw-parallel wins overall in the paper.
+
+use crate::runner::Runner;
+use crate::table::{fmt_seconds, TextTable};
+use plans::prelude::PlanKind;
+use serde::{Deserialize, Serialize};
+
+/// One Table 2 row: total seconds per plan for the configured steps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Problem size.
+    pub n: usize,
+    /// i-parallel total seconds.
+    pub i_total_s: f64,
+    /// j-parallel total seconds.
+    pub j_total_s: f64,
+    /// w-parallel total seconds.
+    pub w_total_s: f64,
+    /// jw-parallel total seconds.
+    pub jw_total_s: f64,
+}
+
+impl Table2Row {
+    /// Total seconds of a plan by kind.
+    pub fn of(&self, kind: PlanKind) -> f64 {
+        match kind {
+            PlanKind::IParallel => self.i_total_s,
+            PlanKind::JParallel => self.j_total_s,
+            PlanKind::WParallel => self.w_total_s,
+            PlanKind::JwParallel => self.jw_total_s,
+        }
+    }
+
+    /// The plan with the smallest total time.
+    pub fn winner(&self) -> PlanKind {
+        PlanKind::all()
+            .into_iter()
+            .min_by(|a, b| self.of(*a).partial_cmp(&self.of(*b)).unwrap())
+            .unwrap()
+    }
+}
+
+/// Runs the Table 2 sweep.
+pub fn table2(runner: &mut Runner) -> Vec<Table2Row> {
+    let steps = runner.cfg.steps as f64;
+    let sizes = runner.cfg.sizes.clone();
+    sizes
+        .into_iter()
+        .map(|n| {
+            let total = |runner: &mut Runner, kind| {
+                let o = runner.outcome(kind, n);
+                o.total_seconds() * steps
+            };
+            Table2Row {
+                n,
+                i_total_s: total(runner, PlanKind::IParallel),
+                j_total_s: total(runner, PlanKind::JParallel),
+                w_total_s: total(runner, PlanKind::WParallel),
+                jw_total_s: total(runner, PlanKind::JwParallel),
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn render(rows: &[Table2Row], steps: usize) -> String {
+    let mut t = TextTable::new(
+        format!("Table 2 — total time of {steps} steps for each GPU plan (kernel + transfers + host tree/walks)"),
+        &["N", "i-parallel", "j-parallel", "w-parallel", "jw-parallel", "best"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            fmt_seconds(r.i_total_s),
+            fmt_seconds(r.j_total_s),
+            fmt_seconds(r.w_total_s),
+            fmt_seconds(r.jw_total_s),
+            r.winner().id().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn jw_total_is_best_or_close_everywhere() {
+        let mut runner = Runner::new(ExperimentConfig::quick());
+        let rows = table2(&mut runner);
+        for r in &rows {
+            let best = r.of(r.winner());
+            // at the smallest sizes the tree plans pay fixed tree/transfer
+            // costs PP avoids (rebuilding an octree every step cannot pay
+            // off at N ~ 1K); jw must still stay within 2.5x of the winner
+            assert!(
+                r.jw_total_s <= best * 2.5,
+                "jw should be the winner or nearly so at N={}: jw {} vs best {}",
+                r.n,
+                r.jw_total_s,
+                best
+            );
+        }
+        // and at the largest quick size jw beats both prior-art GPU plans
+        // it combines (i-parallel and w-parallel)
+        let last = rows.last().unwrap();
+        assert!(last.jw_total_s < last.i_total_s, "{last:?}");
+        assert!(last.jw_total_s <= last.w_total_s, "{last:?}");
+    }
+
+    #[test]
+    fn tree_plans_beat_pp_plans_at_larger_n() {
+        // the tree/PP total-time crossover sits above the quick sweep; check
+        // it at N = 32768 like the paper's upper sizes
+        let mut cfg = ExperimentConfig::quick();
+        cfg.sizes = vec![32768];
+        let mut runner = Runner::new(cfg);
+        let rows = table2(&mut runner);
+        let r = &rows[0];
+        assert!(r.jw_total_s < r.i_total_s, "{r:?}");
+        assert!(r.w_total_s < r.i_total_s, "{r:?}");
+        assert!(r.winner() == PlanKind::JwParallel || r.winner() == PlanKind::WParallel);
+    }
+
+    #[test]
+    fn render_names_a_winner_per_row() {
+        let mut runner = Runner::new(ExperimentConfig::quick());
+        let rows = table2(&mut runner);
+        let s = render(&rows, runner.cfg.steps);
+        assert!(s.contains("best"));
+        assert!(s.contains("-parallel"));
+    }
+}

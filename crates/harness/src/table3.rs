@@ -1,0 +1,124 @@
+//! Table 3: kernel-only time of the four GPU plans over 100 steps.
+//!
+//! The paper's Table 3 isolates device time from the host-side and transfer
+//! components of Table 2. Comparing the two tables shows *why* jw-parallel
+//! wins overall: its kernel is competitive with w-parallel's, and its extra
+//! blocks keep the device busy where i-parallel idles.
+
+use crate::runner::Runner;
+use crate::table::{fmt_seconds, TextTable};
+use plans::prelude::PlanKind;
+use serde::{Deserialize, Serialize};
+
+/// One Table 3 row: kernel seconds per plan for the configured steps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Problem size.
+    pub n: usize,
+    /// i-parallel kernel seconds.
+    pub i_kernel_s: f64,
+    /// j-parallel kernel seconds.
+    pub j_kernel_s: f64,
+    /// w-parallel kernel seconds.
+    pub w_kernel_s: f64,
+    /// jw-parallel kernel seconds.
+    pub jw_kernel_s: f64,
+}
+
+impl Table3Row {
+    /// Kernel seconds of a plan by kind.
+    pub fn of(&self, kind: PlanKind) -> f64 {
+        match kind {
+            PlanKind::IParallel => self.i_kernel_s,
+            PlanKind::JParallel => self.j_kernel_s,
+            PlanKind::WParallel => self.w_kernel_s,
+            PlanKind::JwParallel => self.jw_kernel_s,
+        }
+    }
+}
+
+/// Runs the Table 3 sweep.
+pub fn table3(runner: &mut Runner) -> Vec<Table3Row> {
+    let steps = runner.cfg.steps as f64;
+    let sizes = runner.cfg.sizes.clone();
+    sizes
+        .into_iter()
+        .map(|n| Table3Row {
+            n,
+            i_kernel_s: runner.outcome(PlanKind::IParallel, n).kernel_s * steps,
+            j_kernel_s: runner.outcome(PlanKind::JParallel, n).kernel_s * steps,
+            w_kernel_s: runner.outcome(PlanKind::WParallel, n).kernel_s * steps,
+            jw_kernel_s: runner.outcome(PlanKind::JwParallel, n).kernel_s * steps,
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn render(rows: &[Table3Row], steps: usize) -> String {
+    let mut t = TextTable::new(
+        format!("Table 3 — kernel-only time of {steps} steps for each GPU plan"),
+        &["N", "i-parallel", "j-parallel", "w-parallel", "jw-parallel"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            fmt_seconds(r.i_kernel_s),
+            fmt_seconds(r.j_kernel_s),
+            fmt_seconds(r.w_kernel_s),
+            fmt_seconds(r.jw_kernel_s),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn jw_kernel_beats_both_parents_everywhere() {
+        // jw-parallel combines i/w-parallel; its kernel must beat both at
+        // every size (j-parallel can tie it at tiny N where both reduce to
+        // well-occupied PP)
+        let mut runner = Runner::new(ExperimentConfig::quick());
+        let rows = table3(&mut runner);
+        for r in &rows {
+            assert!(
+                r.jw_kernel_s <= r.i_kernel_s && r.jw_kernel_s <= r.w_kernel_s,
+                "jw kernel should lead at N={}: {r:?}",
+                r.n
+            );
+        }
+        // at the largest quick size it is the outright fastest
+        let last = rows.last().unwrap();
+        for kind in PlanKind::all() {
+            assert!(last.jw_kernel_s <= last.of(kind) + 1e-12, "{last:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_time_is_part_of_total_time() {
+        let mut runner = Runner::new(ExperimentConfig::quick());
+        let t3 = table3(&mut runner);
+        let t2 = crate::table2::table2(&mut runner);
+        for (k, t) in t3.iter().zip(&t2) {
+            for kind in PlanKind::all() {
+                assert!(
+                    k.of(kind) <= t.of(kind) + 1e-12,
+                    "kernel time exceeds total at N={} for {}",
+                    k.n,
+                    kind.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_has_all_columns() {
+        let mut runner = Runner::new(ExperimentConfig::quick());
+        let s = render(&table3(&mut runner), runner.cfg.steps);
+        assert!(s.contains("Table 3"));
+        assert!(s.contains("jw-parallel"));
+    }
+}

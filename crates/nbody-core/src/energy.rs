@@ -1,0 +1,168 @@
+//! Conserved-quantity diagnostics: energy, momentum, angular momentum,
+//! virial ratio. Used by tests and the experiment harness to check that a
+//! force engine + integrator pair behaves physically.
+
+use crate::body::ParticleSet;
+use crate::gravity::{potential_energy, GravityParams};
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Total kinetic energy `Σ m v² / 2`.
+pub fn kinetic_energy(set: &ParticleSet) -> f64 {
+    set.vel()
+        .iter()
+        .zip(set.mass())
+        .map(|(v, &m)| 0.5 * m * v.norm_sq())
+        .sum()
+}
+
+/// Total energy `T + U` (the potential is `O(N²)`).
+pub fn total_energy(set: &ParticleSet, params: &GravityParams) -> f64 {
+    kinetic_energy(set) + potential_energy(set, params)
+}
+
+/// Net linear momentum `Σ m v`.
+pub fn linear_momentum(set: &ParticleSet) -> Vec3 {
+    set.vel()
+        .iter()
+        .zip(set.mass())
+        .map(|(&v, &m)| v * m)
+        .sum()
+}
+
+/// Net angular momentum about the origin `Σ m (x × v)`.
+pub fn angular_momentum(set: &ParticleSet) -> Vec3 {
+    set.pos()
+        .iter()
+        .zip(set.vel())
+        .zip(set.mass())
+        .map(|((&x, &v), &m)| x.cross(v) * m)
+        .sum()
+}
+
+/// Virial ratio `−2T/U`; ≈ 1 for a system in virial equilibrium (such as a
+/// Plummer sphere sampled with its equilibrium velocity distribution).
+pub fn virial_ratio(set: &ParticleSet, params: &GravityParams) -> f64 {
+    let u = potential_energy(set, params);
+    if u == 0.0 {
+        return f64::INFINITY;
+    }
+    -2.0 * kinetic_energy(set) / u
+}
+
+/// A snapshot of every conserved quantity at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostics {
+    /// Kinetic energy.
+    pub kinetic: f64,
+    /// Potential energy.
+    pub potential: f64,
+    /// Total energy.
+    pub total: f64,
+    /// Net linear momentum.
+    pub momentum: Vec3,
+    /// Net angular momentum about the origin.
+    pub angular_momentum: Vec3,
+    /// Virial ratio −2T/U.
+    pub virial: f64,
+}
+
+impl Diagnostics {
+    /// Measures all quantities for `set`.
+    pub fn measure(set: &ParticleSet, params: &GravityParams) -> Self {
+        let kinetic = kinetic_energy(set);
+        let potential = potential_energy(set, params);
+        Self {
+            kinetic,
+            potential,
+            total: kinetic + potential,
+            momentum: linear_momentum(set),
+            angular_momentum: angular_momentum(set),
+            virial: if potential == 0.0 { f64::INFINITY } else { -2.0 * kinetic / potential },
+        }
+    }
+
+    /// Relative energy drift of `later` with respect to `self`.
+    pub fn energy_drift(&self, later: &Diagnostics) -> f64 {
+        if self.total == 0.0 {
+            (later.total - self.total).abs()
+        } else {
+            ((later.total - self.total) / self.total).abs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::Body;
+
+    #[test]
+    fn kinetic_energy_simple() {
+        let set = ParticleSet::from_bodies(&[Body::new(
+            Vec3::ZERO,
+            Vec3::new(3.0, 4.0, 0.0),
+            2.0,
+        )]);
+        assert_eq!(kinetic_energy(&set), 25.0);
+    }
+
+    #[test]
+    fn momentum_sums_over_bodies() {
+        let set = ParticleSet::from_bodies(&[
+            Body::new(Vec3::ZERO, Vec3::X, 2.0),
+            Body::new(Vec3::ZERO, -Vec3::X, 1.0),
+        ]);
+        assert_eq!(linear_momentum(&set), Vec3::new(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn angular_momentum_of_circular_motion() {
+        // body at (1,0,0) moving in +y: L = m (x × v) = m ẑ
+        let set = ParticleSet::from_bodies(&[Body::new(Vec3::X, Vec3::Y, 3.0)]);
+        assert_eq!(angular_momentum(&set), Vec3::new(0.0, 0.0, 3.0));
+    }
+
+    #[test]
+    fn total_energy_of_bound_pair_is_negative() {
+        // circular binary is bound: E < 0
+        let v = (1.0_f64 / 2.0).sqrt();
+        let set = ParticleSet::from_bodies(&[
+            Body::new(Vec3::new(-0.5, 0.0, 0.0), Vec3::new(0.0, -v / 2.0, 0.0), 1.0),
+            Body::new(Vec3::new(0.5, 0.0, 0.0), Vec3::new(0.0, v / 2.0, 0.0), 1.0),
+        ]);
+        let params = GravityParams { g: 1.0, softening: 0.0 };
+        assert!(total_energy(&set, &params) < 0.0);
+    }
+
+    #[test]
+    fn diagnostics_consistency() {
+        let set = crate::testutil::random_set(20, 13);
+        let params = GravityParams::default();
+        let d = Diagnostics::measure(&set, &params);
+        assert!((d.total - (d.kinetic + d.potential)).abs() < 1e-12);
+        assert_eq!(d.momentum, linear_momentum(&set));
+        assert!((d.virial - virial_ratio(&set, &params)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_drift_relative() {
+        let a = Diagnostics {
+            kinetic: 1.0,
+            potential: -3.0,
+            total: -2.0,
+            momentum: Vec3::ZERO,
+            angular_momentum: Vec3::ZERO,
+            virial: 2.0 / 3.0,
+        };
+        let mut b = a;
+        b.total = -2.2;
+        assert!((a.energy_drift(&b) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virial_of_cold_system_is_zero() {
+        let set = crate::testutil::equal_mass_set(10, 2); // zero velocities
+        assert_eq!(virial_ratio(&set, &GravityParams::default()), 0.0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Time integrators.
+//!
+//! The paper integrates the system over many steps (its Table 1 reports the
+//! time of 100 steps); the force evaluation dominates, but a correct
+//! symplectic integrator is what makes long runs meaningful. Provided:
+//!
+//! * [`SymplecticEuler`] — first order, cheapest;
+//! * [`LeapfrogKdk`] — kick-drift-kick leapfrog (velocity Verlet), second
+//!   order and symplectic: the standard choice in collisionless N-body work;
+//! * [`LeapfrogDkd`] — drift-kick-drift variant.
+//!
+//! An integrator advances a [`ParticleSet`] using any force engine through
+//! the [`ForceEngine`] abstraction, so the same stepping code drives the CPU
+//! reference, the treecode, and every simulated-GPU plan.
+
+use crate::body::ParticleSet;
+use crate::gravity::{accelerations_pp, GravityParams};
+use crate::vec3::Vec3;
+
+/// Anything that can fill the acceleration field for a particle set.
+///
+/// Implementations: direct PP (this crate), Barnes-Hut (`treecode` crate),
+/// and the four simulated-GPU execution plans (`plans` crate).
+pub trait ForceEngine {
+    /// Computes accelerations for `set` into `acc` (same length as the set).
+    fn accelerations(&mut self, set: &ParticleSet, acc: &mut [Vec3]);
+
+    /// Human-readable engine name, for reports.
+    fn name(&self) -> &str {
+        "unnamed"
+    }
+}
+
+/// Direct PP force engine wrapping [`accelerations_pp`].
+#[derive(Debug, Clone)]
+pub struct DirectPp {
+    /// Gravity model used for every evaluation.
+    pub params: GravityParams,
+}
+
+impl DirectPp {
+    /// Creates the engine with the given gravity model.
+    pub fn new(params: GravityParams) -> Self {
+        Self { params }
+    }
+}
+
+impl ForceEngine for DirectPp {
+    fn accelerations(&mut self, set: &ParticleSet, acc: &mut [Vec3]) {
+        accelerations_pp(set, &self.params, acc);
+    }
+
+    fn name(&self) -> &str {
+        "direct-pp"
+    }
+}
+
+/// A time integration scheme.
+pub trait Integrator {
+    /// Advances `set` by one step of size `dt` using `engine` for forces.
+    ///
+    /// On entry `set.acc()` must hold the accelerations at the current
+    /// positions (as left by a previous `step` or by [`prime`]).
+    fn step(&self, set: &mut ParticleSet, engine: &mut dyn ForceEngine, dt: f64);
+
+    /// Scheme name for reports.
+    fn name(&self) -> &str;
+
+    /// Formal order of accuracy.
+    fn order(&self) -> u32;
+}
+
+/// Fills the acceleration field for the initial state. Call once before the
+/// first [`Integrator::step`].
+pub fn prime(set: &mut ParticleSet, engine: &mut dyn ForceEngine) {
+    let n = set.len();
+    let mut acc = vec![Vec3::ZERO; n];
+    engine.accelerations(set, &mut acc);
+    set.acc_mut().copy_from_slice(&acc);
+}
+
+/// Symplectic (semi-implicit) Euler: kick then drift. First order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SymplecticEuler;
+
+impl Integrator for SymplecticEuler {
+    fn step(&self, set: &mut ParticleSet, engine: &mut dyn ForceEngine, dt: f64) {
+        {
+            let (vel, acc) = set.vel_mut_acc();
+            for (v, a) in vel.iter_mut().zip(acc) {
+                *v += *a * dt;
+            }
+        }
+        {
+            let (pos, vel) = set.pos_vel_mut();
+            for (p, v) in pos.iter_mut().zip(vel.iter()) {
+                *p += *v * dt;
+            }
+        }
+        refresh_acc(set, engine);
+    }
+
+    fn name(&self) -> &str {
+        "symplectic-euler"
+    }
+
+    fn order(&self) -> u32 {
+        1
+    }
+}
+
+/// Kick-drift-kick leapfrog (velocity Verlet). Second order, symplectic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeapfrogKdk;
+
+impl Integrator for LeapfrogKdk {
+    fn step(&self, set: &mut ParticleSet, engine: &mut dyn ForceEngine, dt: f64) {
+        let half = 0.5 * dt;
+        {
+            let (vel, acc) = set.vel_mut_acc();
+            for (v, a) in vel.iter_mut().zip(acc) {
+                *v += *a * half;
+            }
+        }
+        {
+            let (pos, vel) = set.pos_vel_mut();
+            for (p, v) in pos.iter_mut().zip(vel.iter()) {
+                *p += *v * dt;
+            }
+        }
+        refresh_acc(set, engine);
+        {
+            let (vel, acc) = set.vel_mut_acc();
+            for (v, a) in vel.iter_mut().zip(acc) {
+                *v += *a * half;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "leapfrog-kdk"
+    }
+
+    fn order(&self) -> u32 {
+        2
+    }
+}
+
+/// Drift-kick-drift leapfrog. Second order, symplectic; one force evaluation
+/// per step like KDK but with drifts on the outside.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeapfrogDkd;
+
+impl Integrator for LeapfrogDkd {
+    fn step(&self, set: &mut ParticleSet, engine: &mut dyn ForceEngine, dt: f64) {
+        let half = 0.5 * dt;
+        {
+            let (pos, vel) = set.pos_vel_mut();
+            for (p, v) in pos.iter_mut().zip(vel.iter()) {
+                *p += *v * half;
+            }
+        }
+        refresh_acc(set, engine);
+        {
+            let (vel, acc) = set.vel_mut_acc();
+            for (v, a) in vel.iter_mut().zip(acc) {
+                *v += *a * dt;
+            }
+        }
+        {
+            let (pos, vel) = set.pos_vel_mut();
+            for (p, v) in pos.iter_mut().zip(vel.iter()) {
+                *p += *v * half;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "leapfrog-dkd"
+    }
+
+    fn order(&self) -> u32 {
+        2
+    }
+}
+
+fn refresh_acc(set: &mut ParticleSet, engine: &mut dyn ForceEngine) {
+    let n = set.len();
+    let mut acc = vec![Vec3::ZERO; n];
+    engine.accelerations(set, &mut acc);
+    set.acc_mut().copy_from_slice(&acc);
+}
+
+/// Convenience driver: primes, then advances `steps` steps of size `dt`.
+pub fn run(
+    set: &mut ParticleSet,
+    engine: &mut dyn ForceEngine,
+    integrator: &dyn Integrator,
+    dt: f64,
+    steps: usize,
+) {
+    prime(set, engine);
+    for _ in 0..steps {
+        integrator.step(set, engine, dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::Body;
+    use crate::energy::total_energy;
+
+    /// Circular two-body orbit: equal masses m at distance d, G=1.
+    /// Orbital speed of each body around the barycenter: v = sqrt(G m / (2 d)).
+    fn binary() -> (ParticleSet, GravityParams) {
+        let d = 1.0_f64;
+        let m = 1.0_f64;
+        let v = (m / (2.0 * d)).sqrt();
+        let set = ParticleSet::from_bodies(&[
+            Body::new(Vec3::new(-d / 2.0, 0.0, 0.0), Vec3::new(0.0, -v, 0.0), m),
+            Body::new(Vec3::new(d / 2.0, 0.0, 0.0), Vec3::new(0.0, v, 0.0), m),
+        ]);
+        (set, GravityParams { g: 1.0, softening: 0.0 })
+    }
+
+    fn orbit_period(d: f64, m_total: f64) -> f64 {
+        // Kepler: T = 2π sqrt(d³ / (G M))
+        2.0 * std::f64::consts::PI * (d * d * d / m_total).sqrt()
+    }
+
+    #[test]
+    fn prime_fills_acc() {
+        let (mut set, params) = binary();
+        let mut engine = DirectPp::new(params);
+        assert_eq!(set.acc()[0], Vec3::ZERO);
+        prime(&mut set, &mut engine);
+        assert!(set.acc()[0].norm() > 0.0);
+    }
+
+    #[test]
+    fn leapfrog_conserves_energy_on_binary() {
+        let (mut set, params) = binary();
+        let mut engine = DirectPp::new(params);
+        let e0 = total_energy(&set, &params);
+        let t = orbit_period(1.0, 2.0);
+        let steps = 2000;
+        run(&mut set, &mut engine, &LeapfrogKdk, t / steps as f64, steps);
+        let e1 = total_energy(&set, &params);
+        let drift = ((e1 - e0) / e0).abs();
+        assert!(drift < 1e-5, "energy drift {drift}");
+    }
+
+    #[test]
+    fn leapfrog_closes_orbit() {
+        let (mut set, params) = binary();
+        let start = set.pos()[0];
+        let mut engine = DirectPp::new(params);
+        let t = orbit_period(1.0, 2.0);
+        let steps = 4000;
+        run(&mut set, &mut engine, &LeapfrogKdk, t / steps as f64, steps);
+        // after one full period the body returns near its start
+        assert!(
+            set.pos()[0].distance(start) < 1e-2,
+            "orbit did not close: {:?} vs {:?}",
+            set.pos()[0],
+            start
+        );
+    }
+
+    #[test]
+    fn dkd_also_second_order() {
+        let (mut set, params) = binary();
+        let start = set.pos()[0];
+        let mut engine = DirectPp::new(params);
+        let t = orbit_period(1.0, 2.0);
+        run(&mut set, &mut engine, &LeapfrogDkd, t / 4000.0, 4000);
+        assert!(set.pos()[0].distance(start) < 1e-2);
+    }
+
+    #[test]
+    fn euler_is_less_accurate_than_leapfrog() {
+        let params;
+        let (s0, p) = binary();
+        params = p;
+        let t = orbit_period(1.0, 2.0);
+        let steps = 500;
+        let dt = t / steps as f64;
+
+        let mut s_euler = s0.clone();
+        let mut s_kdk = s0.clone();
+        let start = s0.pos()[0];
+        let mut engine = DirectPp::new(params);
+        run(&mut s_euler, &mut engine, &SymplecticEuler, dt, steps);
+        run(&mut s_kdk, &mut engine, &LeapfrogKdk, dt, steps);
+        let err_euler = s_euler.pos()[0].distance(start);
+        let err_kdk = s_kdk.pos()[0].distance(start);
+        assert!(
+            err_kdk < err_euler,
+            "leapfrog ({err_kdk}) should beat Euler ({err_euler})"
+        );
+    }
+
+    #[test]
+    fn leapfrog_convergence_order() {
+        // halving dt should cut the position error ~4x for a 2nd-order scheme
+        let (s0, params) = binary();
+        let t = orbit_period(1.0, 2.0);
+        let run_err = |steps: usize| {
+            let mut s = s0.clone();
+            let mut engine = DirectPp::new(params);
+            run(&mut s, &mut engine, &LeapfrogKdk, t / steps as f64, steps);
+            s.pos()[0].distance(s0.pos()[0])
+        };
+        let e1 = run_err(400);
+        let e2 = run_err(800);
+        let ratio = e1 / e2;
+        assert!(
+            ratio > 3.0 && ratio < 5.5,
+            "expected ~4x error reduction, got {ratio} ({e1} -> {e2})"
+        );
+    }
+
+    #[test]
+    fn momentum_conserved_over_many_steps() {
+        let mut set = crate::testutil::random_set(40, 9);
+        set.recenter();
+        let params = GravityParams::default();
+        let mut engine = DirectPp::new(params);
+        run(&mut set, &mut engine, &LeapfrogKdk, 1e-3, 200);
+        let p = set.center_of_mass_velocity().unwrap() * set.total_mass();
+        assert!(p.norm() < 1e-9, "net momentum {p:?}");
+    }
+
+    #[test]
+    fn names_and_orders() {
+        assert_eq!(LeapfrogKdk.order(), 2);
+        assert_eq!(LeapfrogDkd.order(), 2);
+        assert_eq!(SymplecticEuler.order(), 1);
+        assert_eq!(LeapfrogKdk.name(), "leapfrog-kdk");
+        assert_eq!(DirectPp::new(GravityParams::default()).name(), "direct-pp");
+    }
+}

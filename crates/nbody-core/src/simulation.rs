@@ -1,0 +1,187 @@
+//! [`Simulation`]: a convenience driver tying a particle set, a force
+//! engine, and an integrator together with simulation time, step counting,
+//! and an optional diagnostics history — the loop every example and
+//! experiment otherwise re-writes by hand.
+
+use crate::body::ParticleSet;
+use crate::energy::Diagnostics;
+use crate::gravity::GravityParams;
+use crate::integrator::{prime, ForceEngine, Integrator};
+use serde::{Deserialize, Serialize};
+
+/// One recorded diagnostics sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Simulation time of the sample.
+    pub time: f64,
+    /// Step index of the sample.
+    pub step: u64,
+    /// Measured conserved quantities.
+    pub diagnostics: Diagnostics,
+}
+
+/// A running N-body simulation.
+pub struct Simulation<E: ForceEngine, I: Integrator> {
+    /// Current system state.
+    pub set: ParticleSet,
+    /// Force engine in use.
+    pub engine: E,
+    /// Integration scheme.
+    pub integrator: I,
+    /// Step size.
+    pub dt: f64,
+    /// Gravity model (for diagnostics; the engine carries its own copy).
+    pub params: GravityParams,
+    time: f64,
+    steps: u64,
+    primed: bool,
+    history: Vec<Sample>,
+    record_every: Option<u64>,
+}
+
+impl<E: ForceEngine, I: Integrator> Simulation<E, I> {
+    /// Creates a simulation; forces are evaluated lazily on the first step.
+    pub fn new(set: ParticleSet, engine: E, integrator: I, dt: f64, params: GravityParams) -> Self {
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive, got {dt}");
+        Self {
+            set,
+            engine,
+            integrator,
+            dt,
+            params,
+            time: 0.0,
+            steps: 0,
+            primed: false,
+            history: Vec::new(),
+            record_every: None,
+        }
+    }
+
+    /// Records diagnostics every `k` steps (and at step 0). Diagnostics cost
+    /// an `O(N²)` potential evaluation, so pick `k` accordingly.
+    pub fn with_recording(mut self, k: u64) -> Self {
+        assert!(k >= 1, "recording interval must be >= 1");
+        self.record_every = Some(k);
+        self
+    }
+
+    /// Elapsed simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Steps taken.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Recorded samples (empty unless recording is on).
+    pub fn history(&self) -> &[Sample] {
+        &self.history
+    }
+
+    /// Advances one step.
+    pub fn step(&mut self) {
+        if !self.primed {
+            prime(&mut self.set, &mut self.engine);
+            self.primed = true;
+            self.maybe_record();
+        }
+        self.integrator.step(&mut self.set, &mut self.engine, self.dt);
+        self.steps += 1;
+        self.time += self.dt;
+        self.maybe_record();
+    }
+
+    /// Advances `n` steps.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Relative energy drift between the first and last recorded samples,
+    /// or `None` with fewer than two samples.
+    pub fn energy_drift(&self) -> Option<f64> {
+        let first = self.history.first()?;
+        let last = self.history.last()?;
+        if self.history.len() < 2 {
+            return None;
+        }
+        Some(first.diagnostics.energy_drift(&last.diagnostics))
+    }
+
+    fn maybe_record(&mut self) {
+        let Some(k) = self.record_every else { return };
+        if self.steps.is_multiple_of(k) {
+            self.history.push(Sample {
+                time: self.time,
+                step: self.steps,
+                diagnostics: Diagnostics::measure(&self.set, &self.params),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrator::{DirectPp, LeapfrogKdk};
+    use crate::testutil::random_set;
+
+    fn sim() -> Simulation<DirectPp, LeapfrogKdk> {
+        let params = GravityParams { g: 1.0, softening: 0.05 };
+        let mut set = random_set(60, 1);
+        set.recenter();
+        Simulation::new(set, DirectPp::new(params), LeapfrogKdk, 1e-3, params)
+    }
+
+    #[test]
+    fn stepping_advances_time() {
+        let mut s = sim();
+        assert_eq!(s.time(), 0.0);
+        s.run(10);
+        assert_eq!(s.steps(), 10);
+        assert!((s.time() - 0.01).abs() < 1e-12);
+        assert!(s.set.all_finite());
+    }
+
+    #[test]
+    fn recording_samples_at_interval() {
+        let mut s = sim().with_recording(5);
+        s.run(20);
+        // step 0 (after prime) + steps 5, 10, 15, 20
+        assert_eq!(s.history().len(), 5);
+        assert_eq!(s.history()[0].step, 0);
+        assert_eq!(s.history()[4].step, 20);
+        let drift = s.energy_drift().unwrap();
+        assert!(drift < 1e-3, "drift {drift}");
+    }
+
+    #[test]
+    fn no_recording_no_history() {
+        let mut s = sim();
+        s.run(5);
+        assert!(s.history().is_empty());
+        assert!(s.energy_drift().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn bad_dt_rejected() {
+        let params = GravityParams::default();
+        let _ = Simulation::new(
+            random_set(4, 2),
+            DirectPp::new(params),
+            LeapfrogKdk,
+            0.0,
+            params,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "recording interval")]
+    fn zero_recording_interval_rejected() {
+        let _ = sim().with_recording(0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Standard N-body (Hénon) units.
+//!
+//! The stellar-dynamics convention (Heggie & Mathieu): `G = 1`, total mass
+//! `M = 1`, total energy `E = −1/4` (so the virial radius is 1 and the
+//! crossing time is `2√2`). Normalizing every workload to these units makes
+//! time steps, softening lengths, and energy drifts comparable across
+//! initial conditions — which is why production N-body codes do it on input.
+
+use crate::body::ParticleSet;
+use crate::energy::{kinetic_energy, virial_ratio};
+use crate::gravity::{potential_energy, GravityParams};
+use serde::{Deserialize, Serialize};
+
+/// Target total energy of the standard units.
+pub const STANDARD_ENERGY: f64 = -0.25;
+
+/// The scale factors applied by [`to_standard_units`], kept so results can
+/// be mapped back to the original units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitsTransform {
+    /// Mass scale: new mass = old mass / `mass_scale`.
+    pub mass_scale: f64,
+    /// Length scale: new position = old position / `length_scale`.
+    pub length_scale: f64,
+    /// Velocity scale: new velocity = old velocity / `velocity_scale`.
+    pub velocity_scale: f64,
+}
+
+impl UnitsTransform {
+    /// Time scale implied by the length and velocity scales.
+    pub fn time_scale(&self) -> f64 {
+        self.length_scale / self.velocity_scale
+    }
+}
+
+/// Errors from unit normalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitsError {
+    /// The system has no mass.
+    Massless,
+    /// The system is unbound (E ≥ 0): no bound-units normalization exists.
+    Unbound,
+}
+
+impl std::fmt::Display for UnitsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnitsError::Massless => write!(f, "cannot normalize a massless system"),
+            UnitsError::Unbound => write!(f, "cannot normalize an unbound system (E >= 0)"),
+        }
+    }
+}
+
+impl std::error::Error for UnitsError {}
+
+/// Rescales `set` in place to standard units (`M = 1`, `E = −1/4`, `G = 1`),
+/// preserving the virial ratio. The caller's softening must be rescaled by
+/// the returned length scale too.
+///
+/// Uses unsoftened potential for the energy bookkeeping (the convention).
+pub fn to_standard_units(set: &mut ParticleSet) -> Result<UnitsTransform, UnitsError> {
+    let m_total = set.total_mass();
+    if m_total <= 0.0 {
+        return Err(UnitsError::Massless);
+    }
+    // 1. mass normalization
+    let mass_scale = m_total;
+    let bodies: Vec<_> = set
+        .to_bodies()
+        .iter()
+        .map(|b| crate::body::Body::new(b.pos, b.vel, b.mass / mass_scale))
+        .collect();
+    *set = ParticleSet::from_bodies(&bodies);
+
+    // 2. energy normalization preserving the virial ratio Q = -2T/U:
+    //    E = U (1 − Q/2) ⇒ U' = E₀ / (1 − Q/2), T' = E₀ − U'
+    let params = GravityParams { g: 1.0, softening: 0.0 };
+    let u = potential_energy(set, &params);
+    let t = kinetic_energy(set);
+    let e = u + t;
+    if e >= 0.0 {
+        return Err(UnitsError::Unbound);
+    }
+    let q = virial_ratio(set, &params);
+    let u_target = STANDARD_ENERGY / (1.0 - q / 2.0);
+    // U scales as 1/length: dividing positions by λ multiplies U by λ
+    let length_scale = u_target / u; // λ⁻¹... careful: U' = U * λ where r' = r/λ ⇒ λ = U'/U
+    let lambda = length_scale; // positions divided by 1/λ... keep algebra explicit below
+    let t_target = STANDARD_ENERGY - u_target;
+    let mu_sq = if t > 0.0 { t_target / t } else { 0.0 };
+    let mu = mu_sq.max(0.0).sqrt();
+
+    // apply: r' = r * (U/U') ... since U' = U λ with r' = r / λ, we need
+    // r' = r * (U / U') i.e. division by (U'/U)
+    let pos_div = lambda; // r' = r / lambda
+    for p in set.pos_mut() {
+        *p /= pos_div;
+    }
+    for v in set.vel_mut() {
+        *v *= mu;
+    }
+
+    Ok(UnitsTransform {
+        mass_scale,
+        length_scale: pos_div,
+        velocity_scale: if mu > 0.0 { 1.0 / mu } else { f64::INFINITY },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::total_energy;
+    use crate::testutil::random_set;
+
+    fn params() -> GravityParams {
+        GravityParams { g: 1.0, softening: 0.0 }
+    }
+
+    #[test]
+    fn normalizes_mass_and_energy() {
+        let mut set = random_set(100, 1);
+        // give it some motion so T > 0
+        for v in set.vel_mut() {
+            *v = *v * 3.0;
+        }
+        // the virial ratio that must be preserved is the one of the
+        // mass-normalized system (Q is not invariant under mass scaling:
+        // T ~ m, U ~ m²)
+        let q_expected = {
+            let m = set.total_mass();
+            let normalized: ParticleSet = set
+                .to_bodies()
+                .iter()
+                .map(|b| crate::body::Body::new(b.pos, b.vel, b.mass / m))
+                .collect();
+            virial_ratio(&normalized, &params())
+        };
+        let tf = to_standard_units(&mut set).unwrap();
+        assert!((set.total_mass() - 1.0).abs() < 1e-12);
+        let e = total_energy(&set, &params());
+        assert!((e - STANDARD_ENERGY).abs() < 1e-9, "E = {e}");
+        let q_after = virial_ratio(&set, &params());
+        assert!((q_after - q_expected).abs() < 1e-9, "{q_expected} -> {q_after}");
+        assert!(tf.time_scale().is_finite());
+    }
+
+    #[test]
+    fn plummer_like_cloud_lands_in_standard_units() {
+        let mut set = random_set(200, 2);
+        to_standard_units(&mut set).unwrap();
+        let e = total_energy(&set, &params());
+        assert!((e - STANDARD_ENERGY).abs() < 1e-9);
+        // idempotent up to numerics
+        let tf2 = to_standard_units(&mut set).unwrap();
+        assert!((tf2.mass_scale - 1.0).abs() < 1e-9);
+        assert!((tf2.length_scale - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cold_system_normalizes_with_zero_velocities() {
+        let set0 = crate::testutil::equal_mass_set(50, 3); // v = 0 everywhere
+        let mut set = set0;
+        let tf = to_standard_units(&mut set).unwrap();
+        let e = total_energy(&set, &params());
+        assert!((e - STANDARD_ENERGY).abs() < 1e-9);
+        assert!(tf.velocity_scale.is_infinite()); // no velocities to scale
+    }
+
+    #[test]
+    fn massless_rejected() {
+        let mut set = ParticleSet::from_bodies(&[crate::body::Body::at_rest(
+            crate::vec3::Vec3::X,
+            0.0,
+        )]);
+        assert_eq!(to_standard_units(&mut set).unwrap_err(), UnitsError::Massless);
+    }
+
+    #[test]
+    fn unbound_rejected() {
+        // two bodies flying apart fast: E > 0
+        let mut set = ParticleSet::from_bodies(&[
+            crate::body::Body::new(
+                crate::vec3::Vec3::new(-1.0, 0.0, 0.0),
+                crate::vec3::Vec3::new(-10.0, 0.0, 0.0),
+                1.0,
+            ),
+            crate::body::Body::new(
+                crate::vec3::Vec3::new(1.0, 0.0, 0.0),
+                crate::vec3::Vec3::new(10.0, 0.0, 0.0),
+                1.0,
+            ),
+        ]);
+        let err = to_standard_units(&mut set).unwrap_err();
+        assert_eq!(err, UnitsError::Unbound);
+        assert!(err.to_string().contains("unbound"));
+    }
+
+    use crate::body::ParticleSet;
+}

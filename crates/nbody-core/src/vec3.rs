@@ -1,0 +1,426 @@
+//! Three-component vectors in `f64` ([`Vec3`]) and `f32` ([`Vec3f`]).
+//!
+//! The host-side reference computations use `f64` throughout; the simulated
+//! GPU kernels operate on `f32`, matching the single-precision arithmetic of
+//! the AMD Radeon HD 5850 the paper evaluates on. Both types provide the same
+//! surface so code can be written generically where useful.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+macro_rules! define_vec3 {
+    ($name:ident, $t:ty, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+        pub struct $name {
+            /// x component.
+            pub x: $t,
+            /// y component.
+            pub y: $t,
+            /// z component.
+            pub z: $t,
+        }
+
+        impl $name {
+            /// The zero vector.
+            pub const ZERO: Self = Self { x: 0.0, y: 0.0, z: 0.0 };
+            /// The all-ones vector.
+            pub const ONE: Self = Self { x: 1.0, y: 1.0, z: 1.0 };
+            /// Unit vector along x.
+            pub const X: Self = Self { x: 1.0, y: 0.0, z: 0.0 };
+            /// Unit vector along y.
+            pub const Y: Self = Self { x: 0.0, y: 1.0, z: 0.0 };
+            /// Unit vector along z.
+            pub const Z: Self = Self { x: 0.0, y: 0.0, z: 1.0 };
+
+            /// Creates a vector from components.
+            #[inline]
+            pub const fn new(x: $t, y: $t, z: $t) -> Self {
+                Self { x, y, z }
+            }
+
+            /// Creates a vector with all components equal to `v`.
+            #[inline]
+            pub const fn splat(v: $t) -> Self {
+                Self { x: v, y: v, z: v }
+            }
+
+            /// Dot product.
+            #[inline]
+            pub fn dot(self, rhs: Self) -> $t {
+                self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+            }
+
+            /// Cross product.
+            #[inline]
+            pub fn cross(self, rhs: Self) -> Self {
+                Self {
+                    x: self.y * rhs.z - self.z * rhs.y,
+                    y: self.z * rhs.x - self.x * rhs.z,
+                    z: self.x * rhs.y - self.y * rhs.x,
+                }
+            }
+
+            /// Squared Euclidean norm.
+            #[inline]
+            pub fn norm_sq(self) -> $t {
+                self.dot(self)
+            }
+
+            /// Euclidean norm.
+            #[inline]
+            pub fn norm(self) -> $t {
+                self.norm_sq().sqrt()
+            }
+
+            /// Euclidean distance to `rhs`.
+            #[inline]
+            pub fn distance(self, rhs: Self) -> $t {
+                (self - rhs).norm()
+            }
+
+            /// Squared Euclidean distance to `rhs`.
+            #[inline]
+            pub fn distance_sq(self, rhs: Self) -> $t {
+                (self - rhs).norm_sq()
+            }
+
+            /// Returns the unit vector in this direction, or zero if the
+            /// vector has zero norm.
+            #[inline]
+            pub fn normalized(self) -> Self {
+                let n = self.norm();
+                if n > 0.0 {
+                    self / n
+                } else {
+                    Self::ZERO
+                }
+            }
+
+            /// Component-wise minimum.
+            #[inline]
+            pub fn min(self, rhs: Self) -> Self {
+                Self {
+                    x: self.x.min(rhs.x),
+                    y: self.y.min(rhs.y),
+                    z: self.z.min(rhs.z),
+                }
+            }
+
+            /// Component-wise maximum.
+            #[inline]
+            pub fn max(self, rhs: Self) -> Self {
+                Self {
+                    x: self.x.max(rhs.x),
+                    y: self.y.max(rhs.y),
+                    z: self.z.max(rhs.z),
+                }
+            }
+
+            /// Largest component.
+            #[inline]
+            pub fn max_component(self) -> $t {
+                self.x.max(self.y).max(self.z)
+            }
+
+            /// Smallest component.
+            #[inline]
+            pub fn min_component(self) -> $t {
+                self.x.min(self.y).min(self.z)
+            }
+
+            /// Component-wise absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self { x: self.x.abs(), y: self.y.abs(), z: self.z.abs() }
+            }
+
+            /// True if all components are finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+            }
+
+            /// Linear interpolation: `self + t * (rhs - self)`.
+            #[inline]
+            pub fn lerp(self, rhs: Self, t: $t) -> Self {
+                self + (rhs - self) * t
+            }
+
+            /// Components as an array `[x, y, z]`.
+            #[inline]
+            pub fn to_array(self) -> [$t; 3] {
+                [self.x, self.y, self.z]
+            }
+
+            /// Builds a vector from an array `[x, y, z]`.
+            #[inline]
+            pub fn from_array(a: [$t; 3]) -> Self {
+                Self { x: a[0], y: a[1], z: a[2] }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self { x: self.x + rhs.x, y: self.y + rhs.y, z: self.z + rhs.z }
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self { x: self.x - rhs.x, y: self.y - rhs.y, z: self.z - rhs.z }
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl Mul<$t> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: $t) -> Self {
+                Self { x: self.x * rhs, y: self.y * rhs, z: self.z * rhs }
+            }
+        }
+
+        impl Mul<$name> for $t {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                rhs * self
+            }
+        }
+
+        impl MulAssign<$t> for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: $t) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl Div<$t> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: $t) -> Self {
+                Self { x: self.x / rhs, y: self.y / rhs, z: self.z / rhs }
+            }
+        }
+
+        impl DivAssign<$t> for $name {
+            #[inline]
+            fn div_assign(&mut self, rhs: $t) {
+                *self = *self / rhs;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self { x: -self.x, y: -self.y, z: -self.z }
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, Add::add)
+            }
+        }
+
+        impl Index<usize> for $name {
+            type Output = $t;
+            #[inline]
+            fn index(&self, i: usize) -> &$t {
+                match i {
+                    0 => &self.x,
+                    1 => &self.y,
+                    2 => &self.z,
+                    _ => panic!("Vec3 index out of range: {i}"),
+                }
+            }
+        }
+
+        impl IndexMut<usize> for $name {
+            #[inline]
+            fn index_mut(&mut self, i: usize) -> &mut $t {
+                match i {
+                    0 => &mut self.x,
+                    1 => &mut self.y,
+                    2 => &mut self.z,
+                    _ => panic!("Vec3 index out of range: {i}"),
+                }
+            }
+        }
+
+        impl From<[$t; 3]> for $name {
+            fn from(a: [$t; 3]) -> Self {
+                Self::from_array(a)
+            }
+        }
+
+        impl From<$name> for [$t; 3] {
+            fn from(v: $name) -> [$t; 3] {
+                v.to_array()
+            }
+        }
+    };
+}
+
+define_vec3!(Vec3, f64, "A 3-vector of `f64`, used for host-side reference computation.");
+define_vec3!(Vec3f, f32, "A 3-vector of `f32`, used inside simulated GPU kernels.");
+
+impl Vec3 {
+    /// Narrows to single precision (the device representation).
+    #[inline]
+    pub fn to_f32(self) -> Vec3f {
+        Vec3f { x: self.x as f32, y: self.y as f32, z: self.z as f32 }
+    }
+}
+
+impl Vec3f {
+    /// Widens to double precision (the host representation).
+    #[inline]
+    pub fn to_f64(self) -> Vec3 {
+        Vec3 { x: self.x as f64, y: self.y as f64, z: self.z as f64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-12 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v.x, 1.0);
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v.to_array(), [1.0, 2.0, 3.0]);
+        assert_eq!(Vec3::from_array([1.0, 2.0, 3.0]), v);
+        assert_eq!(Vec3::splat(4.0), Vec3::new(4.0, 4.0, 4.0));
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut v = Vec3::new(1.0, 1.0, 1.0);
+        v += Vec3::ONE;
+        v -= Vec3::X;
+        v *= 3.0;
+        v /= 2.0;
+        assert_eq!(v, Vec3::new(1.5, 3.0, 3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), Vec3::Z);
+        assert_eq!(b.cross(a), -Vec3::Z);
+        // cross product is perpendicular to both operands
+        let u = Vec3::new(1.0, 2.0, 3.0);
+        let w = Vec3::new(-2.0, 0.5, 4.0);
+        let c = u.cross(w);
+        assert!(approx(c.dot(u), 0.0));
+        assert!(approx(c.dot(w), 0.0));
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm_sq(), 25.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.distance(Vec3::ZERO), 5.0);
+        assert_eq!(v.distance_sq(Vec3::new(3.0, 0.0, 0.0)), 16.0);
+        assert!(approx(v.normalized().norm(), 1.0));
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Vec3::new(1.0, -5.0, 3.0);
+        let b = Vec3::new(-2.0, 4.0, 3.5);
+        assert_eq!(a.min(b), Vec3::new(-2.0, -5.0, 3.0));
+        assert_eq!(a.max(b), Vec3::new(1.0, 4.0, 3.5));
+        assert_eq!(a.abs(), Vec3::new(1.0, 5.0, 3.0));
+        assert_eq!(a.max_component(), 3.0);
+        assert_eq!(a.min_component(), -5.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn sum_of_vectors() {
+        let vs = [Vec3::X, Vec3::Y, Vec3::Z, Vec3::ONE];
+        let s: Vec3 = vs.iter().copied().sum();
+        assert_eq!(s, Vec3::new(2.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Vec3::ONE.is_finite());
+        assert!(!Vec3::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3::new(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn precision_conversions_roundtrip() {
+        let v = Vec3::new(1.5, -2.25, 3.125); // exactly representable in f32
+        assert_eq!(v.to_f32().to_f64(), v);
+        let f = Vec3f::new(0.5, 0.25, -8.0);
+        assert_eq!(f.to_f64().to_f32(), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let v = Vec3::ZERO;
+        let _ = v[3];
+    }
+
+    #[test]
+    fn f32_variant_basics() {
+        let a = Vec3f::new(1.0, 2.0, 2.0);
+        assert_eq!(a.norm(), 3.0);
+        assert_eq!(a.dot(Vec3f::ONE), 5.0);
+        assert_eq!(a + Vec3f::ONE, Vec3f::new(2.0, 3.0, 3.0));
+    }
+}

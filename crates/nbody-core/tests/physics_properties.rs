@@ -1,0 +1,137 @@
+//! Property-based tests of the physical symmetries the force law must obey:
+//! translation and rotation invariance, Newton's third law, mass linearity,
+//! and the inverse-square scaling law.
+
+use nbody_core::prelude::*;
+use proptest::prelude::*;
+
+fn arb_cloud(max_n: usize) -> impl Strategy<Value = ParticleSet> {
+    prop::collection::vec(
+        (
+            (-5.0_f64..5.0, -5.0_f64..5.0, -5.0_f64..5.0),
+            (-1.0_f64..1.0, -1.0_f64..1.0, -1.0_f64..1.0),
+            0.1_f64..3.0,
+        ),
+        2..max_n,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|((x, y, z), (vx, vy, vz), m)| {
+                Body::new(Vec3::new(x, y, z), Vec3::new(vx, vy, vz), m)
+            })
+            .collect()
+    })
+}
+
+fn forces(set: &ParticleSet, params: &GravityParams) -> Vec<Vec3> {
+    let mut acc = vec![Vec3::ZERO; set.len()];
+    accelerations_pp(set, params, &mut acc);
+    acc
+}
+
+fn params() -> GravityParams {
+    GravityParams { g: 1.0, softening: 0.05 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn translation_invariance(set in arb_cloud(40), shift in (-10.0_f64..10.0, -10.0_f64..10.0, -10.0_f64..10.0)) {
+        let p = params();
+        let base = forces(&set, &p);
+        let shift = Vec3::new(shift.0, shift.1, shift.2);
+        let mut moved = set.clone();
+        for pos in moved.pos_mut() {
+            *pos += shift;
+        }
+        let shifted = forces(&moved, &p);
+        for (a, b) in base.iter().zip(&shifted) {
+            let scale = a.norm().max(1.0);
+            prop_assert!((*a - *b).norm() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn rotation_equivariance(set in arb_cloud(30), angle in 0.0_f64..std::f64::consts::TAU) {
+        // rotate positions about z: forces rotate with them
+        let p = params();
+        let base = forces(&set, &p);
+        let (s, c) = angle.sin_cos();
+        let rot = |v: Vec3| Vec3::new(c * v.x - s * v.y, s * v.x + c * v.y, v.z);
+        let mut turned = set.clone();
+        for pos in turned.pos_mut() {
+            *pos = rot(*pos);
+        }
+        let rotated = forces(&turned, &p);
+        for (a, b) in base.iter().zip(&rotated) {
+            let expect = rot(*a);
+            let scale = a.norm().max(1.0);
+            prop_assert!((expect - *b).norm() < 1e-9 * scale, "{expect:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn newtons_third_law(set in arb_cloud(40)) {
+        let p = params();
+        let acc = forces(&set, &p);
+        let net: Vec3 = acc.iter().zip(set.mass()).map(|(&a, &m)| a * m).sum();
+        let scale: f64 = acc.iter().zip(set.mass()).map(|(a, m)| a.norm() * m).sum();
+        prop_assert!(net.norm() < 1e-10 * scale.max(1.0));
+    }
+
+    #[test]
+    fn g_linearity(set in arb_cloud(25), g in 0.1_f64..10.0) {
+        let base = forces(&set, &GravityParams { g: 1.0, softening: 0.05 });
+        let scaled = forces(&set, &GravityParams { g, softening: 0.05 });
+        for (a, b) in base.iter().zip(&scaled) {
+            let scale = (a.norm() * g).max(1e-9);
+            prop_assert!((*a * g - *b).norm() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn softening_only_weakens_close_forces(set in arb_cloud(25)) {
+        // larger ε never increases any |acceleration| contribution sum by
+        // much — compare magnitudes statistically (total field energy-ish)
+        let soft = forces(&set, &GravityParams { g: 1.0, softening: 0.5 });
+        let hard = forces(&set, &GravityParams { g: 1.0, softening: 1e-6 });
+        let soft_sum: f64 = soft.iter().map(|v| v.norm()).sum();
+        let hard_sum: f64 = hard.iter().map(|v| v.norm()).sum();
+        prop_assert!(soft_sum <= hard_sum * 1.0001, "{soft_sum} vs {hard_sum}");
+    }
+
+    #[test]
+    fn energy_is_extensive_in_mass(set in arb_cloud(20), k in 0.5_f64..4.0) {
+        // scaling every mass by k scales U by k² and T by k
+        let p = GravityParams { g: 1.0, softening: 0.05 };
+        let u1 = nbody_core::gravity::potential_energy(&set, &p);
+        let t1 = nbody_core::energy::kinetic_energy(&set);
+        let scaled: ParticleSet = set
+            .to_bodies()
+            .iter()
+            .map(|b| Body::new(b.pos, b.vel, b.mass * k))
+            .collect();
+        let u2 = nbody_core::gravity::potential_energy(&scaled, &p);
+        let t2 = nbody_core::energy::kinetic_energy(&scaled);
+        prop_assert!((u2 - k * k * u1).abs() < 1e-9 * u1.abs().max(1.0));
+        prop_assert!((t2 - k * t1).abs() < 1e-9 * t1.abs().max(1.0));
+    }
+
+    #[test]
+    fn leapfrog_is_time_reversible(set in arb_cloud(15)) {
+        // integrate forward n steps, flip velocities, integrate n more:
+        // positions return (leapfrog is symmetric)
+        let p = GravityParams { g: 1.0, softening: 0.1 };
+        let mut sim = set.clone();
+        let mut engine = DirectPp::new(p);
+        run(&mut sim, &mut engine, &LeapfrogKdk, 1e-3, 20);
+        for v in sim.vel_mut() {
+            *v = -*v;
+        }
+        run(&mut sim, &mut engine, &LeapfrogKdk, 1e-3, 20);
+        for (a, b) in set.pos().iter().zip(sim.pos()) {
+            prop_assert!(a.distance(*b) < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! # plans
+//!
+//! The four GPU execution plans of the PTPM N-body paper, implemented as
+//! host programs against the simulated device (`gpu-sim`):
+//!
+//! | plan | paper §4 | strategy |
+//! |------|----------|----------|
+//! | [`IParallel`] | Nyland (GPU Gems 3) | thread per target body, LDS tiles |
+//! | [`JParallel`] | Hamada's chamomile | j-range split across blocks + reduction |
+//! | [`WParallel`] | Hamada's multiple-walk | one block per Barnes-Hut walk |
+//! | [`JwParallel`] | **this paper** | (walk × j-slice) blocks + per-walk reduction |
+//!
+//! All plans implement [`ExecutionPlan`] and produce a [`PlanOutcome`] whose
+//! time split (host tree/walks, kernel, transfers) is what the paper's
+//! Tables 1–3 and Figures 4–5 report.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod engine;
+pub mod i_parallel;
+pub mod j_parallel;
+pub mod jw_parallel;
+pub mod multi_gpu;
+pub mod potential;
+pub mod tune;
+pub mod validate;
+pub mod w_parallel;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::common::{
+        download_acc, interact_f32, upload_bodies, ExecutionPlan, PlanConfig, PlanKind,
+        PlanOutcome, FLOPS_PER_INTERACTION,
+    };
+    pub use crate::engine::PlanForceEngine;
+    pub use crate::i_parallel::IParallel;
+    pub use crate::j_parallel::{auto_j_slices, JParallel};
+    pub use crate::jw_parallel::{auto_slice_len, run_jw_kernels, slice_walks, JwParallel};
+    pub use crate::multi_gpu::{MultiGpuJw, MultiGpuOutcome, MultiGpuPp};
+    pub use crate::potential::potential_on_device;
+    pub use crate::tune::{candidates, tune, TuneObjective, TuneResult};
+    pub use crate::validate::{validate_all, validate_plan, ErrorBudget, ValidationReport};
+    pub use crate::w_parallel::{pack_walks, WParallel, NO_TARGET};
+}
+
+pub use prelude::*;
+
+/// Instantiates a plan by kind with a shared configuration.
+pub fn make_plan(kind: PlanKind, config: PlanConfig) -> Box<dyn ExecutionPlan> {
+    match kind {
+        PlanKind::IParallel => Box::new(IParallel::new(config)),
+        PlanKind::JParallel => Box::new(JParallel::new(config)),
+        PlanKind::WParallel => Box::new(WParallel::new(config)),
+        PlanKind::JwParallel => Box::new(JwParallel::new(config)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_plan_dispatches() {
+        for kind in PlanKind::all() {
+            let plan = make_plan(kind, PlanConfig::default());
+            assert_eq!(plan.kind(), kind);
+            assert_eq!(plan.name(), kind.id());
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! Multi-GPU jw-parallel — the scaling extension of the paper's lineage.
+//!
+//! Hamada's SC'09 system (the source of the w-parallel plan) ran the
+//! multiple-walk method across GPU clusters; the paper's conclusion points
+//! the same way. This module scales jw-parallel across `D` simulated
+//! devices: walks are partitioned by longest-processing-time (LPT) over
+//! their interaction-list lengths, each device receives the body array plus
+//! only its own walks, and kernels run concurrently.
+//!
+//! Timing model (documented, deterministic):
+//! * **uploads/downloads serialize** — one host PCIe root complex feeds all
+//!   boards, as in a 2010 multi-GPU workstation;
+//! * **kernels overlap** — device kernel time is the *max* across devices;
+//! * host tree/walk work is shared once (the tree is built once).
+
+use crate::common::{HostCostModel, PlanConfig, PlanOutcome};
+use crate::jw_parallel::run_jw_kernels;
+use crate::w_parallel::{pack_walks, PackedWalks};
+use gpu_sim::prelude::*;
+use nbody_core::body::ParticleSet;
+use nbody_core::gravity::GravityParams;
+use nbody_core::vec3::Vec3;
+use std::time::Instant;
+use treecode::interaction_list::{build_walks, WalkSet};
+use treecode::mac::OpeningAngle;
+use treecode::tree::{Octree, TreeParams};
+
+/// The outcome of one multi-GPU evaluation.
+#[derive(Debug, Clone)]
+pub struct MultiGpuOutcome {
+    /// Combined (summed per body) outcome with multi-device time semantics.
+    pub combined: PlanOutcome,
+    /// Simulated kernel seconds per device.
+    pub per_device_kernel_s: Vec<f64>,
+    /// Walks assigned to each device.
+    pub walks_per_device: Vec<usize>,
+}
+
+impl MultiGpuOutcome {
+    /// Load balance across devices: min/max kernel time.
+    pub fn balance(&self) -> f64 {
+        let max = self.per_device_kernel_s.iter().copied().fold(0.0, f64::max);
+        if max <= 0.0 {
+            return 1.0;
+        }
+        let min = self.per_device_kernel_s.iter().copied().fold(f64::INFINITY, f64::min);
+        min / max
+    }
+}
+
+/// jw-parallel across several simulated devices.
+#[derive(Debug, Clone)]
+pub struct MultiGpuJw {
+    /// Shared plan tunables.
+    pub config: PlanConfig,
+    /// Number of devices.
+    pub devices: usize,
+    /// Device description (all devices identical, as in the paper-era rigs).
+    pub spec: DeviceSpec,
+    /// PCIe model of the shared host link.
+    pub transfer_model: TransferModel,
+}
+
+impl MultiGpuJw {
+    /// `d` identical HD 5850s behind one PCIe 2.0 root.
+    pub fn new(d: usize) -> Self {
+        assert!(d >= 1, "need at least one device");
+        Self {
+            config: PlanConfig::default(),
+            devices: d,
+            spec: DeviceSpec::radeon_hd_5850(),
+            transfer_model: TransferModel::pcie2_x16(),
+        }
+    }
+
+    /// Partitions walk indices over devices by LPT on list length:
+    /// deterministic and balanced.
+    pub fn partition(walks: &WalkSet, devices: usize) -> Vec<Vec<usize>> {
+        let mut order: Vec<usize> = (0..walks.groups.len()).collect();
+        // longest first; stable tie-break on index keeps determinism
+        order.sort_by(|&a, &b| {
+            walks.groups[b]
+                .list_len()
+                .cmp(&walks.groups[a].list_len())
+                .then(a.cmp(&b))
+        });
+        let mut buckets = vec![Vec::new(); devices];
+        let mut load = vec![0_usize; devices];
+        for w in order {
+            let (d, _) = load
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(&b.0)))
+                .expect("at least one device");
+            buckets[d].push(w);
+            load[d] += walks.groups[w].list_len().max(1);
+        }
+        buckets
+    }
+
+    /// Evaluates accelerations for `set` across all devices.
+    pub fn evaluate(&self, set: &ParticleSet, params: &GravityParams) -> MultiGpuOutcome {
+        assert!(params.softening > 0.0, "device plans require softening > 0");
+        self.config.validate(&self.spec).expect("invalid plan config");
+        let n = set.len();
+        let host_model: HostCostModel = self.config.host_model;
+
+        // shared host-side preparation (tree + walks, built once)
+        let t0 = Instant::now();
+        let tree = Octree::build(set, TreeParams { leaf_capacity: self.config.leaf_capacity });
+        let walks =
+            build_walks(&tree, set, OpeningAngle::new(self.config.theta), self.config.walk_size);
+        let buckets = Self::partition(&walks, self.devices);
+
+        // per-device packing of its walk subset
+        let packed: Vec<PackedWalks> = buckets
+            .iter()
+            .map(|bucket| {
+                let sub = WalkSet {
+                    groups: bucket.iter().map(|&w| walks.groups[w].clone()).collect(),
+                    theta: walks.theta,
+                    walk_size: walks.walk_size,
+                };
+                pack_walks(&sub, &tree, set, self.config.walk_size)
+            })
+            .collect();
+        let host_measured_s = t0.elapsed().as_secs_f64();
+
+        // run each device; kernels overlap, transfers serialize
+        let mut acc = vec![Vec3::ZERO; n];
+        let mut per_device_kernel_s = Vec::with_capacity(self.devices);
+        let mut transfer_s = 0.0;
+        let mut interactions = 0_u64;
+        let mut launches = 0;
+        for p in &packed {
+            let mut device = Device::with_transfer_model(self.spec.clone(), self.transfer_model);
+            let dev_acc = run_jw_kernels(&mut device, set, p, &self.config, params);
+            for (a, d) in acc.iter_mut().zip(&dev_acc) {
+                *a += *d; // targets are disjoint; non-targets are zero
+            }
+            per_device_kernel_s.push(device.kernel_seconds());
+            transfer_s += device.transfer_seconds();
+            interactions += p.interactions;
+            launches += device.launches().len();
+        }
+        let kernel_s = per_device_kernel_s.iter().copied().fold(0.0, f64::max);
+        let total_entries: usize = packed.iter().map(|p| p.list_data.len() / 4).sum();
+
+        let combined = PlanOutcome {
+            acc,
+            interactions,
+            host_tree_s: host_model.tree_seconds(n),
+            host_walk_s: host_model.walk_seconds(total_entries),
+            host_measured_s,
+            kernel_s,
+            transfer_s,
+            launches,
+            overlap_walk_with_kernel: true,
+        };
+        let walks_per_device = buckets.iter().map(Vec::len).collect();
+        MultiGpuOutcome { combined, per_device_kernel_s, walks_per_device }
+    }
+}
+
+/// Device kernel of [`MultiGpuPp`]: all targets against a compacted source
+/// slice, tiled through LDS exactly like i-parallel but with separate
+/// target/source buffers.
+pub struct PpSlicedKernel {
+    /// Full float4 target bodies (`⌈n/p⌉·p` entries, zero-padded).
+    pub targets: BufF32,
+    /// Compacted float4 source slice (`m_padded` entries, zero-padded).
+    pub sources: BufF32,
+    /// float4 partial accelerations (`n` entries).
+    pub acc_out: BufF32,
+    /// Real body count.
+    pub n: usize,
+    /// Padded source count.
+    pub m_padded: usize,
+    /// Threads per block.
+    pub block: usize,
+    /// Softening squared.
+    pub eps_sq: f32,
+}
+
+/// Per-thread registers of [`PpSlicedKernel`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PpSlicedItemRegs {
+    xi: [f32; 3],
+    acc: [f32; 3],
+}
+
+/// Per-block registers of [`PpSlicedKernel`].
+#[derive(Debug, Default)]
+pub struct PpSlicedGroupRegs {
+    tile: usize,
+}
+
+impl Kernel for PpSlicedKernel {
+    type ItemRegs = PpSlicedItemRegs;
+    type GroupRegs = PpSlicedGroupRegs;
+
+    fn name(&self) -> &str {
+        "multi-gpu/pp-sliced"
+    }
+
+    fn lds_words(&self) -> usize {
+        self.block * 4
+    }
+
+    fn phase(
+        &self,
+        phase: usize,
+        ctx: &mut ItemCtx<'_>,
+        regs: &mut PpSlicedItemRegs,
+        group: &PpSlicedGroupRegs,
+    ) {
+        match phase {
+            0 => {
+                let v = ctx.read_f32_vec_coalesced::<4>(self.targets, 4 * ctx.global_id);
+                regs.xi = [v[0], v[1], v[2]];
+                regs.acc = [0.0; 3];
+            }
+            1 => {
+                let j = group.tile * self.block + ctx.local_id;
+                if j < self.m_padded {
+                    let v = ctx.read_f32_vec_coalesced::<4>(self.sources, 4 * j);
+                    ctx.lds_write_slice(4 * ctx.local_id, &v);
+                }
+            }
+            2 => {
+                let tile = self.block.min(self.m_padded - group.tile * self.block);
+                ctx.charge_flops((crate::common::FLOPS_PER_INTERACTION * tile as u64) as f64);
+                let xi = regs.xi;
+                let mut acc = regs.acc;
+                let lds = ctx.lds_read_slice(0, 4 * tile);
+                for j in 0..tile {
+                    crate::common::interact_f32(xi, &lds[4 * j..4 * j + 4], self.eps_sq, &mut acc);
+                }
+                regs.acc = acc;
+            }
+            3 => {
+                if ctx.global_id < self.n {
+                    ctx.write_f32_vec_coalesced::<4>(
+                        self.acc_out,
+                        4 * ctx.global_id,
+                        [regs.acc[0], regs.acc[1], regs.acc[2], 0.0],
+                    );
+                }
+            }
+            _ => unreachable!("pp-sliced has 4 phases"),
+        }
+    }
+
+    fn control(&self, phase: usize, group: &mut PpSlicedGroupRegs, _info: &GroupInfo) -> Control {
+        match phase {
+            0 | 1 => Control::Next,
+            2 => {
+                group.tile += 1;
+                if group.tile * self.block < self.m_padded {
+                    Control::Jump(1)
+                } else {
+                    Control::Next
+                }
+            }
+            _ => Control::Done,
+        }
+    }
+}
+
+/// All-pairs PP across several devices by splitting the **source** range —
+/// the original motivation of the chamomile scheme (j-parallelism was
+/// designed to spread one N² problem over multiple boards). Device `d`
+/// computes the partial force of j-slice `d`; the host sums the partials.
+#[derive(Debug, Clone)]
+pub struct MultiGpuPp {
+    /// Shared plan tunables (block size).
+    pub config: PlanConfig,
+    /// Number of devices.
+    pub devices: usize,
+    /// Device description.
+    pub spec: DeviceSpec,
+    /// PCIe model of the shared host link.
+    pub transfer_model: TransferModel,
+}
+
+impl MultiGpuPp {
+    /// `d` identical HD 5850s behind one PCIe 2.0 root.
+    pub fn new(d: usize) -> Self {
+        assert!(d >= 1, "need at least one device");
+        Self {
+            config: PlanConfig::default(),
+            devices: d,
+            spec: DeviceSpec::radeon_hd_5850(),
+            transfer_model: TransferModel::pcie2_x16(),
+        }
+    }
+
+    /// Evaluates accelerations: each device computes the full target range
+    /// against its own *compacted* source slice (n/d sources), and the host
+    /// sums the partial forces — the GRAPE-cluster work split.
+    pub fn evaluate(&self, set: &ParticleSet, params: &GravityParams) -> MultiGpuOutcome {
+        assert!(params.softening > 0.0, "device plans require softening > 0");
+        let n = set.len();
+        let d = self.devices;
+        let p = self.config.block_size;
+        let n_padded = n.div_ceil(p).max(1) * p;
+        let eps_sq = params.eps_sq() as f32;
+
+        let mut acc = vec![Vec3::ZERO; n];
+        let mut per_device_kernel_s = Vec::with_capacity(d);
+        let mut transfer_s = 0.0;
+        let mut launches = 0;
+        let packed_full = crate::i_parallel::packed_padded(set, n_padded);
+        let slice_len = n.div_ceil(d);
+        for dev_idx in 0..d {
+            let start = dev_idx * slice_len;
+            let end = (start + slice_len).min(n);
+            let m = end.saturating_sub(start);
+            let m_padded = m.div_ceil(p).max(1) * p;
+            let mut sources_data = packed_full[4 * start..4 * end].to_vec();
+            sources_data.resize(m_padded * 4, 0.0);
+
+            let mut device = Device::with_transfer_model(self.spec.clone(), self.transfer_model);
+            let targets = device.alloc_f32(packed_full.len());
+            device.upload_f32(targets, &packed_full);
+            let sources = device.alloc_f32(sources_data.len());
+            device.upload_f32(sources, &sources_data);
+            let acc_out = device.alloc_f32(n * 4);
+            let kernel = PpSlicedKernel {
+                targets,
+                sources,
+                acc_out,
+                n,
+                m_padded,
+                block: p,
+                eps_sq,
+            };
+            device.launch(&kernel, NdRange { global: n_padded, local: p });
+            let dev_acc = crate::common::download_acc(&mut device, acc_out, n, params.g);
+            for (a, da) in acc.iter_mut().zip(&dev_acc) {
+                *a += *da;
+            }
+            per_device_kernel_s.push(device.kernel_seconds());
+            transfer_s += device.transfer_seconds();
+            launches += device.launches().len();
+        }
+        let kernel_s = per_device_kernel_s.iter().copied().fold(0.0, f64::max);
+
+        let combined = PlanOutcome {
+            acc,
+            interactions: (n as u64) * (n as u64),
+            host_tree_s: 0.0,
+            host_walk_s: 0.0,
+            host_measured_s: 0.0,
+            kernel_s,
+            transfer_s,
+            launches,
+            overlap_walk_with_kernel: false,
+        };
+        MultiGpuOutcome {
+            combined,
+            per_device_kernel_s,
+            walks_per_device: vec![0; d],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::ExecutionPlan;
+    use crate::jw_parallel::JwParallel;
+    use nbody_core::gravity::{accelerations_pp, max_relative_error};
+    use nbody_core::testutil::random_set;
+
+    fn params() -> GravityParams {
+        GravityParams { g: 1.0, softening: 0.05 }
+    }
+
+    #[test]
+    fn multi_gpu_matches_single_gpu_physics() {
+        let set = random_set(1200, 1);
+        let mut dev = Device::with_transfer_model(
+            DeviceSpec::radeon_hd_5850(),
+            TransferModel::pcie2_x16(),
+        );
+        let single = JwParallel::default().evaluate(&mut dev, &set, &params());
+        let multi = MultiGpuJw::new(3).evaluate(&set, &params());
+        let err = max_relative_error(&single.acc, &multi.combined.acc);
+        assert!(err < 1e-5, "multi vs single: {err}");
+        assert_eq!(single.interactions, multi.combined.interactions);
+    }
+
+    #[test]
+    fn multi_gpu_matches_cpu_reference() {
+        let set = random_set(900, 2);
+        let mut exact = vec![Vec3::ZERO; set.len()];
+        accelerations_pp(&set, &params(), &mut exact);
+        let multi = MultiGpuJw::new(2).evaluate(&set, &params());
+        let err = max_relative_error(&exact, &multi.combined.acc);
+        assert!(err < 0.02, "{err}");
+    }
+
+    #[test]
+    fn kernels_scale_down_with_devices() {
+        // at a size that saturates one device, D devices cut kernel time by
+        // roughly D (LPT balance is good when walks are plentiful)
+        let set = random_set(8192, 3);
+        let one = MultiGpuJw::new(1).evaluate(&set, &params());
+        let four = MultiGpuJw::new(4).evaluate(&set, &params());
+        let speedup = one.combined.kernel_s / four.combined.kernel_s;
+        assert!(
+            speedup > 2.5 && speedup <= 4.2,
+            "expected near-linear kernel scaling, got {speedup}"
+        );
+        assert!(four.balance() > 0.7, "balance {}", four.balance());
+    }
+
+    #[test]
+    fn transfers_serialize_across_devices() {
+        let set = random_set(2048, 4);
+        let one = MultiGpuJw::new(1).evaluate(&set, &params());
+        let two = MultiGpuJw::new(2).evaluate(&set, &params());
+        // each device re-uploads the body array: transfer time grows
+        assert!(two.combined.transfer_s > one.combined.transfer_s);
+    }
+
+    #[test]
+    fn partition_covers_all_walks_disjointly() {
+        let set = random_set(3000, 5);
+        let tree = Octree::build(&set, TreeParams::default());
+        let walks = build_walks(&tree, &set, OpeningAngle::new(0.5), 64);
+        let buckets = MultiGpuJw::partition(&walks, 3);
+        let mut seen = vec![false; walks.groups.len()];
+        for bucket in &buckets {
+            for &w in bucket {
+                assert!(!seen[w], "walk {w} in two buckets");
+                seen[w] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // LPT balance on list length
+        let loads: Vec<usize> = buckets
+            .iter()
+            .map(|b| b.iter().map(|&w| walks.groups[w].list_len()).sum())
+            .collect();
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        assert!(min / max > 0.8, "loads {loads:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_rejected() {
+        MultiGpuJw::new(0);
+    }
+
+    #[test]
+    fn multi_gpu_pp_matches_cpu_reference() {
+        let set = random_set(777, 6); // not a multiple of anything
+        let mut exact = vec![Vec3::ZERO; set.len()];
+        accelerations_pp(&set, &params(), &mut exact);
+        for d in [1_usize, 3] {
+            let multi = MultiGpuPp::new(d).evaluate(&set, &params());
+            let err = max_relative_error(&exact, &multi.combined.acc);
+            assert!(err < 2e-3, "d={d}: {err}");
+        }
+    }
+
+    #[test]
+    fn multi_gpu_pp_matches_single_i_parallel() {
+        use crate::i_parallel::IParallel;
+        let set = random_set(1024, 7);
+        let mut dev = Device::with_transfer_model(
+            DeviceSpec::radeon_hd_5850(),
+            TransferModel::pcie2_x16(),
+        );
+        let single = IParallel::default().evaluate(&mut dev, &set, &params());
+        let multi = MultiGpuPp::new(1).evaluate(&set, &params());
+        let err = max_relative_error(&single.acc, &multi.combined.acc);
+        assert!(err < 1e-5, "{err}");
+        assert_eq!(single.interactions, multi.combined.interactions);
+    }
+
+    #[test]
+    fn multi_gpu_pp_kernels_scale() {
+        let set = random_set(8192, 8);
+        let one = MultiGpuPp::new(1).evaluate(&set, &params());
+        let four = MultiGpuPp::new(4).evaluate(&set, &params());
+        let speedup = one.combined.kernel_s / four.combined.kernel_s;
+        assert!(speedup > 2.5 && speedup <= 4.5, "speedup {speedup}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn pp_zero_devices_rejected() {
+        MultiGpuPp::new(0);
+    }
+}

@@ -1,0 +1,413 @@
+//! The w-parallel plan (Hamada et al., SC'09 multiple-walk; paper §4.2).
+//!
+//! The host builds the Barnes-Hut tree and groups bodies into walks; each
+//! walk's interaction list (accepted cells + leaf bodies, both reduced to
+//! `[x,y,z,m]` float4 entries) goes to the device, and **one block per
+//! walk** evaluates `|walk| × |list|` interactions, tiling the list through
+//! LDS like the PP kernels tile bodies.
+//!
+//! The paper's observations, reproduced here: walk generation runs on the
+//! CPU and overlaps the GPU kernel (hence `overlap_walk_with_kernel`), but
+//! ragged list lengths make blocks unequal — the load imbalance jw-parallel
+//! later removes — and at small N there are simply too few walks to fill
+//! the device.
+
+use crate::common::{
+    download_acc, interact_f32, ExecutionPlan, PlanConfig, PlanKind, PlanOutcome,
+    FLOPS_PER_INTERACTION,
+};
+use gpu_sim::prelude::*;
+use nbody_core::body::ParticleSet;
+use nbody_core::gravity::GravityParams;
+use std::time::Instant;
+use treecode::interaction_list::{build_walks, WalkSet};
+use treecode::mac::OpeningAngle;
+use treecode::tree::{Octree, TreeParams};
+
+/// Sentinel marking an inactive (padding) thread slot in the targets buffer.
+pub const NO_TARGET: u32 = u32::MAX;
+
+/// Interaction-list data packed for the device.
+pub struct PackedWalks {
+    /// float4 per list entry, all walks concatenated.
+    pub list_data: Vec<f32>,
+    /// Per-walk `(list_start, list_len)` in entries — kernel arguments.
+    pub walk_desc: Vec<(u32, u32)>,
+    /// Target body indices, `walk_size`-strided, padded with [`NO_TARGET`].
+    pub targets: Vec<u32>,
+    /// Useful pairwise interactions (Σ walk targets × list length).
+    pub interactions: u64,
+}
+
+/// Flattens a [`WalkSet`] against tree node and body data into device
+/// buffers.
+pub fn pack_walks(walks: &WalkSet, tree: &Octree, set: &ParticleSet, walk_size: usize) -> PackedWalks {
+    let pos = set.pos();
+    let mass = set.mass();
+    let total_entries: usize = walks.groups.iter().map(|g| g.list_len()).sum();
+    let mut list_data = Vec::with_capacity(total_entries * 4);
+    let mut walk_desc = Vec::with_capacity(walks.groups.len());
+    let mut targets = Vec::with_capacity(walks.groups.len() * walk_size);
+    let mut interactions = 0_u64;
+
+    for group in &walks.groups {
+        let start = (list_data.len() / 4) as u32;
+        for &c in &group.cell_list {
+            let node = &tree.nodes()[c as usize];
+            list_data.extend_from_slice(&[
+                node.com.x as f32,
+                node.com.y as f32,
+                node.com.z as f32,
+                node.mass as f32,
+            ]);
+        }
+        for &b in &group.body_list {
+            let b = b as usize;
+            list_data.extend_from_slice(&[
+                pos[b].x as f32,
+                pos[b].y as f32,
+                pos[b].z as f32,
+                mass[b] as f32,
+            ]);
+        }
+        let len = group.list_len() as u32;
+        walk_desc.push((start, len));
+        interactions += group.bodies.len() as u64 * u64::from(len);
+
+        for slot in 0..walk_size {
+            targets.push(group.bodies.get(slot).copied().unwrap_or(NO_TARGET));
+        }
+    }
+
+    PackedWalks { list_data, walk_desc, targets, interactions }
+}
+
+/// Device kernel: one block per walk, list tiled through LDS.
+pub struct WWalkKernel {
+    /// Packed interaction-list entries (float4).
+    pub list_data: BufF32,
+    /// Strided target indices.
+    pub targets: BufU32,
+    /// Original-order float4 bodies.
+    pub pos_mass: BufF32,
+    /// float4 output accelerations.
+    pub acc_out: BufF32,
+    /// Per-walk `(list_start, list_len)` — uniform kernel arguments.
+    pub walk_desc: Vec<(u32, u32)>,
+    /// Threads per block (= walk capacity = tile size).
+    pub walk_size: usize,
+    /// Softening squared.
+    pub eps_sq: f32,
+}
+
+impl WWalkKernel {
+    fn tile_len(&self, group_id: usize, cursor: usize) -> usize {
+        let (_, len) = self.walk_desc[group_id];
+        self.walk_size.min(len as usize - cursor)
+    }
+}
+
+/// Per-thread registers.
+#[derive(Debug, Clone, Copy)]
+pub struct WItemRegs {
+    xi: [f32; 3],
+    acc: [f32; 3],
+    target: u32,
+}
+
+impl Default for WItemRegs {
+    fn default() -> Self {
+        Self { xi: [0.0; 3], acc: [0.0; 3], target: NO_TARGET }
+    }
+}
+
+/// Per-block registers: cursor into the walk's list.
+#[derive(Debug, Default)]
+pub struct WGroupRegs {
+    cursor: usize,
+}
+
+impl Kernel for WWalkKernel {
+    type ItemRegs = WItemRegs;
+    type GroupRegs = WGroupRegs;
+
+    fn name(&self) -> &str {
+        "w-parallel/walk"
+    }
+
+    fn lds_words(&self) -> usize {
+        self.walk_size * 4
+    }
+
+    fn phase(&self, phase: usize, ctx: &mut ItemCtx<'_>, regs: &mut WItemRegs, group: &WGroupRegs) {
+        match phase {
+            // load own target body (gather: tree order ≠ memory order)
+            0 => {
+                let slot = ctx.group_id * self.walk_size + ctx.local_id;
+                regs.target = ctx.read_u32_coalesced(self.targets, slot);
+                regs.acc = [0.0; 3];
+                if regs.target != NO_TARGET {
+                    let v = ctx.read_f32_vec::<4>(self.pos_mass, 4 * regs.target as usize);
+                    regs.xi = [v[0], v[1], v[2]];
+                }
+            }
+            // stage a tile of the interaction list
+            1 => {
+                let (start, _) = self.walk_desc[ctx.group_id];
+                let tile = self.tile_len(ctx.group_id, group.cursor);
+                if ctx.local_id < tile {
+                    let e = start as usize + group.cursor + ctx.local_id;
+                    let v = ctx.read_f32_vec_coalesced::<4>(self.list_data, 4 * e);
+                    ctx.lds_write_slice(4 * ctx.local_id, &v);
+                }
+            }
+            // accumulate the tile (every lane of the wavefront burns cycles,
+            // active or not — the cost of ragged walks)
+            2 => {
+                let tile = self.tile_len(ctx.group_id, group.cursor);
+                ctx.charge_flops((FLOPS_PER_INTERACTION * tile as u64) as f64);
+                let active = regs.target != NO_TARGET;
+                let xi = regs.xi;
+                let mut acc = regs.acc;
+                let lds = ctx.lds_read_slice(0, 4 * tile);
+                if active {
+                    for j in 0..tile {
+                        interact_f32(xi, &lds[4 * j..4 * j + 4], self.eps_sq, &mut acc);
+                    }
+                    regs.acc = acc;
+                }
+            }
+            // scatter the result
+            3 => {
+                if regs.target != NO_TARGET {
+                    ctx.write_f32_vec::<4>(
+                        self.acc_out,
+                        4 * regs.target as usize,
+                        [regs.acc[0], regs.acc[1], regs.acc[2], 0.0],
+                    );
+                }
+            }
+            _ => unreachable!("w-walk has 4 phases"),
+        }
+    }
+
+    fn control(&self, phase: usize, group: &mut WGroupRegs, info: &GroupInfo) -> Control {
+        match phase {
+            0 | 1 => Control::Next,
+            2 => {
+                group.cursor += self.tile_len(info.group_id, group.cursor);
+                let (_, len) = self.walk_desc[info.group_id];
+                if group.cursor < len as usize {
+                    Control::Jump(1)
+                } else {
+                    Control::Next
+                }
+            }
+            _ => Control::Done,
+        }
+    }
+}
+
+/// The w-parallel execution plan.
+#[derive(Debug, Clone, Default)]
+pub struct WParallel {
+    /// Tunables (walk size, θ, leaf capacity).
+    pub config: PlanConfig,
+}
+
+impl WParallel {
+    /// Creates the plan with the given configuration.
+    pub fn new(config: PlanConfig) -> Self {
+        Self { config }
+    }
+}
+
+/// Host-side preparation shared by w-parallel and jw-parallel: tree, walks,
+/// packing — with the tree and walk wall times measured separately.
+pub(crate) struct PreparedWalks {
+    pub tree_s: f64,
+    pub walk_s: f64,
+    pub packed: PackedWalks,
+}
+
+pub(crate) fn prepare_walks(set: &ParticleSet, config: &PlanConfig) -> PreparedWalks {
+    let t0 = Instant::now();
+    let tree = Octree::build(set, TreeParams { leaf_capacity: config.leaf_capacity });
+    let t1 = Instant::now();
+    let walks = build_walks(&tree, set, OpeningAngle::new(config.theta), config.walk_size);
+    let packed = pack_walks(&walks, &tree, set, config.walk_size);
+    let t2 = Instant::now();
+    PreparedWalks {
+        tree_s: (t1 - t0).as_secs_f64(),
+        walk_s: (t2 - t1).as_secs_f64(),
+        packed,
+    }
+}
+
+impl ExecutionPlan for WParallel {
+    fn kind(&self) -> PlanKind {
+        PlanKind::WParallel
+    }
+
+    fn evaluate(
+        &self,
+        device: &mut Device,
+        set: &ParticleSet,
+        params: &GravityParams,
+    ) -> PlanOutcome {
+        assert!(params.softening > 0.0, "device plans require softening > 0");
+        self.config.validate(device.spec()).expect("invalid plan config");
+        device.reset_clocks();
+
+        let n = set.len();
+        let prep = prepare_walks(set, &self.config);
+        let packed = &prep.packed;
+        let num_walks = packed.walk_desc.len();
+        let entries = packed.list_data.len() / 4;
+
+        let pos_mass = device.alloc_f32(n * 4);
+        device.upload_f32(pos_mass, &set.pack_pos_mass_f32());
+        let list_data = device.alloc_f32(packed.list_data.len().max(1));
+        device.upload_f32(list_data, &packed.list_data);
+        let targets = device.alloc_u32(packed.targets.len().max(1));
+        device.upload_u32(targets, &packed.targets);
+        let acc_out = device.alloc_f32(n * 4);
+
+        let kernel = WWalkKernel {
+            list_data,
+            targets,
+            pos_mass,
+            acc_out,
+            walk_desc: packed.walk_desc.clone(),
+            walk_size: self.config.walk_size,
+            eps_sq: params.eps_sq() as f32,
+        };
+        device.launch(
+            &kernel,
+            NdRange { global: num_walks.max(1) * self.config.walk_size, local: self.config.walk_size },
+        );
+        let acc = download_acc(device, acc_out, n, params.g);
+
+        PlanOutcome {
+            acc,
+            interactions: packed.interactions,
+            host_tree_s: self.config.host_model.tree_seconds(n),
+            host_walk_s: self.config.host_model.walk_seconds(entries),
+            host_measured_s: prep.tree_s + prep.walk_s,
+            kernel_s: device.kernel_seconds(),
+            transfer_s: device.transfer_seconds(),
+            launches: device.launches().len(),
+            overlap_walk_with_kernel: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_core::gravity::{accelerations_pp, max_relative_error};
+    use nbody_core::testutil::random_set;
+    use nbody_core::vec3::Vec3;
+
+    fn device() -> Device {
+        Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::pcie2_x16())
+    }
+
+    fn params() -> GravityParams {
+        GravityParams { g: 1.0, softening: 0.05 }
+    }
+
+    #[test]
+    fn matches_cpu_reference_within_bh_error() {
+        let set = random_set(800, 1);
+        let mut dev = device();
+        let outcome = WParallel::default().evaluate(&mut dev, &set, &params());
+        let mut exact = vec![Vec3::ZERO; set.len()];
+        accelerations_pp(&set, &params(), &mut exact);
+        let err = max_relative_error(&exact, &outcome.acc);
+        assert!(err < 0.02, "w-parallel error {err}");
+    }
+
+    #[test]
+    fn matches_cpu_walk_evaluation_closely() {
+        // the device must reproduce the CPU multiple-walk semantics to f32
+        let set = random_set(400, 2);
+        let cfg = PlanConfig::default();
+        let p = params();
+        let tree = Octree::build(&set, TreeParams { leaf_capacity: cfg.leaf_capacity });
+        let walks = build_walks(&tree, &set, OpeningAngle::new(cfg.theta), cfg.walk_size);
+        let mut cpu = vec![Vec3::ZERO; set.len()];
+        treecode::interaction_list::evaluate_walks_cpu(&walks, &tree, &set, &p, &mut cpu);
+
+        let mut dev = device();
+        let outcome = WParallel::new(cfg).evaluate(&mut dev, &set, &p);
+        let err = max_relative_error(&cpu, &outcome.acc);
+        assert!(err < 1e-4, "device vs CPU walks {err}");
+    }
+
+    #[test]
+    fn fewer_interactions_than_pp() {
+        // group-MAC lists only undercut PP clearly once N is a few times the
+        // walk size (256 by default)
+        let set = random_set(8192, 3);
+        let mut dev = device();
+        let outcome = WParallel::default().evaluate(&mut dev, &set, &params());
+        assert!(outcome.interactions < 8192 * 8192 / 2, "{}", outcome.interactions);
+        assert!(outcome.interactions > 0);
+    }
+
+    #[test]
+    fn host_times_recorded_and_overlapped() {
+        let set = random_set(1024, 4);
+        let mut dev = device();
+        let outcome = WParallel::default().evaluate(&mut dev, &set, &params());
+        assert!(outcome.host_tree_s > 0.0);
+        assert!(outcome.host_walk_s > 0.0);
+        assert!(outcome.overlap_walk_with_kernel);
+        // overlap: the walk time does not add if the kernel dominates
+        let expect = outcome.host_tree_s
+            + outcome.host_walk_s.max(outcome.kernel_s)
+            + outcome.transfer_s;
+        assert!((outcome.total_seconds() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_block_per_walk() {
+        let set = random_set(640, 5);
+        let mut dev = device();
+        let cfg = PlanConfig { walk_size: 64, ..Default::default() };
+        let _ = WParallel::new(cfg).evaluate(&mut dev, &set, &params());
+        assert_eq!(dev.launches()[0].timing.num_groups, 10); // 640/64
+    }
+
+    #[test]
+    fn packing_layout() {
+        let set = random_set(100, 6);
+        let cfg = PlanConfig::default();
+        let tree = Octree::build(&set, TreeParams { leaf_capacity: cfg.leaf_capacity });
+        let walks = build_walks(&tree, &set, OpeningAngle::new(cfg.theta), cfg.walk_size);
+        let packed = pack_walks(&walks, &tree, &set, cfg.walk_size);
+        assert_eq!(packed.walk_desc.len(), walks.groups.len());
+        assert_eq!(packed.targets.len(), walks.groups.len() * cfg.walk_size);
+        let entries: usize = walks.groups.iter().map(|g| g.list_len()).sum();
+        assert_eq!(packed.list_data.len(), entries * 4);
+        // descriptors cover the data exactly and in order
+        let mut cursor = 0_u32;
+        for (start, len) in &packed.walk_desc {
+            assert_eq!(*start, cursor);
+            cursor += len;
+        }
+        assert_eq!(cursor as usize * 4, packed.list_data.len());
+    }
+
+    #[test]
+    fn padded_slots_marked_inactive() {
+        let set = random_set(70, 7); // 70 bodies, walks of 64: second walk padded
+        let cfg = PlanConfig { walk_size: 64, ..Default::default() };
+        let tree = Octree::build(&set, TreeParams { leaf_capacity: cfg.leaf_capacity });
+        let walks = build_walks(&tree, &set, OpeningAngle::new(cfg.theta), cfg.walk_size);
+        let packed = pack_walks(&walks, &tree, &set, cfg.walk_size);
+        let inactive = packed.targets.iter().filter(|&&t| t == NO_TARGET).count();
+        assert_eq!(inactive, 2 * 64 - 70);
+    }
+}

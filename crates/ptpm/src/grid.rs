@@ -1,0 +1,206 @@
+//! The time-space grid.
+//!
+//! PTPM views a kernel launch as a rectangle of *space* (compute units) ×
+//! *time* (cycles). Work-groups are placed into the rectangle; the questions
+//! the paper's §3–4 ask — does the plan fill the space dimension? does a
+//! ragged block pin a compute unit long after the others drained? — become
+//! geometric properties of the placement:
+//!
+//! * **space utilization** — busy area / total area up to the makespan;
+//! * **balance** — min CU busy time / max CU busy time;
+//! * the **occupancy timeline** — how many CUs are busy at each instant.
+
+use serde::{Deserialize, Serialize};
+
+/// One work-group placed on the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Index of the work-group (launch order).
+    pub group: usize,
+    /// Compute unit it ran on.
+    pub cu: usize,
+    /// Start time in cycles.
+    pub start: f64,
+    /// End time in cycles.
+    pub end: f64,
+}
+
+/// A fully placed launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSpaceGrid {
+    /// Group placements in launch order.
+    pub placements: Vec<Placement>,
+    /// Spatial extent (number of compute units).
+    pub cus: usize,
+    /// Latest end time.
+    pub makespan: f64,
+}
+
+impl TimeSpaceGrid {
+    /// Places groups with the given cycle costs onto `cus` compute units by
+    /// greedy least-loaded scheduling (the same discipline as the simulator,
+    /// so grid metrics explain simulator timings).
+    ///
+    /// # Panics
+    /// Panics if `cus == 0` or any cost is negative/non-finite.
+    pub fn place(group_cycles: &[f64], cus: usize) -> Self {
+        assert!(cus > 0, "need at least one compute unit");
+        let mut cu_time = vec![0.0_f64; cus];
+        let mut placements = Vec::with_capacity(group_cycles.len());
+        for (group, &cycles) in group_cycles.iter().enumerate() {
+            assert!(
+                cycles.is_finite() && cycles >= 0.0,
+                "group {group} has invalid cost {cycles}"
+            );
+            let (cu, _) = cu_time
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
+                .expect("at least one CU");
+            let start = cu_time[cu];
+            let end = start + cycles;
+            cu_time[cu] = end;
+            placements.push(Placement { group, cu, start, end });
+        }
+        let makespan = cu_time.iter().copied().fold(0.0, f64::max);
+        Self { placements, cus, makespan }
+    }
+
+    /// Busy area / (cus × makespan). 1.0 means no CU ever idled.
+    pub fn space_utilization(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.placements.iter().map(|p| p.end - p.start).sum();
+        busy / (self.cus as f64 * self.makespan)
+    }
+
+    /// min CU busy time / max CU busy time; 1.0 is perfect balance.
+    pub fn balance(&self) -> f64 {
+        let mut per_cu = vec![0.0_f64; self.cus];
+        for p in &self.placements {
+            per_cu[p.cu] += p.end - p.start;
+        }
+        let max = per_cu.iter().copied().fold(0.0, f64::max);
+        if max <= 0.0 {
+            return 1.0;
+        }
+        let min = per_cu.iter().copied().fold(f64::INFINITY, f64::min);
+        min / max
+    }
+
+    /// Number of busy CUs sampled at `buckets` evenly spaced instants.
+    pub fn occupancy_timeline(&self, buckets: usize) -> Vec<usize> {
+        if buckets == 0 || self.makespan <= 0.0 {
+            return vec![0; buckets];
+        }
+        (0..buckets)
+            .map(|b| {
+                let t = (b as f64 + 0.5) / buckets as f64 * self.makespan;
+                self.placements
+                    .iter()
+                    .filter(|p| p.start <= t && t < p.end)
+                    .count()
+            })
+            .collect()
+    }
+
+    /// Renders the grid as a small ASCII chart (one row per CU, time
+    /// bucketed into `width` columns), for harness reports.
+    pub fn ascii(&self, width: usize) -> String {
+        let mut rows = vec![vec![b'.'; width]; self.cus];
+        if self.makespan > 0.0 {
+            for p in &self.placements {
+                let c0 = ((p.start / self.makespan) * width as f64).floor() as usize;
+                let c1 = (((p.end / self.makespan) * width as f64).ceil() as usize).min(width);
+                let glyph = b'0' + (p.group % 10) as u8;
+                for cell in &mut rows[p.cu][c0.min(width.saturating_sub(1))..c1] {
+                    *cell = glyph;
+                }
+            }
+        }
+        rows.into_iter()
+            .enumerate()
+            .map(|(cu, row)| format!("cu{cu:02} |{}|", String::from_utf8(row).unwrap()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_balances_equal_groups() {
+        let g = TimeSpaceGrid::place(&[10.0; 8], 4);
+        assert_eq!(g.makespan, 20.0);
+        assert!((g.space_utilization() - 1.0).abs() < 1e-12);
+        assert!((g.balance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_groups_than_cus_leaves_idle_space() {
+        let g = TimeSpaceGrid::place(&[10.0, 10.0], 8);
+        assert_eq!(g.makespan, 10.0);
+        assert!((g.space_utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ragged_group_sets_makespan() {
+        let g = TimeSpaceGrid::place(&[100.0, 1.0, 1.0, 1.0], 4);
+        assert_eq!(g.makespan, 100.0);
+        assert!(g.space_utilization() < 0.3);
+        assert!(g.balance() < 0.05);
+    }
+
+    #[test]
+    fn placements_record_start_end() {
+        let g = TimeSpaceGrid::place(&[5.0, 7.0, 3.0], 2);
+        // group 0 -> cu0 [0,5), group 1 -> cu1 [0,7), group 2 -> cu0 [5,8)
+        assert_eq!(g.placements[2].cu, 0);
+        assert_eq!(g.placements[2].start, 5.0);
+        assert_eq!(g.placements[2].end, 8.0);
+        assert_eq!(g.makespan, 8.0);
+    }
+
+    #[test]
+    fn occupancy_timeline_counts_busy_cus() {
+        let g = TimeSpaceGrid::place(&[10.0, 5.0], 2);
+        let tl = g.occupancy_timeline(10);
+        assert_eq!(tl.len(), 10);
+        // first half: both busy; second half: one
+        assert_eq!(tl[0], 2);
+        assert_eq!(tl[9], 1);
+    }
+
+    #[test]
+    fn empty_launch_is_degenerate_but_safe() {
+        let g = TimeSpaceGrid::place(&[], 4);
+        assert_eq!(g.makespan, 0.0);
+        assert_eq!(g.space_utilization(), 0.0);
+        assert_eq!(g.balance(), 1.0);
+        assert_eq!(g.occupancy_timeline(4), vec![0; 4]);
+    }
+
+    #[test]
+    fn ascii_render_has_one_row_per_cu() {
+        let g = TimeSpaceGrid::place(&[4.0, 4.0, 2.0], 3);
+        let art = g.ascii(16);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains("cu00 |"));
+        assert!(art.contains('0'));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cost")]
+    fn negative_cost_rejected() {
+        TimeSpaceGrid::place(&[-1.0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one compute unit")]
+    fn zero_cus_rejected() {
+        TimeSpaceGrid::place(&[1.0], 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # ptpm
+//!
+//! The **Parallel Time-Space Processing Model** of the paper (§3–4),
+//! implemented as a first-class artifact rather than prose: GPU execution is
+//! a rectangle of space (compute units) × time (cycles); an execution plan
+//! is a placement of work-groups into that rectangle; plan quality is
+//! geometry — space utilization, balance, makespan.
+//!
+//! * [`grid`] — the time-space grid, placements, utilization/balance
+//!   metrics, and an ASCII rendering for reports;
+//! * [`model`] — closed-form forecasts of each plan's launch shape, used to
+//!   *predict* the ranking the simulator then measures.
+//!
+//! ```
+//! use ptpm::prelude::*;
+//! use gpu_sim::spec::DeviceSpec;
+//!
+//! let spec = DeviceSpec::radeon_hd_5850();
+//! let i = forecast_i_parallel(1024, 256, &spec);
+//! let j = forecast_j_parallel(1024, 256, 54, &spec);
+//! assert!(j.seconds < i.seconds); // the paper's argument, as a computation
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod model;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::grid::{Placement, TimeSpaceGrid};
+    pub use crate::model::{
+        forecast_blocks, forecast_i_parallel, forecast_j_parallel, forecast_jw_parallel,
+        forecast_w_parallel, Forecast,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,210 @@
+//! Analytic PTPM forecasts per execution plan.
+//!
+//! Given only the launch *shape* — how many blocks, how much arithmetic per
+//! block — the model predicts kernel time and space utilization without
+//! running anything. The paper uses this reasoning to argue jw-parallel's
+//! superiority before measuring it; we implement the argument and test that
+//! the forecast ranking matches the simulator's measured ranking (see the
+//! workspace integration tests).
+//!
+//! The model deliberately ignores memory traffic: on interaction-bound
+//! N-body kernels the ALU term dominates, and keeping one term makes the
+//! closed forms legible. The simulator keeps the full cost model; the gap
+//! between the two is itself reported by the harness.
+
+use crate::grid::TimeSpaceGrid;
+use gpu_sim::spec::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Flops the forecast charges per pairwise interaction (GRAPE convention,
+/// matching the device kernels).
+pub const FLOPS_PER_INTERACTION: f64 = 38.0;
+
+/// An analytic forecast for one kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Forecast {
+    /// Work-groups in the launch.
+    pub blocks: usize,
+    /// Total convention flops.
+    pub total_flops: f64,
+    /// Predicted kernel seconds.
+    pub seconds: f64,
+    /// Predicted space utilization in the time-space grid.
+    pub space_utilization: f64,
+    /// Predicted balance (min/max CU busy time).
+    pub balance: f64,
+}
+
+impl Forecast {
+    /// Predicted GFLOPS.
+    pub fn gflops(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_flops / self.seconds / 1e9
+    }
+}
+
+/// Forecasts a launch from per-block flop counts: places blocks on the
+/// time-space grid and converts the makespan to seconds.
+pub fn forecast_blocks(block_flops: &[f64], spec: &DeviceSpec) -> Forecast {
+    let per_cu_rate = spec.charged_flops_per_cycle_per_cu;
+    let cycles: Vec<f64> = block_flops.iter().map(|f| f / per_cu_rate).collect();
+    let grid = TimeSpaceGrid::place(&cycles, spec.compute_units as usize);
+    let total_flops: f64 = block_flops.iter().sum();
+    Forecast {
+        blocks: block_flops.len(),
+        total_flops,
+        seconds: grid.makespan / spec.clock_hz,
+        space_utilization: grid.space_utilization(),
+        balance: grid.balance(),
+    }
+}
+
+/// i-parallel: ⌈N/p⌉ blocks, each evaluating `p × N_pad` interactions.
+pub fn forecast_i_parallel(n: usize, block_size: usize, spec: &DeviceSpec) -> Forecast {
+    let n_pad = n.div_ceil(block_size).max(1) * block_size;
+    let blocks = n_pad / block_size;
+    let flops_per_block = (block_size * n_pad) as f64 * FLOPS_PER_INTERACTION;
+    forecast_blocks(&vec![flops_per_block; blocks], spec)
+}
+
+/// j-parallel: ⌈N/p⌉ × S blocks, each evaluating `p × (N_pad / S)`
+/// interactions, plus the (ALU-negligible) reduction.
+pub fn forecast_j_parallel(
+    n: usize,
+    block_size: usize,
+    slices: usize,
+    spec: &DeviceSpec,
+) -> Forecast {
+    assert!(slices > 0, "slices must be positive");
+    let n_pad = n.div_ceil(block_size).max(1) * block_size;
+    let base = n_pad / block_size;
+    let slice_len = n_pad.div_ceil(slices);
+    let flops_per_block = (block_size * slice_len) as f64 * FLOPS_PER_INTERACTION;
+    forecast_blocks(&vec![flops_per_block; base * slices], spec)
+}
+
+/// w-parallel: one block per walk; block cost follows the (ragged) list
+/// lengths.
+pub fn forecast_w_parallel(
+    list_lens: &[usize],
+    walk_size: usize,
+    spec: &DeviceSpec,
+) -> Forecast {
+    let block_flops: Vec<f64> = list_lens
+        .iter()
+        .map(|&len| (walk_size * len) as f64 * FLOPS_PER_INTERACTION)
+        .collect();
+    forecast_blocks(&block_flops, spec)
+}
+
+/// jw-parallel: lists sliced to at most `slice_len` entries; each slice is a
+/// block of bounded cost.
+pub fn forecast_jw_parallel(
+    list_lens: &[usize],
+    walk_size: usize,
+    slice_len: usize,
+    spec: &DeviceSpec,
+) -> Forecast {
+    assert!(slice_len > 0, "slice_len must be positive");
+    let mut block_flops = Vec::new();
+    for &len in list_lens {
+        let mut remaining = len.max(1); // empty walks still occupy a block
+        while remaining > 0 {
+            let this = remaining.min(slice_len);
+            block_flops.push((walk_size * this) as f64 * FLOPS_PER_INTERACTION);
+            remaining -= this;
+        }
+    }
+    forecast_blocks(&block_flops, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::radeon_hd_5850()
+    }
+
+    #[test]
+    fn i_parallel_small_n_starves_space() {
+        let f = forecast_i_parallel(1024, 256, &spec());
+        assert_eq!(f.blocks, 4);
+        assert!(f.space_utilization < 0.25);
+    }
+
+    #[test]
+    fn i_parallel_large_n_fills_space() {
+        let f = forecast_i_parallel(65536, 256, &spec());
+        assert_eq!(f.blocks, 256);
+        assert!(f.space_utilization > 0.9);
+    }
+
+    #[test]
+    fn j_parallel_beats_i_parallel_at_small_n() {
+        let i = forecast_i_parallel(1024, 256, &spec());
+        let j = forecast_j_parallel(1024, 256, 54, &spec());
+        assert!(j.seconds < i.seconds, "j {} vs i {}", j.seconds, i.seconds);
+        assert!(j.space_utilization > i.space_utilization);
+    }
+
+    #[test]
+    fn j_parallel_with_one_slice_is_i_parallel() {
+        let i = forecast_i_parallel(8192, 256, &spec());
+        let j = forecast_j_parallel(8192, 256, 1, &spec());
+        assert_eq!(i.blocks, j.blocks);
+        assert!((i.seconds - j.seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jw_fixes_w_imbalance() {
+        // one monster walk among small ones
+        let lists = [5000_usize, 100, 100, 100, 100, 100, 100, 100];
+        let w = forecast_w_parallel(&lists, 64, &spec());
+        let jw = forecast_jw_parallel(&lists, 64, 256, &spec());
+        assert!(jw.seconds < w.seconds, "jw {} vs w {}", jw.seconds, w.seconds);
+        assert!(jw.balance > w.balance);
+        assert!(jw.blocks > w.blocks);
+    }
+
+    #[test]
+    fn jw_multiplies_blocks_at_small_walk_counts() {
+        let lists = vec![1000_usize; 8];
+        let w = forecast_w_parallel(&lists, 64, &spec());
+        let jw = forecast_jw_parallel(&lists, 64, 128, &spec());
+        assert_eq!(w.blocks, 8);
+        assert_eq!(jw.blocks, 8 * 8); // ceil(1000/128) = 8 slices each
+        assert!(jw.space_utilization > w.space_utilization);
+    }
+
+    #[test]
+    fn forecast_flops_conserved_by_slicing() {
+        let lists = [777_usize, 123, 456];
+        let w = forecast_w_parallel(&lists, 64, &spec());
+        let jw = forecast_jw_parallel(&lists, 64, 100, &spec());
+        assert!((w.total_flops - jw.total_flops).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gflops_bounded_by_calibrated_peak() {
+        let f = forecast_i_parallel(65536, 256, &spec());
+        assert!(f.gflops() <= spec().peak_charged_gflops() * 1.0001);
+        assert!(f.gflops() > 0.5 * spec().peak_charged_gflops());
+    }
+
+    #[test]
+    fn empty_walk_list_forecast_is_zero_time() {
+        let f = forecast_w_parallel(&[], 64, &spec());
+        assert_eq!(f.blocks, 0);
+        assert_eq!(f.seconds, 0.0);
+        assert_eq!(f.gflops(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slices must be positive")]
+    fn zero_slices_rejected() {
+        forecast_j_parallel(1024, 256, 0, &spec());
+    }
+}

@@ -1,0 +1,240 @@
+//! [`BarnesHut`]: the treecode as a drop-in [`ForceEngine`].
+//!
+//! Rebuilds the octree every evaluation (positions move every step), walks
+//! per body, and keeps cumulative statistics so the harness can report
+//! interaction counts and host-side tree time.
+
+use crate::mac::OpeningAngle;
+use crate::multipole::{accelerations_bh_quad, compute_quadrupoles};
+use crate::traverse::{accelerations_bh, WalkStats};
+use crate::tree::{Octree, TreeParams};
+use nbody_core::body::ParticleSet;
+use nbody_core::gravity::GravityParams;
+use nbody_core::integrator::ForceEngine;
+use nbody_core::vec3::Vec3;
+use std::time::Duration;
+
+/// CPU Barnes-Hut force engine.
+#[derive(Debug, Clone)]
+pub struct BarnesHut {
+    /// Gravity model.
+    pub params: GravityParams,
+    /// Opening angle.
+    pub theta: OpeningAngle,
+    /// Tree build parameters.
+    pub tree_params: TreeParams,
+    /// Use quadrupole-corrected cell interactions (extension beyond the
+    /// paper's monopole-only cells; ~10× lower error at the same θ).
+    pub quadrupoles: bool,
+    /// Rebuild the tree topology every this many evaluations; in between,
+    /// the tree is only *refitted* (multipoles recomputed on the frozen
+    /// topology) — the standard cheap update. 1 = always rebuild.
+    pub rebuild_interval: u64,
+    cached_tree: Option<Octree>,
+    evaluations: u64,
+    stats: WalkStats,
+    tree_time: Duration,
+    walk_time: Duration,
+}
+
+impl BarnesHut {
+    /// Creates an engine with θ = 0.5 and default tree parameters.
+    pub fn new(params: GravityParams) -> Self {
+        Self::with_theta(params, OpeningAngle::default())
+    }
+
+    /// Creates an engine with an explicit opening angle.
+    pub fn with_theta(params: GravityParams, theta: OpeningAngle) -> Self {
+        Self {
+            params,
+            theta,
+            tree_params: TreeParams::default(),
+            quadrupoles: false,
+            rebuild_interval: 1,
+            cached_tree: None,
+            evaluations: 0,
+            stats: WalkStats::default(),
+            tree_time: Duration::ZERO,
+            walk_time: Duration::ZERO,
+        }
+    }
+
+    /// Enables quadrupole-corrected cells (builder style).
+    pub fn with_quadrupoles(mut self) -> Self {
+        self.quadrupoles = true;
+        self
+    }
+
+    /// Rebuilds topology only every `k` evaluations, refitting in between
+    /// (builder style).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn with_rebuild_interval(mut self, k: u64) -> Self {
+        assert!(k >= 1, "rebuild interval must be >= 1");
+        self.rebuild_interval = k;
+        self
+    }
+
+    /// Cumulative walk statistics over all evaluations.
+    pub fn stats(&self) -> WalkStats {
+        self.stats
+    }
+
+    /// Number of force evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Wall time spent building trees.
+    pub fn tree_time(&self) -> Duration {
+        self.tree_time
+    }
+
+    /// Wall time spent walking.
+    pub fn walk_time(&self) -> Duration {
+        self.walk_time
+    }
+
+    /// Resets the cumulative counters.
+    pub fn reset_stats(&mut self) {
+        self.evaluations = 0;
+        self.stats = WalkStats::default();
+        self.tree_time = Duration::ZERO;
+        self.walk_time = Duration::ZERO;
+    }
+}
+
+impl ForceEngine for BarnesHut {
+    fn accelerations(&mut self, set: &ParticleSet, acc: &mut [Vec3]) {
+        let t0 = std::time::Instant::now();
+        let needs_rebuild = match &self.cached_tree {
+            None => true,
+            Some(t) => {
+                t.order().len() != set.len()
+                    || self.evaluations.is_multiple_of(self.rebuild_interval)
+            }
+        };
+        if needs_rebuild {
+            self.cached_tree = Some(Octree::build(set, self.tree_params));
+        } else if let Some(tree) = self.cached_tree.as_mut() {
+            tree.refit(set);
+        }
+        let tree = self.cached_tree.as_ref().expect("tree just ensured");
+        let t1 = std::time::Instant::now();
+        let stats = if self.quadrupoles {
+            let quads = compute_quadrupoles(tree, set);
+            accelerations_bh_quad(tree, &quads, set, self.theta, &self.params, acc)
+        } else {
+            accelerations_bh(tree, set, self.theta, &self.params, acc)
+        };
+        let t2 = std::time::Instant::now();
+        self.tree_time += t1 - t0;
+        self.walk_time += t2 - t1;
+        self.stats += stats;
+        self.evaluations += 1;
+    }
+
+    fn name(&self) -> &str {
+        if self.quadrupoles {
+            "barnes-hut-quad"
+        } else {
+            "barnes-hut"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_core::energy::total_energy;
+    use nbody_core::integrator::{run, LeapfrogKdk};
+    use nbody_core::testutil::random_set;
+
+    #[test]
+    fn engine_fills_accelerations() {
+        let set = random_set(100, 1);
+        let mut engine = BarnesHut::new(GravityParams::default());
+        let mut acc = vec![Vec3::ZERO; set.len()];
+        engine.accelerations(&set, &mut acc);
+        assert!(acc.iter().all(|a| a.is_finite()));
+        assert!(acc.iter().any(|a| a.norm() > 0.0));
+        assert_eq!(engine.evaluations(), 1);
+        assert!(engine.stats().total_interactions() > 0);
+    }
+
+    #[test]
+    fn engine_tracks_time_split() {
+        let set = random_set(500, 2);
+        let mut engine = BarnesHut::new(GravityParams::default());
+        let mut acc = vec![Vec3::ZERO; set.len()];
+        engine.accelerations(&set, &mut acc);
+        assert!(engine.tree_time() > Duration::ZERO);
+        assert!(engine.walk_time() > Duration::ZERO);
+        engine.reset_stats();
+        assert_eq!(engine.evaluations(), 0);
+        assert_eq!(engine.tree_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn integration_with_bh_conserves_energy_roughly() {
+        let mut set = random_set(150, 3);
+        set.recenter();
+        let params = GravityParams { g: 1.0, softening: 0.05 };
+        let mut engine = BarnesHut::new(params);
+        let e0 = total_energy(&set, &params);
+        run(&mut set, &mut engine, &LeapfrogKdk, 2e-4, 50);
+        let e1 = total_energy(&set, &params);
+        let drift = ((e1 - e0) / e0).abs();
+        assert!(drift < 0.05, "energy drift {drift}");
+    }
+
+    #[test]
+    fn name_reported() {
+        assert_eq!(BarnesHut::new(GravityParams::default()).name(), "barnes-hut");
+        assert_eq!(
+            BarnesHut::new(GravityParams::default()).with_quadrupoles().name(),
+            "barnes-hut-quad"
+        );
+    }
+
+    #[test]
+    fn refit_interval_still_conserves_energy() {
+        let mut set = random_set(200, 11);
+        set.recenter();
+        let params = GravityParams { g: 1.0, softening: 0.05 };
+        let mut engine = BarnesHut::new(params).with_rebuild_interval(10);
+        let e0 = total_energy(&set, &params);
+        run(&mut set, &mut engine, &LeapfrogKdk, 5e-4, 60);
+        let e1 = total_energy(&set, &params);
+        let drift = ((e1 - e0) / e0).abs();
+        assert!(drift < 0.05, "energy drift with refit {drift}");
+        assert_eq!(engine.evaluations(), 61);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebuild interval")]
+    fn zero_rebuild_interval_rejected() {
+        let _ = BarnesHut::new(GravityParams::default()).with_rebuild_interval(0);
+    }
+
+    #[test]
+    fn quadrupole_engine_is_more_accurate() {
+        use nbody_core::gravity::{accelerations_pp, max_relative_error};
+        let set = random_set(400, 5);
+        let params = GravityParams { g: 1.0, softening: 0.01 };
+        let mut exact = vec![Vec3::ZERO; set.len()];
+        accelerations_pp(&set, &params, &mut exact);
+
+        let theta = crate::mac::OpeningAngle::new(0.8);
+        let mut mono = BarnesHut::with_theta(params, theta);
+        let mut quad = BarnesHut::with_theta(params, theta).with_quadrupoles();
+        let mut a_mono = vec![Vec3::ZERO; set.len()];
+        let mut a_quad = vec![Vec3::ZERO; set.len()];
+        mono.accelerations(&set, &mut a_mono);
+        quad.accelerations(&set, &mut a_quad);
+        let e_mono = max_relative_error(&exact, &a_mono);
+        let e_quad = max_relative_error(&exact, &a_quad);
+        assert!(e_quad <= e_mono, "quad {e_quad} vs mono {e_mono}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Multiple-walk interaction lists (Hamada's method, the substrate of the
+//! paper's w-parallel and jw-parallel plans).
+//!
+//! Instead of walking the tree once per body, bodies are grouped into
+//! spatially coherent **walks** (consecutive runs of the tree-order
+//! permutation). One traversal per walk, using the *group* MAC, produces an
+//! interaction list — accepted cells plus leaf bodies — valid for every
+//! body of the walk. The GPU then evaluates `|walk| × |list|` interactions
+//! with perfectly regular data access, which is exactly the shape the
+//! paper's tile-based kernels consume.
+
+use crate::mac::{accepts_group, Aabb, OpeningAngle};
+use crate::traverse::WalkStats;
+use crate::tree::Octree;
+use nbody_core::body::ParticleSet;
+use nbody_core::gravity::{pair_acceleration, GravityParams};
+use nbody_core::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// One walk: a group of target bodies sharing an interaction list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalkGroup {
+    /// Target body indices (original particle ids, tree order).
+    pub bodies: Vec<u32>,
+    /// Bounding box of the targets.
+    pub bbox: Aabb,
+    /// Accepted cells: indices into the octree's node array.
+    pub cell_list: Vec<u32>,
+    /// Direct-interaction source bodies (original particle ids). Includes
+    /// the walk's own bodies; evaluators must skip `i == j`.
+    pub body_list: Vec<u32>,
+}
+
+impl WalkGroup {
+    /// Length of the interaction list (cells + bodies).
+    pub fn list_len(&self) -> usize {
+        self.cell_list.len() + self.body_list.len()
+    }
+
+    /// Pairwise interactions this walk evaluates (self-pairs excluded).
+    pub fn interactions(&self) -> u64 {
+        let targets = self.bodies.len() as u64;
+        let cells = self.cell_list.len() as u64;
+        let bodies = self.body_list.len() as u64;
+        // every target meets every listed cell and body, minus its self-pair
+        let self_pairs = self
+            .bodies
+            .iter()
+            .filter(|b| self.body_list.contains(b))
+            .count() as u64;
+        targets * (cells + bodies) - self_pairs
+    }
+}
+
+/// All walks covering a particle set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalkSet {
+    /// The walks, in tree order.
+    pub groups: Vec<WalkGroup>,
+    /// θ the lists were built with.
+    pub theta: OpeningAngle,
+    /// Requested targets per walk.
+    pub walk_size: usize,
+}
+
+impl WalkSet {
+    /// Total pairwise interactions across all walks.
+    pub fn total_interactions(&self) -> u64 {
+        self.groups.iter().map(WalkGroup::interactions).sum()
+    }
+
+    /// Longest interaction list (sizes GPU staging buffers).
+    pub fn max_list_len(&self) -> usize {
+        self.groups.iter().map(WalkGroup::list_len).max().unwrap_or(0)
+    }
+
+    /// Coefficient of variation of list lengths — the load-imbalance measure
+    /// that motivates jw-parallel over w-parallel.
+    pub fn list_len_cv(&self) -> f64 {
+        let n = self.groups.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let lens: Vec<f64> = self.groups.iter().map(|g| g.list_len() as f64).collect();
+        let mean = lens.iter().sum::<f64>() / n as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = lens.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / n as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Builds walks of at most `walk_size` targets each and their interaction
+/// lists.
+///
+/// # Panics
+/// Panics if `walk_size == 0`.
+pub fn build_walks(
+    tree: &Octree,
+    set: &ParticleSet,
+    theta: OpeningAngle,
+    walk_size: usize,
+) -> WalkSet {
+    assert!(walk_size > 0, "walk_size must be positive");
+    let pos = set.pos();
+    let mut groups = Vec::with_capacity(set.len().div_ceil(walk_size));
+    for chunk in tree.order().chunks(walk_size) {
+        let bbox = Aabb::from_points(chunk.iter().map(|&b| pos[b as usize]));
+        let (cell_list, body_list) = collect_list(tree, &bbox, theta);
+        groups.push(WalkGroup { bodies: chunk.to_vec(), bbox, cell_list, body_list });
+    }
+    WalkSet { groups, theta, walk_size }
+}
+
+/// Traverses the tree once for a group box, splitting accepted cells from
+/// leaf bodies.
+fn collect_list(tree: &Octree, bbox: &Aabb, theta: OpeningAngle) -> (Vec<u32>, Vec<u32>) {
+    let mut cells = Vec::new();
+    let mut bodies = Vec::new();
+    let mut stack: Vec<u32> = Vec::with_capacity(64);
+    if tree.root().body_count > 0 {
+        stack.push(0);
+    }
+    while let Some(idx) = stack.pop() {
+        let node = &tree.nodes()[idx as usize];
+        if accepts_group(node, bbox, theta) {
+            cells.push(idx);
+        } else if node.is_leaf {
+            bodies.extend_from_slice(tree.bodies_of(node));
+        } else {
+            stack.extend(node.child_indices());
+        }
+    }
+    (cells, bodies)
+}
+
+/// Reference CPU evaluation of a walk set: the semantics every GPU walk
+/// kernel must reproduce.
+pub fn evaluate_walks_cpu(
+    walks: &WalkSet,
+    tree: &Octree,
+    set: &ParticleSet,
+    params: &GravityParams,
+    acc: &mut [Vec3],
+) -> WalkStats {
+    assert_eq!(acc.len(), set.len(), "acceleration buffer length mismatch");
+    let pos = set.pos();
+    let mass = set.mass();
+    let eps_sq = params.eps_sq();
+    let mut stats = WalkStats::default();
+    for group in &walks.groups {
+        for &i in &group.bodies {
+            let i = i as usize;
+            let xi = pos[i];
+            let mut a = Vec3::ZERO;
+            for &c in &group.cell_list {
+                let node = &tree.nodes()[c as usize];
+                a += pair_acceleration(xi, node.com, node.mass, eps_sq);
+                stats.cell_interactions += 1;
+            }
+            for &j in &group.body_list {
+                let j = j as usize;
+                if j != i {
+                    a += pair_acceleration(xi, pos[j], mass[j], eps_sq);
+                    stats.body_interactions += 1;
+                }
+            }
+            acc[i] = a * params.g;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeParams;
+    use nbody_core::gravity::{accelerations_pp, max_relative_error};
+    use nbody_core::testutil::random_set;
+
+    fn setup(n: usize, seed: u64, walk_size: usize) -> (ParticleSet, Octree, WalkSet) {
+        let set = random_set(n, seed);
+        let tree = Octree::build(&set, TreeParams::default());
+        let walks = build_walks(&tree, &set, OpeningAngle::new(0.5), walk_size);
+        (set, tree, walks)
+    }
+
+    #[test]
+    fn every_body_appears_in_exactly_one_walk() {
+        let (set, _tree, walks) = setup(333, 1, 32);
+        let mut seen = vec![false; set.len()];
+        for g in &walks.groups {
+            for &b in &g.bodies {
+                assert!(!seen[b as usize], "body {b} in two walks");
+                seen[b as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn walk_sizes_respected() {
+        let (_, _, walks) = setup(100, 2, 32);
+        assert_eq!(walks.groups.len(), 4); // 32+32+32+4
+        for g in &walks.groups[..3] {
+            assert_eq!(g.bodies.len(), 32);
+        }
+        assert_eq!(walks.groups[3].bodies.len(), 4);
+    }
+
+    #[test]
+    fn walk_evaluation_matches_direct_sum() {
+        let (set, tree, walks) = setup(600, 3, 32);
+        let params = GravityParams::default();
+        let mut exact = vec![Vec3::ZERO; set.len()];
+        let mut approx = vec![Vec3::ZERO; set.len()];
+        accelerations_pp(&set, &params, &mut exact);
+        evaluate_walks_cpu(&walks, &tree, &set, &params, &mut approx);
+        let err = max_relative_error(&exact, &approx);
+        assert!(err < 0.02, "walk evaluation error {err}");
+    }
+
+    #[test]
+    fn group_mac_at_least_as_accurate_as_point_walks() {
+        // group MAC is stricter, so interactions >= per-body BH interactions
+        let (set, tree, walks) = setup(800, 4, 32);
+        let params = GravityParams::default();
+        let mut acc = vec![Vec3::ZERO; set.len()];
+        let point_stats = crate::traverse::accelerations_bh(
+            &tree,
+            &set,
+            OpeningAngle::new(0.5),
+            &params,
+            &mut acc,
+        );
+        assert!(
+            walks.total_interactions() >= point_stats.total_interactions(),
+            "walks {} < point {}",
+            walks.total_interactions(),
+            point_stats.total_interactions()
+        );
+    }
+
+    #[test]
+    fn interactions_formula_matches_evaluation_stats() {
+        let (set, tree, walks) = setup(200, 5, 16);
+        let params = GravityParams::default();
+        let mut acc = vec![Vec3::ZERO; set.len()];
+        let stats = evaluate_walks_cpu(&walks, &tree, &set, &params, &mut acc);
+        assert_eq!(walks.total_interactions(), stats.total_interactions());
+    }
+
+    #[test]
+    fn bigger_walks_shorter_total_but_longer_each() {
+        let (_, _, small) = setup(1024, 6, 8);
+        let (_, _, big) = setup(1024, 6, 64);
+        assert!(big.groups.len() < small.groups.len());
+        // fewer traversals but each list serves more bodies; total
+        // interactions grow with walk size (lists get conservative)
+        assert!(big.total_interactions() >= small.total_interactions());
+    }
+
+    #[test]
+    fn list_stats_helpers() {
+        let (_, _, walks) = setup(500, 7, 32);
+        assert!(walks.max_list_len() > 0);
+        assert!(walks.list_len_cv() >= 0.0);
+        let g = &walks.groups[0];
+        assert_eq!(g.list_len(), g.cell_list.len() + g.body_list.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "walk_size must be positive")]
+    fn zero_walk_size_panics() {
+        let set = random_set(10, 8);
+        let tree = Octree::build(&set, TreeParams::default());
+        build_walks(&tree, &set, OpeningAngle::default(), 0);
+    }
+
+    #[test]
+    fn self_interactions_excluded_from_count() {
+        // a single walk covering everything: bodies interact with all listed
+        // bodies except themselves
+        let set = random_set(20, 9);
+        let tree = Octree::build(&set, TreeParams { leaf_capacity: 4 });
+        let walks = build_walks(&tree, &set, OpeningAngle::new(1e-6), 20);
+        // θ→0 forces all-direct: one walk, body list = all 20 bodies
+        assert_eq!(walks.groups.len(), 1);
+        let g = &walks.groups[0];
+        assert!(g.cell_list.is_empty());
+        assert_eq!(g.body_list.len(), 20);
+        assert_eq!(g.interactions(), 20 * 19);
+    }
+}

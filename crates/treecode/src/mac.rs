@@ -1,0 +1,217 @@
+//! Multipole acceptance criteria (MAC).
+//!
+//! The paper (Eq. 3 context) uses the classic Barnes-Hut opening rule: a
+//! cell of side `l` at distance `D` may stand in for its bodies when
+//! `l / D < θ`. Two distance conventions are provided:
+//!
+//! * **point MAC** — `D` is the distance from a single target body;
+//! * **group MAC** — `D` is the *minimum* distance from a target group's
+//!   bounding box, which makes one interaction list valid for every body in
+//!   the group (the correctness condition of Hamada's multiple-walk method
+//!   that w-parallel and jw-parallel rely on).
+
+use crate::tree::Node;
+use nbody_core::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Opening-angle parameter θ. Smaller is more accurate and more expensive;
+/// the paper's experiments use the conventional θ = 0.5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpeningAngle(f64);
+
+impl OpeningAngle {
+    /// Creates a θ value.
+    ///
+    /// # Panics
+    /// Panics unless `0 < θ ≤ 2` (θ ≥ ~1 is already physically dubious; 2 is
+    /// a hard sanity bound).
+    pub fn new(theta: f64) -> Self {
+        assert!(
+            theta > 0.0 && theta <= 2.0 && theta.is_finite(),
+            "theta must be in (0, 2], got {theta}"
+        );
+        Self(theta)
+    }
+
+    /// The raw θ.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for OpeningAngle {
+    fn default() -> Self {
+        Self(0.5)
+    }
+}
+
+/// Point MAC: may `node` approximate its bodies as seen from `point`?
+///
+/// Uses `l / D < θ` with `D` the distance from `point` to the node's center
+/// of mass. A node containing the point (D ≈ 0) is never accepted.
+#[inline]
+pub fn accepts_point(node: &Node, point: Vec3, theta: OpeningAngle) -> bool {
+    let d2 = point.distance_sq(node.com);
+    let l = node.side();
+    // l / D < θ  ⇔  l² < θ² D²  (avoids the sqrt)
+    l * l < theta.get() * theta.get() * d2
+}
+
+/// Axis-aligned box used for group MACs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub lo: Vec3,
+    /// Maximum corner.
+    pub hi: Vec3,
+}
+
+impl Aabb {
+    /// Box covering a set of points.
+    ///
+    /// # Panics
+    /// Panics on an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Self {
+        let mut it = points.into_iter();
+        let first = it.next().expect("Aabb::from_points needs at least one point");
+        let mut lo = first;
+        let mut hi = first;
+        for p in it {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        Self { lo, hi }
+    }
+
+    /// Smallest distance from `p` to this box (zero if inside).
+    pub fn distance_to_point(&self, p: Vec3) -> f64 {
+        let clamped = p.max(self.lo).min(self.hi);
+        p.distance(clamped)
+    }
+
+    /// Box center.
+    pub fn center(&self) -> Vec3 {
+        (self.lo + self.hi) * 0.5
+    }
+
+    /// True if `p` lies inside (inclusive).
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.lo.x
+            && p.x <= self.hi.x
+            && p.y >= self.lo.y
+            && p.y <= self.hi.y
+            && p.z >= self.lo.z
+            && p.z <= self.hi.z
+    }
+}
+
+/// Group MAC: may `node` approximate its bodies as seen from *every* point
+/// of `group_box`?
+///
+/// `D` is the minimum distance from the box to the node's center of mass, so
+/// acceptance here implies point-MAC acceptance for all group members.
+#[inline]
+pub fn accepts_group(node: &Node, group_box: &Aabb, theta: OpeningAngle) -> bool {
+    let d = group_box.distance_to_point(node.com);
+    let l = node.side();
+    l < theta.get() * d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NO_CHILD;
+
+    fn node_at(com: Vec3, side: f64) -> Node {
+        Node {
+            center: com,
+            half: side / 2.0,
+            com,
+            mass: 1.0,
+            body_start: 0,
+            body_count: 1,
+            children: [NO_CHILD; 8],
+            is_leaf: true,
+            depth: 0,
+        }
+    }
+
+    #[test]
+    fn theta_validation() {
+        assert_eq!(OpeningAngle::new(0.5).get(), 0.5);
+        assert_eq!(OpeningAngle::default().get(), 0.5);
+        assert!(std::panic::catch_unwind(|| OpeningAngle::new(0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| OpeningAngle::new(-1.0)).is_err());
+        assert!(std::panic::catch_unwind(|| OpeningAngle::new(3.0)).is_err());
+        assert!(std::panic::catch_unwind(|| OpeningAngle::new(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn far_node_accepted_near_node_opened() {
+        let node = node_at(Vec3::new(10.0, 0.0, 0.0), 1.0);
+        let theta = OpeningAngle::new(0.5);
+        // D = 10, l = 1: 1/10 < 0.5 -> accept
+        assert!(accepts_point(&node, Vec3::ZERO, theta));
+        // D = 1.5, l = 1: 1/1.5 > 0.5 -> open
+        assert!(!accepts_point(&node, Vec3::new(8.5, 0.0, 0.0), theta));
+    }
+
+    #[test]
+    fn node_containing_point_never_accepted() {
+        let node = node_at(Vec3::ZERO, 2.0);
+        assert!(!accepts_point(&node, Vec3::ZERO, OpeningAngle::new(0.5)));
+    }
+
+    #[test]
+    fn smaller_theta_is_stricter() {
+        let node = node_at(Vec3::new(3.0, 0.0, 0.0), 1.0);
+        let p = Vec3::ZERO; // l/D = 1/3
+        assert!(accepts_point(&node, p, OpeningAngle::new(0.5)));
+        assert!(!accepts_point(&node, p, OpeningAngle::new(0.3)));
+    }
+
+    #[test]
+    fn aabb_from_points_and_distance() {
+        let b = Aabb::from_points([Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0)]);
+        assert_eq!(b.lo, Vec3::ZERO);
+        assert_eq!(b.hi, Vec3::splat(2.0));
+        assert_eq!(b.center(), Vec3::splat(1.0));
+        assert_eq!(b.distance_to_point(Vec3::splat(1.0)), 0.0); // inside
+        assert_eq!(b.distance_to_point(Vec3::new(5.0, 1.0, 1.0)), 3.0);
+        assert!(b.contains(Vec3::splat(2.0)));
+        assert!(!b.contains(Vec3::new(2.1, 0.0, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_aabb_panics() {
+        let _ = Aabb::from_points(std::iter::empty::<Vec3>());
+    }
+
+    #[test]
+    fn group_mac_implies_point_mac_for_members() {
+        let node = node_at(Vec3::new(10.0, 0.0, 0.0), 1.5);
+        let theta = OpeningAngle::new(0.5);
+        let members = [Vec3::ZERO, Vec3::new(1.0, 1.0, 0.0), Vec3::new(0.5, -1.0, 0.5)];
+        let gbox = Aabb::from_points(members);
+        if accepts_group(&node, &gbox, theta) {
+            for m in members {
+                assert!(accepts_point(&node, m, theta));
+            }
+        } else {
+            // also fine — just make sure the test exercised the accept path
+            panic!("expected group acceptance in this geometry");
+        }
+    }
+
+    #[test]
+    fn group_mac_stricter_than_center_point_mac() {
+        // a node that passes from the box center may fail for the box
+        let node = node_at(Vec3::new(4.0, 0.0, 0.0), 1.0);
+        let theta = OpeningAngle::new(0.5);
+        let gbox = Aabb { lo: Vec3::new(-2.0, -2.0, -2.0), hi: Vec3::new(2.0, 2.0, 2.0) };
+        assert!(accepts_point(&node, gbox.center(), theta)); // D=4 from center
+        assert!(!accepts_group(&node, &gbox, theta)); // D=2 from box face
+    }
+}

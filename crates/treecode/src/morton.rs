@@ -1,0 +1,196 @@
+//! Morton (Z-order) codes.
+//!
+//! The multiple-walk method needs spatially coherent groups of bodies. The
+//! default grouping uses octree order (each node owns a contiguous range of
+//! the permutation), which is itself a Morton order induced by the tree.
+//! This module provides explicit 63-bit Morton codes (21 bits per axis) as
+//! an alternative: they allow grouping *without* building the tree first
+//! (useful when the tree and the walks are produced by different pipeline
+//! stages) and are the standard tool for linearizing octrees in GPU tree
+//! builds (future-work direction of the paper's lineage).
+
+use nbody_core::body::ParticleSet;
+use nbody_core::vec3::Vec3;
+
+/// Bits per axis in a Morton code.
+pub const BITS_PER_AXIS: u32 = 21;
+
+/// Spreads the low 21 bits of `v` so consecutive bits land 3 apart — the
+/// classic magic-constant cascade.
+#[inline]
+fn spread(v: u64) -> u64 {
+    let mut y = v & 0x1F_FFFF; // 21 bits
+    y = (y | (y << 32)) & 0x001F_0000_0000_FFFF;
+    y = (y | (y << 16)) & 0x001F_0000_FF00_00FF;
+    y = (y | (y << 8)) & 0x100F_00F0_0F00_F00F;
+    y = (y | (y << 4)) & 0x10C3_0C30_C30C_30C3;
+    y = (y | (y << 2)) & 0x1249_2492_4924_9249;
+    y
+}
+
+/// Interleaves three 21-bit coordinates into a 63-bit Morton code
+/// (x in the lowest interleaved position).
+#[inline]
+pub fn morton3(x: u32, y: u32, z: u32) -> u64 {
+    debug_assert!(x < (1 << BITS_PER_AXIS));
+    debug_assert!(y < (1 << BITS_PER_AXIS));
+    debug_assert!(z < (1 << BITS_PER_AXIS));
+    spread(u64::from(x)) | (spread(u64::from(y)) << 1) | (spread(u64::from(z)) << 2)
+}
+
+/// Inverse of [`spread`].
+#[inline]
+fn compact(v: u64) -> u32 {
+    let mut x = v & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x >> 4)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x >> 8)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x >> 16)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x >> 32)) & 0x1F_FFFF;
+    x as u32
+}
+
+/// Decodes a Morton code back to its three 21-bit coordinates.
+#[inline]
+pub fn demorton3(code: u64) -> (u32, u32, u32) {
+    (compact(code), compact(code >> 1), compact(code >> 2))
+}
+
+/// Quantizes a position inside `(lo, hi)` to the 21-bit grid of each axis.
+/// Positions outside the box are clamped.
+pub fn quantize(p: Vec3, lo: Vec3, hi: Vec3) -> (u32, u32, u32) {
+    let scale = (1_u64 << BITS_PER_AXIS) as f64 - 1.0;
+    let q = |v: f64, l: f64, h: f64| -> u32 {
+        if h <= l {
+            return 0;
+        }
+        let t = ((v - l) / (h - l)).clamp(0.0, 1.0);
+        (t * scale) as u32
+    };
+    (q(p.x, lo.x, hi.x), q(p.y, lo.y, hi.y), q(p.z, lo.z, hi.z))
+}
+
+/// Morton code of a position within a bounding box.
+pub fn morton_of(p: Vec3, lo: Vec3, hi: Vec3) -> u64 {
+    let (x, y, z) = quantize(p, lo, hi);
+    morton3(x, y, z)
+}
+
+/// Particle indices sorted by Morton code over the set's bounding box.
+/// Stable for equal codes (original index breaks ties), hence fully
+/// deterministic.
+pub fn morton_order(set: &ParticleSet) -> Vec<u32> {
+    let n = set.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let Some((lo, hi)) = set.bounding_box() else {
+        return order;
+    };
+    let pos = set.pos();
+    let mut keyed: Vec<(u64, u32)> = order
+        .iter()
+        .map(|&i| (morton_of(pos[i as usize], lo, hi), i))
+        .collect();
+    keyed.sort_unstable();
+    for (slot, (_, i)) in keyed.into_iter().enumerate() {
+        order[slot] = i;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_core::testutil::random_set;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for &(x, y, z) in &[
+            (0_u32, 0, 0),
+            (1, 2, 3),
+            (0x1F_FFFF, 0x1F_FFFF, 0x1F_FFFF),
+            (0x15_5555, 0x0A_AAAA, 0x10_0001),
+        ] {
+            let code = morton3(x, y, z);
+            assert_eq!(demorton3(code), (x, y, z), "({x},{y},{z})");
+        }
+    }
+
+    #[test]
+    fn roundtrip_many_random_codes() {
+        let mut rng = nbody_core::testutil::XorShift64::new(7);
+        for _ in 0..10_000 {
+            let x = (rng.next_u64() as u32) & 0x1F_FFFF;
+            let y = (rng.next_u64() as u32) & 0x1F_FFFF;
+            let z = (rng.next_u64() as u32) & 0x1F_FFFF;
+            assert_eq!(demorton3(morton3(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn morton_orders_by_top_octant_first() {
+        // the most significant interleaved bits are the root octant: all
+        // codes of the low half of z sort before the high half
+        let lo = morton3(0x1F_FFFF, 0x1F_FFFF, 0x0F_FFFF); // z high bit 0
+        let hi = morton3(0, 0, 0x10_0000); // z high bit 1
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn quantization_clamps_and_scales() {
+        let lo = Vec3::ZERO;
+        let hi = Vec3::ONE;
+        assert_eq!(quantize(Vec3::ZERO, lo, hi).0, 0);
+        let (qx, _, _) = quantize(Vec3::ONE, lo, hi);
+        assert_eq!(qx, (1 << BITS_PER_AXIS) - 1);
+        // out-of-box clamps
+        assert_eq!(quantize(Vec3::splat(-5.0), lo, hi), (0, 0, 0));
+        // degenerate box is safe
+        assert_eq!(quantize(Vec3::X, Vec3::ZERO, Vec3::ZERO), (0, 0, 0));
+    }
+
+    #[test]
+    fn morton_order_is_a_permutation() {
+        let set = random_set(500, 3);
+        let order = morton_order(&set);
+        let mut seen = vec![false; 500];
+        for &i in &order {
+            assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn morton_order_groups_are_spatially_tight() {
+        // chunks of the Morton order must be much tighter than random chunks
+        let set = random_set(4096, 9);
+        let order = morton_order(&set);
+        let pos = set.pos();
+        let chunk_extent = |ids: &[u32]| -> f64 {
+            let mut lo = pos[ids[0] as usize];
+            let mut hi = lo;
+            for &i in ids {
+                lo = lo.min(pos[i as usize]);
+                hi = hi.max(pos[i as usize]);
+            }
+            (hi - lo).max_component()
+        };
+        let morton_avg: f64 = order.chunks(64).map(chunk_extent).sum::<f64>()
+            / order.chunks(64).count() as f64;
+        let naive: Vec<u32> = (0..4096).collect();
+        let naive_avg: f64 = naive.chunks(64).map(chunk_extent).sum::<f64>()
+            / naive.chunks(64).count() as f64;
+        assert!(
+            morton_avg < naive_avg * 0.5,
+            "morton chunks {morton_avg} should be much tighter than naive {naive_avg}"
+        );
+    }
+
+    #[test]
+    fn empty_set_orders_trivially() {
+        let set = ParticleSet::new();
+        assert!(morton_order(&set).is_empty());
+    }
+
+    use nbody_core::body::ParticleSet;
+}

@@ -1,0 +1,125 @@
+//! Hierarchically clustered initial conditions: `k` Plummer sub-clusters
+//! scattered in a large volume. This is the adversarial workload for
+//! w-parallel — walk interaction lists become strongly ragged (walks inside
+//! a dense sub-cluster see long direct lists; walks in the void see a few
+//! distant monopoles), which is precisely the load imbalance jw-parallel's
+//! slicing removes. Used by the imbalance ablation.
+
+use crate::plummer::{plummer, PlummerParams};
+use nbody_core::body::{Body, ParticleSet};
+use nbody_core::vec3::Vec3;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of the clustered workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusteredParams {
+    /// Number of sub-clusters.
+    pub clusters: usize,
+    /// Radius of the region the sub-cluster centers are scattered in.
+    pub region_radius: f64,
+    /// Scale radius of each sub-cluster (much smaller than the region for a
+    /// strongly clustered field).
+    pub cluster_scale: f64,
+    /// Total mass.
+    pub total_mass: f64,
+}
+
+impl Default for ClusteredParams {
+    fn default() -> Self {
+        Self { clusters: 8, region_radius: 20.0, cluster_scale: 0.5, total_mass: 1.0 }
+    }
+}
+
+/// `n` bodies in `k` Plummer sub-clusters at random centers; deterministic
+/// in `seed`. The body count is split as evenly as possible.
+pub fn clustered(n: usize, params: ClusteredParams, seed: u64) -> ParticleSet {
+    assert!(params.clusters >= 1, "need at least one cluster");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let k = params.clusters;
+    let per = n / k;
+    let extra = n % k;
+
+    let mut all: Vec<Body> = Vec::with_capacity(n);
+    for c in 0..k {
+        let count = per + usize::from(c < extra);
+        if count == 0 {
+            continue;
+        }
+        let center = Vec3::new(
+            rng.gen_range(-params.region_radius..params.region_radius),
+            rng.gen_range(-params.region_radius..params.region_radius),
+            rng.gen_range(-params.region_radius..params.region_radius),
+        );
+        let pp = PlummerParams {
+            total_mass: params.total_mass * count as f64 / n as f64,
+            scale_radius: params.cluster_scale,
+            ..Default::default()
+        };
+        let sub = plummer(count, pp, seed.wrapping_add(1000 + c as u64));
+        for b in sub.to_bodies() {
+            all.push(Body::new(b.pos + center, b.vel, b.mass));
+        }
+    }
+    let mut set = ParticleSet::from_bodies(&all);
+    set.recenter();
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_count_exact() {
+        for n in [100_usize, 101, 107] {
+            let set = clustered(n, ClusteredParams::default(), 1);
+            assert_eq!(set.len(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = ClusteredParams::default();
+        assert_eq!(clustered(256, p, 5), clustered(256, p, 5));
+        assert_ne!(clustered(256, p, 5), clustered(256, p, 6));
+    }
+
+    #[test]
+    fn field_is_strongly_clustered() {
+        // nearest-neighbour distances are tiny relative to the region: the
+        // mean NN distance of a clustered field is far below a uniform one
+        let p = ClusteredParams::default();
+        let set = clustered(512, p, 2);
+        let pos = set.pos();
+        let mean_nn: f64 = pos
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                pos.iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, b)| a.distance(*b))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum::<f64>()
+            / pos.len() as f64;
+        // uniform 512 bodies in radius-20 ball would have NN ~ 2; clusters
+        // of scale 0.5 give NN ~ 0.1
+        assert!(mean_nn < 0.5, "mean NN distance {mean_nn}");
+    }
+
+    #[test]
+    fn recentered() {
+        let set = clustered(300, ClusteredParams::default(), 3);
+        assert!(set.center_of_mass().unwrap().norm() < 1e-9);
+        assert!((set.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_rejected() {
+        clustered(10, ClusteredParams { clusters: 0, ..Default::default() }, 1);
+    }
+}

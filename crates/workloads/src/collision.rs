@@ -1,0 +1,117 @@
+//! Colliding systems: two Plummer clusters (or two disks) on an approach
+//! orbit. The cluster-collision workload produces strongly clustered,
+//! time-varying density — the regime where the treecode's advantage over PP
+//! is largest and where tree rebuild cost (part of "total time" in the
+//! paper's Table 2) matters.
+
+use crate::disk::{disk_galaxy, merge, transform, DiskParams};
+use crate::plummer::{plummer, PlummerParams};
+use nbody_core::body::ParticleSet;
+use nbody_core::vec3::Vec3;
+
+/// Parameters for a two-cluster collision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollisionParams {
+    /// Initial center-to-center separation.
+    pub separation: f64,
+    /// Closing speed of each cluster (along the separation axis).
+    pub approach_speed: f64,
+    /// Perpendicular impact parameter.
+    pub impact_parameter: f64,
+}
+
+impl Default for CollisionParams {
+    fn default() -> Self {
+        Self { separation: 6.0, approach_speed: 0.3, impact_parameter: 1.0 }
+    }
+}
+
+/// Two equal Plummer spheres of `n/2` bodies each, set on a collision
+/// course. Total bodies: `2 * (n / 2)`.
+pub fn cluster_collision(n: usize, params: CollisionParams, seed: u64) -> ParticleSet {
+    let half = n / 2;
+    let pp = PlummerParams::default();
+    let a = plummer(half, pp, seed);
+    let b = plummer(half, pp, seed.wrapping_add(1));
+
+    let dx = Vec3::new(params.separation / 2.0, params.impact_parameter / 2.0, 0.0);
+    let dv = Vec3::new(-params.approach_speed, 0.0, 0.0);
+    let a = offset(&a, dx, dv);
+    let b = offset(&b, -dx, -dv);
+    let mut out = merge(&a, &b);
+    out.recenter();
+    out
+}
+
+/// Two disk galaxies on a collision course (`n/2` stars each plus their
+/// central bodies).
+pub fn galaxy_collision(n: usize, params: CollisionParams, seed: u64) -> ParticleSet {
+    let half = n / 2;
+    let dp = DiskParams::default();
+    let a = disk_galaxy(half, dp, seed);
+    let b = disk_galaxy(half, dp, seed.wrapping_add(1));
+
+    let dx = Vec3::new(params.separation / 2.0, params.impact_parameter / 2.0, 0.0);
+    let dv = Vec3::new(-params.approach_speed, 0.0, 0.0);
+    // tilt the second disk so the encounter is three-dimensional
+    let b = transform(&b, std::f64::consts::FRAC_PI_3, Vec3::ZERO, Vec3::ZERO);
+    let a = offset(&a, dx, dv);
+    let b = offset(&b, -dx, -dv);
+    let mut out = merge(&a, &b);
+    out.recenter();
+    out
+}
+
+fn offset(set: &ParticleSet, dx: Vec3, dv: Vec3) -> ParticleSet {
+    transform(set, 0.0, dx, dv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_collision_geometry() {
+        let p = CollisionParams::default();
+        let set = cluster_collision(1000, p, 1);
+        assert_eq!(set.len(), 1000);
+        // recentered
+        assert!(set.center_of_mass().unwrap().norm() < 1e-9);
+        assert!(set.center_of_mass_velocity().unwrap().norm() < 1e-9);
+        // two lobes: bounding box x-extent of order the separation
+        let (lo, hi) = set.bounding_box().unwrap();
+        assert!(hi.x - lo.x > p.separation * 0.8);
+    }
+
+    #[test]
+    fn clusters_approach_each_other() {
+        let set = cluster_collision(2000, CollisionParams::default(), 2);
+        // mean vx of the +x half should be negative (moving toward -x)
+        let mut vx_right = 0.0;
+        let mut count = 0;
+        for i in 0..set.len() {
+            if set.pos()[i].x > 1.0 {
+                vx_right += set.vel()[i].x;
+                count += 1;
+            }
+        }
+        assert!(count > 100);
+        assert!(vx_right / (count as f64) < -0.1);
+    }
+
+    #[test]
+    fn galaxy_collision_has_two_centers() {
+        let set = galaxy_collision(400, CollisionParams::default(), 3);
+        // two central bodies with the big mass
+        let heavy: Vec<usize> = (0..set.len()).filter(|&i| set.mass()[i] > 0.5).collect();
+        assert_eq!(heavy.len(), 2);
+        assert_eq!(set.len(), 402);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = CollisionParams::default();
+        assert_eq!(cluster_collision(100, p, 7), cluster_collision(100, p, 7));
+        assert_ne!(cluster_collision(100, p, 7), cluster_collision(100, p, 8));
+    }
+}

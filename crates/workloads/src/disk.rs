@@ -1,0 +1,172 @@
+//! A rotating disk galaxy: exponential surface density, a dominant central
+//! mass, and near-circular orbital velocities. This is the "realistic
+//! scenario" workload behind the galaxy-collision example and the
+//! inhomogeneous-load ablation (disks produce very ragged interaction
+//! lists, stressing w-parallel exactly where jw-parallel helps).
+
+use nbody_core::body::{Body, ParticleSet};
+use nbody_core::vec3::Vec3;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Disk galaxy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskParams {
+    /// Mass of the central body (bulge/black hole proxy).
+    pub central_mass: f64,
+    /// Total mass of the disk stars.
+    pub disk_mass: f64,
+    /// Exponential scale length of the surface density.
+    pub scale_length: f64,
+    /// Maximum disk radius in scale lengths.
+    pub cutoff: f64,
+    /// Vertical thickness as a fraction of the scale length.
+    pub thickness: f64,
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        Self {
+            central_mass: 1.0,
+            disk_mass: 0.25,
+            scale_length: 1.0,
+            cutoff: 6.0,
+            thickness: 0.05,
+        }
+    }
+}
+
+/// Samples an `n`-star disk (plus one central body, so the set holds
+/// `n + 1` particles) spinning in the xy-plane around the origin.
+pub fn disk_galaxy(n: usize, params: DiskParams, seed: u64) -> ParticleSet {
+    assert!(params.scale_length > 0.0, "scale length must be positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m_star = params.disk_mass / n.max(1) as f64;
+    let rd = params.scale_length;
+
+    let mut set = ParticleSet::with_capacity(n + 1);
+    set.push(Body::at_rest(Vec3::ZERO, params.central_mass));
+
+    for _ in 0..n {
+        // exponential surface density Σ ∝ exp(-r/rd): sample by rejection
+        let r = loop {
+            let r: f64 = rng.gen_range(0.0..params.cutoff * rd);
+            let y: f64 = rng.gen_range(0.0..1.0);
+            if y < (r / rd) * (-r / rd).exp() * std::f64::consts::E {
+                break r.max(0.05 * rd);
+            }
+        };
+        let phi: f64 = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+        let z = rng.gen_range(-1.0..1.0) * params.thickness * rd;
+        let pos = Vec3::new(r * phi.cos(), r * phi.sin(), z);
+
+        // circular speed from the mass enclosed: central + disk fraction
+        let disk_enclosed =
+            params.disk_mass * (1.0 - (1.0 + r / rd) * (-r / rd).exp());
+        let v_circ = ((params.central_mass + disk_enclosed) / r).sqrt();
+        let vel = Vec3::new(-phi.sin(), phi.cos(), 0.0) * v_circ;
+
+        set.push(Body::new(pos, vel, m_star));
+    }
+    set
+}
+
+/// Rigid-body transform of a particle set: rotate around z by `angle`, then
+/// translate by `dx` and boost by `dv`. Used to compose collision scenarios.
+pub fn transform(set: &ParticleSet, angle: f64, dx: Vec3, dv: Vec3) -> ParticleSet {
+    let (s, c) = angle.sin_cos();
+    let rot = |v: Vec3| Vec3::new(c * v.x - s * v.y, s * v.x + c * v.y, v.z);
+    set.to_bodies()
+        .iter()
+        .map(|b| Body::new(rot(b.pos) + dx, rot(b.vel) + dv, b.mass))
+        .collect()
+}
+
+/// Merges two particle sets into one.
+pub fn merge(a: &ParticleSet, b: &ParticleSet) -> ParticleSet {
+    let mut out = a.clone();
+    for body in b.to_bodies() {
+        out.push(body);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_core::energy::angular_momentum;
+
+    #[test]
+    fn star_count_plus_center() {
+        let set = disk_galaxy(200, DiskParams::default(), 1);
+        assert_eq!(set.len(), 201);
+        assert_eq!(set.mass()[0], 1.0); // central body first
+    }
+
+    #[test]
+    fn disk_is_thin_and_bounded() {
+        let p = DiskParams::default();
+        let set = disk_galaxy(1000, p, 2);
+        for pos in &set.pos()[1..] {
+            assert!(pos.z.abs() <= p.thickness * p.scale_length + 1e-12);
+            let r = (pos.x * pos.x + pos.y * pos.y).sqrt();
+            assert!(r <= p.cutoff * p.scale_length);
+        }
+    }
+
+    #[test]
+    fn net_rotation_about_z() {
+        let set = disk_galaxy(2000, DiskParams::default(), 3);
+        let l = angular_momentum(&set);
+        assert!(l.z > 0.0, "disk should spin counter-clockwise: {l:?}");
+        assert!(l.z.abs() > 10.0 * l.x.abs().max(l.y.abs()));
+    }
+
+    #[test]
+    fn stars_move_near_circular_speed() {
+        let p = DiskParams { disk_mass: 0.0, ..Default::default() };
+        // massless disk: v = sqrt(M_c / r) exactly
+        let set = disk_galaxy(100, DiskParams { disk_mass: 1e-9, ..p }, 4);
+        for i in 1..set.len() {
+            let pos = set.pos()[i];
+            let r = (pos.x * pos.x + pos.y * pos.y).sqrt();
+            let v = set.vel()[i].norm();
+            let expect = (1.0 / r).sqrt();
+            assert!((v - expect).abs() / expect < 0.01, "v {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn transform_rotates_and_shifts() {
+        let set = disk_galaxy(10, DiskParams::default(), 5);
+        let moved = transform(&set, 0.0, Vec3::new(10.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        assert_eq!(moved.len(), set.len());
+        assert!((moved.pos()[0] - Vec3::new(10.0, 0.0, 0.0)).norm() < 1e-12);
+        assert!((moved.vel()[0] - Vec3::new(0.0, 1.0, 0.0)).norm() < 1e-12);
+        // rotation by π flips x of a body on the +x axis
+        let quarter = transform(&set, std::f64::consts::PI, Vec3::ZERO, Vec3::ZERO);
+        for (a, b) in set.pos().iter().zip(quarter.pos()) {
+            assert!((a.x + b.x).abs() < 1e-9);
+            assert!((a.y + b.y).abs() < 1e-9);
+            assert!((a.z - b.z).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let a = disk_galaxy(10, DiskParams::default(), 6);
+        let b = disk_galaxy(20, DiskParams::default(), 7);
+        let m = merge(&a, &b);
+        assert_eq!(m.len(), a.len() + b.len());
+        assert!((m.total_mass() - a.total_mass() - b.total_mass()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            disk_galaxy(64, DiskParams::default(), 8),
+            disk_galaxy(64, DiskParams::default(), 8)
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # workloads
+//!
+//! Reproducible initial conditions for the PTPM N-body experiments. Every
+//! generator is seeded (`ChaCha8`) and deterministic across platforms, so
+//! the harness's tables are byte-stable.
+//!
+//! * [`plummer`](mod@plummer) — Plummer spheres in virial equilibrium (the
+//!   canonical GPU N-body benchmark input, used by all paper figures/tables);
+//! * [`uniform`] — cold cubes and spheres;
+//! * [`disk`] — rotating disk galaxies with a central mass;
+//! * [`collision`] — colliding clusters and galaxies;
+//! * [`clustered`](mod@clustered) — hierarchically clustered fields (the
+//!   load-imbalance stressor);
+//! * [`snapshot`] — particle-set snapshots with provenance;
+//! * [`spec`] — declarative [`spec::WorkloadSpec`] used by the harness.
+
+#![warn(missing_docs)]
+
+pub mod clustered;
+pub mod collision;
+pub mod disk;
+pub mod plummer;
+pub mod snapshot;
+pub mod spec;
+pub mod uniform;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::clustered::{clustered, ClusteredParams};
+    pub use crate::collision::{cluster_collision, galaxy_collision, CollisionParams};
+    pub use crate::disk::{disk_galaxy, merge, transform, DiskParams};
+    pub use crate::plummer::{plummer, PlummerParams};
+    pub use crate::snapshot::{Snapshot, SnapshotError};
+    pub use crate::spec::{WorkloadKind, WorkloadSpec};
+    pub use crate::uniform::{uniform_cube, uniform_sphere, UniformParams};
+}
+
+pub use prelude::*;

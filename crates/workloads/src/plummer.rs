@@ -1,0 +1,154 @@
+//! Plummer sphere sampling.
+//!
+//! The Plummer model is *the* standard initial condition of GPU N-body
+//! papers (it is what GRAPE-lineage codes, including Hamada's, benchmark
+//! on): density `ρ(r) ∝ (1 + r²/a²)^{-5/2}`, sampled here with Aarseth's
+//! classic inversion + rejection recipe, including the equilibrium velocity
+//! distribution so the sphere starts in virial balance (−2T/U ≈ 1).
+
+use nbody_core::body::{Body, ParticleSet};
+use nbody_core::vec3::Vec3;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Plummer model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlummerParams {
+    /// Total mass of the sphere.
+    pub total_mass: f64,
+    /// Plummer scale radius `a`.
+    pub scale_radius: f64,
+    /// Truncation radius in units of `a` (Aarseth uses ~22.8; large values
+    /// admit rare far-flung bodies).
+    pub cutoff: f64,
+}
+
+impl Default for PlummerParams {
+    fn default() -> Self {
+        Self { total_mass: 1.0, scale_radius: 1.0, cutoff: 22.8 }
+    }
+}
+
+/// Samples an `n`-body Plummer sphere, deterministically from `seed`.
+///
+/// Bodies have equal mass `M/n`; the set is recentered so the center of
+/// mass is at rest at the origin.
+pub fn plummer(n: usize, params: PlummerParams, seed: u64) -> ParticleSet {
+    assert!(params.total_mass > 0.0, "total mass must be positive");
+    assert!(params.scale_radius > 0.0, "scale radius must be positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m = params.total_mass / n.max(1) as f64;
+    let a = params.scale_radius;
+
+    let mut set = ParticleSet::with_capacity(n);
+    for _ in 0..n {
+        // radius by inverting the cumulative mass profile:
+        // M(<r)/M = (r/a)³ / (1 + (r/a)²)^{3/2}  ⇒  r = a / sqrt(X^{-2/3} − 1)
+        let r = loop {
+            let x: f64 = rng.gen_range(1e-10..1.0);
+            let r = a / (x.powf(-2.0 / 3.0) - 1.0).sqrt();
+            if r <= params.cutoff * a {
+                break r;
+            }
+        };
+        let pos = random_direction(&mut rng) * r;
+
+        // speed by von Neumann rejection against g(q) = q²(1−q²)^{7/2},
+        // where q = v / v_esc and v_esc = sqrt(2) (1 + r²/a²)^{-1/4} in
+        // G = M = a = 1 units.
+        let q = loop {
+            let q: f64 = rng.gen_range(0.0..1.0);
+            let y: f64 = rng.gen_range(0.0..0.1);
+            if y < q * q * (1.0 - q * q).powf(3.5) {
+                break q;
+            }
+        };
+        let v_esc = std::f64::consts::SQRT_2
+            * params.total_mass.sqrt()
+            * (r * r + a * a).powf(-0.25);
+        let vel = random_direction(&mut rng) * (q * v_esc);
+
+        set.push(Body::new(pos, vel, m));
+    }
+    set.recenter();
+    set
+}
+
+/// Uniform random unit vector.
+fn random_direction<R: Rng>(rng: &mut R) -> Vec3 {
+    loop {
+        let v = Vec3::new(
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+        );
+        let n2 = v.norm_sq();
+        if n2 > 1e-12 && n2 <= 1.0 {
+            return v / n2.sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_core::energy::virial_ratio;
+    use nbody_core::gravity::GravityParams;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = plummer(100, PlummerParams::default(), 42);
+        let b = plummer(100, PlummerParams::default(), 42);
+        assert_eq!(a, b);
+        let c = plummer(100, PlummerParams::default(), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn equal_masses_sum_to_total() {
+        let set = plummer(128, PlummerParams { total_mass: 4.0, ..Default::default() }, 1);
+        assert!((set.total_mass() - 4.0).abs() < 1e-9);
+        let m0 = set.mass()[0];
+        assert!(set.mass().iter().all(|&m| (m - m0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn centered_at_rest() {
+        let set = plummer(500, PlummerParams::default(), 2);
+        assert!(set.center_of_mass().unwrap().norm() < 1e-10);
+        assert!(set.center_of_mass_velocity().unwrap().norm() < 1e-10);
+    }
+
+    #[test]
+    fn near_virial_equilibrium() {
+        let set = plummer(3000, PlummerParams::default(), 3);
+        let q = virial_ratio(&set, &GravityParams { g: 1.0, softening: 0.0 });
+        assert!(q > 0.8 && q < 1.2, "virial ratio {q}");
+    }
+
+    #[test]
+    fn half_mass_radius_near_theory() {
+        // Plummer half-mass radius ≈ 1.3048 a
+        let set = plummer(5000, PlummerParams::default(), 4);
+        let mut radii: Vec<f64> = set.pos().iter().map(|p| p.norm()).collect();
+        radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let r_half = radii[radii.len() / 2];
+        assert!(r_half > 1.0 && r_half < 1.6, "half-mass radius {r_half}");
+    }
+
+    #[test]
+    fn cutoff_respected() {
+        let p = PlummerParams { cutoff: 5.0, ..Default::default() };
+        let set = plummer(2000, p, 5);
+        // recentering shifts slightly; allow small slack
+        let max_r = set.pos().iter().map(|p| p.norm()).fold(0.0, f64::max);
+        assert!(max_r < 5.5, "max radius {max_r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "total mass")]
+    fn bad_mass_rejected() {
+        plummer(10, PlummerParams { total_mass: 0.0, ..Default::default() }, 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Snapshot I/O: serialize particle sets with their provenance so an
+//! initial condition or a simulation state can be saved, shared, and
+//! reloaded bit-exactly.
+
+use nbody_core::body::ParticleSet;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A particle set plus the metadata needed to interpret it later.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Schema version for forward compatibility.
+    pub version: u32,
+    /// Free-form label (workload spec string, experiment id, ...).
+    pub label: String,
+    /// Simulation time the snapshot was taken at.
+    pub time: f64,
+    /// The particles.
+    pub set: ParticleSet,
+}
+
+/// Current snapshot schema version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+impl Snapshot {
+    /// Wraps a particle set at time `time`.
+    pub fn new(label: impl Into<String>, time: f64, set: ParticleSet) -> Self {
+        Self { version: SNAPSHOT_VERSION, label: label.into(), time, set }
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
+
+    /// Parses from JSON, validating the schema version.
+    pub fn from_json(s: &str) -> Result<Self, SnapshotError> {
+        let snap: Snapshot = serde_json::from_str(s).map_err(SnapshotError::Parse)?;
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Version(snap.version));
+        }
+        if !snap.set.all_finite() {
+            return Err(SnapshotError::NonFinite);
+        }
+        Ok(snap)
+    }
+
+    /// Writes to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let text = std::fs::read_to_string(path).map_err(SnapshotError::Io)?;
+        Self::from_json(&text)
+    }
+}
+
+/// What can go wrong loading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// File could not be read.
+    Io(std::io::Error),
+    /// JSON was malformed.
+    Parse(serde_json::Error),
+    /// Unsupported schema version.
+    Version(u32),
+    /// Data contained NaN/∞.
+    NonFinite,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Parse(e) => write!(f, "snapshot parse error: {e}"),
+            SnapshotError::Version(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::NonFinite => write!(f, "snapshot contains non-finite values"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plummer::{plummer, PlummerParams};
+
+    #[test]
+    fn roundtrip_exact() {
+        let set = plummer(64, PlummerParams::default(), 9);
+        let snap = Snapshot::new("test", 1.25, set.clone());
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.set, set);
+        assert_eq!(back.time, 1.25);
+        assert_eq!(back.label, "test");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let set = plummer(16, PlummerParams::default(), 10);
+        let snap = Snapshot::new("file-test", 0.0, set);
+        let dir = std::env::temp_dir().join("nbody-ptpm-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        snap.save(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap();
+        assert_eq!(back, snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let set = plummer(4, PlummerParams::default(), 11);
+        let mut snap = Snapshot::new("v", 0.0, set);
+        snap.version = 999;
+        let err = Snapshot::from_json(&snap.to_json()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Version(999)));
+        assert!(err.to_string().contains("999"));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(matches!(
+            Snapshot::from_json("{oops"),
+            Err(SnapshotError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Snapshot::load("/definitely/not/here.json").unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)));
+    }
+}

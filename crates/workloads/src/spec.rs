@@ -1,0 +1,151 @@
+//! Declarative workload specifications.
+//!
+//! The experiment harness describes its inputs as [`WorkloadSpec`] values so
+//! every table row records exactly which initial condition produced it, and
+//! snapshots can be serialized for inspection.
+
+use crate::collision::{cluster_collision, galaxy_collision, CollisionParams};
+use crate::disk::{disk_galaxy, DiskParams};
+use crate::plummer::{plummer, PlummerParams};
+use crate::uniform::{uniform_cube, uniform_sphere, UniformParams};
+use nbody_core::body::ParticleSet;
+use serde::{Deserialize, Serialize};
+
+/// Which distribution to sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Plummer sphere in virial equilibrium (the paper's canonical input).
+    Plummer,
+    /// Uniform cold cube.
+    UniformCube,
+    /// Uniform cold sphere.
+    UniformSphere,
+    /// Rotating exponential disk with a central mass.
+    Disk,
+    /// Two Plummer clusters on a collision course.
+    ClusterCollision,
+    /// Two disk galaxies on a collision course.
+    GalaxyCollision,
+}
+
+impl WorkloadKind {
+    /// Short stable identifier used in table output.
+    pub fn id(self) -> &'static str {
+        match self {
+            WorkloadKind::Plummer => "plummer",
+            WorkloadKind::UniformCube => "uniform-cube",
+            WorkloadKind::UniformSphere => "uniform-sphere",
+            WorkloadKind::Disk => "disk",
+            WorkloadKind::ClusterCollision => "cluster-collision",
+            WorkloadKind::GalaxyCollision => "galaxy-collision",
+        }
+    }
+
+    /// All kinds, for sweeps.
+    pub fn all() -> [WorkloadKind; 6] {
+        [
+            WorkloadKind::Plummer,
+            WorkloadKind::UniformCube,
+            WorkloadKind::UniformSphere,
+            WorkloadKind::Disk,
+            WorkloadKind::ClusterCollision,
+            WorkloadKind::GalaxyCollision,
+        ]
+    }
+}
+
+/// A fully reproducible workload description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Distribution.
+    pub kind: WorkloadKind,
+    /// Number of bodies requested (generators may add a central body or
+    /// round collisions to even counts; see [`WorkloadSpec::generate`]).
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A Plummer sphere spec — the default experiment input.
+    pub fn plummer(n: usize, seed: u64) -> Self {
+        Self { kind: WorkloadKind::Plummer, n, seed }
+    }
+
+    /// Samples the particle set.
+    pub fn generate(&self) -> ParticleSet {
+        match self.kind {
+            WorkloadKind::Plummer => plummer(self.n, PlummerParams::default(), self.seed),
+            WorkloadKind::UniformCube => {
+                uniform_cube(self.n, UniformParams::default(), self.seed)
+            }
+            WorkloadKind::UniformSphere => {
+                uniform_sphere(self.n, UniformParams::default(), self.seed)
+            }
+            WorkloadKind::Disk => {
+                // the generator adds the central body; keep the total at n
+                disk_galaxy(self.n.saturating_sub(1), DiskParams::default(), self.seed)
+            }
+            WorkloadKind::ClusterCollision => {
+                cluster_collision(self.n, CollisionParams::default(), self.seed)
+            }
+            WorkloadKind::GalaxyCollision => {
+                galaxy_collision(self.n, CollisionParams::default(), self.seed)
+            }
+        }
+    }
+
+    /// Human-readable label: `plummer(n=4096, seed=1)`.
+    pub fn label(&self) -> String {
+        format!("{}(n={}, seed={})", self.kind.id(), self.n, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_generate_nonempty_finite_sets() {
+        for kind in WorkloadKind::all() {
+            let spec = WorkloadSpec { kind, n: 64, seed: 3 };
+            let set = spec.generate();
+            assert!(!set.is_empty(), "{}", kind.id());
+            assert!(set.all_finite(), "{}", kind.id());
+        }
+    }
+
+    #[test]
+    fn exact_counts_where_promised() {
+        assert_eq!(WorkloadSpec::plummer(100, 1).generate().len(), 100);
+        assert_eq!(
+            WorkloadSpec { kind: WorkloadKind::Disk, n: 100, seed: 1 }.generate().len(),
+            100
+        );
+        assert_eq!(
+            WorkloadSpec { kind: WorkloadKind::UniformCube, n: 77, seed: 1 }.generate().len(),
+            77
+        );
+    }
+
+    #[test]
+    fn labels_and_ids_stable() {
+        let spec = WorkloadSpec::plummer(4096, 1);
+        assert_eq!(spec.label(), "plummer(n=4096, seed=1)");
+        assert_eq!(WorkloadKind::GalaxyCollision.id(), "galaxy-collision");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = WorkloadSpec { kind: WorkloadKind::Disk, n: 123, seed: 9 };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn generation_deterministic_per_spec() {
+        let spec = WorkloadSpec::plummer(128, 5);
+        assert_eq!(spec.generate(), spec.generate());
+    }
+}

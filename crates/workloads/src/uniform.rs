@@ -1,0 +1,129 @@
+//! Uniform initial conditions: cube and sphere, cold or with thermal
+//! velocities. The simplest stress workloads — also the least favourable to
+//! the treecode (no hierarchy to exploit), which makes them useful in the
+//! plan-comparison ablations.
+
+use nbody_core::body::{Body, ParticleSet};
+use nbody_core::vec3::Vec3;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for uniform workloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformParams {
+    /// Total mass, split equally.
+    pub total_mass: f64,
+    /// Cube half-side or sphere radius.
+    pub extent: f64,
+    /// RMS speed of the isotropic velocity field (0 = cold start).
+    pub velocity_rms: f64,
+}
+
+impl Default for UniformParams {
+    fn default() -> Self {
+        Self { total_mass: 1.0, extent: 1.0, velocity_rms: 0.0 }
+    }
+}
+
+/// `n` equal-mass bodies uniform in the cube `[-extent, extent]³`.
+pub fn uniform_cube(n: usize, params: UniformParams, seed: u64) -> ParticleSet {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m = params.total_mass / n.max(1) as f64;
+    (0..n)
+        .map(|_| {
+            let pos = Vec3::new(
+                rng.gen_range(-params.extent..params.extent),
+                rng.gen_range(-params.extent..params.extent),
+                rng.gen_range(-params.extent..params.extent),
+            );
+            Body::new(pos, velocity(&mut rng, params.velocity_rms), m)
+        })
+        .collect()
+}
+
+/// `n` equal-mass bodies uniform in the ball of radius `extent`.
+pub fn uniform_sphere(n: usize, params: UniformParams, seed: u64) -> ParticleSet {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m = params.total_mass / n.max(1) as f64;
+    let mut set = ParticleSet::with_capacity(n);
+    while set.len() < n {
+        let p = Vec3::new(
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+        );
+        if p.norm_sq() <= 1.0 {
+            set.push(Body::new(p * params.extent, velocity(&mut rng, params.velocity_rms), m));
+        }
+    }
+    set
+}
+
+fn velocity<R: Rng>(rng: &mut R, rms: f64) -> Vec3 {
+    if rms <= 0.0 {
+        return Vec3::ZERO;
+    }
+    // isotropic Gaussian components with per-axis sigma = rms / sqrt(3)
+    let sigma = rms / 3f64.sqrt();
+    let gauss = |rng: &mut R| {
+        // Box-Muller
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    Vec3::new(gauss(rng), gauss(rng), gauss(rng)) * sigma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_bounds_respected() {
+        let set = uniform_cube(500, UniformParams { extent: 2.0, ..Default::default() }, 1);
+        assert_eq!(set.len(), 500);
+        for p in set.pos() {
+            assert!(p.abs().max_component() <= 2.0);
+        }
+    }
+
+    #[test]
+    fn sphere_bounds_respected() {
+        let set = uniform_sphere(500, UniformParams { extent: 3.0, ..Default::default() }, 2);
+        for p in set.pos() {
+            assert!(p.norm() <= 3.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn cold_start_has_zero_velocities() {
+        let set = uniform_cube(100, UniformParams::default(), 3);
+        assert!(set.vel().iter().all(|v| *v == Vec3::ZERO));
+    }
+
+    #[test]
+    fn velocity_rms_approximately_honoured() {
+        let p = UniformParams { velocity_rms: 0.5, ..Default::default() };
+        let set = uniform_cube(20_000, p, 4);
+        let ms: f64 =
+            set.vel().iter().map(|v| v.norm_sq()).sum::<f64>() / set.len() as f64;
+        let rms = ms.sqrt();
+        assert!((rms - 0.5).abs() < 0.02, "rms {rms}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = UniformParams::default();
+        assert_eq!(uniform_cube(64, p, 9), uniform_cube(64, p, 9));
+        assert_ne!(uniform_cube(64, p, 9), uniform_cube(64, p, 10));
+        assert_eq!(uniform_sphere(64, p, 9), uniform_sphere(64, p, 9));
+    }
+
+    #[test]
+    fn masses_equal_and_total() {
+        let p = UniformParams { total_mass: 8.0, ..Default::default() };
+        let set = uniform_sphere(256, p, 5);
+        assert!((set.total_mass() - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the whole PTPM N-body workspace.
+pub use gpu_sim;
+pub use harness;
+pub use nbody_core;
+pub use plans;
+pub use ptpm;
+pub use treecode;
+pub use workloads;

@@ -1,0 +1,175 @@
+//! Integration tests of the extension features working *together*: the
+//! Simulation driver on the simulated GPU, quadrupole engines inside full
+//! runs, refit-based stepping, tuned configurations, device-side
+//! diagnostics, multi-GPU consistency, and snapshot round-trips of evolved
+//! states.
+
+use gpu_sim::prelude::{Device, DeviceSpec, TransferModel};
+use nbody_core::prelude::*;
+use plans::make_plan;
+use plans::prelude::*;
+use treecode::prelude::*;
+use workloads::prelude::*;
+
+fn params() -> GravityParams {
+    GravityParams { g: 1.0, softening: 0.05 }
+}
+
+#[test]
+fn simulation_driver_on_simulated_gpu_records_physics() {
+    let device =
+        Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::pcie2_x16());
+    let engine = PlanForceEngine::new(
+        device,
+        make_plan(PlanKind::JwParallel, PlanConfig::default()),
+        params(),
+    );
+    let mut set = plummer(256, PlummerParams::default(), 41);
+    set.recenter();
+    let mut sim = Simulation::new(set, engine, LeapfrogKdk, 1e-3, params()).with_recording(10);
+    sim.run(30);
+    assert_eq!(sim.steps(), 30);
+    assert_eq!(sim.history().len(), 4); // steps 0, 10, 20, 30
+    let drift = sim.energy_drift().unwrap();
+    assert!(drift < 1e-3, "drift {drift}");
+    assert!(sim.engine.simulated_total_seconds() > 0.0);
+}
+
+#[test]
+fn quadrupole_engine_runs_full_simulations() {
+    let mut set = plummer(300, PlummerParams::default(), 42);
+    set.recenter();
+    let engine = BarnesHut::new(params()).with_quadrupoles().with_rebuild_interval(5);
+    let mut sim = Simulation::new(set, engine, LeapfrogKdk, 1e-3, params()).with_recording(20);
+    sim.run(40);
+    let drift = sim.energy_drift().unwrap();
+    assert!(drift < 1e-2, "drift {drift}");
+}
+
+#[test]
+fn tuned_jw_config_preserves_physics() {
+    let set = plummer(1024, PlummerParams::default(), 43);
+    let spec = DeviceSpec::radeon_hd_5850();
+    let result = plans::tune::tune(
+        PlanKind::JwParallel,
+        PlanConfig::default(),
+        &spec,
+        &set,
+        &params(),
+        TuneObjective::KernelTime,
+    );
+    let mut exact = vec![Vec3::ZERO; set.len()];
+    accelerations_pp(&set, &params(), &mut exact);
+    let mut dev = Device::with_transfer_model(spec, TransferModel::pcie2_x16());
+    let outcome = JwParallel::new(result.best).evaluate(&mut dev, &set, &params());
+    let err = nbody_core::gravity::max_relative_error(&exact, &outcome.acc);
+    assert!(err < 0.02, "tuned config error {err}");
+    assert!(outcome.kernel_s <= result.best_seconds * 1.0001);
+}
+
+#[test]
+fn device_potential_tracks_cpu_during_evolution() {
+    let mut set = plummer(200, PlummerParams::default(), 44);
+    set.recenter();
+    let p = params();
+    let mut engine = DirectPp::new(p);
+    run(&mut set, &mut engine, &LeapfrogKdk, 1e-3, 15);
+    let cpu_u = nbody_core::gravity::potential_energy(&set, &p);
+    let mut dev =
+        Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::pcie2_x16());
+    let (gpu_u, _) = potential_on_device(&mut dev, &set, &p, &PlanConfig::default());
+    assert!(((gpu_u - cpu_u) / cpu_u).abs() < 1e-4, "gpu {gpu_u} vs cpu {cpu_u}");
+}
+
+#[test]
+fn multi_gpu_trajectories_match_single_gpu() {
+    // integrate a few steps with forces from 1 vs 3 devices: identical
+    // physics (f32 bit patterns combined in a different but value-equal way)
+    let p = params();
+    let initial = plummer(192, PlummerParams::default(), 45);
+
+    let run_with = |devices: usize| -> Vec<Vec3> {
+        let mut set = initial.clone();
+        let multi = MultiGpuJw::new(devices);
+        // manual leapfrog with the multi-GPU evaluator
+        let mut acc = multi.evaluate(&set, &p).combined.acc;
+        let dt = 1e-3;
+        for _ in 0..5 {
+            for i in 0..set.len() {
+                let v = set.vel()[i] + acc[i] * (dt / 2.0);
+                set.vel_mut()[i] = v;
+                set.pos_mut()[i] += v * dt;
+            }
+            acc = multi.evaluate(&set, &p).combined.acc;
+            for i in 0..set.len() {
+                set.vel_mut()[i] += acc[i] * (dt / 2.0);
+            }
+        }
+        set.pos().to_vec()
+    };
+    let one = run_with(1);
+    let three = run_with(3);
+    let max_dev = one
+        .iter()
+        .zip(&three)
+        .map(|(a, b)| a.distance(*b))
+        .fold(0.0, f64::max);
+    assert!(max_dev < 1e-9, "trajectory deviation {max_dev}");
+}
+
+#[test]
+fn snapshot_roundtrips_an_evolved_state() {
+    let p = params();
+    let mut set = cluster_collision(200, CollisionParams::default(), 46);
+    let mut engine = BarnesHut::new(p);
+    run(&mut set, &mut engine, &LeapfrogKdk, 1e-3, 10);
+
+    let snap = Snapshot::new("evolved-collision", 0.01, set.clone());
+    let restored = Snapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(restored.set, set);
+
+    // the restored state continues identically to the original
+    let mut a = set.clone();
+    let mut b = restored.set;
+    let mut ea = BarnesHut::new(p);
+    let mut eb = BarnesHut::new(p);
+    run(&mut a, &mut ea, &LeapfrogKdk, 1e-3, 5);
+    run(&mut b, &mut eb, &LeapfrogKdk, 1e-3, 5);
+    assert_eq!(a.pos(), b.pos());
+}
+
+#[test]
+fn morton_order_agrees_with_tree_locality() {
+    // Morton-ordered chunks and tree-ordered chunks both give compact walk
+    // boxes; the two orderings must produce comparable interaction totals
+    let set = plummer(2048, PlummerParams::default(), 47);
+    let tree = Octree::build(&set, TreeParams::default());
+    let tree_walks = build_walks(&tree, &set, OpeningAngle::new(0.5), 64);
+
+    let morder = treecode::morton::morton_order(&set);
+    // group-MAC lists for morton chunks, built directly
+    let pos = set.pos();
+    let mut morton_total = 0_u64;
+    for chunk in morder.chunks(64) {
+        let bbox = Aabb::from_points(chunk.iter().map(|&b| pos[b as usize]));
+        let mut stack = vec![0_u32];
+        let mut len = 0_u64;
+        while let Some(idx) = stack.pop() {
+            let node = &tree.nodes()[idx as usize];
+            if accepts_group(node, &bbox, OpeningAngle::new(0.5)) {
+                len += 1;
+            } else if node.is_leaf {
+                len += node.body_count as u64;
+            } else {
+                stack.extend(node.child_indices());
+            }
+        }
+        morton_total += chunk.len() as u64 * len;
+    }
+    let tree_total = tree_walks.total_interactions();
+    let ratio = morton_total as f64 / tree_total as f64;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "morton {morton_total} vs tree {tree_total} (ratio {ratio})"
+    );
+}

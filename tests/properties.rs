@@ -1,0 +1,146 @@
+//! Property-based tests (proptest) over the core invariants: octree
+//! structure, MAC geometry, walk coverage, plan-vs-reference force
+//! agreement, and scheduler sanity under arbitrary group cost vectors.
+
+use gpu_sim::cost::GroupCost;
+use gpu_sim::prelude::{schedule_launch, Device, DeviceSpec, TransferModel};
+use nbody_core::prelude::*;
+use plans::prelude::*;
+use proptest::prelude::*;
+use ptpm::prelude::TimeSpaceGrid;
+use treecode::prelude::*;
+
+fn arb_bodies(max_n: usize) -> impl Strategy<Value = Vec<Body>> {
+    prop::collection::vec(
+        (
+            (-10.0_f64..10.0, -10.0_f64..10.0, -10.0_f64..10.0),
+            (0.01_f64..5.0),
+        )
+            .prop_map(|((x, y, z), m)| Body::at_rest(Vec3::new(x, y, z), m)),
+        1..max_n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn octree_invariants_hold_for_arbitrary_clouds(bodies in arb_bodies(200), leaf in 1_usize..32) {
+        let set = ParticleSet::from_bodies(&bodies);
+        let tree = Octree::build(&set, TreeParams { leaf_capacity: leaf });
+        prop_assert!(tree.check_invariants(&set).is_ok());
+        // total mass conserved by the multipole sweep
+        prop_assert!((tree.root().mass - set.total_mass()).abs() < 1e-9 * set.total_mass().max(1.0));
+    }
+
+    #[test]
+    fn walks_cover_every_body_exactly_once(bodies in arb_bodies(150), ws in 1_usize..64) {
+        let set = ParticleSet::from_bodies(&bodies);
+        let tree = Octree::build(&set, TreeParams::default());
+        let walks = build_walks(&tree, &set, OpeningAngle::new(0.5), ws);
+        let mut seen = vec![0_u32; set.len()];
+        for g in &walks.groups {
+            for &b in &g.bodies {
+                seen[b as usize] += 1;
+            }
+            prop_assert!(g.bodies.len() <= ws);
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn aabb_distance_is_a_lower_bound(
+        points in prop::collection::vec((-5.0_f64..5.0, -5.0_f64..5.0, -5.0_f64..5.0), 1..20),
+        q in (-20.0_f64..20.0, -20.0_f64..20.0, -20.0_f64..20.0),
+    ) {
+        let pts: Vec<Vec3> = points.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+        let bbox = Aabb::from_points(pts.iter().copied());
+        let q = Vec3::new(q.0, q.1, q.2);
+        let d = bbox.distance_to_point(q);
+        for p in &pts {
+            prop_assert!(d <= q.distance(*p) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn bh_walk_error_bounded_for_arbitrary_clouds(bodies in arb_bodies(120)) {
+        let set = ParticleSet::from_bodies(&bodies);
+        let params = GravityParams { g: 1.0, softening: 0.05 };
+        let tree = Octree::build(&set, TreeParams::default());
+        let mut exact = vec![Vec3::ZERO; set.len()];
+        let mut approx = vec![Vec3::ZERO; set.len()];
+        accelerations_pp(&set, &params, &mut exact);
+        accelerations_bh(&tree, &set, OpeningAngle::new(0.4), &params, &mut approx);
+        let err = nbody_core::gravity::max_relative_error(&exact, &approx);
+        prop_assert!(err < 0.05, "error {err}");
+    }
+
+    #[test]
+    fn scheduler_makespan_bounds(costs in prop::collection::vec(0.0_f64..1e6, 0..64)) {
+        let spec = DeviceSpec::radeon_hd_5850();
+        let group_costs: Vec<GroupCost> =
+            costs.iter().map(|&f| GroupCost { flops: f, ..Default::default() }).collect();
+        let t = schedule_launch(&spec, 64, 0, &group_costs);
+        let per_group: Vec<f64> =
+            costs.iter().map(|&f| f / spec.charged_flops_per_cycle_per_cu).collect();
+        let total: f64 = per_group.iter().sum();
+        let longest = per_group.iter().copied().fold(0.0, f64::max);
+        // classic list-scheduling bounds: max(avg, longest) <= makespan <= total
+        prop_assert!(t.compute_cycles <= total + 1e-9);
+        prop_assert!(t.compute_cycles + 1e-9 >= longest);
+        prop_assert!(t.compute_cycles + 1e-9 >= total / f64::from(spec.compute_units));
+        prop_assert!(t.utilization <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn grid_placement_is_conservative(costs in prop::collection::vec(0.0_f64..1e5, 1..40), cus in 1_usize..32) {
+        let grid = TimeSpaceGrid::place(&costs, cus);
+        // every group placed exactly once, never overlapping on its CU
+        prop_assert_eq!(grid.placements.len(), costs.len());
+        for (i, a) in grid.placements.iter().enumerate() {
+            prop_assert!((a.end - a.start - costs[i]).abs() < 1e-9);
+            for b in &grid.placements[i + 1..] {
+                if a.cu == b.cu {
+                    let overlap = a.end.min(b.end) - a.start.max(b.start);
+                    prop_assert!(overlap <= 1e-9, "groups overlap on cu {}", a.cu);
+                }
+            }
+        }
+        prop_assert!(grid.space_utilization() <= 1.0 + 1e-12);
+    }
+}
+
+proptest! {
+    // device evaluations are costly: fewer cases
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn i_parallel_matches_reference_for_arbitrary_clouds(bodies in arb_bodies(100)) {
+        let set = ParticleSet::from_bodies(&bodies);
+        let params = GravityParams { g: 1.0, softening: 0.1 };
+        let mut exact = vec![Vec3::ZERO; set.len()];
+        accelerations_pp(&set, &params, &mut exact);
+        let mut dev = Device::with_transfer_model(
+            DeviceSpec::radeon_hd_5850(),
+            TransferModel::free(),
+        );
+        let o = IParallel::default().evaluate(&mut dev, &set, &params);
+        let err = nbody_core::gravity::max_relative_error(&exact, &o.acc);
+        prop_assert!(err < 2e-3, "error {err}");
+    }
+
+    #[test]
+    fn jw_parallel_matches_reference_for_arbitrary_clouds(bodies in arb_bodies(100)) {
+        let set = ParticleSet::from_bodies(&bodies);
+        let params = GravityParams { g: 1.0, softening: 0.1 };
+        let mut exact = vec![Vec3::ZERO; set.len()];
+        accelerations_pp(&set, &params, &mut exact);
+        let mut dev = Device::with_transfer_model(
+            DeviceSpec::radeon_hd_5850(),
+            TransferModel::free(),
+        );
+        let o = JwParallel::default().evaluate(&mut dev, &set, &params);
+        let err = nbody_core::gravity::max_relative_error(&exact, &o.acc);
+        prop_assert!(err < 0.05, "error {err}");
+    }
+}

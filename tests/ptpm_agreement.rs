@@ -1,0 +1,107 @@
+//! PTPM-vs-simulator agreement: the analytic time-space model must predict
+//! the same plan *ranking* the full simulator measures, and its absolute
+//! kernel-time forecasts for the ALU-bound PP plans must land close.
+
+use gpu_sim::prelude::{Device, DeviceSpec, TransferModel};
+use nbody_core::prelude::*;
+use plans::prelude::*;
+use ptpm::prelude::*;
+use treecode::prelude::*;
+use workloads::prelude::{plummer, PlummerParams};
+
+fn device() -> Device {
+    Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::free())
+}
+
+fn params() -> GravityParams {
+    GravityParams { g: 1.0, softening: 0.05 }
+}
+
+#[test]
+fn i_parallel_forecast_matches_simulator_within_20_percent() {
+    let spec = DeviceSpec::radeon_hd_5850();
+    let p = params();
+    for n in [1024_usize, 4096, 8192] {
+        let set = plummer(n, PlummerParams::default(), 1);
+        let mut dev = device();
+        let measured = IParallel::default().evaluate(&mut dev, &set, &p).kernel_s;
+        let forecast = forecast_i_parallel(n, 256, &spec).seconds;
+        let ratio = forecast / measured;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "N={n}: forecast {forecast} vs simulated {measured} (ratio {ratio})"
+        );
+    }
+}
+
+#[test]
+fn forecast_ranks_i_vs_j_like_the_simulator() {
+    let spec = DeviceSpec::radeon_hd_5850();
+    let p = params();
+    for n in [512_usize, 1024, 4096] {
+        let set = plummer(n, PlummerParams::default(), 2);
+        let mut dev = device();
+        let i_sim = IParallel::default().evaluate(&mut dev, &set, &p).kernel_s;
+        let j_plan = JParallel::default();
+        let slices = j_plan.slices_for(n, &spec);
+        let j_sim = j_plan.evaluate(&mut dev, &set, &p).kernel_s;
+
+        let i_fc = forecast_i_parallel(n, 256, &spec).seconds;
+        let j_fc = forecast_j_parallel(n, 256, slices, &spec).seconds;
+        assert_eq!(
+            i_sim < j_sim,
+            i_fc < j_fc,
+            "N={n}: simulator says i<j = {}, forecast says {}",
+            i_sim < j_sim,
+            i_fc < j_fc
+        );
+    }
+}
+
+#[test]
+fn forecast_ranks_w_vs_jw_like_the_simulator() {
+    let spec = DeviceSpec::radeon_hd_5850();
+    let p = params();
+    let cfg = PlanConfig::default();
+    for n in [1024_usize, 4096] {
+        let set = plummer(n, PlummerParams::default(), 3);
+        // real list lengths from the same walks the plans use
+        let tree = Octree::build(&set, TreeParams { leaf_capacity: cfg.leaf_capacity });
+        let walks = build_walks(&tree, &set, OpeningAngle::new(cfg.theta), cfg.walk_size);
+        let lens: Vec<usize> = walks.groups.iter().map(|g| g.list_len()).collect();
+        let total: usize = lens.iter().sum();
+        let slice = plans::jw_parallel::auto_slice_len(total, cfg.walk_size, &spec);
+
+        let w_fc = forecast_w_parallel(&lens, cfg.walk_size, &spec).seconds;
+        let jw_fc = forecast_jw_parallel(&lens, cfg.walk_size, slice, &spec).seconds;
+
+        let mut dev = device();
+        let w_sim = WParallel::new(cfg).evaluate(&mut dev, &set, &p).kernel_s;
+        let jw_sim = JwParallel::new(cfg).evaluate(&mut dev, &set, &p).kernel_s;
+
+        assert!(
+            jw_fc <= w_fc && jw_sim <= w_sim,
+            "N={n}: forecast jw {jw_fc} vs w {w_fc}; simulated jw {jw_sim} vs w {w_sim}"
+        );
+    }
+}
+
+#[test]
+fn grid_utilization_explains_gflops_ordering() {
+    // the plan with higher forecast space-utilization achieves higher
+    // simulated GFLOPS at small N
+    let spec = DeviceSpec::radeon_hd_5850();
+    let p = params();
+    let n = 1024;
+    let set = plummer(n, PlummerParams::default(), 4);
+    let mut dev = device();
+
+    let i_fc = forecast_i_parallel(n, 256, &spec);
+    let j_fc = forecast_j_parallel(n, 256, 16, &spec);
+    assert!(j_fc.space_utilization > i_fc.space_utilization);
+
+    let conv = FlopConvention::Grape38;
+    let i_g = IParallel::default().evaluate(&mut dev, &set, &p).gflops(conv);
+    let j_g = JParallel::default().evaluate(&mut dev, &set, &p).gflops(conv);
+    assert!(j_g > i_g, "j {j_g} vs i {i_g}");
+}
