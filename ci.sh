@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Offline CI gate for the workspace. Mirrors .github/workflows/ci.yml so the
+# same checks run locally and in automation; everything resolves against the
+# vendored shim crates under crates/shims/, so no network access is needed.
+#
+# Usage: ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+# --workspace matters: the root manifest is both a package and a workspace,
+# so a bare `cargo build` covers only the root package and would skip the
+# harness binaries entirely.
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy -p bench --features bench --all-targets -- -D warnings"
+cargo clippy -p bench --features bench --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> trace export smoke test"
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+cargo run --release -p harness --bin trace -- --n 256 --plan all --out "$out/trace.json"
+cargo run --release -p harness --bin trace -- --n 256 --plan jw --out "$out/trace.csv"
+for f in trace.json trace.csv; do
+    test -s "$out/$f" || { echo "FAIL: $f is empty"; exit 1; }
+done
+grep -q '"traceEvents"' "$out/trace.json" || { echo "FAIL: not a Chrome trace"; exit 1; }
+
+echo "CI OK"

@@ -19,8 +19,7 @@ fn ablation(c: &mut Criterion) {
         let spec = DeviceSpec::radeon_hd_5850().with_compute_units(cus);
         group.bench_with_input(BenchmarkId::from_parameter(cus), &cus, |b, _| {
             b.iter_custom(|iters| {
-                let mut dev =
-                    Device::with_transfer_model(spec.clone(), TransferModel::pcie2_x16());
+                let mut dev = Device::with_transfer_model(spec.clone(), TransferModel::pcie2_x16());
                 let plan = JwParallel::default();
                 let mut seconds = 0.0;
                 for _ in 0..iters {

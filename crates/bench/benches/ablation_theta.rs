@@ -17,11 +17,9 @@ fn ablation(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(500));
     for theta in [0.3_f64, 0.5, 0.8] {
         let plan = JwParallel::new(PlanConfig { theta, ..Default::default() });
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{theta}")),
-            &theta,
-            |b, _| b.iter_custom(|iters| simulated(&plan, &set, iters, kernel_seconds)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{theta}")), &theta, |b, _| {
+            b.iter_custom(|iters| simulated(&plan, &set, iters, kernel_seconds))
+        });
     }
     group.finish();
 }

@@ -6,8 +6,8 @@ use bench::{gravity, workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu_sim::prelude::*;
 use nbody_core::prelude::*;
-use plans::prelude::IParallel;
 use plans::prelude::ExecutionPlan;
+use plans::prelude::IParallel;
 use treecode::prelude::*;
 
 fn substrates(c: &mut Criterion) {
@@ -34,10 +34,8 @@ fn substrates(c: &mut Criterion) {
     // how fast the *simulator itself* runs (host wall time per simulated eval)
     let set = workload(2048);
     group.bench_function("simulator_functional_throughput_n2048", |b| {
-        let mut dev = Device::with_transfer_model(
-            DeviceSpec::radeon_hd_5850(),
-            TransferModel::free(),
-        );
+        let mut dev =
+            Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::free());
         let plan = IParallel::default();
         b.iter(|| plan.evaluate(&mut dev, &set, &params));
     });

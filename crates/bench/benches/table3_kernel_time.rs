@@ -18,11 +18,9 @@ fn table3(c: &mut Criterion) {
         let set = workload(n);
         for kind in PlanKind::all() {
             let plan = make_plan(kind, PlanConfig::default());
-            group.bench_with_input(
-                BenchmarkId::new(kind.id(), n),
-                &n,
-                |b, _| b.iter_custom(|iters| simulated(plan.as_ref(), &set, iters, kernel_seconds)),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.id(), n), &n, |b, _| {
+                b.iter_custom(|iters| simulated(plan.as_ref(), &set, iters, kernel_seconds))
+            });
         }
     }
     group.finish();

@@ -54,6 +54,10 @@ pub fn simulated(
 /// disabled because zero-variance samples (the device model is exactly
 /// deterministic) make the KDE plot backend produce NaNs — and a density
 /// plot of identical values carries no information anyway.
+///
+/// Only available with the `bench` feature, which pulls in criterion; the
+/// default build keeps the bench-only dependency set out of `cargo test`.
+#[cfg(feature = "bench")]
 pub fn deterministic_criterion() -> criterion::Criterion {
     criterion::Criterion::default().without_plots()
 }

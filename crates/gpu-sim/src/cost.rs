@@ -8,7 +8,7 @@
 //! ablation benches).
 
 use serde::{Deserialize, Serialize};
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub};
 
 /// Events recorded by one work-group over one kernel launch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -68,6 +68,25 @@ impl Add for GroupCost {
 impl AddAssign for GroupCost {
     fn add_assign(&mut self, rhs: Self) {
         *self = *self + rhs;
+    }
+}
+
+/// Componentwise difference, used to carve a snapshot delta out of a running
+/// counter (phase profiling). Counters only grow, so `u64` fields saturate
+/// rather than wrap if misused.
+impl Sub for GroupCost {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            flops: self.flops - rhs.flops,
+            lds_accesses: self.lds_accesses - rhs.lds_accesses,
+            read_bytes: self.read_bytes - rhs.read_bytes,
+            write_bytes: self.write_bytes - rhs.write_bytes,
+            read_transactions: self.read_transactions - rhs.read_transactions,
+            write_transactions: self.write_transactions - rhs.write_transactions,
+            barriers: self.barriers.saturating_sub(rhs.barriers),
+            items: self.items.saturating_sub(rhs.items),
+        }
     }
 }
 

@@ -11,12 +11,13 @@
 //! of the paper's Table 2.
 
 use crate::buffer::{BufF32, BufU32, BufferPool};
-use crate::exec::{execute_launch, execute_launch_checked};
+use crate::exec::{execute_launch, execute_launch_checked, execute_launch_profiled};
 use crate::kernel::{Kernel, NdRange};
-use crate::race::Race;
 use crate::pcie::TransferModel;
-use crate::sched::{schedule_launch, LaunchTiming};
+use crate::race::Race;
+use crate::sched::{schedule_launch, schedule_launch_placed, LaunchTiming};
 use crate::spec::DeviceSpec;
+use crate::trace::{GroupSpan, LaunchTrace, MarkerTrace, PhaseSummary, TraceSink, TransferTrace};
 use serde::{Deserialize, Serialize};
 
 /// Summary of one kernel launch kept in the device log.
@@ -53,6 +54,7 @@ pub struct Device {
     transfers: Vec<TransferRecord>,
     race_checking: bool,
     races: Vec<Race>,
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 impl Device {
@@ -77,6 +79,37 @@ impl Device {
             transfers: Vec::new(),
             race_checking: false,
             races: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Installs a trace sink: subsequent launches, transfers, and
+    /// annotations are recorded as structured events (see the [`trace`
+    /// module](crate::trace)). While no sink is installed the device runs
+    /// the untraced code path — no per-phase profiling, no placement
+    /// capture.
+    pub fn set_trace_sink(&mut self, mut sink: Box<dyn TraceSink>) {
+        sink.begin(&self.spec);
+        self.trace = Some(sink);
+    }
+
+    /// Removes and returns the current trace sink, if any.
+    pub fn clear_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// True if a trace sink is installed.
+    pub fn is_tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Emits an instant annotation onto the trace timeline (no-op when
+    /// untraced). Plans use this to mark algorithmic stages around the
+    /// kernels and transfers they issue.
+    pub fn annotate(&mut self, label: &str) {
+        let at_s = self.device_seconds();
+        if let Some(sink) = self.trace.as_mut() {
+            sink.marker(MarkerTrace { label: label.to_string(), at_s });
         }
     }
 
@@ -158,33 +191,109 @@ impl Device {
         if self.race_checking {
             return self.launch_checked(kernel, grid).0;
         }
-        let outcome = execute_launch(kernel, grid, &self.spec, &mut self.pool);
-        let timing = schedule_launch(&self.spec, grid.local, kernel.lds_words(), &outcome.group_costs);
-        self.kernel_seconds += timing.seconds;
-        self.launches.push(LaunchRecord {
-            kernel: kernel.name().to_string(),
-            grid,
-            timing: timing.clone(),
-        });
-        timing
+        self.launch_inner(kernel, grid, false).0
     }
 
     /// Like [`Device::launch`], but with intra-phase data-race detection.
     /// Returns the timing plus every race found (see `race` module); racy
     /// kernels still execute (in deterministic local-id order) so the
     /// corrupted output can be inspected.
-    pub fn launch_checked<K: Kernel>(&mut self, kernel: &K, grid: NdRange) -> (LaunchTiming, Vec<Race>) {
-        let (outcome, races) =
-            execute_launch_checked(kernel, grid, &self.spec, &mut self.pool);
-        let timing =
-            schedule_launch(&self.spec, grid.local, kernel.lds_words(), &outcome.group_costs);
+    pub fn launch_checked<K: Kernel>(
+        &mut self,
+        kernel: &K,
+        grid: NdRange,
+    ) -> (LaunchTiming, Vec<Race>) {
+        let (timing, races) = self.launch_inner(kernel, grid, true);
+        self.races.extend(races.iter().cloned());
+        (timing, races)
+    }
+
+    /// The one launch path: functional execution, scheduling, clock
+    /// accounting, and (when a sink is installed) trace emission. Untraced
+    /// launches take the original execute + schedule calls unchanged.
+    fn launch_inner<K: Kernel>(
+        &mut self,
+        kernel: &K,
+        grid: NdRange,
+        check_races: bool,
+    ) -> (LaunchTiming, Vec<Race>) {
+        let start_s = self.device_seconds();
+        let timing;
+        let races;
+        if self.trace.is_some() {
+            let (outcome, r) =
+                execute_launch_profiled(kernel, grid, &self.spec, &mut self.pool, check_races);
+            races = r;
+            let (t, placements) = schedule_launch_placed(
+                &self.spec,
+                grid.local,
+                kernel.lds_words(),
+                &outcome.group_costs,
+            );
+            let groups = placements
+                .iter()
+                .map(|p| GroupSpan {
+                    group: p.group,
+                    cu: p.cu,
+                    start_cycle: p.start_cycle,
+                    end_cycle: p.end_cycle,
+                    cost: outcome.group_costs[p.group],
+                    phases: outcome.phase_costs[p.group].clone(),
+                })
+                .collect();
+            let mut phases: Vec<PhaseSummary> = Vec::new();
+            for per_group in &outcome.phase_costs {
+                for pc in per_group {
+                    match phases.iter_mut().find(|s| s.phase == pc.phase) {
+                        Some(s) => {
+                            s.executions += pc.executions;
+                            s.cost += pc.cost;
+                        }
+                        None => phases.push(PhaseSummary {
+                            phase: pc.phase,
+                            label: kernel.phase_label(pc.phase),
+                            executions: pc.executions,
+                            cost: pc.cost,
+                        }),
+                    }
+                }
+            }
+            phases.sort_by_key(|s| s.phase);
+            let wavefronts_per_group = self.spec.waves_per_group(grid.local);
+            let wavefront_occupancy = (t.occupancy_groups_per_cu * wavefronts_per_group) as f64
+                / f64::from(self.spec.max_waves_per_cu).max(1.0);
+            let event = LaunchTrace {
+                launch_id: self.launches.len(),
+                kernel: kernel.name().to_string(),
+                grid,
+                lds_words: kernel.lds_words(),
+                start_s,
+                wavefronts_per_group,
+                wavefront_occupancy: wavefront_occupancy.min(1.0),
+                timing: t.clone(),
+                groups,
+                phases,
+            };
+            if let Some(sink) = self.trace.as_mut() {
+                sink.launch(event);
+            }
+            timing = t;
+        } else {
+            let (outcome, r) = if check_races {
+                execute_launch_checked(kernel, grid, &self.spec, &mut self.pool)
+            } else {
+                (execute_launch(kernel, grid, &self.spec, &mut self.pool), Vec::new())
+            };
+            races = r;
+            timing =
+                schedule_launch(&self.spec, grid.local, kernel.lds_words(), &outcome.group_costs);
+        }
         self.kernel_seconds += timing.seconds;
         self.launches.push(LaunchRecord {
             kernel: kernel.name().to_string(),
             grid,
             timing: timing.clone(),
         });
-        self.races.extend(races.iter().cloned());
         (timing, races)
     }
 
@@ -225,6 +334,15 @@ impl Device {
 
     fn record_transfer(&mut self, bytes: usize, to_device: bool) {
         let seconds = self.transfer_model.seconds(bytes);
+        if let Some(sink) = self.trace.as_mut() {
+            sink.transfer(TransferTrace {
+                transfer_id: self.transfers.len(),
+                bytes,
+                to_device,
+                start_s: self.kernel_seconds + self.transfer_seconds,
+                seconds,
+            });
+        }
         self.transfer_seconds += seconds;
         self.transfers.push(TransferRecord { bytes, to_device, seconds });
     }
@@ -332,5 +450,60 @@ mod tests {
         let buf = dev.alloc_u32(3);
         dev.upload_u32(buf, &[7, 8, 9]);
         assert_eq!(dev.download_u32(buf), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn traced_launch_records_placements_and_phases() {
+        use crate::cost::GroupCost;
+        use crate::trace::MemoryTraceSink;
+        let mut dev = device();
+        let sink = MemoryTraceSink::new();
+        dev.set_trace_sink(Box::new(sink.clone()));
+        assert!(dev.is_tracing());
+        let buf = dev.alloc_f32(8);
+        dev.upload_f32(buf, &[1.0; 8]);
+        dev.annotate("force-eval");
+        let timing = dev.launch(&AddOne { buf, n: 8 }, NdRange { global: 8, local: 4 });
+        let trace = sink.snapshot();
+        assert_eq!(trace.launches.len(), 1);
+        assert_eq!(trace.transfers.len(), 1);
+        assert_eq!(trace.markers[0].label, "force-eval");
+        let lt = &trace.launches[0];
+        assert_eq!(lt.kernel, "add-one");
+        assert_eq!(lt.groups.len(), 2);
+        // spans live inside the launch makespan, on valid CUs
+        for g in &lt.groups {
+            assert!(g.cu < trace.compute_units);
+            assert!(g.start_cycle >= 0.0 && g.end_cycle <= lt.timing.compute_cycles + 1e-9);
+            // per-phase deltas recompose the group total
+            let phase_sum: GroupCost = g.phases.iter().map(|p| p.cost).sum();
+            assert!((phase_sum.flops - g.cost.flops).abs() < 1e-12);
+            assert_eq!(phase_sum.barriers, g.cost.barriers);
+        }
+        assert_eq!(lt.phases.len(), 1); // add-one is a single-phase kernel
+        assert_eq!(lt.phases[0].label, "phase0");
+        assert_eq!(lt.phases[0].cost.flops, 8.0);
+        // the traced timing is identical to the untraced one
+        let mut plain = device();
+        let buf2 = plain.alloc_f32(8);
+        plain.upload_f32(buf2, &[1.0; 8]);
+        let t2 = plain.launch(&AddOne { buf: buf2, n: 8 }, NdRange { global: 8, local: 4 });
+        assert_eq!(timing, t2);
+    }
+
+    #[test]
+    fn clearing_the_sink_stops_recording() {
+        use crate::trace::MemoryTraceSink;
+        let mut dev = device();
+        let sink = MemoryTraceSink::new();
+        dev.set_trace_sink(Box::new(sink.clone()));
+        let buf = dev.alloc_f32(4);
+        dev.upload_f32(buf, &[0.0; 4]);
+        assert!(dev.clear_trace_sink().is_some());
+        assert!(!dev.is_tracing());
+        dev.launch(&AddOne { buf, n: 4 }, NdRange { global: 4, local: 4 });
+        let trace = sink.snapshot();
+        assert_eq!(trace.transfers.len(), 1);
+        assert!(trace.launches.is_empty());
     }
 }

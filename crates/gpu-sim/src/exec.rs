@@ -18,6 +18,7 @@ use crate::cost::GroupCost;
 use crate::kernel::{Control, GroupInfo, Kernel, NdRange};
 use crate::race::{Race, RaceDetector, Space};
 use crate::spec::DeviceSpec;
+use serde::{Deserialize, Serialize};
 
 /// Hard cap on phases executed per group — an infinite `Jump` loop in a
 /// kernel panics instead of hanging the process.
@@ -206,12 +207,7 @@ impl<'a> ItemCtx<'a> {
     /// Writes `COUNT` consecutive `f32` as a scatter (one transaction: one
     /// lane's consecutive words share a burst).
     #[inline]
-    pub fn write_f32_vec<const COUNT: usize>(
-        &mut self,
-        buf: BufF32,
-        base: usize,
-        v: [f32; COUNT],
-    ) {
+    pub fn write_f32_vec<const COUNT: usize>(&mut self, buf: BufF32, base: usize, v: [f32; COUNT]) {
         self.cost.write_bytes += 4.0 * COUNT as f64;
         self.cost.write_transactions += 1.0;
         if let Some(d) = self.race.as_deref_mut() {
@@ -300,6 +296,21 @@ impl<'a> ItemCtx<'a> {
     }
 }
 
+/// Aggregated cost of one phase index within one group, recorded only when
+/// phase profiling is on (see [`execute_launch_profiled`]). A phase inside a
+/// `Jump` loop executes many times; `executions` counts them and `cost` sums
+/// their charges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseCost {
+    /// Phase index in the kernel's phase machine.
+    pub phase: usize,
+    /// Times this phase executed in the group.
+    pub executions: u64,
+    /// Events charged across all executions (includes the implicit barrier
+    /// after each execution).
+    pub cost: GroupCost,
+}
+
 /// Result of functionally executing a full launch: one cost per group, in
 /// group order.
 #[derive(Debug, Clone)]
@@ -308,6 +319,9 @@ pub struct ExecOutcome {
     pub group_costs: Vec<GroupCost>,
     /// Phases executed per group (same order).
     pub group_phases: Vec<u64>,
+    /// Per-group phase breakdowns, ordered by phase index within each group.
+    /// Empty unless the launch was profiled.
+    pub phase_costs: Vec<Vec<PhaseCost>>,
 }
 
 impl ExecOutcome {
@@ -329,7 +343,7 @@ pub fn execute_launch<K: Kernel>(
     spec: &DeviceSpec,
     pool: &mut BufferPool,
 ) -> ExecOutcome {
-    let (outcome, _races) = execute_launch_opts(kernel, grid, spec, pool, false);
+    let (outcome, _races) = execute_launch_opts(kernel, grid, spec, pool, false, false);
     outcome
 }
 
@@ -343,7 +357,20 @@ pub fn execute_launch_checked<K: Kernel>(
     spec: &DeviceSpec,
     pool: &mut BufferPool,
 ) -> (ExecOutcome, Vec<Race>) {
-    execute_launch_opts(kernel, grid, spec, pool, true)
+    execute_launch_opts(kernel, grid, spec, pool, true, false)
+}
+
+/// Like [`execute_launch`], but additionally records a per-group, per-phase
+/// cost breakdown in [`ExecOutcome::phase_costs`] (what the execution-trace
+/// subsystem consumes). Race checking composes via `check_races`.
+pub fn execute_launch_profiled<K: Kernel>(
+    kernel: &K,
+    grid: NdRange,
+    spec: &DeviceSpec,
+    pool: &mut BufferPool,
+    check_races: bool,
+) -> (ExecOutcome, Vec<Race>) {
+    execute_launch_opts(kernel, grid, spec, pool, check_races, true)
 }
 
 fn execute_launch_opts<K: Kernel>(
@@ -352,6 +379,7 @@ fn execute_launch_opts<K: Kernel>(
     spec: &DeviceSpec,
     pool: &mut BufferPool,
     check_races: bool,
+    profile: bool,
 ) -> (ExecOutcome, Vec<Race>) {
     grid.validate().unwrap_or_else(|e| panic!("kernel `{}`: {e}", kernel.name()));
     assert!(
@@ -372,6 +400,8 @@ fn execute_launch_opts<K: Kernel>(
     let num_groups = grid.num_groups();
     let mut group_costs = Vec::with_capacity(num_groups);
     let mut group_phases = Vec::with_capacity(num_groups);
+    let mut phase_costs: Vec<Vec<PhaseCost>> =
+        if profile { Vec::with_capacity(num_groups) } else { Vec::new() };
     let mut lds = vec![0.0_f32; kernel.lds_words()];
     let inv_tb = 1.0 / f64::from(spec.transaction_bytes);
     let mut detector = check_races.then(|| RaceDetector::new(64));
@@ -381,19 +411,17 @@ fn execute_launch_opts<K: Kernel>(
         let mut cost = GroupCost { items: grid.local as u64, ..Default::default() };
         let mut group_regs = K::GroupRegs::default();
         let mut item_regs = vec![K::ItemRegs::default(); grid.local];
-        let info = GroupInfo {
-            group_id,
-            local_size: grid.local,
-            global_size: grid.global,
-            num_groups,
-        };
+        let info =
+            GroupInfo { group_id, local_size: grid.local, global_size: grid.global, num_groups };
 
         let mut phase = 0_usize;
         let mut executed = 0_u64;
+        let mut profile_acc: Vec<PhaseCost> = Vec::new();
         loop {
             if let Some(d) = detector.as_mut() {
                 d.begin_phase(group_id, phase);
             }
+            let cost_before = profile.then_some(cost);
             for (local_id, regs) in item_regs.iter_mut().enumerate() {
                 let mut ctx = ItemCtx {
                     global_id: group_id * grid.local + local_id,
@@ -411,6 +439,16 @@ fn execute_launch_opts<K: Kernel>(
             }
             cost.barriers += 1;
             executed += 1;
+            if let Some(before) = cost_before {
+                let delta = cost - before;
+                match profile_acc.iter_mut().find(|pc| pc.phase == phase) {
+                    Some(pc) => {
+                        pc.executions += 1;
+                        pc.cost += delta;
+                    }
+                    None => profile_acc.push(PhaseCost { phase, executions: 1, cost: delta }),
+                }
+            }
             assert!(
                 (executed as usize) < MAX_PHASES_PER_GROUP,
                 "kernel `{}` group {group_id}: phase budget exhausted (runaway loop?)",
@@ -424,10 +462,14 @@ fn execute_launch_opts<K: Kernel>(
         }
         group_costs.push(cost);
         group_phases.push(executed);
+        if profile {
+            profile_acc.sort_by_key(|pc| pc.phase);
+            phase_costs.push(profile_acc);
+        }
     }
 
     let races = detector.map(|d| d.races().to_vec()).unwrap_or_default();
-    (ExecOutcome { group_costs, group_phases }, races)
+    (ExecOutcome { group_costs, group_phases, phase_costs }, races)
 }
 
 #[cfg(test)]
@@ -491,7 +533,13 @@ mod tests {
             8
         }
 
-        fn phase(&self, phase: usize, ctx: &mut ItemCtx<'_>, _regs: &mut (), group: &LoopGroupRegs) {
+        fn phase(
+            &self,
+            phase: usize,
+            ctx: &mut ItemCtx<'_>,
+            _regs: &mut (),
+            group: &LoopGroupRegs,
+        ) {
             match phase {
                 0 => ctx.lds_write(ctx.local_id, (group.round + 1) as f32),
                 1 => {

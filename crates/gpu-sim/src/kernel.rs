@@ -103,6 +103,12 @@ pub trait Kernel {
     /// LDS words this kernel allocates per group.
     fn lds_words(&self) -> usize;
 
+    /// Human-readable label for a phase index, used by execution traces
+    /// (e.g. `"tile-load"`, `"force-eval"`). The default is the bare index.
+    fn phase_label(&self, phase: usize) -> String {
+        format!("phase{phase}")
+    }
+
     /// Executes one phase for one work-item.
     fn phase(
         &self,

@@ -45,6 +45,14 @@ impl Kernel for SumReduceKernel {
         1024
     }
 
+    fn phase_label(&self, phase: usize) -> String {
+        match phase {
+            0 => "load".into(),
+            1 => "tree-reduce".into(),
+            _ => "write-partial".into(),
+        }
+    }
+
     fn phase(&self, phase: usize, ctx: &mut ItemCtx<'_>, _r: &mut (), group: &ReduceGroupRegs) {
         match phase {
             // load one element per item into LDS (zero for the tail)
@@ -107,7 +115,12 @@ impl Kernel for SumReduceKernel {
 ///
 /// # Panics
 /// Panics if `local` is not a power of two or exceeds the device limit.
-pub fn device_sum(device: &mut crate::device::Device, input: BufF32, n: usize, local: usize) -> f32 {
+pub fn device_sum(
+    device: &mut crate::device::Device,
+    input: BufF32,
+    n: usize,
+    local: usize,
+) -> f32 {
     assert!(local.is_power_of_two(), "local size must be a power of two");
     let mut src = input;
     let mut count = n;
@@ -115,10 +128,7 @@ pub fn device_sum(device: &mut crate::device::Device, input: BufF32, n: usize, l
         let groups = count.div_ceil(local);
         let dst = device.alloc_f32(groups.max(1));
         let kernel = SumReduceKernel { input: src, output: dst, n: count };
-        device.launch(
-            &kernel,
-            crate::kernel::NdRange { global: groups * local, local },
-        );
+        device.launch(&kernel, crate::kernel::NdRange { global: groups * local, local });
         src = dst;
         count = groups;
     }

@@ -59,6 +59,7 @@ pub mod pcie;
 pub mod race;
 pub mod sched;
 pub mod spec;
+pub mod trace;
 
 /// Common imports for writing and launching kernels.
 pub mod prelude {
@@ -70,8 +71,9 @@ pub mod prelude {
     pub use crate::kernels::{device_sum, SumReduceKernel};
     pub use crate::pcie::TransferModel;
     pub use crate::race::{Race, RaceDetector, Space};
-    pub use crate::sched::{schedule_launch, LaunchTiming};
+    pub use crate::sched::{schedule_launch, schedule_launch_placed, GroupPlacement, LaunchTiming};
     pub use crate::spec::DeviceSpec;
+    pub use crate::trace::{LaunchTrace, MemoryTraceSink, Trace, TraceSink};
 }
 
 pub use prelude::*;

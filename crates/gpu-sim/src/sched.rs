@@ -81,6 +81,21 @@ fn group_cycles(cost: &GroupCost, spec: &DeviceSpec, k: f64) -> f64 {
     alu.max(lds).max(mem) + cost.barriers as f64 * BARRIER_CYCLES
 }
 
+/// Where the scheduler put one work-group: compute unit and busy interval in
+/// core cycles from launch start. The raw material of execution traces and
+/// observed time-space grids.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupPlacement {
+    /// Work-group index (launch order).
+    pub group: usize,
+    /// Compute unit it ran on.
+    pub cu: usize,
+    /// Cycle at which the group started.
+    pub start_cycle: f64,
+    /// Cycle at which the group retired.
+    pub end_cycle: f64,
+}
+
 /// Times a launch whose groups produced `group_costs`, for work-groups of
 /// `local_size` items using `lds_words` words of LDS each.
 pub fn schedule_launch(
@@ -89,6 +104,18 @@ pub fn schedule_launch(
     lds_words: usize,
     group_costs: &[GroupCost],
 ) -> LaunchTiming {
+    schedule_launch_placed(spec, local_size, lds_words, group_costs).0
+}
+
+/// [`schedule_launch`] plus the per-group CU placements the greedy scheduler
+/// chose. The timing is bit-identical to `schedule_launch`'s — this *is* the
+/// scheduling loop, with the intermediate state kept instead of discarded.
+pub fn schedule_launch_placed(
+    spec: &DeviceSpec,
+    local_size: usize,
+    lds_words: usize,
+    group_costs: &[GroupCost],
+) -> (LaunchTiming, Vec<GroupPlacement>) {
     let cus = spec.compute_units as usize;
     // Latency hiding needs groups actually resident, not just capacity for
     // them: a launch with one group per CU exposes full memory latency no
@@ -98,8 +125,9 @@ pub fn schedule_launch(
     let resident = group_costs.len().div_ceil(cus).max(1);
     let k = capacity.min(resident);
     let mut cu_busy = vec![0.0_f64; cus];
+    let mut placements = Vec::with_capacity(group_costs.len());
 
-    for cost in group_costs {
+    for (group, cost) in group_costs.iter().enumerate() {
         let cycles = group_cycles(cost, spec, k as f64);
         // least-loaded CU, lowest index on ties: deterministic
         let (idx, _) = cu_busy
@@ -107,7 +135,9 @@ pub fn schedule_launch(
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
             .expect("at least one CU");
+        let start_cycle = cu_busy[idx];
         cu_busy[idx] += cycles;
+        placements.push(GroupPlacement { group, cu: idx, start_cycle, end_cycle: cu_busy[idx] });
     }
 
     let compute_cycles = cu_busy.iter().copied().fold(0.0, f64::max);
@@ -119,17 +149,20 @@ pub fn schedule_launch(
     let mean_busy = cu_busy.iter().sum::<f64>() / cus as f64;
     let utilization = if compute_cycles > 0.0 { mean_busy / compute_cycles } else { 0.0 };
 
-    LaunchTiming {
-        seconds,
-        compute_cycles,
-        bandwidth_floor_s,
-        bandwidth_bound: bandwidth_floor_s > compute_s,
-        occupancy_groups_per_cu: k,
-        cu_busy_cycles: cu_busy,
-        utilization,
-        total_cost,
-        num_groups: group_costs.len(),
-    }
+    (
+        LaunchTiming {
+            seconds,
+            compute_cycles,
+            bandwidth_floor_s,
+            bandwidth_bound: bandwidth_floor_s > compute_s,
+            occupancy_groups_per_cu: k,
+            cu_busy_cycles: cu_busy,
+            utilization,
+            total_cost,
+            num_groups: group_costs.len(),
+        },
+        placements,
+    )
 }
 
 #[cfg(test)]

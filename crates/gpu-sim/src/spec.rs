@@ -103,8 +103,7 @@ impl DeviceSpec {
         Self {
             name: format!("{} [{} CUs]", self.name, cus),
             compute_units: cus,
-            global_bandwidth_bytes_per_sec: self.global_bandwidth_bytes_per_sec
-                * f64::from(cus)
+            global_bandwidth_bytes_per_sec: self.global_bandwidth_bytes_per_sec * f64::from(cus)
                 / f64::from(self.compute_units),
             ..self.clone()
         }
@@ -146,9 +145,7 @@ impl DeviceSpec {
     /// How many groups of `local_size` items using `lds_words` words of LDS
     /// can be resident on one CU simultaneously.
     pub fn groups_per_cu(&self, local_size: usize, lds_words: usize) -> usize {
-        let by_lds = (self.lds_words_per_cu as usize)
-            .checked_div(lds_words)
-            .unwrap_or(usize::MAX);
+        let by_lds = (self.lds_words_per_cu as usize).checked_div(lds_words).unwrap_or(usize::MAX);
         let waves = self.waves_per_group(local_size).max(1);
         let by_waves = (self.max_waves_per_cu as usize) / waves;
         by_lds.min(by_waves).min(self.max_groups_per_cu as usize)

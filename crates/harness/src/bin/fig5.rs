@@ -1,8 +1,10 @@
-//! Regenerates the paper's Figure 5.
+//! Regenerates the paper's Figure 5. `--trace <path>` also writes an
+//! execution trace of all four plans.
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = harness::config_from_args(&args);
     let mut runner = harness::Runner::new(cfg);
     let rows = harness::fig5::fig5(&mut runner);
     print!("{}", harness::fig5::render(&rows));
+    harness::trace_export::run_trace_flag(&args, &mut runner);
 }

@@ -1,9 +1,6 @@
 //! Prints the load-imbalance ablation (uniform vs clustered workloads).
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(8192);
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8192);
     let rows = harness::imbalance::imbalance_experiment(n, 20110101);
     print!("{}", harness::imbalance::render(&rows));
 }

@@ -5,11 +5,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = harness::config_from_args(&args);
     let steps = cfg.steps;
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|p| args.get(p + 1))
-        .cloned();
+    let json_path = args.iter().position(|a| a == "--json").and_then(|p| args.get(p + 1)).cloned();
 
     println!("== PTPM fast N-body reproduction: full experiment suite ==\n");
     let results = harness::export::SuiteResults::run(cfg);
@@ -23,4 +19,7 @@ fn main() {
         std::fs::write(&path, results.to_json()).expect("write JSON results");
         println!("machine-readable results written to {path}");
     }
+
+    let mut runner = harness::Runner::new(results.config.clone());
+    harness::trace_export::run_trace_flag(&args, &mut runner);
 }

@@ -1,4 +1,5 @@
-//! Regenerates the paper's Table 2.
+//! Regenerates the paper's Table 2. `--trace <path>` also writes an
+//! execution trace of all four plans.
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = harness::config_from_args(&args);
@@ -6,4 +7,5 @@ fn main() {
     let mut runner = harness::Runner::new(cfg);
     let rows = harness::table2::table2(&mut runner);
     print!("{}", harness::table2::render(&rows, steps));
+    harness::trace_export::run_trace_flag(&args, &mut runner);
 }

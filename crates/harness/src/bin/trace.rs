@@ -1,0 +1,60 @@
+//! Captures execution traces without running any experiment.
+//!
+//! ```text
+//! cargo run -p harness --release --bin trace -- \
+//!     [--n 1024] [--plan all|i|j|w|jw] [--out trace.json]
+//! ```
+//!
+//! Writes Chrome trace JSON (open in `chrome://tracing` or Perfetto), or
+//! CSV when the output path ends in `.csv`. Without `--out`, prints the
+//! document to stdout.
+
+use plans::prelude::PlanKind;
+
+fn plan_kinds(id: &str) -> Vec<PlanKind> {
+    match id {
+        "all" => PlanKind::all().to_vec(),
+        "i" | "i-parallel" => vec![PlanKind::IParallel],
+        "j" | "j-parallel" => vec![PlanKind::JParallel],
+        "w" | "w-parallel" => vec![PlanKind::WParallel],
+        "jw" | "jw-parallel" => vec![PlanKind::JwParallel],
+        other => {
+            eprintln!("unknown plan `{other}` (expected all, i, j, w or jw)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|p| args.get(p + 1)).map(String::as_str)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = harness::config_from_args(&args);
+    let n: usize = match arg_value(&args, "--n") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--n expects a number, got `{v}`");
+            std::process::exit(2);
+        }),
+        None => 1024,
+    };
+    let kinds = plan_kinds(arg_value(&args, "--plan").unwrap_or("all"));
+
+    let mut runner = harness::Runner::new(cfg);
+    let traces: Vec<_> = kinds
+        .into_iter()
+        .map(|kind| harness::trace_export::capture(&mut runner, kind, n))
+        .collect();
+
+    match arg_value(&args, "--out") {
+        Some(path) => {
+            if let Err(e) = harness::trace_export::write_trace(path, &traces) {
+                eprintln!("cannot write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {} plan trace(s) at N={n} to {path}", traces.len());
+        }
+        None => print!("{}", harness::trace_export::chrome_trace_json(&traces)),
+    }
+}

@@ -1,9 +1,6 @@
 //! Prints the what-if device comparison.
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(4096);
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4096);
     let rows = harness::whatif::whatif(n, 20110101);
     print!("{}", harness::whatif::render(&rows));
 }

@@ -16,7 +16,13 @@ pub struct Series {
 /// Renders one or more series into a fixed-size ASCII chart. X values are
 /// plotted on a log₂ axis (the experiment sweeps double N), y linearly from
 /// zero to the data maximum. Each series draws with its own glyph.
-pub fn render_chart(title: &str, y_label: &str, series: &[Series], width: usize, height: usize) -> String {
+pub fn render_chart(
+    title: &str,
+    y_label: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+) -> String {
     assert!(width >= 16 && height >= 4, "chart too small");
     let glyphs = ['*', 'o', '+', 'x', '#', '@'];
 
@@ -34,8 +40,8 @@ pub fn render_chart(title: &str, y_label: &str, series: &[Series], width: usize,
     for (si, s) in series.iter().enumerate() {
         let glyph = glyphs[si % glyphs.len()];
         for &(x, y) in &s.points {
-            let cx = (((x.max(1.0).log2() - lx_min) / lx_span) * (width - 1) as f64).round()
-                as usize;
+            let cx =
+                (((x.max(1.0).log2() - lx_min) / lx_span) * (width - 1) as f64).round() as usize;
             let cy = ((y / y_max) * (height - 1) as f64).round() as usize;
             let row = height - 1 - cy.min(height - 1);
             grid[row][cx.min(width - 1)] = glyph;

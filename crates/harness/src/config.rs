@@ -54,11 +54,7 @@ impl ExperimentConfig {
 
     /// A reduced sweep for tests and CI smoke runs.
     pub fn quick() -> Self {
-        Self {
-            sizes: vec![256, 1024, 8192],
-            steps: 10,
-            ..Self::paper()
-        }
+        Self { sizes: vec![256, 1024, 8192], steps: 10, ..Self::paper() }
     }
 
     /// The workload at one size.

@@ -122,9 +122,6 @@ mod tests {
         // 4x bodies: PP should grow markedly faster than BH
         let pp_ratio = t2.pp_seconds / t1.pp_seconds;
         let bh_ratio = t2.bh_seconds / t1.bh_seconds;
-        assert!(
-            pp_ratio > bh_ratio,
-            "pp ratio {pp_ratio} should exceed bh ratio {bh_ratio}"
-        );
+        assert!(pp_ratio > bh_ratio, "pp ratio {pp_ratio} should exceed bh ratio {bh_ratio}");
     }
 }

@@ -114,10 +114,7 @@ mod tests {
         let last = rows.last().unwrap();
         let gap_small = first.jw_gflops / first.i_gflops;
         let gap_large = last.jw_gflops / last.i_gflops;
-        assert!(
-            gap_large < gap_small,
-            "jw/i gap should narrow: {gap_small} -> {gap_large}"
-        );
+        assert!(gap_large < gap_small, "jw/i gap should narrow: {gap_small} -> {gap_large}");
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //! | [`table3`] | Table 3 — kernel-only time of the four plans | `--bin table3` |
 //!
 //! `--bin repro-all` runs the full suite. Every binary accepts `--quick`
-//! for a reduced sweep.
+//! for a reduced sweep, and the figure/table binaries accept
+//! `--trace <path>` to also write an execution trace of all four plans
+//! (Chrome trace JSON, or CSV when the path ends in `.csv` — see
+//! [`trace_export`]). The `trace` binary captures traces without running
+//! any experiment.
 
 #![warn(missing_docs)]
 
@@ -30,6 +34,7 @@ pub mod table;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod trace_export;
 pub mod whatif;
 
 pub use config::ExperimentConfig;

@@ -3,9 +3,10 @@
 
 use crate::config::ExperimentConfig;
 use gpu_sim::device::Device;
+use gpu_sim::trace::{MemoryTraceSink, Trace};
 use nbody_core::body::ParticleSet;
-use plans::prelude::*;
 use plans::make_plan;
+use plans::prelude::*;
 use std::collections::HashMap;
 
 /// Caching evaluator over the experiment grid.
@@ -15,13 +16,14 @@ pub struct Runner {
     device: Device,
     sets: HashMap<usize, ParticleSet>,
     outcomes: HashMap<(PlanKind, usize), PlanOutcome>,
+    traces: HashMap<(PlanKind, usize), Trace>,
 }
 
 impl Runner {
     /// Creates a runner for a configuration.
     pub fn new(cfg: ExperimentConfig) -> Self {
         let device = cfg.device();
-        Self { cfg, device, sets: HashMap::new(), outcomes: HashMap::new() }
+        Self { cfg, device, sets: HashMap::new(), outcomes: HashMap::new(), traces: HashMap::new() }
     }
 
     /// The workload at size `n` (generated once).
@@ -40,6 +42,28 @@ impl Runner {
         let outcome = plan.evaluate(&mut self.device, &set, &self.cfg.gravity);
         self.outcomes.insert((kind, n), outcome.clone());
         outcome
+    }
+
+    /// The execution trace of one plan at one size (captured once).
+    ///
+    /// The traced run uses a fresh device so its timeline starts at zero;
+    /// the observed timings are identical to the untraced run (the traced
+    /// launch path recomputes the exact same schedule), so the outcome cache
+    /// is primed from the traced evaluation as well.
+    pub fn trace(&mut self, kind: PlanKind, n: usize) -> Trace {
+        if let Some(t) = self.traces.get(&(kind, n)) {
+            return t.clone();
+        }
+        let set = self.set(n).clone();
+        let mut device = self.cfg.device();
+        let sink = MemoryTraceSink::new();
+        device.set_trace_sink(Box::new(sink.clone()));
+        let plan = make_plan(kind, self.cfg.plan);
+        let outcome = plan.evaluate(&mut device, &set, &self.cfg.gravity);
+        self.outcomes.entry((kind, n)).or_insert(outcome);
+        let trace = sink.snapshot();
+        self.traces.insert((kind, n), trace.clone());
+        trace
     }
 
     /// Measured host-baseline seconds scaled by the configured CPU slowdown

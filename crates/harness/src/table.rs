@@ -119,7 +119,7 @@ mod tests {
         assert!(s.starts_with("Demo\n"));
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
-        // all data lines same width
+                                    // all data lines same width
         assert_eq!(lines[3].len(), lines[4].len());
         assert!(!t.is_empty());
         assert_eq!(t.len(), 2);

@@ -67,15 +67,7 @@ pub fn table1(runner: &mut Runner) -> Vec<Table1Row> {
 pub fn render(rows: &[Table1Row], steps: usize) -> String {
     let mut t = TextTable::new(
         format!("Table 1 — running time of {steps} steps: CPU vs GPU"),
-        &[
-            "N",
-            "CPU PP",
-            "GPU PP (i-par)",
-            "speedup",
-            "CPU BH",
-            "GPU jw-parallel",
-            "speedup",
-        ],
+        &["N", "CPU PP", "GPU PP (i-par)", "speedup", "CPU BH", "GPU jw-parallel", "speedup"],
     );
     for r in rows {
         t.row(vec![

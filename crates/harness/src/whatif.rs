@@ -55,17 +55,11 @@ pub fn whatif(n: usize, seed: u64) -> Vec<WhatIfRow> {
         .map(|spec| {
             let mut kernel_s = [0.0_f64; 4];
             for (k, kind) in PlanKind::all().into_iter().enumerate() {
-                let mut dev =
-                    Device::with_transfer_model(spec.clone(), TransferModel::pcie2_x16());
+                let mut dev = Device::with_transfer_model(spec.clone(), TransferModel::pcie2_x16());
                 let plan = make_plan(kind, PlanConfig::default());
                 kernel_s[k] = plan.evaluate(&mut dev, &set, &params).kernel_s;
             }
-            WhatIfRow {
-                device: spec.name.clone(),
-                cus: spec.compute_units,
-                n,
-                kernel_s,
-            }
+            WhatIfRow { device: spec.name.clone(), cus: spec.compute_units, n, kernel_s }
         })
         .collect()
 }

@@ -192,12 +192,7 @@ impl ParticleSet {
         if m <= 0.0 {
             return None;
         }
-        let weighted: Vec3 = self
-            .pos
-            .iter()
-            .zip(&self.mass)
-            .map(|(&p, &mi)| p * mi)
-            .sum();
+        let weighted: Vec3 = self.pos.iter().zip(&self.mass).map(|(&p, &mi)| p * mi).sum();
         Some(weighted / m)
     }
 
@@ -207,20 +202,14 @@ impl ParticleSet {
         if m <= 0.0 {
             return None;
         }
-        let weighted: Vec3 = self
-            .vel
-            .iter()
-            .zip(&self.mass)
-            .map(|(&v, &mi)| v * mi)
-            .sum();
+        let weighted: Vec3 = self.vel.iter().zip(&self.mass).map(|(&v, &mi)| v * mi).sum();
         Some(weighted / m)
     }
 
     /// Shifts positions and velocities so the center of mass sits at the
     /// origin with zero net momentum. No-op on a massless set.
     pub fn recenter(&mut self) {
-        let (Some(com), Some(cov)) = (self.center_of_mass(), self.center_of_mass_velocity())
-        else {
+        let (Some(com), Some(cov)) = (self.center_of_mass(), self.center_of_mass_velocity()) else {
             return;
         };
         for p in &mut self.pos {
@@ -384,8 +373,7 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let set: ParticleSet =
-            (0..4).map(|i| Body::at_rest(Vec3::splat(i as f64), 1.0)).collect();
+        let set: ParticleSet = (0..4).map(|i| Body::at_rest(Vec3::splat(i as f64), 1.0)).collect();
         assert_eq!(set.len(), 4);
         assert_eq!(set.pos()[3], Vec3::splat(3.0));
     }

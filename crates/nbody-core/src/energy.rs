@@ -9,11 +9,7 @@ use serde::{Deserialize, Serialize};
 
 /// Total kinetic energy `Σ m v² / 2`.
 pub fn kinetic_energy(set: &ParticleSet) -> f64 {
-    set.vel()
-        .iter()
-        .zip(set.mass())
-        .map(|(v, &m)| 0.5 * m * v.norm_sq())
-        .sum()
+    set.vel().iter().zip(set.mass()).map(|(v, &m)| 0.5 * m * v.norm_sq()).sum()
 }
 
 /// Total energy `T + U` (the potential is `O(N²)`).
@@ -23,21 +19,12 @@ pub fn total_energy(set: &ParticleSet, params: &GravityParams) -> f64 {
 
 /// Net linear momentum `Σ m v`.
 pub fn linear_momentum(set: &ParticleSet) -> Vec3 {
-    set.vel()
-        .iter()
-        .zip(set.mass())
-        .map(|(&v, &m)| v * m)
-        .sum()
+    set.vel().iter().zip(set.mass()).map(|(&v, &m)| v * m).sum()
 }
 
 /// Net angular momentum about the origin `Σ m (x × v)`.
 pub fn angular_momentum(set: &ParticleSet) -> Vec3 {
-    set.pos()
-        .iter()
-        .zip(set.vel())
-        .zip(set.mass())
-        .map(|((&x, &v), &m)| x.cross(v) * m)
-        .sum()
+    set.pos().iter().zip(set.vel()).zip(set.mass()).map(|((&x, &v), &m)| x.cross(v) * m).sum()
 }
 
 /// Virial ratio `−2T/U`; ≈ 1 for a system in virial equilibrium (such as a
@@ -99,11 +86,7 @@ mod tests {
 
     #[test]
     fn kinetic_energy_simple() {
-        let set = ParticleSet::from_bodies(&[Body::new(
-            Vec3::ZERO,
-            Vec3::new(3.0, 4.0, 0.0),
-            2.0,
-        )]);
+        let set = ParticleSet::from_bodies(&[Body::new(Vec3::ZERO, Vec3::new(3.0, 4.0, 0.0), 2.0)]);
         assert_eq!(kinetic_energy(&set), 25.0);
     }
 

@@ -179,16 +179,8 @@ pub fn potential_energy(set: &ParticleSet, params: &GravityParams) -> f64 {
 /// of the reference field (plus a small floor) as the denominator.
 pub fn max_relative_error(reference: &[Vec3], candidate: &[Vec3]) -> f64 {
     assert_eq!(reference.len(), candidate.len(), "field length mismatch");
-    let scale = reference
-        .iter()
-        .map(|a| a.norm())
-        .fold(0.0_f64, f64::max)
-        .max(1e-30);
-    reference
-        .iter()
-        .zip(candidate)
-        .map(|(r, c)| (*r - *c).norm() / scale)
-        .fold(0.0, f64::max)
+    let scale = reference.iter().map(|a| a.norm()).fold(0.0_f64, f64::max).max(1e-30);
+    reference.iter().zip(candidate).map(|(r, c)| (*r - *c).norm() / scale).fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -215,7 +207,7 @@ mod tests {
         let a = pair_acceleration(Vec3::ZERO, Vec3::ZERO, 1.0, 1e-4);
         assert!(a.is_finite());
         assert_eq!(a, Vec3::ZERO); // zero direction
-        // nearly coincident: finite and bounded by 1/eps²-ish
+                                   // nearly coincident: finite and bounded by 1/eps²-ish
         let b = pair_acceleration(Vec3::ZERO, Vec3::new(1e-12, 0.0, 0.0), 1.0, 1e-4);
         assert!(b.is_finite());
     }
@@ -281,11 +273,7 @@ mod tests {
         let params = GravityParams::default();
         let mut acc = vec![Vec3::ZERO; set.len()];
         accelerations_pp(&set, &params, &mut acc);
-        let net: Vec3 = acc
-            .iter()
-            .zip(set.mass())
-            .map(|(&a, &m)| a * m)
-            .sum();
+        let net: Vec3 = acc.iter().zip(set.mass()).map(|(&a, &m)| a * m).sum();
         let scale: f64 = acc.iter().zip(set.mass()).map(|(a, m)| a.norm() * m).sum();
         assert!(net.norm() < 1e-11 * scale.max(1.0), "net force {net:?}");
     }

@@ -133,12 +133,8 @@ impl Hermite4 {
         {
             let (pos, vel) = set.pos_vel_mut();
             for i in 0..n {
-                let v_corr = v0[i]
-                    + (a0[i] + a1[i]) * (dt / 2.0)
-                    + (j0[i] - j1[i]) * (dt2 / 12.0);
-                let x_corr = x0[i]
-                    + (v0[i] + v_corr) * (dt / 2.0)
-                    + (a0[i] - a1[i]) * (dt2 / 12.0);
+                let v_corr = v0[i] + (a0[i] + a1[i]) * (dt / 2.0) + (j0[i] - j1[i]) * (dt2 / 12.0);
+                let x_corr = x0[i] + (v0[i] + v_corr) * (dt / 2.0) + (a0[i] - a1[i]) * (dt2 / 12.0);
                 pos[i] = x_corr;
                 vel[i] = v_corr;
             }
@@ -222,14 +218,7 @@ mod tests {
     #[test]
     fn static_equal_pair_has_zero_jerk() {
         // bodies at rest: dv = 0 and rv = 0 -> jerk vanishes
-        let (a, j) = pair_acceleration_jerk(
-            Vec3::ZERO,
-            Vec3::ZERO,
-            Vec3::X,
-            Vec3::ZERO,
-            1.0,
-            0.0,
-        );
+        let (a, j) = pair_acceleration_jerk(Vec3::ZERO, Vec3::ZERO, Vec3::X, Vec3::ZERO, 1.0, 0.0);
         assert!(a.norm() > 0.0);
         assert_eq!(j, Vec3::ZERO);
     }
@@ -256,10 +245,7 @@ mod tests {
         let start = set0.pos()[0];
         let err_h = hermite_set.pos()[0].distance(start);
         let err_l = lf_set.pos()[0].distance(start);
-        assert!(
-            err_h < err_l / 20.0,
-            "Hermite orbit error {err_h} should crush leapfrog {err_l}"
-        );
+        assert!(err_h < err_l / 20.0, "Hermite orbit error {err_h} should crush leapfrog {err_l}");
         // and its energy drift over this horizon is still excellent
         let e0 = total_energy(&set0, &params);
         let drift_h = ((total_energy(&hermite_set, &params) - e0) / e0).abs();

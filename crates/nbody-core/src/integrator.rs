@@ -280,9 +280,7 @@ mod tests {
 
     #[test]
     fn euler_is_less_accurate_than_leapfrog() {
-        let params;
-        let (s0, p) = binary();
-        params = p;
+        let (s0, params) = binary();
         let t = orbit_period(1.0, 2.0);
         let steps = 500;
         let dt = t / steps as f64;
@@ -295,10 +293,7 @@ mod tests {
         run(&mut s_kdk, &mut engine, &LeapfrogKdk, dt, steps);
         let err_euler = s_euler.pos()[0].distance(start);
         let err_kdk = s_kdk.pos()[0].distance(start);
-        assert!(
-            err_kdk < err_euler,
-            "leapfrog ({err_kdk}) should beat Euler ({err_euler})"
-        );
+        assert!(err_kdk < err_euler, "leapfrog ({err_kdk}) should beat Euler ({err_euler})");
     }
 
     #[test]

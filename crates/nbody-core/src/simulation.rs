@@ -170,13 +170,7 @@ mod tests {
     #[should_panic(expected = "dt must be positive")]
     fn bad_dt_rejected() {
         let params = GravityParams::default();
-        let _ = Simulation::new(
-            random_set(4, 2),
-            DirectPp::new(params),
-            LeapfrogKdk,
-            0.0,
-            params,
-        );
+        let _ = Simulation::new(random_set(4, 2), DirectPp::new(params), LeapfrogKdk, 0.0, params);
     }
 
     #[test]

@@ -67,9 +67,7 @@ pub fn random_set(n: usize, seed: u64) -> ParticleSet {
 /// A deterministic equal-mass cloud; total mass is exactly `n as f64`.
 pub fn equal_mass_set(n: usize, seed: u64) -> ParticleSet {
     let mut rng = XorShift64::new(seed);
-    (0..n)
-        .map(|_| Body::new(rng.uniform_vec3(-0.5, 0.5), Vec3::ZERO, 1.0))
-        .collect()
+    (0..n).map(|_| Body::new(rng.uniform_vec3(-0.5, 0.5), Vec3::ZERO, 1.0)).collect()
 }
 
 #[cfg(test)]

@@ -122,7 +122,7 @@ mod tests {
         let mut set = random_set(100, 1);
         // give it some motion so T > 0
         for v in set.vel_mut() {
-            *v = *v * 3.0;
+            *v *= 3.0;
         }
         // the virial ratio that must be preserved is the one of the
         // mass-normalized system (Q is not invariant under mass scaling:
@@ -169,10 +169,8 @@ mod tests {
 
     #[test]
     fn massless_rejected() {
-        let mut set = ParticleSet::from_bodies(&[crate::body::Body::at_rest(
-            crate::vec3::Vec3::X,
-            0.0,
-        )]);
+        let mut set =
+            ParticleSet::from_bodies(&[crate::body::Body::at_rest(crate::vec3::Vec3::X, 0.0)]);
         assert_eq!(to_standard_units(&mut set).unwrap_err(), UnitsError::Massless);
     }
 

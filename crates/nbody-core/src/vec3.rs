@@ -7,7 +7,9 @@
 
 use serde::{Deserialize, Serialize};
 use std::iter::Sum;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 macro_rules! define_vec3 {
     ($name:ident, $t:ty, $doc:expr) => {
@@ -101,21 +103,13 @@ macro_rules! define_vec3 {
             /// Component-wise minimum.
             #[inline]
             pub fn min(self, rhs: Self) -> Self {
-                Self {
-                    x: self.x.min(rhs.x),
-                    y: self.y.min(rhs.y),
-                    z: self.z.min(rhs.z),
-                }
+                Self { x: self.x.min(rhs.x), y: self.y.min(rhs.y), z: self.z.min(rhs.z) }
             }
 
             /// Component-wise maximum.
             #[inline]
             pub fn max(self, rhs: Self) -> Self {
-                Self {
-                    x: self.x.max(rhs.x),
-                    y: self.y.max(rhs.y),
-                    z: self.z.max(rhs.z),
-                }
+                Self { x: self.x.max(rhs.x), y: self.y.max(rhs.y), z: self.z.max(rhs.z) }
             }
 
             /// Largest component.

@@ -1,26 +1,28 @@
 //! Property-based tests of the physical symmetries the force law must obey:
 //! translation and rotation invariance, Newton's third law, mass linearity,
-//! and the inverse-square scaling law.
+//! softening monotonicity, energy extensivity, and leapfrog reversibility.
+//!
+//! Driven by the dependency-free `XorShift64` generator from
+//! `nbody_core::testutil` (the build environment has no crates registry,
+//! so proptest is unavailable); each property runs a fixed number of seeded
+//! random cases, which keeps failures exactly reproducible by seed.
 
 use nbody_core::prelude::*;
-use proptest::prelude::*;
+use nbody_core::testutil::XorShift64;
 
-fn arb_cloud(max_n: usize) -> impl Strategy<Value = ParticleSet> {
-    prop::collection::vec(
-        (
-            (-5.0_f64..5.0, -5.0_f64..5.0, -5.0_f64..5.0),
-            (-1.0_f64..1.0, -1.0_f64..1.0, -1.0_f64..1.0),
-            0.1_f64..3.0,
-        ),
-        2..max_n,
-    )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .map(|((x, y, z), (vx, vy, vz), m)| {
-                Body::new(Vec3::new(x, y, z), Vec3::new(vx, vy, vz), m)
-            })
-            .collect()
-    })
+/// 2..=max_n bodies with positions in [-5, 5)³, velocities in [-1, 1)³,
+/// and masses in [0.1, 3).
+fn arb_cloud(rng: &mut XorShift64, max_n: usize) -> ParticleSet {
+    let n = 2 + (rng.next_u64() as usize) % (max_n - 1);
+    (0..n)
+        .map(|_| {
+            Body::new(
+                rng.uniform_vec3(-5.0, 5.0),
+                rng.uniform_vec3(-1.0, 1.0),
+                rng.uniform(0.1, 3.0),
+            )
+        })
+        .collect()
 }
 
 fn forces(set: &ParticleSet, params: &GravityParams) -> Vec<Vec3> {
@@ -33,14 +35,14 @@ fn params() -> GravityParams {
     GravityParams { g: 1.0, softening: 0.05 }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn translation_invariance(set in arb_cloud(40), shift in (-10.0_f64..10.0, -10.0_f64..10.0, -10.0_f64..10.0)) {
+#[test]
+fn translation_invariance() {
+    let mut rng = XorShift64::new(0xB1);
+    for _ in 0..48 {
+        let set = arb_cloud(&mut rng, 40);
+        let shift = rng.uniform_vec3(-10.0, 10.0);
         let p = params();
         let base = forces(&set, &p);
-        let shift = Vec3::new(shift.0, shift.1, shift.2);
         let mut moved = set.clone();
         for pos in moved.pos_mut() {
             *pos += shift;
@@ -48,13 +50,18 @@ proptest! {
         let shifted = forces(&moved, &p);
         for (a, b) in base.iter().zip(&shifted) {
             let scale = a.norm().max(1.0);
-            prop_assert!((*a - *b).norm() < 1e-9 * scale);
+            assert!((*a - *b).norm() < 1e-9 * scale);
         }
     }
+}
 
-    #[test]
-    fn rotation_equivariance(set in arb_cloud(30), angle in 0.0_f64..std::f64::consts::TAU) {
-        // rotate positions about z: forces rotate with them
+#[test]
+fn rotation_equivariance() {
+    // rotate positions about z: forces rotate with them
+    let mut rng = XorShift64::new(0xB2);
+    for _ in 0..48 {
+        let set = arb_cloud(&mut rng, 30);
+        let angle = rng.uniform(0.0, std::f64::consts::TAU);
         let p = params();
         let base = forces(&set, &p);
         let (s, c) = angle.sin_cos();
@@ -67,61 +74,80 @@ proptest! {
         for (a, b) in base.iter().zip(&rotated) {
             let expect = rot(*a);
             let scale = a.norm().max(1.0);
-            prop_assert!((expect - *b).norm() < 1e-9 * scale, "{expect:?} vs {b:?}");
+            assert!((expect - *b).norm() < 1e-9 * scale, "{expect:?} vs {b:?}");
         }
     }
+}
 
-    #[test]
-    fn newtons_third_law(set in arb_cloud(40)) {
+#[test]
+fn newtons_third_law() {
+    let mut rng = XorShift64::new(0xB3);
+    for _ in 0..48 {
+        let set = arb_cloud(&mut rng, 40);
         let p = params();
         let acc = forces(&set, &p);
         let net: Vec3 = acc.iter().zip(set.mass()).map(|(&a, &m)| a * m).sum();
         let scale: f64 = acc.iter().zip(set.mass()).map(|(a, m)| a.norm() * m).sum();
-        prop_assert!(net.norm() < 1e-10 * scale.max(1.0));
+        assert!(net.norm() < 1e-10 * scale.max(1.0));
     }
+}
 
-    #[test]
-    fn g_linearity(set in arb_cloud(25), g in 0.1_f64..10.0) {
+#[test]
+fn g_linearity() {
+    let mut rng = XorShift64::new(0xB4);
+    for _ in 0..48 {
+        let set = arb_cloud(&mut rng, 25);
+        let g = rng.uniform(0.1, 10.0);
         let base = forces(&set, &GravityParams { g: 1.0, softening: 0.05 });
         let scaled = forces(&set, &GravityParams { g, softening: 0.05 });
         for (a, b) in base.iter().zip(&scaled) {
             let scale = (a.norm() * g).max(1e-9);
-            prop_assert!((*a * g - *b).norm() < 1e-9 * scale);
+            assert!((*a * g - *b).norm() < 1e-9 * scale);
         }
     }
+}
 
-    #[test]
-    fn softening_only_weakens_close_forces(set in arb_cloud(25)) {
-        // larger ε never increases any |acceleration| contribution sum by
-        // much — compare magnitudes statistically (total field energy-ish)
+#[test]
+fn softening_only_weakens_close_forces() {
+    // larger ε never increases any |acceleration| contribution sum by
+    // much — compare magnitudes statistically (total field energy-ish)
+    let mut rng = XorShift64::new(0xB5);
+    for _ in 0..48 {
+        let set = arb_cloud(&mut rng, 25);
         let soft = forces(&set, &GravityParams { g: 1.0, softening: 0.5 });
         let hard = forces(&set, &GravityParams { g: 1.0, softening: 1e-6 });
         let soft_sum: f64 = soft.iter().map(|v| v.norm()).sum();
         let hard_sum: f64 = hard.iter().map(|v| v.norm()).sum();
-        prop_assert!(soft_sum <= hard_sum * 1.0001, "{soft_sum} vs {hard_sum}");
+        assert!(soft_sum <= hard_sum * 1.0001, "{soft_sum} vs {hard_sum}");
     }
+}
 
-    #[test]
-    fn energy_is_extensive_in_mass(set in arb_cloud(20), k in 0.5_f64..4.0) {
-        // scaling every mass by k scales U by k² and T by k
+#[test]
+fn energy_is_extensive_in_mass() {
+    // scaling every mass by k scales U by k² and T by k
+    let mut rng = XorShift64::new(0xB6);
+    for _ in 0..48 {
+        let set = arb_cloud(&mut rng, 20);
+        let k = rng.uniform(0.5, 4.0);
         let p = GravityParams { g: 1.0, softening: 0.05 };
         let u1 = nbody_core::gravity::potential_energy(&set, &p);
         let t1 = nbody_core::energy::kinetic_energy(&set);
-        let scaled: ParticleSet = set
-            .to_bodies()
-            .iter()
-            .map(|b| Body::new(b.pos, b.vel, b.mass * k))
-            .collect();
+        let scaled: ParticleSet =
+            set.to_bodies().iter().map(|b| Body::new(b.pos, b.vel, b.mass * k)).collect();
         let u2 = nbody_core::gravity::potential_energy(&scaled, &p);
         let t2 = nbody_core::energy::kinetic_energy(&scaled);
-        prop_assert!((u2 - k * k * u1).abs() < 1e-9 * u1.abs().max(1.0));
-        prop_assert!((t2 - k * t1).abs() < 1e-9 * t1.abs().max(1.0));
+        assert!((u2 - k * k * u1).abs() < 1e-9 * u1.abs().max(1.0));
+        assert!((t2 - k * t1).abs() < 1e-9 * t1.abs().max(1.0));
     }
+}
 
-    #[test]
-    fn leapfrog_is_time_reversible(set in arb_cloud(15)) {
-        // integrate forward n steps, flip velocities, integrate n more:
-        // positions return (leapfrog is symmetric)
+#[test]
+fn leapfrog_is_time_reversible() {
+    // integrate forward n steps, flip velocities, integrate n more:
+    // positions return (leapfrog is symmetric)
+    let mut rng = XorShift64::new(0xB7);
+    for _ in 0..16 {
+        let set = arb_cloud(&mut rng, 15);
         let p = GravityParams { g: 1.0, softening: 0.1 };
         let mut sim = set.clone();
         let mut engine = DirectPp::new(p);
@@ -131,7 +157,7 @@ proptest! {
         }
         run(&mut sim, &mut engine, &LeapfrogKdk, 1e-3, 20);
         for (a, b) in set.pos().iter().zip(sim.pos()) {
-            prop_assert!(a.distance(*b) < 1e-9, "{a:?} vs {b:?}");
+            assert!(a.distance(*b) < 1e-9, "{a:?} vs {b:?}");
         }
     }
 }

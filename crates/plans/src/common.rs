@@ -279,11 +279,8 @@ pub fn download_acc(device: &mut Device, acc_out: BufF32, n: usize, g: f64) -> V
     let raw = device.download_f32(acc_out);
     (0..n)
         .map(|i| {
-            Vec3::new(
-                f64::from(raw[4 * i]),
-                f64::from(raw[4 * i + 1]),
-                f64::from(raw[4 * i + 2]),
-            ) * g
+            Vec3::new(f64::from(raw[4 * i]), f64::from(raw[4 * i + 1]), f64::from(raw[4 * i + 2]))
+                * g
         })
         .collect()
 }
@@ -362,21 +359,15 @@ mod tests {
         let overlapped = PlanOutcome { overlap_walk_with_kernel: true, ..base.clone() };
         // walk (2) hides under kernel (3)
         assert_eq!(overlapped.total_seconds(), 4.5);
-        let walk_bound = PlanOutcome {
-            host_walk_s: 5.0,
-            overlap_walk_with_kernel: true,
-            ..base
-        };
+        let walk_bound = PlanOutcome { host_walk_s: 5.0, overlap_walk_with_kernel: true, ..base };
         assert_eq!(walk_bound.total_seconds(), 6.5);
     }
 
     #[test]
     fn upload_download_roundtrip() {
         use nbody_core::testutil::random_set;
-        let mut dev = Device::with_transfer_model(
-            DeviceSpec::radeon_hd_5850(),
-            TransferModel::free(),
-        );
+        let mut dev =
+            Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::free());
         let set = random_set(10, 1);
         let (pos_mass, acc_out) = upload_bodies(&mut dev, &set);
         assert_eq!(dev.debug_pool().len_f32(pos_mass), 40);

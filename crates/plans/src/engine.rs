@@ -90,10 +90,8 @@ mod tests {
     use nbody_core::testutil::random_set;
 
     fn engine(kind: PlanKind) -> PlanForceEngine {
-        let device = Device::with_transfer_model(
-            DeviceSpec::radeon_hd_5850(),
-            TransferModel::pcie2_x16(),
-        );
+        let device =
+            Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::pcie2_x16());
         PlanForceEngine::new(
             device,
             make_plan(kind, PlanConfig::default()),

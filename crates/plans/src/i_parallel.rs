@@ -57,6 +57,15 @@ impl Kernel for IParallelKernel {
         self.block * 4
     }
 
+    fn phase_label(&self, phase: usize) -> String {
+        match phase {
+            0 => "load-self".into(),
+            1 => "tile-load".into(),
+            2 => "force-eval".into(),
+            _ => "write-acc".into(),
+        }
+    }
+
     fn phase(&self, phase: usize, ctx: &mut ItemCtx<'_>, regs: &mut IItemRegs, group: &IGroupRegs) {
         match phase {
             // load own body
@@ -157,6 +166,7 @@ impl ExecutionPlan for IParallel {
         let n_padded = n.div_ceil(p).max(1) * p;
 
         let packed = packed_padded(set, n_padded);
+        device.annotate("i-parallel: upload");
         let pos_mass = device.alloc_f32(packed.len());
         device.upload_f32(pos_mass, &packed);
         let acc_out = device.alloc_f32(n * 4);
@@ -169,7 +179,9 @@ impl ExecutionPlan for IParallel {
             block: p,
             eps_sq: (params.eps_sq()) as f32,
         };
+        device.annotate("i-parallel: force-eval");
         device.launch(&kernel, NdRange { global: n_padded, local: p });
+        device.annotate("i-parallel: download");
         let acc = download_acc(device, acc_out, n, params.g);
 
         PlanOutcome {

@@ -94,6 +94,15 @@ impl Kernel for JPartialKernel {
         self.block * 4
     }
 
+    fn phase_label(&self, phase: usize) -> String {
+        match phase {
+            0 => "load-targets".into(),
+            1 => "tile-load".into(),
+            2 => "force-eval".into(),
+            _ => "write-partial".into(),
+        }
+    }
+
     fn phase(&self, phase: usize, ctx: &mut ItemCtx<'_>, regs: &mut JItemRegs, group: &JGroupRegs) {
         match phase {
             0 => {
@@ -178,6 +187,10 @@ impl Kernel for JReduceKernel {
         0
     }
 
+    fn phase_label(&self, _phase: usize) -> String {
+        "reduction".into()
+    }
+
     fn phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>, _regs: &mut (), _group: &()) {
         let i = ctx.global_id;
         if i >= self.n {
@@ -242,19 +255,24 @@ impl ExecutionPlan for JParallel {
         let slice_len = n_padded.div_ceil(s_count);
 
         let packed = packed_padded(set, n_padded);
+        device.annotate("j-parallel: upload");
         let pos_mass = device.alloc_f32(packed.len());
         device.upload_f32(pos_mass, &packed);
         let partial = device.alloc_f32(s_count * n_padded * 4);
         let acc_out = device.alloc_f32(n * 4);
 
         let eps_sq = params.eps_sq() as f32;
-        let k1 = JPartialKernel { pos_mass, partial, n_padded, block: p, s_count, slice_len, eps_sq };
+        let k1 =
+            JPartialKernel { pos_mass, partial, n_padded, block: p, s_count, slice_len, eps_sq };
         let groups = (n_padded / p) * s_count;
+        device.annotate("j-parallel: force-eval");
         device.launch(&k1, NdRange { global: groups * p, local: p });
 
         let k2 = JReduceKernel { partial, acc_out, n, n_padded, s_count };
+        device.annotate("j-parallel: reduction");
         device.launch(&k2, NdRange::round_up(n, p.min(256)));
 
+        device.annotate("j-parallel: download");
         let acc = download_acc(device, acc_out, n, params.g);
 
         PlanOutcome {
@@ -355,10 +373,7 @@ mod tests {
         let j = JParallel::default().evaluate(&mut dev, &set, &params());
         let i = IParallel::default().evaluate(&mut dev, &set, &params());
         let ratio = j.kernel_s / i.kernel_s;
-        assert!(
-            ratio > 0.8 && ratio < 1.3,
-            "at large N the plans should converge, ratio {ratio}"
-        );
+        assert!(ratio > 0.8 && ratio < 1.3, "at large N the plans should converge, ratio {ratio}");
     }
 
     #[test]

@@ -136,7 +136,22 @@ impl Kernel for JwPartialKernel {
         self.walk_size * 4
     }
 
-    fn phase(&self, phase: usize, ctx: &mut ItemCtx<'_>, regs: &mut JwItemRegs, group: &JwGroupRegs) {
+    fn phase_label(&self, phase: usize) -> String {
+        match phase {
+            0 => "load-targets".into(),
+            1 => "tile-load".into(),
+            2 => "force-eval".into(),
+            _ => "write-partial".into(),
+        }
+    }
+
+    fn phase(
+        &self,
+        phase: usize,
+        ctx: &mut ItemCtx<'_>,
+        regs: &mut JwItemRegs,
+        group: &JwGroupRegs,
+    ) {
         let block = self.blocks[ctx.group_id];
         match phase {
             0 => {
@@ -222,6 +237,10 @@ impl Kernel for JwReduceKernel {
 
     fn lds_words(&self) -> usize {
         0
+    }
+
+    fn phase_label(&self, _phase: usize) -> String {
+        "reduction".into()
     }
 
     fn phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>, _regs: &mut (), _group: &()) {
@@ -318,12 +337,12 @@ pub fn run_jw_kernels(
         return vec![nbody_core::vec3::Vec3::ZERO; n];
     }
     let total_entries = packed.list_data.len() / 4;
-    let slice_len = config
-        .jw_slice_len
-        .unwrap_or_else(|| auto_slice_len(total_entries, ws, device.spec()));
+    let slice_len =
+        config.jw_slice_len.unwrap_or_else(|| auto_slice_len(total_entries, ws, device.spec()));
     let (blocks, slot_ranges) = slice_walks(&packed.walk_desc, slice_len);
     let total_slots = blocks.len();
 
+    device.annotate("jw-parallel: upload");
     let pos_mass = device.alloc_f32(n * 4);
     device.upload_f32(pos_mass, &set.pack_pos_mass_f32());
     let list_data = device.alloc_f32(packed.list_data.len().max(1));
@@ -342,11 +361,14 @@ pub fn run_jw_kernels(
         walk_size: ws,
         eps_sq: params.eps_sq() as f32,
     };
+    device.annotate("jw-parallel: force-eval");
     device.launch(&k1, NdRange { global: total_slots * ws, local: ws });
 
     let k2 = JwReduceKernel { partial, targets, acc_out, slot_ranges, walk_size: ws };
+    device.annotate("jw-parallel: reduction");
     device.launch(&k2, NdRange { global: num_walks.max(1) * ws, local: ws });
 
+    device.annotate("jw-parallel: download");
     download_acc(device, acc_out, n, params.g)
 }
 
@@ -398,11 +420,7 @@ mod tests {
         assert_eq!(ranges, vec![(0, 5), (5, 1), (6, 1), (7, 1)]);
         // coverage per walk
         for (w, &(start, len)) in desc.iter().enumerate() {
-            let covered: u32 = blocks
-                .iter()
-                .filter(|b| b.walk == w as u32)
-                .map(|b| b.len)
-                .sum();
+            let covered: u32 = blocks.iter().filter(|b| b.walk == w as u32).map(|b| b.len).sum();
             assert_eq!(covered, len);
             // slices are contiguous from start
             let mut cursor = start;
@@ -426,10 +444,7 @@ mod tests {
         let w_groups = dev.launches()[0].timing.num_groups;
         let _ = JwParallel::default().evaluate(&mut dev, &set, &params());
         let jw_groups = dev.launches()[0].timing.num_groups;
-        assert!(
-            jw_groups > 2 * w_groups,
-            "jw should multiply blocks: {jw_groups} vs {w_groups}"
-        );
+        assert!(jw_groups > 2 * w_groups, "jw should multiply blocks: {jw_groups} vs {w_groups}");
     }
 
     #[test]

@@ -79,10 +79,7 @@ impl MultiGpuJw {
         let mut order: Vec<usize> = (0..walks.groups.len()).collect();
         // longest first; stable tie-break on index keeps determinism
         order.sort_by(|&a, &b| {
-            walks.groups[b]
-                .list_len()
-                .cmp(&walks.groups[a].list_len())
-                .then(a.cmp(&b))
+            walks.groups[b].list_len().cmp(&walks.groups[a].list_len()).then(a.cmp(&b))
         });
         let mut buckets = vec![Vec::new(); devices];
         let mut load = vec![0_usize; devices];
@@ -326,15 +323,8 @@ impl MultiGpuPp {
             let sources = device.alloc_f32(sources_data.len());
             device.upload_f32(sources, &sources_data);
             let acc_out = device.alloc_f32(n * 4);
-            let kernel = PpSlicedKernel {
-                targets,
-                sources,
-                acc_out,
-                n,
-                m_padded,
-                block: p,
-                eps_sq,
-            };
+            let kernel =
+                PpSlicedKernel { targets, sources, acc_out, n, m_padded, block: p, eps_sq };
             device.launch(&kernel, NdRange { global: n_padded, local: p });
             let dev_acc = crate::common::download_acc(&mut device, acc_out, n, params.g);
             for (a, da) in acc.iter_mut().zip(&dev_acc) {
@@ -357,11 +347,7 @@ impl MultiGpuPp {
             launches,
             overlap_walk_with_kernel: false,
         };
-        MultiGpuOutcome {
-            combined,
-            per_device_kernel_s,
-            walks_per_device: vec![0; d],
-        }
+        MultiGpuOutcome { combined, per_device_kernel_s, walks_per_device: vec![0; d] }
     }
 }
 
@@ -380,10 +366,8 @@ mod tests {
     #[test]
     fn multi_gpu_matches_single_gpu_physics() {
         let set = random_set(1200, 1);
-        let mut dev = Device::with_transfer_model(
-            DeviceSpec::radeon_hd_5850(),
-            TransferModel::pcie2_x16(),
-        );
+        let mut dev =
+            Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::pcie2_x16());
         let single = JwParallel::default().evaluate(&mut dev, &set, &params());
         let multi = MultiGpuJw::new(3).evaluate(&set, &params());
         let err = max_relative_error(&single.acc, &multi.combined.acc);
@@ -440,10 +424,8 @@ mod tests {
         }
         assert!(seen.iter().all(|&s| s));
         // LPT balance on list length
-        let loads: Vec<usize> = buckets
-            .iter()
-            .map(|b| b.iter().map(|&w| walks.groups[w].list_len()).sum())
-            .collect();
+        let loads: Vec<usize> =
+            buckets.iter().map(|b| b.iter().map(|&w| walks.groups[w].list_len()).sum()).collect();
         let max = *loads.iter().max().unwrap() as f64;
         let min = *loads.iter().min().unwrap() as f64;
         assert!(min / max > 0.8, "loads {loads:?}");
@@ -471,10 +453,8 @@ mod tests {
     fn multi_gpu_pp_matches_single_i_parallel() {
         use crate::i_parallel::IParallel;
         let set = random_set(1024, 7);
-        let mut dev = Device::with_transfer_model(
-            DeviceSpec::radeon_hd_5850(),
-            TransferModel::pcie2_x16(),
-        );
+        let mut dev =
+            Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::pcie2_x16());
         let single = IParallel::default().evaluate(&mut dev, &set, &params());
         let multi = MultiGpuPp::new(1).evaluate(&set, &params());
         let err = max_relative_error(&single.acc, &multi.combined.acc);

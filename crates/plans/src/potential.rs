@@ -55,7 +55,13 @@ impl Kernel for PotentialKernel {
         self.block * 4
     }
 
-    fn phase(&self, phase: usize, ctx: &mut ItemCtx<'_>, regs: &mut PotItemRegs, group: &PotGroupRegs) {
+    fn phase(
+        &self,
+        phase: usize,
+        ctx: &mut ItemCtx<'_>,
+        regs: &mut PotItemRegs,
+        group: &PotGroupRegs,
+    ) {
         match phase {
             0 => {
                 regs.xi = ctx.read_f32_vec_coalesced::<4>(self.pos_mass, 4 * ctx.global_id);

@@ -132,8 +132,7 @@ mod tests {
                 TuneObjective::KernelTime,
             );
             // the default config is in (or dominated by) the grid
-            let mut device =
-                Device::with_transfer_model(spec.clone(), TransferModel::pcie2_x16());
+            let mut device = Device::with_transfer_model(spec.clone(), TransferModel::pcie2_x16());
             let default_s = make_plan(kind, PlanConfig::default())
                 .evaluate(&mut device, &set, &params())
                 .kernel_s;

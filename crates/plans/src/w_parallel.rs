@@ -41,7 +41,12 @@ pub struct PackedWalks {
 
 /// Flattens a [`WalkSet`] against tree node and body data into device
 /// buffers.
-pub fn pack_walks(walks: &WalkSet, tree: &Octree, set: &ParticleSet, walk_size: usize) -> PackedWalks {
+pub fn pack_walks(
+    walks: &WalkSet,
+    tree: &Octree,
+    set: &ParticleSet,
+    walk_size: usize,
+) -> PackedWalks {
     let pos = set.pos();
     let mass = set.mass();
     let total_entries: usize = walks.groups.iter().map(|g| g.list_len()).sum();
@@ -137,6 +142,15 @@ impl Kernel for WWalkKernel {
 
     fn lds_words(&self) -> usize {
         self.walk_size * 4
+    }
+
+    fn phase_label(&self, phase: usize) -> String {
+        match phase {
+            0 => "load-targets".into(),
+            1 => "tile-load".into(),
+            2 => "force-eval".into(),
+            _ => "scatter-acc".into(),
+        }
     }
 
     fn phase(&self, phase: usize, ctx: &mut ItemCtx<'_>, regs: &mut WItemRegs, group: &WGroupRegs) {
@@ -237,11 +251,7 @@ pub(crate) fn prepare_walks(set: &ParticleSet, config: &PlanConfig) -> PreparedW
     let walks = build_walks(&tree, set, OpeningAngle::new(config.theta), config.walk_size);
     let packed = pack_walks(&walks, &tree, set, config.walk_size);
     let t2 = Instant::now();
-    PreparedWalks {
-        tree_s: (t1 - t0).as_secs_f64(),
-        walk_s: (t2 - t1).as_secs_f64(),
-        packed,
-    }
+    PreparedWalks { tree_s: (t1 - t0).as_secs_f64(), walk_s: (t2 - t1).as_secs_f64(), packed }
 }
 
 impl ExecutionPlan for WParallel {
@@ -265,6 +275,7 @@ impl ExecutionPlan for WParallel {
         let num_walks = packed.walk_desc.len();
         let entries = packed.list_data.len() / 4;
 
+        device.annotate("w-parallel: upload");
         let pos_mass = device.alloc_f32(n * 4);
         device.upload_f32(pos_mass, &set.pack_pos_mass_f32());
         let list_data = device.alloc_f32(packed.list_data.len().max(1));
@@ -282,10 +293,15 @@ impl ExecutionPlan for WParallel {
             walk_size: self.config.walk_size,
             eps_sq: params.eps_sq() as f32,
         };
+        device.annotate("w-parallel: force-eval");
         device.launch(
             &kernel,
-            NdRange { global: num_walks.max(1) * self.config.walk_size, local: self.config.walk_size },
+            NdRange {
+                global: num_walks.max(1) * self.config.walk_size,
+                local: self.config.walk_size,
+            },
         );
+        device.annotate("w-parallel: download");
         let acc = download_acc(device, acc_out, n, params.g);
 
         PlanOutcome {
@@ -365,9 +381,8 @@ mod tests {
         assert!(outcome.host_walk_s > 0.0);
         assert!(outcome.overlap_walk_with_kernel);
         // overlap: the walk time does not add if the kernel dominates
-        let expect = outcome.host_tree_s
-            + outcome.host_walk_s.max(outcome.kernel_s)
-            + outcome.transfer_s;
+        let expect =
+            outcome.host_tree_s + outcome.host_walk_s.max(outcome.kernel_s) + outcome.transfer_s;
         assert!((outcome.total_seconds() - expect).abs() < 1e-12);
     }
 

@@ -48,10 +48,7 @@ impl TimeSpaceGrid {
         let mut cu_time = vec![0.0_f64; cus];
         let mut placements = Vec::with_capacity(group_cycles.len());
         for (group, &cycles) in group_cycles.iter().enumerate() {
-            assert!(
-                cycles.is_finite() && cycles >= 0.0,
-                "group {group} has invalid cost {cycles}"
-            );
+            assert!(cycles.is_finite() && cycles >= 0.0, "group {group} has invalid cost {cycles}");
             let (cu, _) = cu_time
                 .iter()
                 .enumerate()
@@ -89,6 +86,72 @@ impl TimeSpaceGrid {
         min / max
     }
 
+    /// Builds a grid from already-placed spans (e.g. reconstructed from an
+    /// execution trace), computing the makespan from the placements.
+    ///
+    /// # Panics
+    /// Panics if `cus == 0` or any placement lies on a CU `>= cus` or has
+    /// `end < start`.
+    pub fn from_placements(placements: Vec<Placement>, cus: usize) -> Self {
+        assert!(cus > 0, "need at least one compute unit");
+        let mut makespan = 0.0_f64;
+        for p in &placements {
+            assert!(p.cu < cus, "placement on cu {} but grid has {cus}", p.cu);
+            assert!(
+                p.end >= p.start && p.start.is_finite() && p.end.is_finite(),
+                "group {} has invalid span [{}, {}]",
+                p.group,
+                p.start,
+                p.end
+            );
+            makespan = makespan.max(p.end);
+        }
+        Self { placements, cus, makespan }
+    }
+
+    /// Busy fraction of each (CU, time-bucket) cell: a `cus × buckets`
+    /// matrix with entries in `[0, 1]`, where entry `[cu][b]` is the
+    /// fraction of bucket `b` during which `cu` was busy. This is the
+    /// cell-level view PTPM reasons about, and the basis for comparing a
+    /// forecast grid against an observed one whose absolute time scales
+    /// differ (both are normalized to their own makespan).
+    pub fn utilization_cells(&self, buckets: usize) -> Vec<Vec<f64>> {
+        let mut cells = vec![vec![0.0_f64; buckets]; self.cus];
+        if buckets == 0 || self.makespan <= 0.0 {
+            return cells;
+        }
+        let dt = self.makespan / buckets as f64;
+        for p in &self.placements {
+            let first = ((p.start / dt).floor() as usize).min(buckets - 1);
+            let last = ((p.end / dt).ceil() as usize).min(buckets);
+            for (b, cell) in cells[p.cu].iter_mut().enumerate().take(last).skip(first) {
+                let lo = (b as f64) * dt;
+                let hi = lo + dt;
+                let overlap = (p.end.min(hi) - p.start.max(lo)).max(0.0);
+                *cell += overlap / dt;
+            }
+        }
+        for row in &mut cells {
+            for cell in row {
+                *cell = cell.min(1.0);
+            }
+        }
+        cells
+    }
+
+    /// Time-integrated busy CU-time per bucket (cycle units). Summing over
+    /// all buckets reproduces the total busy area of the placements
+    /// exactly (up to floating-point), unlike the point-sampled
+    /// [`occupancy_timeline`](Self::occupancy_timeline).
+    pub fn busy_area_timeline(&self, buckets: usize) -> Vec<f64> {
+        if buckets == 0 || self.makespan <= 0.0 {
+            return vec![0.0; buckets];
+        }
+        let dt = self.makespan / buckets as f64;
+        let cells = self.utilization_cells(buckets);
+        (0..buckets).map(|b| cells.iter().map(|row| row[b] * dt).sum()).collect()
+    }
+
     /// Number of busy CUs sampled at `buckets` evenly spaced instants.
     pub fn occupancy_timeline(&self, buckets: usize) -> Vec<usize> {
         if buckets == 0 || self.makespan <= 0.0 {
@@ -97,10 +160,7 @@ impl TimeSpaceGrid {
         (0..buckets)
             .map(|b| {
                 let t = (b as f64 + 0.5) / buckets as f64 * self.makespan;
-                self.placements
-                    .iter()
-                    .filter(|p| p.start <= t && t < p.end)
-                    .count()
+                self.placements.iter().filter(|p| p.start <= t && t < p.end).count()
             })
             .collect()
     }

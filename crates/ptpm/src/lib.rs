@@ -9,7 +9,9 @@
 //! * [`grid`] — the time-space grid, placements, utilization/balance
 //!   metrics, and an ASCII rendering for reports;
 //! * [`model`] — closed-form forecasts of each plan's launch shape, used to
-//!   *predict* the ranking the simulator then measures.
+//!   *predict* the ranking the simulator then measures;
+//! * [`observed`] — grids reconstructed from execution traces, and the
+//!   cell-by-cell diff of forecast against observation.
 //!
 //! ```
 //! use ptpm::prelude::*;
@@ -25,14 +27,17 @@
 
 pub mod grid;
 pub mod model;
+pub mod observed;
 
 /// Common imports.
 pub mod prelude {
     pub use crate::grid::{Placement, TimeSpaceGrid};
     pub use crate::model::{
-        forecast_blocks, forecast_i_parallel, forecast_j_parallel, forecast_jw_parallel,
-        forecast_w_parallel, Forecast,
+        forecast_blocks, forecast_grid, forecast_i_parallel, forecast_j_parallel,
+        forecast_jw_parallel, forecast_w_parallel, i_parallel_block_flops, j_parallel_block_flops,
+        jw_parallel_block_flops, w_parallel_block_flops, Forecast,
     };
+    pub use crate::observed::{compare_grids, observed_grid, observed_grids, GridComparison};
 }
 
 pub use prelude::*;

@@ -45,12 +45,22 @@ impl Forecast {
     }
 }
 
+/// The time-space grid a launch of the given per-block flop counts is
+/// forecast to occupy: blocks placed by the same greedy least-loaded
+/// discipline the simulator's scheduler uses, with per-block cycles from the
+/// ALU term alone. This *is* the forecast's internal geometry — exposed so
+/// it can be diffed cell-by-cell against a grid observed from an execution
+/// trace (see [`crate::observed`]).
+pub fn forecast_grid(block_flops: &[f64], spec: &DeviceSpec) -> TimeSpaceGrid {
+    let per_cu_rate = spec.charged_flops_per_cycle_per_cu;
+    let cycles: Vec<f64> = block_flops.iter().map(|f| f / per_cu_rate).collect();
+    TimeSpaceGrid::place(&cycles, spec.compute_units as usize)
+}
+
 /// Forecasts a launch from per-block flop counts: places blocks on the
 /// time-space grid and converts the makespan to seconds.
 pub fn forecast_blocks(block_flops: &[f64], spec: &DeviceSpec) -> Forecast {
-    let per_cu_rate = spec.charged_flops_per_cycle_per_cu;
-    let cycles: Vec<f64> = block_flops.iter().map(|f| f / per_cu_rate).collect();
-    let grid = TimeSpaceGrid::place(&cycles, spec.compute_units as usize);
+    let grid = forecast_grid(block_flops, spec);
     let total_flops: f64 = block_flops.iter().sum();
     Forecast {
         blocks: block_flops.len(),
@@ -61,12 +71,29 @@ pub fn forecast_blocks(block_flops: &[f64], spec: &DeviceSpec) -> Forecast {
     }
 }
 
-/// i-parallel: ⌈N/p⌉ blocks, each evaluating `p × N_pad` interactions.
-pub fn forecast_i_parallel(n: usize, block_size: usize, spec: &DeviceSpec) -> Forecast {
+/// Per-block flop counts of an i-parallel launch: ⌈N/p⌉ equal blocks, each
+/// evaluating `p × N_pad` interactions.
+pub fn i_parallel_block_flops(n: usize, block_size: usize) -> Vec<f64> {
     let n_pad = n.div_ceil(block_size).max(1) * block_size;
     let blocks = n_pad / block_size;
-    let flops_per_block = (block_size * n_pad) as f64 * FLOPS_PER_INTERACTION;
-    forecast_blocks(&vec![flops_per_block; blocks], spec)
+    vec![(block_size * n_pad) as f64 * FLOPS_PER_INTERACTION; blocks]
+}
+
+/// i-parallel: ⌈N/p⌉ blocks, each evaluating `p × N_pad` interactions.
+pub fn forecast_i_parallel(n: usize, block_size: usize, spec: &DeviceSpec) -> Forecast {
+    forecast_blocks(&i_parallel_block_flops(n, block_size), spec)
+}
+
+/// Per-block flop counts of a j-parallel launch: ⌈N/p⌉ × S equal blocks.
+///
+/// # Panics
+/// Panics if `slices == 0`.
+pub fn j_parallel_block_flops(n: usize, block_size: usize, slices: usize) -> Vec<f64> {
+    assert!(slices > 0, "slices must be positive");
+    let n_pad = n.div_ceil(block_size).max(1) * block_size;
+    let base = n_pad / block_size;
+    let slice_len = n_pad.div_ceil(slices);
+    vec![(block_size * slice_len) as f64 * FLOPS_PER_INTERACTION; base * slices]
 }
 
 /// j-parallel: ⌈N/p⌉ × S blocks, each evaluating `p × (N_pad / S)`
@@ -77,36 +104,32 @@ pub fn forecast_j_parallel(
     slices: usize,
     spec: &DeviceSpec,
 ) -> Forecast {
-    assert!(slices > 0, "slices must be positive");
-    let n_pad = n.div_ceil(block_size).max(1) * block_size;
-    let base = n_pad / block_size;
-    let slice_len = n_pad.div_ceil(slices);
-    let flops_per_block = (block_size * slice_len) as f64 * FLOPS_PER_INTERACTION;
-    forecast_blocks(&vec![flops_per_block; base * slices], spec)
+    forecast_blocks(&j_parallel_block_flops(n, block_size, slices), spec)
+}
+
+/// Per-block flop counts of a w-parallel launch: one block per walk, cost
+/// following the (ragged) list lengths.
+pub fn w_parallel_block_flops(list_lens: &[usize], walk_size: usize) -> Vec<f64> {
+    list_lens.iter().map(|&len| (walk_size * len) as f64 * FLOPS_PER_INTERACTION).collect()
 }
 
 /// w-parallel: one block per walk; block cost follows the (ragged) list
 /// lengths.
-pub fn forecast_w_parallel(
-    list_lens: &[usize],
-    walk_size: usize,
-    spec: &DeviceSpec,
-) -> Forecast {
-    let block_flops: Vec<f64> = list_lens
-        .iter()
-        .map(|&len| (walk_size * len) as f64 * FLOPS_PER_INTERACTION)
-        .collect();
-    forecast_blocks(&block_flops, spec)
+pub fn forecast_w_parallel(list_lens: &[usize], walk_size: usize, spec: &DeviceSpec) -> Forecast {
+    forecast_blocks(&w_parallel_block_flops(list_lens, walk_size), spec)
 }
 
-/// jw-parallel: lists sliced to at most `slice_len` entries; each slice is a
-/// block of bounded cost.
-pub fn forecast_jw_parallel(
+/// Per-block flop counts of a jw-parallel launch: every list cut into slices
+/// of at most `slice_len` entries, one block per slice (empty walks still
+/// get one block — they need their reduction slot zeroed).
+///
+/// # Panics
+/// Panics if `slice_len == 0`.
+pub fn jw_parallel_block_flops(
     list_lens: &[usize],
     walk_size: usize,
     slice_len: usize,
-    spec: &DeviceSpec,
-) -> Forecast {
+) -> Vec<f64> {
     assert!(slice_len > 0, "slice_len must be positive");
     let mut block_flops = Vec::new();
     for &len in list_lens {
@@ -117,7 +140,18 @@ pub fn forecast_jw_parallel(
             remaining -= this;
         }
     }
-    forecast_blocks(&block_flops, spec)
+    block_flops
+}
+
+/// jw-parallel: lists sliced to at most `slice_len` entries; each slice is a
+/// block of bounded cost.
+pub fn forecast_jw_parallel(
+    list_lens: &[usize],
+    walk_size: usize,
+    slice_len: usize,
+    spec: &DeviceSpec,
+) -> Forecast {
+    forecast_blocks(&jw_parallel_block_flops(list_lens, walk_size, slice_len), spec)
 }
 
 #[cfg(test)]

@@ -1,0 +1,165 @@
+//! Observed time-space grids, reconstructed from execution traces, and the
+//! forecast-vs-observed comparison.
+//!
+//! PTPM's forecasts (the [`model`](crate::model) module) predict where in
+//! time-space a plan's work-groups will land *before anything runs*. The
+//! simulator's trace subsystem (`gpu_sim::trace`) records where they
+//! *actually* landed. This module closes the loop:
+//!
+//! * [`observed_grid`] lifts one traced launch into a [`TimeSpaceGrid`],
+//!   the same structure the forecasts produce — so every grid metric
+//!   (space utilization, balance, occupancy timeline) applies to both;
+//! * [`compare_grids`] diffs two grids cell-by-cell on a normalized
+//!   `CUs × time-buckets` raster, quantifying how well the analytic model
+//!   predicted reality.
+//!
+//! Absolute times differ by construction — the forecast keeps only the ALU
+//! term while the simulator charges memory, LDS, and barriers — so the
+//! comparison normalizes each grid to its own makespan. What remains is the
+//! *shape* of the occupancy: exactly the thing the paper's §3–4 argument is
+//! about.
+
+use crate::grid::{Placement, TimeSpaceGrid};
+use gpu_sim::trace::{LaunchTrace, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Reconstructs the time-space grid a traced launch actually occupied, from
+/// its per-work-group CU placements (cycle units).
+pub fn observed_grid(launch: &LaunchTrace, cus: usize) -> TimeSpaceGrid {
+    let placements = launch
+        .groups
+        .iter()
+        .map(|g| Placement { group: g.group, cu: g.cu, start: g.start_cycle, end: g.end_cycle })
+        .collect();
+    TimeSpaceGrid::from_placements(placements, cus)
+}
+
+/// Observed grids for every launch in a trace, tagged by kernel name.
+pub fn observed_grids(trace: &Trace) -> Vec<(String, TimeSpaceGrid)> {
+    trace
+        .launches
+        .iter()
+        .map(|l| (l.kernel.clone(), observed_grid(l, trace.compute_units)))
+        .collect()
+}
+
+/// How closely a forecast grid matched an observed one. All errors are
+/// absolute differences of dimensionless quantities in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridComparison {
+    /// Space utilization of the forecast grid.
+    pub forecast_utilization: f64,
+    /// Space utilization of the observed grid.
+    pub observed_utilization: f64,
+    /// Balance (min/max CU busy time) of the forecast grid.
+    pub forecast_balance: f64,
+    /// Balance of the observed grid.
+    pub observed_balance: f64,
+    /// Mean absolute difference over the normalized `cus × buckets`
+    /// busy-fraction cells.
+    pub mean_cell_error: f64,
+    /// Largest absolute cell difference.
+    pub max_cell_error: f64,
+}
+
+impl GridComparison {
+    /// |forecast − observed| space utilization.
+    pub fn utilization_error(&self) -> f64 {
+        (self.forecast_utilization - self.observed_utilization).abs()
+    }
+
+    /// |forecast − observed| balance.
+    pub fn balance_error(&self) -> f64 {
+        (self.forecast_balance - self.observed_balance).abs()
+    }
+}
+
+/// Diffs a forecast grid against an observed grid on a `cus × buckets`
+/// raster, each normalized to its own makespan.
+///
+/// # Panics
+/// Panics if the grids disagree on the CU count or `buckets == 0`.
+pub fn compare_grids(
+    forecast: &TimeSpaceGrid,
+    observed: &TimeSpaceGrid,
+    buckets: usize,
+) -> GridComparison {
+    assert_eq!(
+        forecast.cus, observed.cus,
+        "grids span different devices ({} vs {} CUs)",
+        forecast.cus, observed.cus
+    );
+    assert!(buckets > 0, "need at least one time bucket");
+    let f = forecast.utilization_cells(buckets);
+    let o = observed.utilization_cells(buckets);
+    let mut sum = 0.0_f64;
+    let mut max = 0.0_f64;
+    for (fr, or) in f.iter().zip(&o) {
+        for (fc, oc) in fr.iter().zip(or) {
+            let d = (fc - oc).abs();
+            sum += d;
+            max = max.max(d);
+        }
+    }
+    GridComparison {
+        forecast_utilization: forecast.space_utilization(),
+        observed_utilization: observed.space_utilization(),
+        forecast_balance: forecast.balance(),
+        observed_balance: observed.balance(),
+        mean_cell_error: sum / (forecast.cus * buckets) as f64,
+        max_cell_error: max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_grids_compare_clean() {
+        let g = TimeSpaceGrid::place(&[10.0, 20.0, 30.0, 5.0], 3);
+        let c = compare_grids(&g, &g, 16);
+        assert_eq!(c.utilization_error(), 0.0);
+        assert_eq!(c.balance_error(), 0.0);
+        assert_eq!(c.mean_cell_error, 0.0);
+        assert_eq!(c.max_cell_error, 0.0);
+    }
+
+    #[test]
+    fn scaled_grids_compare_clean() {
+        // same shape, 7x slower clock: normalization cancels the scale
+        let costs = [10.0, 20.0, 30.0, 5.0, 12.0];
+        let a = TimeSpaceGrid::place(&costs, 3);
+        let scaled: Vec<f64> = costs.iter().map(|c| c * 7.0).collect();
+        let b = TimeSpaceGrid::place(&scaled, 3);
+        let c = compare_grids(&a, &b, 32);
+        assert!(c.utilization_error() < 1e-12);
+        assert!(c.max_cell_error < 1e-9, "max cell error {}", c.max_cell_error);
+    }
+
+    #[test]
+    fn disjoint_occupancy_maxes_the_error() {
+        // one busy CU vs a different busy CU: cells disagree completely
+        let a = TimeSpaceGrid::from_placements(
+            vec![Placement { group: 0, cu: 0, start: 0.0, end: 10.0 }],
+            2,
+        );
+        let b = TimeSpaceGrid::from_placements(
+            vec![Placement { group: 0, cu: 1, start: 0.0, end: 10.0 }],
+            2,
+        );
+        let c = compare_grids(&a, &b, 8);
+        assert_eq!(c.max_cell_error, 1.0);
+        assert_eq!(c.mean_cell_error, 1.0);
+        // aggregate metrics cannot see the difference — the cells can
+        assert_eq!(c.utilization_error(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different devices")]
+    fn mismatched_cus_rejected() {
+        let a = TimeSpaceGrid::place(&[1.0], 2);
+        let b = TimeSpaceGrid::place(&[1.0], 3);
+        compare_grids(&a, &b, 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the trait surface this workspace uses: [`RngCore`],
+//! [`SeedableRng`] (with the SplitMix64-based `seed_from_u64` default), and
+//! [`Rng::gen_range`] over half-open `Range`s. Streams are deterministic
+//! and platform-independent but are NOT bit-compatible with the real rand
+//! crate — all in-repo determinism tests are self-consistent, so only
+//! stability across runs matters.
+
+use std::ops::Range;
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (high half of [`next_u64`](Self::next_u64) by
+    /// default).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction from a fixed-size seed, with a convenience `u64` expander.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (e.g. `[u8; 32]` for ChaCha).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 and builds the
+    /// generator from it.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Draws a value in `[range.start, range.end)`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        // 53 uniform mantissa bits in [0, 1)
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + (range.end - range.start) * unit
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        range.start + (range.end - range.start) * unit
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let width = range.end.abs_diff(range.start) as u64;
+                // modulo bias is < width / 2^64 — negligible for workloads
+                let offset = rng.next_u64() % width;
+                range.start.wrapping_add(offset as $t)
+            }
+        }
+    };
+}
+
+impl_sample_int!(u8);
+impl_sample_int!(u16);
+impl_sample_int!(u32);
+impl_sample_int!(u64);
+impl_sample_int!(usize);
+impl_sample_int!(i8);
+impl_sample_int!(i16);
+impl_sample_int!(i32);
+impl_sample_int!(i64);
+impl_sample_int!(isize);
+
+/// User-facing sampling methods, blanket-implemented for every source.
+pub trait Rng: RngCore {
+    /// Uniform draw from `[range.start, range.end)`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn int_range_stays_in_bounds() {
+        let mut rng = Counter(2);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3_usize..17);
+            assert!((3..17).contains(&x), "{x}");
+            let y = rng.gen_range(-5_i32..5);
+            assert!((-5..5).contains(&y), "{y}");
+        }
+    }
+
+    #[test]
+    fn seed_expansion_differs_by_seed() {
+        struct Raw([u8; 32]);
+        impl SeedableRng for Raw {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                Raw(seed)
+            }
+        }
+        assert_ne!(Raw::seed_from_u64(1).0, Raw::seed_from_u64(2).0);
+        assert_eq!(Raw::seed_from_u64(1).0, Raw::seed_from_u64(1).0);
+    }
+}

@@ -1,0 +1,363 @@
+//! Derive macros for the offline serde shim.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the two
+//! shapes this workspace uses: structs with named fields and enums whose
+//! variants are all unit variants. There is no `syn`/`quote` available in
+//! the offline environment, so parsing walks the raw [`proc_macro`] token
+//! stream directly and code generation builds a string that is parsed back
+//! into a `TokenStream`. Anything outside the supported shapes (generics,
+//! tuple structs, data-carrying variants, `#[serde(...)]` attributes)
+//! panics with a clear compile-time message rather than silently
+//! mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: type name + field names in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct: type name + field count. A single-field tuple struct
+    /// (newtype) serializes transparently as its inner value, matching
+    /// serde's newtype convention; wider tuples serialize as arrays.
+    Tuple { name: String, arity: usize },
+    /// Enum of unit and/or newtype variants: type name + (variant name,
+    /// carries-one-payload) in declaration order. Externally tagged like
+    /// serde: unit variants as `"Name"`, newtype variants as
+    /// `{"Name": payload}`.
+    Enum { name: String, variants: Vec<(String, bool)> },
+}
+
+/// Derives `serde::Serialize` (the shim's `to_value` form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let mut pairs = String::new();
+            for f in fields {
+                pairs.push_str(&format!(
+                    "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(",")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, has_payload) in variants {
+                if *has_payload {
+                    arms.push_str(&format!(
+                        "{name}::{v}(inner) => ::serde::Value::Object(vec![(\
+                             \"{v}\".to_string(), ::serde::Serialize::to_value(inner))]),\n"
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (the shim's `from_value` form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!("{f}: ::serde::field(fields, \"{f}\")?,"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let fields = v.as_object().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected object for `{name}`\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let items = v.as_array().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected array for `{name}`\"))?;\n\
+                         if items.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::new(\
+                                 \"wrong tuple arity for `{name}`\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                items.join(",")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (v, has_payload) in variants {
+                if *has_payload {
+                    payload_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok(\
+                             {name}::{v}(::serde::Deserialize::from_value(inner)?)),\n"
+                    ));
+                } else {
+                    unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                             return match s {{\n\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                                     format!(\"unknown `{name}` variant `{{other}}`\"))),\n\
+                             }};\n\
+                         }}\n\
+                         if let ::std::option::Option::Some(fields) = v.as_object() {{\n\
+                             if let [(tag, inner)] = fields {{\n\
+                                 #[allow(unused_variables)]\n\
+                                 return match tag.as_str() {{\n\
+                                     {payload_arms}\
+                                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                                         format!(\"unknown `{name}` variant `{{other}}`\"))),\n\
+                                 }};\n\
+                             }}\n\
+                         }}\n\
+                         ::std::result::Result::Err(::serde::DeError::new(\
+                             \"expected variant of `{name}`\"))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+/// Parses the derive input into the supported struct/enum shape, panicking
+/// (a compile error at the derive site) on unsupported syntax.
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the offline shim ({name})");
+        }
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Shape::Struct { name, fields: parse_named_fields(g.stream()) }
+            } else {
+                Shape::Enum { name, variants: parse_enum_variants(g.stream()) }
+            }
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            Shape::Tuple { name, arity: count_tuple_fields(g.stream()) }
+        }
+        other => panic!("serde_derive: expected body for {name}, found {other:?}"),
+    }
+}
+
+/// Counts fields in a tuple-struct body by splitting at top-level commas.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0_i32;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            // a trailing comma does not start another field
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && idx + 1 < tokens.len() =>
+            {
+                arity += 1
+            }
+            _ => {}
+        }
+    }
+    arity
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility prefix.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then the bracketed attribute group
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from a named-field struct body: for each field,
+/// skips attributes/visibility, takes the identifier before `:`, then skips
+/// type tokens to the next top-level comma.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        // skip the type up to the next comma at angle-bracket depth 0
+        let mut angle_depth = 0_i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Extracts `(variant name, carries payload)` pairs from an enum body.
+/// Unit variants and single-field tuple (newtype) variants are supported;
+/// attributes such as `#[default]` are skipped.
+fn parse_enum_variants(body: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let mut has_payload = false;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    if count_tuple_fields(g.stream()) != 1 {
+                        panic!(
+                            "serde_derive: variant `{name}` has more than one field; only \
+                             unit and newtype variants are supported by the offline shim"
+                        );
+                    }
+                    has_payload = true;
+                    i += 1;
+                }
+                _ => panic!(
+                    "serde_derive: variant `{name}` has named fields; only unit and newtype \
+                     variants are supported by the offline shim"
+                ),
+            }
+        }
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                "serde_derive: variant `{name}` has an explicit discriminant; not supported \
+                 by the offline shim"
+            ),
+            other => panic!("serde_derive: unexpected token after variant `{name}`: {other:?}"),
+        }
+        variants.push((name, has_payload));
+    }
+    variants
+}

@@ -43,11 +43,7 @@ impl WalkGroup {
         let cells = self.cell_list.len() as u64;
         let bodies = self.body_list.len() as u64;
         // every target meets every listed cell and body, minus its self-pair
-        let self_pairs = self
-            .bodies
-            .iter()
-            .filter(|b| self.body_list.contains(b))
-            .count() as u64;
+        let self_pairs = self.bodies.iter().filter(|b| self.body_list.contains(b)).count() as u64;
         targets * (cells + bodies) - self_pairs
     }
 }

@@ -36,9 +36,7 @@ pub mod prelude {
     pub use crate::interaction_list::{build_walks, evaluate_walks_cpu, WalkGroup, WalkSet};
     pub use crate::mac::{accepts_group, accepts_point, Aabb, OpeningAngle};
     pub use crate::morton::{demorton3, morton3, morton_of, morton_order};
-    pub use crate::multipole::{
-        accelerations_bh_quad, compute_quadrupoles, Quadrupole,
-    };
+    pub use crate::multipole::{accelerations_bh_quad, compute_quadrupoles, Quadrupole};
     pub use crate::traverse::{acceleration_on, accelerations_bh, WalkStats};
     pub use crate::tree::{Node, Octree, TreeParams, NO_CHILD};
 }

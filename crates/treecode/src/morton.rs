@@ -86,10 +86,8 @@ pub fn morton_order(set: &ParticleSet) -> Vec<u32> {
         return order;
     };
     let pos = set.pos();
-    let mut keyed: Vec<(u64, u32)> = order
-        .iter()
-        .map(|&i| (morton_of(pos[i as usize], lo, hi), i))
-        .collect();
+    let mut keyed: Vec<(u64, u32)> =
+        order.iter().map(|&i| (morton_of(pos[i as usize], lo, hi), i)).collect();
     keyed.sort_unstable();
     for (slot, (_, i)) in keyed.into_iter().enumerate() {
         order[slot] = i;
@@ -175,11 +173,11 @@ mod tests {
             }
             (hi - lo).max_component()
         };
-        let morton_avg: f64 = order.chunks(64).map(chunk_extent).sum::<f64>()
-            / order.chunks(64).count() as f64;
+        let morton_avg: f64 =
+            order.chunks(64).map(chunk_extent).sum::<f64>() / order.chunks(64).count() as f64;
         let naive: Vec<u32> = (0..4096).collect();
-        let naive_avg: f64 = naive.chunks(64).map(chunk_extent).sum::<f64>()
-            / naive.chunks(64).count() as f64;
+        let naive_avg: f64 =
+            naive.chunks(64).map(chunk_extent).sum::<f64>() / naive.chunks(64).count() as f64;
         assert!(
             morton_avg < naive_avg * 0.5,
             "morton chunks {morton_avg} should be much tighter than naive {naive_avg}"

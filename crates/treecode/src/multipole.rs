@@ -231,8 +231,7 @@ mod tests {
         let half = pts.len() / 2;
         let part = |slice: &[(Vec3, f64)]| {
             let m: f64 = slice.iter().map(|&(_, m)| m).sum();
-            let com: Vec3 =
-                slice.iter().map(|&(p, pm)| p * pm).sum::<Vec3>() / m;
+            let com: Vec3 = slice.iter().map(|&(p, pm)| p * pm).sum::<Vec3>() / m;
             let mut q = Quadrupole::ZERO;
             for &(p, pm) in slice {
                 q.accumulate_point(p - com, pm);
@@ -313,10 +312,8 @@ mod tests {
             q.accumulate_point(b.pos - com, b.mass);
         }
         let target = Vec3::new(0.0, 3.0, 0.0); // perpendicular, sees the quad
-        let exact: Vec3 = bodies
-            .iter()
-            .map(|b| pair_acceleration(target, b.pos, b.mass, 0.0))
-            .sum();
+        let exact: Vec3 =
+            bodies.iter().map(|b| pair_acceleration(target, b.pos, b.mass, 0.0)).sum();
         let mono = pair_acceleration(target, com, 2.0, 0.0);
         let quad = cell_acceleration_quad(target - com, 2.0, &q, 0.0);
         assert!(

@@ -131,10 +131,7 @@ mod tests {
     fn error_grows_with_theta() {
         let e_small = bh_error(400, 0.3, 3);
         let e_large = bh_error(400, 1.0, 3);
-        assert!(
-            e_small <= e_large,
-            "error should not decrease with θ: {e_small} vs {e_large}"
-        );
+        assert!(e_small <= e_large, "error should not decrease with θ: {e_small} vs {e_large}");
     }
 
     #[test]
@@ -144,8 +141,7 @@ mod tests {
         let params = GravityParams::default();
         let tree = Octree::build(&set, TreeParams::default());
         let mut acc = vec![Vec3::ZERO; n];
-        let stats =
-            accelerations_bh(&tree, &set, OpeningAngle::new(0.5), &params, &mut acc);
+        let stats = accelerations_bh(&tree, &set, OpeningAngle::new(0.5), &params, &mut acc);
         let pp = (n * (n - 1)) as u64;
         assert!(stats.total_interactions() < pp / 2, "{stats:?}");
         assert!(stats.cell_interactions > 0);
@@ -164,7 +160,7 @@ mod tests {
         };
         let c1 = count(500);
         let c2 = count(2000); // 4x bodies
-        // O(N log N): expect much less than 16x
+                              // O(N log N): expect much less than 16x
         assert!(c2 < 8 * c1, "c1 {c1}, c2 {c2}");
     }
 

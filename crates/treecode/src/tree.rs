@@ -400,12 +400,7 @@ mod tests {
     fn every_leaf_range_partitions_bodies() {
         let set = random_set(300, 4);
         let tree = Octree::build(&set, TreeParams { leaf_capacity: 4 });
-        let total: u32 = tree
-            .nodes()
-            .iter()
-            .filter(|n| n.is_leaf)
-            .map(|n| n.body_count)
-            .sum();
+        let total: u32 = tree.nodes().iter().filter(|n| n.is_leaf).map(|n| n.body_count).sum();
         assert_eq!(total, 300);
         tree.check_invariants(&set).unwrap();
     }

@@ -27,13 +27,7 @@ pub struct DiskParams {
 
 impl Default for DiskParams {
     fn default() -> Self {
-        Self {
-            central_mass: 1.0,
-            disk_mass: 0.25,
-            scale_length: 1.0,
-            cutoff: 6.0,
-            thickness: 0.05,
-        }
+        Self { central_mass: 1.0, disk_mass: 0.25, scale_length: 1.0, cutoff: 6.0, thickness: 0.05 }
     }
 }
 
@@ -62,8 +56,7 @@ pub fn disk_galaxy(n: usize, params: DiskParams, seed: u64) -> ParticleSet {
         let pos = Vec3::new(r * phi.cos(), r * phi.sin(), z);
 
         // circular speed from the mass enclosed: central + disk fraction
-        let disk_enclosed =
-            params.disk_mass * (1.0 - (1.0 + r / rd) * (-r / rd).exp());
+        let disk_enclosed = params.disk_mass * (1.0 - (1.0 + r / rd) * (-r / rd).exp());
         let v_circ = ((params.central_mass + disk_enclosed) / r).sqrt();
         let vel = Vec3::new(-phi.sin(), phi.cos(), 0.0) * v_circ;
 
@@ -77,10 +70,7 @@ pub fn disk_galaxy(n: usize, params: DiskParams, seed: u64) -> ParticleSet {
 pub fn transform(set: &ParticleSet, angle: f64, dx: Vec3, dv: Vec3) -> ParticleSet {
     let (s, c) = angle.sin_cos();
     let rot = |v: Vec3| Vec3::new(c * v.x - s * v.y, s * v.x + c * v.y, v.z);
-    set.to_bodies()
-        .iter()
-        .map(|b| Body::new(rot(b.pos) + dx, rot(b.vel) + dv, b.mass))
-        .collect()
+    set.to_bodies().iter().map(|b| Body::new(rot(b.pos) + dx, rot(b.vel) + dv, b.mass)).collect()
 }
 
 /// Merges two particle sets into one.

@@ -64,9 +64,8 @@ pub fn plummer(n: usize, params: PlummerParams, seed: u64) -> ParticleSet {
                 break q;
             }
         };
-        let v_esc = std::f64::consts::SQRT_2
-            * params.total_mass.sqrt()
-            * (r * r + a * a).powf(-0.25);
+        let v_esc =
+            std::f64::consts::SQRT_2 * params.total_mass.sqrt() * (r * r + a * a).powf(-0.25);
         let vel = random_direction(&mut rng) * (q * v_esc);
 
         set.push(Body::new(pos, vel, m));
@@ -78,11 +77,8 @@ pub fn plummer(n: usize, params: PlummerParams, seed: u64) -> ParticleSet {
 /// Uniform random unit vector.
 fn random_direction<R: Rng>(rng: &mut R) -> Vec3 {
     loop {
-        let v = Vec3::new(
-            rng.gen_range(-1.0..1.0),
-            rng.gen_range(-1.0..1.0),
-            rng.gen_range(-1.0..1.0),
-        );
+        let v =
+            Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
         let n2 = v.norm_sq();
         if n2 > 1e-12 && n2 <= 1.0 {
             return v / n2.sqrt();

@@ -123,10 +123,7 @@ mod tests {
 
     #[test]
     fn garbage_rejected() {
-        assert!(matches!(
-            Snapshot::from_json("{oops"),
-            Err(SnapshotError::Parse(_))
-        ));
+        assert!(matches!(Snapshot::from_json("{oops"), Err(SnapshotError::Parse(_))));
     }
 
     #[test]

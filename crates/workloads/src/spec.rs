@@ -76,9 +76,7 @@ impl WorkloadSpec {
     pub fn generate(&self) -> ParticleSet {
         match self.kind {
             WorkloadKind::Plummer => plummer(self.n, PlummerParams::default(), self.seed),
-            WorkloadKind::UniformCube => {
-                uniform_cube(self.n, UniformParams::default(), self.seed)
-            }
+            WorkloadKind::UniformCube => uniform_cube(self.n, UniformParams::default(), self.seed),
             WorkloadKind::UniformSphere => {
                 uniform_sphere(self.n, UniformParams::default(), self.seed)
             }

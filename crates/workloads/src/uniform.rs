@@ -48,11 +48,8 @@ pub fn uniform_sphere(n: usize, params: UniformParams, seed: u64) -> ParticleSet
     let m = params.total_mass / n.max(1) as f64;
     let mut set = ParticleSet::with_capacity(n);
     while set.len() < n {
-        let p = Vec3::new(
-            rng.gen_range(-1.0..1.0),
-            rng.gen_range(-1.0..1.0),
-            rng.gen_range(-1.0..1.0),
-        );
+        let p =
+            Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
         if p.norm_sq() <= 1.0 {
             set.push(Body::new(p * params.extent, velocity(&mut rng, params.velocity_rms), m));
         }
@@ -106,8 +103,7 @@ mod tests {
     fn velocity_rms_approximately_honoured() {
         let p = UniformParams { velocity_rms: 0.5, ..Default::default() };
         let set = uniform_cube(20_000, p, 4);
-        let ms: f64 =
-            set.vel().iter().map(|v| v.norm_sq()).sum::<f64>() / set.len() as f64;
+        let ms: f64 = set.vel().iter().map(|v| v.norm_sq()).sum::<f64>() / set.len() as f64;
         let rms = ms.sqrt();
         assert!((rms - 0.5).abs() < 0.02, "rms {rms}");
     }

@@ -9,8 +9,8 @@
 
 use gpu_sim::prelude::{Device, DeviceSpec, TransferModel};
 use nbody_core::prelude::*;
-use plans::prelude::*;
 use plans::make_plan;
+use plans::prelude::*;
 use workloads::prelude::{galaxy_collision, CollisionParams};
 
 fn main() {
@@ -35,10 +35,7 @@ fn main() {
     let reports = 6;
 
     let d0 = Diagnostics::measure(&set, &params);
-    println!(
-        "{:>6}  {:>12}  {:>12}  {:>10}  {:>10}",
-        "step", "energy", "Lz", "extent", "drift"
-    );
+    println!("{:>6}  {:>12}  {:>12}  {:>10}  {:>10}", "step", "energy", "Lz", "extent", "drift");
     prime(&mut set, &mut engine);
     for r in 0..=reports {
         if r > 0 {

@@ -11,10 +11,7 @@ use plans::prelude::*;
 use workloads::prelude::{plummer, PlummerParams};
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(16384);
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16384);
     let params = GravityParams { g: 1.0, softening: 0.05 };
     let set = plummer(n, PlummerParams::default(), 13);
     println!("jw-parallel strong scaling, N = {n}, Plummer sphere\n");

@@ -14,10 +14,7 @@ use ptpm::prelude::*;
 use workloads::prelude::{plummer, PlummerParams};
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(2048);
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2048);
     let params = GravityParams { g: 1.0, softening: 0.05 };
     let set = plummer(n, PlummerParams::default(), 11);
     let spec = DeviceSpec::radeon_hd_5850();

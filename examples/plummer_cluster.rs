@@ -25,8 +25,7 @@ fn main() {
     for theta in [0.2, 0.4, 0.5, 0.7, 1.0] {
         let tree = Octree::build(&set, TreeParams::default());
         let mut acc = vec![Vec3::ZERO; n];
-        let stats =
-            accelerations_bh(&tree, &set, OpeningAngle::new(theta), &params, &mut acc);
+        let stats = accelerations_bh(&tree, &set, OpeningAngle::new(theta), &params, &mut acc);
         let err = nbody_core::gravity::max_relative_error(&exact, &acc);
         println!(
             "{theta:>6.1}  {:>14}  {:>13.1}%  {:>12.2e}",

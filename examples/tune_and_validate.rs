@@ -10,10 +10,7 @@ use plans::prelude::*;
 use workloads::prelude::{plummer, PlummerParams};
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(4096);
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4096);
     let params = GravityParams { g: 1.0, softening: 0.05 };
     let set = plummer(n, PlummerParams::default(), 99);
     let spec = DeviceSpec::radeon_hd_5850();
@@ -32,11 +29,7 @@ fn main() {
         println!(
             "{:>10} {:>12} {:>11.3} ms{}",
             point.config.walk_size,
-            point
-                .config
-                .jw_slice_len
-                .map(|l| l.to_string())
-                .unwrap_or_else(|| "auto".to_string()),
+            point.config.jw_slice_len.map(|l| l.to_string()).unwrap_or_else(|| "auto".to_string()),
             point.seconds * 1e3,
             if point.config == result.best { "  <- best" } else { "" }
         );

@@ -37,12 +37,7 @@ fn all_plans_match_reference_on_all_workloads() {
             let plan = make_plan(kind, PlanConfig::default());
             let outcome = plan.evaluate(&mut dev, &set, &p);
             let err = nbody_core::gravity::max_relative_error(&exact, &outcome.acc);
-            assert!(
-                err < error_budget(kind),
-                "{} on {}: error {err}",
-                kind.id(),
-                kind_w.id()
-            );
+            assert!(err < error_budget(kind), "{} on {}: error {err}", kind.id(), kind_w.id());
         }
     }
 }

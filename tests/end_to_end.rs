@@ -32,12 +32,8 @@ fn gpu_trajectory_tracks_cpu_trajectory() {
     run(&mut gpu_set, &mut engine, &LeapfrogKdk, 1e-3, 30);
 
     // f32 forces diverge slowly; after 30 steps positions still agree well
-    let max_dev = cpu_set
-        .pos()
-        .iter()
-        .zip(gpu_set.pos())
-        .map(|(a, b)| a.distance(*b))
-        .fold(0.0, f64::max);
+    let max_dev =
+        cpu_set.pos().iter().zip(gpu_set.pos()).map(|(a, b)| a.distance(*b)).fold(0.0, f64::max);
     assert!(max_dev < 1e-3, "trajectory deviation {max_dev}");
 }
 
@@ -56,7 +52,6 @@ fn cluster_collision_conserves_energy_under_jw() {
 
 #[test]
 fn momentum_stays_zero_under_every_plan() {
-    let params = GravityParams { g: 1.0, softening: 0.05 };
     for kind in PlanKind::all() {
         let mut set = plummer(200, PlummerParams::default(), 23);
         set.recenter();

@@ -95,25 +95,21 @@ fn multi_gpu_trajectories_match_single_gpu() {
         let mut acc = multi.evaluate(&set, &p).combined.acc;
         let dt = 1e-3;
         for _ in 0..5 {
-            for i in 0..set.len() {
-                let v = set.vel()[i] + acc[i] * (dt / 2.0);
+            for (i, a) in acc.iter().enumerate() {
+                let v = set.vel()[i] + *a * (dt / 2.0);
                 set.vel_mut()[i] = v;
                 set.pos_mut()[i] += v * dt;
             }
             acc = multi.evaluate(&set, &p).combined.acc;
-            for i in 0..set.len() {
-                set.vel_mut()[i] += acc[i] * (dt / 2.0);
+            for (i, a) in acc.iter().enumerate() {
+                set.vel_mut()[i] += *a * (dt / 2.0);
             }
         }
         set.pos().to_vec()
     };
     let one = run_with(1);
     let three = run_with(3);
-    let max_dev = one
-        .iter()
-        .zip(&three)
-        .map(|(a, b)| a.distance(*b))
-        .fold(0.0, f64::max);
+    let max_dev = one.iter().zip(&three).map(|(a, b)| a.distance(*b)).fold(0.0, f64::max);
     assert!(max_dev < 1e-9, "trajectory deviation {max_dev}");
 }
 

@@ -1,0 +1,79 @@
+//! Golden-trace regression: with a fixed workload seed, the execution
+//! trace of every plan is fully deterministic — scheduling, per-phase
+//! costs, transfer timings, down to the formatted byte stream. These tests
+//! pin the CSV export against a checked-in golden file and check the Chrome
+//! trace export is stable and structurally valid, so any change to the
+//! device model, the scheduler, or the exporters shows up as a diff here
+//! rather than as a silent drift of every figure.
+
+use harness::trace_export::{capture_all, chrome_trace_json, csv, PlanTrace};
+use harness::{ExperimentConfig, Runner};
+use serde::Value;
+
+const GOLDEN_N: usize = 64;
+
+fn golden_traces() -> Vec<PlanTrace> {
+    let mut runner = Runner::new(ExperimentConfig::quick());
+    capture_all(&mut runner, GOLDEN_N)
+}
+
+#[test]
+fn trace_csv_matches_the_golden_file() {
+    let text = csv(&golden_traces());
+    let golden = include_str!("golden/trace_n64.csv");
+    assert!(
+        text == golden,
+        "trace CSV drifted from tests/golden/trace_n64.csv.\n\
+         If the change to the device model or exporters is intentional, \
+         regenerate with:\n  cargo run -p harness --release --bin trace -- \
+         --n 64 --plan all --out tests/golden/trace_n64.csv\n\n{}",
+        first_diff(golden, &text)
+    );
+}
+
+/// The first differing line, for a readable failure.
+fn first_diff(golden: &str, got: &str) -> String {
+    for (i, (g, t)) in golden.lines().zip(got.lines()).enumerate() {
+        if g != t {
+            return format!("first difference at line {}:\n  golden: {g}\n  got:    {t}", i + 1);
+        }
+    }
+    format!("line counts differ: golden {} vs got {}", golden.lines().count(), got.lines().count())
+}
+
+#[test]
+fn csv_export_is_byte_stable_across_captures() {
+    assert_eq!(csv(&golden_traces()), csv(&golden_traces()));
+}
+
+#[test]
+fn chrome_trace_is_byte_stable_and_structurally_valid() {
+    let a = chrome_trace_json(&golden_traces());
+    let b = chrome_trace_json(&golden_traces());
+    assert_eq!(a, b);
+
+    let doc = serde_json::parse_value(&a).expect("valid JSON");
+    let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents array");
+    // all four plans present as processes; every complete event well-formed
+    let processes: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some("process_name"))
+        .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(Value::as_str))
+        .collect();
+    assert_eq!(processes.len(), 4);
+    for plan in ["i-parallel", "j-parallel", "w-parallel", "jw-parallel"] {
+        assert!(processes.iter().any(|p| p.starts_with(plan)), "no process for {plan}");
+    }
+    for e in events {
+        match e.get("ph").and_then(Value::as_str) {
+            Some("X") => {
+                assert!(e.get("ts").and_then(Value::as_f64).is_some_and(|t| t >= 0.0));
+                assert!(e.get("dur").and_then(Value::as_f64).is_some_and(|d| d >= 0.0));
+                assert!(e.get("pid").and_then(Value::as_u64).is_some());
+                assert!(e.get("tid").and_then(Value::as_u64).is_some());
+            }
+            Some("i") | Some("M") => {}
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+}

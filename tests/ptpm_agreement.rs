@@ -1,8 +1,10 @@
 //! PTPM-vs-simulator agreement: the analytic time-space model must predict
-//! the same plan *ranking* the full simulator measures, and its absolute
-//! kernel-time forecasts for the ALU-bound PP plans must land close.
+//! the same plan *ranking* the full simulator measures, its absolute
+//! kernel-time forecasts for the ALU-bound PP plans must land close, and
+//! its forecast time-space *grids* must match the schedules reconstructed
+//! from execution traces.
 
-use gpu_sim::prelude::{Device, DeviceSpec, TransferModel};
+use gpu_sim::prelude::{Device, DeviceSpec, MemoryTraceSink, TransferModel};
 use nbody_core::prelude::*;
 use plans::prelude::*;
 use ptpm::prelude::*;
@@ -104,4 +106,70 @@ fn grid_utilization_explains_gflops_ordering() {
     let i_g = IParallel::default().evaluate(&mut dev, &set, &p).gflops(conv);
     let j_g = JParallel::default().evaluate(&mut dev, &set, &p).gflops(conv);
     assert!(j_g > i_g, "j {j_g} vs i {i_g}");
+}
+
+/// Forecast time-space grids vs the schedules the simulator actually
+/// produced, reconstructed from execution traces. The model forecasts from
+/// launch shape alone (per-block ALU work), so agreement here means the
+/// paper's geometric reasoning — not just its wall-clock totals — matches
+/// the machine: utilization within 2 points for the uniform PP plans and
+/// 15 points for the tree plans (whose memory traffic the forecast
+/// ignores), balance within the same bands.
+#[test]
+fn forecast_grids_agree_with_observed_schedules_for_all_plans() {
+    let spec = DeviceSpec::radeon_hd_5850();
+    let p = params();
+    let cfg = PlanConfig::default();
+    for n in [1024_usize, 4096] {
+        let set = plummer(n, PlummerParams::default(), 5);
+        let tree = Octree::build(&set, TreeParams { leaf_capacity: cfg.leaf_capacity });
+        let walks = build_walks(&tree, &set, OpeningAngle::new(cfg.theta), cfg.walk_size);
+        let lens: Vec<usize> = walks.groups.iter().map(|g| g.list_len()).collect();
+        let total: usize = lens.iter().sum();
+        let slice = plans::jw_parallel::auto_slice_len(total, cfg.walk_size, &spec);
+        let slices = JParallel::new(cfg).slices_for(n, &spec);
+
+        for kind in PlanKind::all() {
+            let mut dev = device();
+            let sink = MemoryTraceSink::new();
+            dev.set_trace_sink(Box::new(sink.clone()));
+            plans::make_plan(kind, cfg).evaluate(&mut dev, &set, &p);
+            let trace = sink.snapshot();
+            // the force kernel is always the plan's first launch
+            let force = &trace.launches[0];
+
+            let blocks = match kind {
+                PlanKind::IParallel => i_parallel_block_flops(n, cfg.block_size),
+                PlanKind::JParallel => j_parallel_block_flops(n, cfg.block_size, slices),
+                PlanKind::WParallel => w_parallel_block_flops(&lens, cfg.walk_size),
+                PlanKind::JwParallel => jw_parallel_block_flops(&lens, cfg.walk_size, slice),
+            };
+            let forecast = forecast_grid(&blocks, &spec);
+            let observed = observed_grid(force, trace.compute_units);
+            assert_eq!(forecast.placements.len(), force.timing.num_groups);
+
+            let cmp = compare_grids(&forecast, &observed, 32);
+            let tol = if kind.uses_tree() { 0.15 } else { 0.02 };
+            assert!(
+                cmp.utilization_error() <= tol,
+                "{} at N={n}: forecast utilization {:.3} vs observed {:.3}",
+                kind.id(),
+                cmp.forecast_utilization,
+                cmp.observed_utilization
+            );
+            assert!(
+                cmp.balance_error() <= tol,
+                "{} at N={n}: forecast balance {:.3} vs observed {:.3}",
+                kind.id(),
+                cmp.forecast_balance,
+                cmp.observed_balance
+            );
+            assert!(
+                cmp.mean_cell_error <= 0.30,
+                "{} at N={n}: mean cell error {:.3}",
+                kind.id(),
+                cmp.mean_cell_error
+            );
+        }
+    }
 }

@@ -112,8 +112,7 @@ fn checked_and_unchecked_execution_produce_identical_results() {
     // the detector must be observation-only
     let params = GravityParams { g: 1.0, softening: 0.05 };
     let set = plummer(300, PlummerParams::default(), 5);
-    let mut fast =
-        Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::free());
+    let mut fast = Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::free());
     let mut checked =
         Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::free());
     checked.set_race_checking(true);
