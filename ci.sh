@@ -36,4 +36,8 @@ for f in trace.json trace.csv; do
 done
 grep -q '"traceEvents"' "$out/trace.json" || { echo "FAIL: not a Chrome trace"; exit 1; }
 
+echo "==> fault-injection smoke test"
+cargo run --release -p harness --bin faults -- --seed 7 --dir "$out/faults" | tee "$out/faults.log"
+grep -q 'FAULTS OK' "$out/faults.log" || { echo "FAIL: fault recovery smoke did not pass"; exit 1; }
+
 echo "CI OK"

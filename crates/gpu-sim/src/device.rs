@@ -2,22 +2,35 @@
 //!
 //! [`Device`] is what host code (the `plans` crate) programs against. It
 //! owns global memory, executes kernels functionally, times them with the
-//! scheduler, and keeps two clocks:
+//! scheduler, and keeps three clocks:
 //!
 //! * the **kernel clock** — simulated seconds the device spent in kernels;
-//! * the **transfer clock** — simulated seconds spent on PCIe transfers.
+//! * the **transfer clock** — simulated seconds spent on PCIe transfers;
+//! * the **stall clock** — simulated seconds lost to injected faults and
+//!   recovery backoff (zero unless a fault plan is installed; see the
+//!   [`fault` module](crate::fault)).
 //!
 //! Their sum plus any host-side time the caller measures is the "total time"
 //! of the paper's Table 2.
+//!
+//! The fallible API (`try_launch`, `try_upload_*`, `try_download_*`) is
+//! where faults fire; the infallible methods are the same operations with
+//! faults treated as unrecoverable. With no fault plan installed the
+//! fallible methods take the exact pre-existing code path.
 
 use crate::buffer::{BufF32, BufU32, BufferPool};
 use crate::exec::{execute_launch, execute_launch_checked, execute_launch_profiled};
+use crate::fault::{CuHealth, FaultDecision, FaultError, FaultKind, FaultPlan};
 use crate::kernel::{Kernel, NdRange};
 use crate::pcie::TransferModel;
 use crate::race::Race;
-use crate::sched::{schedule_launch, schedule_launch_placed, LaunchTiming};
+use crate::sched::{
+    schedule_launch, schedule_launch_degraded, schedule_launch_placed, LaunchTiming,
+};
 use crate::spec::DeviceSpec;
-use crate::trace::{GroupSpan, LaunchTrace, MarkerTrace, PhaseSummary, TraceSink, TransferTrace};
+use crate::trace::{
+    FaultTrace, GroupSpan, LaunchTrace, MarkerTrace, PhaseSummary, TraceSink, TransferTrace,
+};
 use serde::{Deserialize, Serialize};
 
 /// Summary of one kernel launch kept in the device log.
@@ -50,11 +63,14 @@ pub struct Device {
     pool: BufferPool,
     kernel_seconds: f64,
     transfer_seconds: f64,
+    stall_seconds: f64,
     launches: Vec<LaunchRecord>,
     transfers: Vec<TransferRecord>,
     race_checking: bool,
     races: Vec<Race>,
     trace: Option<Box<dyn TraceSink>>,
+    fault: Option<FaultPlan>,
+    fault_events: usize,
 }
 
 impl Device {
@@ -75,12 +91,33 @@ impl Device {
             pool: BufferPool::new(),
             kernel_seconds: 0.0,
             transfer_seconds: 0.0,
+            stall_seconds: 0.0,
             launches: Vec::new(),
             transfers: Vec::new(),
             race_checking: false,
             races: Vec::new(),
             trace: None,
+            fault: None,
+            fault_events: 0,
         }
+    }
+
+    /// Installs a fault plan: subsequent fallible operations consult it, in
+    /// issue order, and may fail (see the [`fault` module](crate::fault)).
+    /// Per-CU health is rolled here, against this device's spec.
+    pub fn set_fault_plan(&mut self, mut plan: FaultPlan) {
+        plan.install(&self.spec);
+        self.fault = Some(plan);
+    }
+
+    /// Removes and returns the fault plan, if any.
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    /// The installed fault plan, if any (for counts and CU health).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// Installs a trace sink: subsequent launches, transfers, and
@@ -148,30 +185,102 @@ impl Device {
     /// Host→device copy, charged to the transfer clock.
     ///
     /// # Panics
-    /// Panics if `data` is longer than the buffer.
+    /// Panics if `data` is longer than the buffer, or if an injected fault
+    /// fires (use [`Device::try_upload_f32`] under fault injection).
     pub fn upload_f32(&mut self, buf: BufF32, data: &[f32]) {
-        self.pool.f32_mut(buf)[..data.len()].copy_from_slice(data);
-        self.record_transfer(data.len() * 4, true);
+        self.try_upload_f32(buf, data).expect("unrecovered upload fault");
     }
 
     /// Host→device copy of `u32` data, charged to the transfer clock.
     pub fn upload_u32(&mut self, buf: BufU32, data: &[u32]) {
-        self.pool.u32_mut(buf)[..data.len()].copy_from_slice(data);
-        self.record_transfer(data.len() * 4, true);
+        self.try_upload_u32(buf, data).expect("unrecovered upload fault");
     }
 
     /// Device→host copy, charged to the transfer clock.
     pub fn download_f32(&mut self, buf: BufF32) -> Vec<f32> {
-        let data = self.pool.f32(buf).to_vec();
-        self.record_transfer(data.len() * 4, false);
-        data
+        self.try_download_f32(buf).expect("unrecovered download fault")
     }
 
     /// Device→host copy of `u32` data, charged to the transfer clock.
     pub fn download_u32(&mut self, buf: BufU32) -> Vec<u32> {
+        self.try_download_u32(buf).expect("unrecovered download fault")
+    }
+
+    /// Fallible host→device copy: consults the fault plan first. On an
+    /// injected fault the attempt's cost is charged to the stall clock and
+    /// **no data moves** — device memory is exactly as it was, so a retry
+    /// that succeeds is bit-identical to a fault-free upload.
+    pub fn try_upload_f32(&mut self, buf: BufF32, data: &[f32]) -> Result<(), FaultError> {
+        self.check_transfer(data.len() * 4, true)?;
+        self.pool.f32_mut(buf)[..data.len()].copy_from_slice(data);
+        self.record_transfer(data.len() * 4, true);
+        Ok(())
+    }
+
+    /// Fallible host→device copy of `u32` data (see
+    /// [`Device::try_upload_f32`] for fault semantics).
+    pub fn try_upload_u32(&mut self, buf: BufU32, data: &[u32]) -> Result<(), FaultError> {
+        self.check_transfer(data.len() * 4, true)?;
+        self.pool.u32_mut(buf)[..data.len()].copy_from_slice(data);
+        self.record_transfer(data.len() * 4, true);
+        Ok(())
+    }
+
+    /// Fallible device→host copy (see [`Device::try_upload_f32`] for fault
+    /// semantics; device memory is read-only here, so retries are trivially
+    /// safe).
+    pub fn try_download_f32(&mut self, buf: BufF32) -> Result<Vec<f32>, FaultError> {
+        self.check_transfer(self.pool.len_f32(buf) * 4, false)?;
+        let data = self.pool.f32(buf).to_vec();
+        self.record_transfer(data.len() * 4, false);
+        Ok(data)
+    }
+
+    /// Fallible device→host copy of `u32` data.
+    pub fn try_download_u32(&mut self, buf: BufU32) -> Result<Vec<u32>, FaultError> {
+        self.check_transfer(self.pool.len_u32(buf) * 4, false)?;
         let data = self.pool.u32(buf).to_vec();
         self.record_transfer(data.len() * 4, false);
-        data
+        Ok(data)
+    }
+
+    /// Draws the fault decision for one transfer of `bytes` and, when a
+    /// fault fires, charges its cost and records the trace event.
+    fn check_transfer(&mut self, bytes: usize, to_device: bool) -> Result<(), FaultError> {
+        let Some(plan) = self.fault.as_mut() else { return Ok(()) };
+        let decision = plan.decide_transfer();
+        let FaultDecision::Inject(kind) = decision else { return Ok(()) };
+        let charged_s = match kind {
+            // a failed transfer runs to completion before the CRC check
+            FaultKind::TransferError => self.transfer_model.seconds(bytes),
+            FaultKind::TransferTimeout => plan.config().transfer_timeout_s,
+            _ => 0.0,
+        };
+        let op = if to_device { "h2d" } else { "d2h" };
+        let at_s = self.device_seconds();
+        Err(self.emit_fault(kind, op, at_s, charged_s, charged_s))
+    }
+
+    /// Records a fault trace event, charges `stall_s` to the stall clock,
+    /// and returns the error the operation should propagate. `charged_s` is
+    /// what the attempt cost in total — for corruption that time already
+    /// landed on the kernel clock, so its `stall_s` is zero.
+    fn emit_fault(
+        &mut self,
+        kind: FaultKind,
+        op: &str,
+        at_s: f64,
+        charged_s: f64,
+        stall_s: f64,
+    ) -> FaultError {
+        self.stall_seconds += stall_s;
+        let event =
+            FaultTrace { fault_id: self.fault_events, kind, op: op.to_string(), at_s, charged_s };
+        self.fault_events += 1;
+        if let Some(sink) = self.trace.as_mut() {
+            sink.fault(event);
+        }
+        FaultError { kind, charged_s }
     }
 
     /// Untimed host access for test setup and assertions — never use on a
@@ -187,11 +296,75 @@ impl Device {
 
     /// Executes `kernel` over `grid`: runs it functionally, times it, and
     /// advances the kernel clock. Honors [`Device::set_race_checking`].
+    ///
+    /// # Panics
+    /// Panics if an injected fault fires (use [`Device::try_launch`] under
+    /// fault injection).
     pub fn launch<K: Kernel>(&mut self, kernel: &K, grid: NdRange) -> LaunchTiming {
-        if self.race_checking {
-            return self.launch_checked(kernel, grid).0;
+        self.try_launch(kernel, grid).expect("unrecovered launch fault")
+    }
+
+    /// Fallible launch: consults the fault plan first. Fault semantics
+    /// preserve bit-exactness of any later successful attempt:
+    ///
+    /// * [`FaultKind::LaunchFail`] — the kernel never executes; a fixed
+    ///   penalty goes on the stall clock and device memory is untouched.
+    /// * [`FaultKind::ResultCorruption`] — the kernel runs (its time is
+    ///   charged to the kernel clock) but its writes are rolled back.
+    /// * [`FaultKind::DeviceLost`] — permanent; every later operation fails.
+    pub fn try_launch<K: Kernel>(
+        &mut self,
+        kernel: &K,
+        grid: NdRange,
+    ) -> Result<LaunchTiming, FaultError> {
+        let decision = match self.fault.as_mut() {
+            Some(plan) => plan.decide_launch(),
+            None => FaultDecision::None,
+        };
+        let check = self.race_checking;
+        match decision {
+            FaultDecision::None => Ok(self.launch_dispatch(kernel, grid, check)),
+            FaultDecision::Inject(FaultKind::LaunchFail) => {
+                let penalty = self.fault.as_ref().map_or(0.0, |p| p.config().launch_fail_penalty_s);
+                let at_s = self.device_seconds();
+                Err(self.emit_fault(FaultKind::LaunchFail, kernel.name(), at_s, penalty, penalty))
+            }
+            FaultDecision::Inject(FaultKind::ResultCorruption) => {
+                let at_s = self.device_seconds();
+                let saved = self.pool.clone();
+                let timing = self.launch_dispatch(kernel, grid, check);
+                self.pool = saved;
+                // the wasted time already landed on the kernel clock
+                Err(self.emit_fault(
+                    FaultKind::ResultCorruption,
+                    kernel.name(),
+                    at_s,
+                    timing.seconds,
+                    0.0,
+                ))
+            }
+            FaultDecision::Inject(kind) => {
+                let at_s = self.device_seconds();
+                Err(self.emit_fault(kind, kernel.name(), at_s, 0.0, 0.0))
+            }
         }
-        self.launch_inner(kernel, grid, false).0
+    }
+
+    /// Routes a decided-to-run launch through the race-checked or plain
+    /// path.
+    fn launch_dispatch<K: Kernel>(
+        &mut self,
+        kernel: &K,
+        grid: NdRange,
+        check_races: bool,
+    ) -> LaunchTiming {
+        if check_races {
+            let (timing, races) = self.launch_inner(kernel, grid, true);
+            self.races.extend(races);
+            timing
+        } else {
+            self.launch_inner(kernel, grid, false).0
+        }
     }
 
     /// Like [`Device::launch`], but with intra-phase data-race detection.
@@ -224,12 +397,21 @@ impl Device {
             let (outcome, r) =
                 execute_launch_profiled(kernel, grid, &self.spec, &mut self.pool, check_races);
             races = r;
-            let (t, placements) = schedule_launch_placed(
-                &self.spec,
-                grid.local,
-                kernel.lds_words(),
-                &outcome.group_costs,
-            );
+            let (t, placements) = match self.degraded_health() {
+                Some(health) => schedule_launch_degraded(
+                    &self.spec,
+                    grid.local,
+                    kernel.lds_words(),
+                    &outcome.group_costs,
+                    health,
+                ),
+                None => schedule_launch_placed(
+                    &self.spec,
+                    grid.local,
+                    kernel.lds_words(),
+                    &outcome.group_costs,
+                ),
+            };
             let groups = placements
                 .iter()
                 .map(|p| GroupSpan {
@@ -285,8 +467,24 @@ impl Device {
                 (execute_launch(kernel, grid, &self.spec, &mut self.pool), Vec::new())
             };
             races = r;
-            timing =
-                schedule_launch(&self.spec, grid.local, kernel.lds_words(), &outcome.group_costs);
+            timing = match self.degraded_health() {
+                Some(health) => {
+                    schedule_launch_degraded(
+                        &self.spec,
+                        grid.local,
+                        kernel.lds_words(),
+                        &outcome.group_costs,
+                        health,
+                    )
+                    .0
+                }
+                None => schedule_launch(
+                    &self.spec,
+                    grid.local,
+                    kernel.lds_words(),
+                    &outcome.group_costs,
+                ),
+            };
         }
         self.kernel_seconds += timing.seconds;
         self.launches.push(LaunchRecord {
@@ -307,19 +505,40 @@ impl Device {
         self.transfer_seconds
     }
 
-    /// Kernel + transfer seconds.
-    pub fn device_seconds(&self) -> f64 {
-        self.kernel_seconds + self.transfer_seconds
+    /// Simulated seconds lost to injected faults and recovery backoff since
+    /// the last reset (zero unless a fault plan is installed).
+    pub fn stall_seconds(&self) -> f64 {
+        self.stall_seconds
     }
 
-    /// Clears the clocks and logs (buffers are kept; the race-checking mode
-    /// flag is kept too).
+    /// Charges simulated seconds to the stall clock. Recovery layers use
+    /// this for retry backoff, so recovery overhead shows up in total device
+    /// time, traces, and the PTPM observed grid.
+    pub fn charge_stall(&mut self, seconds: f64) {
+        self.stall_seconds += seconds;
+    }
+
+    /// Kernel + transfer + stall seconds.
+    pub fn device_seconds(&self) -> f64 {
+        self.kernel_seconds + self.transfer_seconds + self.stall_seconds
+    }
+
+    /// Clears the clocks and logs (buffers, the race-checking mode flag, and
+    /// any installed fault plan are kept; the plan's RNG stream is *not*
+    /// rewound).
     pub fn reset_clocks(&mut self) {
         self.kernel_seconds = 0.0;
         self.transfer_seconds = 0.0;
+        self.stall_seconds = 0.0;
         self.launches.clear();
         self.transfers.clear();
         self.races.clear();
+        self.fault_events = 0;
+    }
+
+    /// CU health to schedule against, when the fault plan degrades any CU.
+    fn degraded_health(&self) -> Option<&[CuHealth]> {
+        self.fault.as_ref().filter(|f| f.degrades_scheduling()).map(FaultPlan::cu_health)
     }
 
     /// Launch log since the last reset.
@@ -334,12 +553,13 @@ impl Device {
 
     fn record_transfer(&mut self, bytes: usize, to_device: bool) {
         let seconds = self.transfer_model.seconds(bytes);
+        let start_s = self.device_seconds();
         if let Some(sink) = self.trace.as_mut() {
             sink.transfer(TransferTrace {
                 transfer_id: self.transfers.len(),
                 bytes,
                 to_device,
-                start_s: self.kernel_seconds + self.transfer_seconds,
+                start_s,
                 seconds,
             });
         }
@@ -489,6 +709,142 @@ mod tests {
         plain.upload_f32(buf2, &[1.0; 8]);
         let t2 = plain.launch(&AddOne { buf: buf2, n: 8 }, NdRange { global: 8, local: 4 });
         assert_eq!(timing, t2);
+    }
+
+    #[test]
+    fn zero_prob_fault_plan_changes_nothing() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let model = TransferModel { bandwidth_bytes_per_sec: 1e6, latency_s: 1e-3 };
+        let mut plain = Device::with_transfer_model(DeviceSpec::tiny_test_device(), model);
+        let mut faulty = Device::with_transfer_model(DeviceSpec::tiny_test_device(), model);
+        faulty.set_fault_plan(FaultPlan::new(42, FaultConfig::default()));
+        for dev in [&mut plain, &mut faulty] {
+            let buf = dev.alloc_f32(8);
+            dev.try_upload_f32(buf, &[1.0; 8]).unwrap();
+            dev.try_launch(&AddOne { buf, n: 8 }, NdRange { global: 8, local: 4 }).unwrap();
+            let out = dev.try_download_f32(buf).unwrap();
+            assert_eq!(out, vec![2.0; 8]);
+        }
+        assert_eq!(plain.kernel_seconds(), faulty.kernel_seconds());
+        assert_eq!(plain.transfer_seconds(), faulty.transfer_seconds());
+        assert_eq!(faulty.stall_seconds(), 0.0);
+        assert_eq!(faulty.fault_plan().unwrap().counts().total(), 0);
+    }
+
+    #[test]
+    fn launch_fail_charges_stall_and_leaves_memory() {
+        use crate::fault::{FaultConfig, FaultKind, FaultPlan};
+        let mut dev = device();
+        let cfg = FaultConfig { launch_fail_prob: 1.0, ..FaultConfig::default() };
+        dev.set_fault_plan(FaultPlan::new(1, cfg));
+        let buf = dev.alloc_f32(4);
+        dev.try_upload_f32(buf, &[5.0; 4]).unwrap();
+        let err = dev.try_launch(&AddOne { buf, n: 4 }, NdRange { global: 4, local: 4 });
+        let err = err.unwrap_err();
+        assert_eq!(err.kind, FaultKind::LaunchFail);
+        assert!(err.is_transient());
+        assert_eq!(dev.kernel_seconds(), 0.0, "the kernel never executed");
+        assert_eq!(dev.stall_seconds(), cfg.launch_fail_penalty_s);
+        assert!(dev.launches().is_empty());
+        assert_eq!(dev.debug_pool().f32(buf), &[5.0; 4]);
+    }
+
+    #[test]
+    fn corruption_rolls_back_writes_but_charges_kernel_time() {
+        use crate::fault::{FaultConfig, FaultKind, FaultPlan};
+        let mut dev = device();
+        let cfg = FaultConfig { launch_corrupt_prob: 1.0, ..FaultConfig::default() };
+        dev.set_fault_plan(FaultPlan::new(2, cfg));
+        let buf = dev.alloc_f32(4);
+        dev.try_upload_f32(buf, &[5.0; 4]).unwrap();
+        let err =
+            dev.try_launch(&AddOne { buf, n: 4 }, NdRange { global: 4, local: 4 }).unwrap_err();
+        assert_eq!(err.kind, FaultKind::ResultCorruption);
+        assert!(dev.kernel_seconds() > 0.0, "the wasted run is charged");
+        assert_eq!(err.charged_s, dev.kernel_seconds());
+        assert_eq!(dev.stall_seconds(), 0.0);
+        assert_eq!(dev.debug_pool().f32(buf), &[5.0; 4], "writes rolled back");
+    }
+
+    #[test]
+    fn transfer_fault_moves_no_data() {
+        use crate::fault::{FaultConfig, FaultKind, FaultPlan};
+        let model = TransferModel { bandwidth_bytes_per_sec: 1e6, latency_s: 1e-3 };
+        let mut dev = Device::with_transfer_model(DeviceSpec::tiny_test_device(), model);
+        let cfg = FaultConfig { transfer_error_prob: 1.0, ..FaultConfig::default() };
+        dev.set_fault_plan(FaultPlan::new(3, cfg));
+        let buf = dev.alloc_f32(4);
+        let err = dev.try_upload_f32(buf, &[9.0; 4]).unwrap_err();
+        assert_eq!(err.kind, FaultKind::TransferError);
+        assert_eq!(dev.debug_pool().f32(buf), &[0.0; 4], "no data moved");
+        assert_eq!(dev.transfer_seconds(), 0.0);
+        assert!(dev.transfers().is_empty());
+        // the failed attempt still ran on the wire: full transfer time stalls
+        assert_eq!(dev.stall_seconds(), model.seconds(16));
+    }
+
+    #[test]
+    fn lost_device_fails_every_operation() {
+        use crate::fault::{FaultConfig, FaultKind, FaultPlan};
+        let mut dev = device();
+        dev.set_fault_plan(FaultPlan::new(4, FaultConfig::default().with_device_loss(1.0)));
+        let buf = dev.alloc_f32(4);
+        let e1 = dev.try_upload_f32(buf, &[1.0; 4]).unwrap_err();
+        assert_eq!(e1.kind, FaultKind::DeviceLost);
+        assert!(!e1.is_transient());
+        let e2 = dev.try_launch(&AddOne { buf, n: 4 }, NdRange { global: 4, local: 4 });
+        assert_eq!(e2.unwrap_err().kind, FaultKind::DeviceLost);
+        let e3 = dev.try_download_f32(buf).unwrap_err();
+        assert_eq!(e3.kind, FaultKind::DeviceLost);
+        assert!(dev.fault_plan().unwrap().device_lost());
+    }
+
+    #[test]
+    fn stall_clock_counts_toward_device_seconds_and_resets() {
+        let mut dev = device();
+        dev.charge_stall(0.5);
+        assert_eq!(dev.stall_seconds(), 0.5);
+        assert_eq!(dev.device_seconds(), 0.5);
+        dev.reset_clocks();
+        assert_eq!(dev.stall_seconds(), 0.0);
+        assert_eq!(dev.device_seconds(), 0.0);
+    }
+
+    #[test]
+    fn degraded_plan_slows_timing_but_preserves_results() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut healthy = device();
+        let mut degraded = device();
+        degraded.set_fault_plan(FaultPlan::new(6, FaultConfig::default().with_cu_faults(1.0, 0.0)));
+        assert!(degraded.fault_plan().unwrap().degrades_scheduling());
+        let grid = NdRange { global: 16, local: 4 };
+        let bh = healthy.alloc_f32(16);
+        let bd = degraded.alloc_f32(16);
+        healthy.upload_f32(bh, &[3.0; 16]);
+        degraded.try_upload_f32(bd, &[3.0; 16]).unwrap();
+        let th = healthy.launch(&AddOne { buf: bh, n: 16 }, grid);
+        let td = degraded.try_launch(&AddOne { buf: bd, n: 16 }, grid).unwrap();
+        assert_eq!(healthy.download_f32(bh), degraded.try_download_f32(bd).unwrap());
+        assert!(td.seconds > th.seconds, "every CU degraded must slow the launch");
+    }
+
+    #[test]
+    fn fault_events_reach_trace_sink() {
+        use crate::fault::{FaultConfig, FaultKind, FaultPlan};
+        use crate::trace::MemoryTraceSink;
+        let mut dev = device();
+        let sink = MemoryTraceSink::new();
+        dev.set_trace_sink(Box::new(sink.clone()));
+        let cfg = FaultConfig { transfer_timeout_prob: 1.0, ..FaultConfig::default() };
+        dev.set_fault_plan(FaultPlan::new(7, cfg));
+        let buf = dev.alloc_f32(4);
+        let _ = dev.try_upload_f32(buf, &[1.0; 4]).unwrap_err();
+        let trace = sink.snapshot();
+        assert_eq!(trace.faults.len(), 1);
+        assert_eq!(trace.faults[0].kind, FaultKind::TransferTimeout);
+        assert_eq!(trace.faults[0].op, "h2d");
+        assert_eq!(trace.faults[0].fault_id, 0);
+        assert_eq!(trace.faults[0].charged_s, cfg.transfer_timeout_s);
     }
 
     #[test]

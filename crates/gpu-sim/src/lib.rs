@@ -53,6 +53,7 @@ pub mod buffer;
 pub mod cost;
 pub mod device;
 pub mod exec;
+pub mod fault;
 pub mod kernel;
 pub mod kernels;
 pub mod pcie;
@@ -67,13 +68,19 @@ pub mod prelude {
     pub use crate::cost::GroupCost;
     pub use crate::device::{Device, LaunchRecord, TransferRecord};
     pub use crate::exec::ItemCtx;
+    pub use crate::fault::{
+        CuHealth, FaultConfig, FaultCounts, FaultError, FaultKind, FaultPlan, RetryPolicy,
+    };
     pub use crate::kernel::{Control, GroupInfo, Kernel, NdRange};
     pub use crate::kernels::{device_sum, SumReduceKernel};
     pub use crate::pcie::TransferModel;
     pub use crate::race::{Race, RaceDetector, Space};
-    pub use crate::sched::{schedule_launch, schedule_launch_placed, GroupPlacement, LaunchTiming};
+    pub use crate::sched::{
+        schedule_launch, schedule_launch_degraded, schedule_launch_placed, GroupPlacement,
+        LaunchTiming,
+    };
     pub use crate::spec::DeviceSpec;
-    pub use crate::trace::{LaunchTrace, MemoryTraceSink, Trace, TraceSink};
+    pub use crate::trace::{FaultTrace, LaunchTrace, MemoryTraceSink, Trace, TraceSink};
 }
 
 pub use prelude::*;

@@ -20,6 +20,7 @@
 //!    j-parallel) expensive at small N.
 
 use crate::cost::GroupCost;
+use crate::fault::CuHealth;
 use crate::spec::DeviceSpec;
 use serde::{Deserialize, Serialize};
 
@@ -137,6 +138,74 @@ pub fn schedule_launch_placed(
             .expect("at least one CU");
         let start_cycle = cu_busy[idx];
         cu_busy[idx] += cycles;
+        placements.push(GroupPlacement { group, cu: idx, start_cycle, end_cycle: cu_busy[idx] });
+    }
+
+    let compute_cycles = cu_busy.iter().copied().fold(0.0, f64::max);
+    let total_cost: GroupCost = group_costs.iter().copied().sum();
+    let compute_s = compute_cycles / spec.clock_hz;
+    let bandwidth_floor_s = total_cost.total_bytes() / spec.global_bandwidth_bytes_per_sec;
+    let body_s = compute_s.max(bandwidth_floor_s);
+    let seconds = body_s + spec.launch_overhead_s;
+    let mean_busy = cu_busy.iter().sum::<f64>() / cus as f64;
+    let utilization = if compute_cycles > 0.0 { mean_busy / compute_cycles } else { 0.0 };
+
+    (
+        LaunchTiming {
+            seconds,
+            compute_cycles,
+            bandwidth_floor_s,
+            bandwidth_bound: bandwidth_floor_s > compute_s,
+            occupancy_groups_per_cu: k,
+            cu_busy_cycles: cu_busy,
+            utilization,
+            total_cost,
+            num_groups: group_costs.len(),
+        },
+        placements,
+    )
+}
+
+/// [`schedule_launch_placed`] on a device whose CUs may be degraded or
+/// offline (see [`CuHealth`], rolled by an installed fault plan). Offline
+/// CUs receive no work; a degraded CU stretches every group it hosts by
+/// `1 / speed`. Groups go to the alive CU with the earliest *finish* time
+/// (lowest index on ties) — with all CUs nominal this reduces bit-exactly
+/// to the healthy scheduler, since adding the same group cycles to every
+/// candidate preserves the least-loaded order.
+///
+/// Degradation affects timing only, never results: the functional execution
+/// has already happened by the time the scheduler runs.
+///
+/// # Panics
+/// Panics if `health` does not cover every CU or no CU is alive.
+pub fn schedule_launch_degraded(
+    spec: &DeviceSpec,
+    local_size: usize,
+    lds_words: usize,
+    group_costs: &[GroupCost],
+    health: &[CuHealth],
+) -> (LaunchTiming, Vec<GroupPlacement>) {
+    let cus = spec.compute_units as usize;
+    assert_eq!(health.len(), cus, "health must describe every CU");
+    assert!(health.iter().any(|c| c.alive), "no CU alive — the device is lost, not degraded");
+    let capacity = spec.groups_per_cu(local_size, lds_words).max(1);
+    let resident = group_costs.len().div_ceil(cus).max(1);
+    let k = capacity.min(resident);
+    let mut cu_busy = vec![0.0_f64; cus];
+    let mut placements = Vec::with_capacity(group_costs.len());
+
+    for (group, cost) in group_costs.iter().enumerate() {
+        let cycles = group_cycles(cost, spec, k as f64);
+        let (idx, _) = cu_busy
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| health[i].alive)
+            .map(|(i, &busy)| (i, busy + cycles / health[i].speed))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+            .expect("at least one alive CU");
+        let start_cycle = cu_busy[idx];
+        cu_busy[idx] += cycles / health[idx].speed;
         placements.push(GroupPlacement { group, cu: idx, start_cycle, end_cycle: cu_busy[idx] });
     }
 
@@ -305,6 +374,46 @@ mod tests {
         let g = t.gflops();
         assert!(g > 0.9 * s.peak_charged_gflops(), "gflops {g}");
         assert!(g <= s.peak_charged_gflops() * 1.001);
+    }
+
+    #[test]
+    fn nominal_health_reproduces_healthy_schedule_bitexactly() {
+        let costs = vec![flops_group(1000.0), flops_group(10.0), flops_group(300.0)];
+        let healthy = schedule_launch_placed(&spec(), 4, 0, &costs);
+        let nominal = vec![CuHealth::nominal(); 2];
+        let degraded = schedule_launch_degraded(&spec(), 4, 0, &costs, &nominal);
+        assert_eq!(healthy.0, degraded.0);
+        assert_eq!(healthy.1, degraded.1);
+    }
+
+    #[test]
+    fn lost_cu_receives_no_work() {
+        let health = vec![CuHealth { alive: false, speed: 0.0 }, CuHealth::nominal()];
+        let costs = vec![flops_group(100.0); 4];
+        let (t, placements) = schedule_launch_degraded(&spec(), 4, 0, &costs, &health);
+        assert!(placements.iter().all(|p| p.cu == 1));
+        // all four groups serialized on the one surviving CU
+        assert_eq!(t.compute_cycles, 400.0);
+        assert_eq!(t.cu_busy_cycles[0], 0.0);
+    }
+
+    #[test]
+    fn degraded_cu_stretches_its_groups() {
+        let health = vec![CuHealth { alive: true, speed: 0.5 }, CuHealth::nominal()];
+        let costs = vec![flops_group(100.0), flops_group(100.0)];
+        let (t, placements) = schedule_launch_degraded(&spec(), 4, 0, &costs, &health);
+        // first group goes to the fast CU (earliest finish), second to the
+        // slow one, which then sets the makespan at 100 / 0.5 = 200
+        assert_eq!(placements[0].cu, 1);
+        assert_eq!(placements[1].cu, 0);
+        assert_eq!(t.compute_cycles, 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no CU alive")]
+    fn all_dead_cus_rejected() {
+        let health = vec![CuHealth { alive: false, speed: 0.0 }; 2];
+        let _ = schedule_launch_degraded(&spec(), 4, 0, &[flops_group(1.0)], &health);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use crate::cost::GroupCost;
 use crate::exec::PhaseCost;
+use crate::fault::FaultKind;
 use crate::kernel::NdRange;
 use crate::sched::LaunchTiming;
 use crate::spec::DeviceSpec;
@@ -131,6 +132,23 @@ pub struct MarkerTrace {
     pub at_s: f64,
 }
 
+/// One injected fault on the device timeline (see the `fault` module). The
+/// fault-free golden traces never contain these rows, so enabling fault
+/// injection cannot perturb existing exports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultTrace {
+    /// Sequence number on this device since the last clock reset.
+    pub fault_id: usize,
+    /// What was injected.
+    pub kind: FaultKind,
+    /// The operation it hit (kernel name, `"h2d"`, or `"d2h"`).
+    pub op: String,
+    /// Device-timeline seconds at which the faulted operation began.
+    pub at_s: f64,
+    /// Simulated seconds the failed attempt cost.
+    pub charged_s: f64,
+}
+
 /// A complete recorded trace: device identity plus every event in issue
 /// order.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -147,12 +165,17 @@ pub struct Trace {
     pub transfers: Vec<TransferTrace>,
     /// Host annotations.
     pub markers: Vec<MarkerTrace>,
+    /// Injected faults (empty on fault-free runs).
+    pub faults: Vec<FaultTrace>,
 }
 
 impl Trace {
     /// True if no event of any kind was recorded.
     pub fn is_empty(&self) -> bool {
-        self.launches.is_empty() && self.transfers.is_empty() && self.markers.is_empty()
+        self.launches.is_empty()
+            && self.transfers.is_empty()
+            && self.markers.is_empty()
+            && self.faults.is_empty()
     }
 
     /// Seconds from the first event to the last retirement.
@@ -184,6 +207,12 @@ pub trait TraceSink: std::fmt::Debug {
 
     /// The host annotated the timeline.
     fn marker(&mut self, event: MarkerTrace);
+
+    /// A fault was injected. Default no-op so pre-existing sinks keep
+    /// compiling and fault-free traces stay byte-identical.
+    fn fault(&mut self, event: FaultTrace) {
+        let _ = event;
+    }
 }
 
 /// The standard sink: accumulates a [`Trace`] in memory. Cloning produces a
@@ -226,6 +255,7 @@ impl MemoryTraceSink {
         t.launches.clear();
         t.transfers.clear();
         t.markers.clear();
+        t.faults.clear();
         taken
     }
 }
@@ -249,6 +279,10 @@ impl TraceSink for MemoryTraceSink {
     fn marker(&mut self, event: MarkerTrace) {
         self.trace.borrow_mut().markers.push(event);
     }
+
+    fn fault(&mut self, event: FaultTrace) {
+        self.trace.borrow_mut().faults.push(event);
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +298,24 @@ mod tests {
         let taken = a.take();
         assert_eq!(taken.markers.len(), 1);
         assert!(a.snapshot().is_empty());
+    }
+
+    #[test]
+    fn fault_events_recorded_and_taken() {
+        let mut sink = MemoryTraceSink::new();
+        sink.fault(FaultTrace {
+            fault_id: 0,
+            kind: FaultKind::TransferError,
+            op: "h2d".into(),
+            at_s: 0.25,
+            charged_s: 1e-5,
+        });
+        let t = sink.snapshot();
+        assert_eq!(t.faults.len(), 1);
+        assert_eq!(t.faults[0].kind, FaultKind::TransferError);
+        assert!(!t.is_empty());
+        sink.take();
+        assert!(sink.snapshot().is_empty());
     }
 
     #[test]

@@ -6,5 +6,5 @@ fn main() {
     let mut runner = harness::Runner::new(cfg);
     let rows = harness::fig5::fig5(&mut runner);
     print!("{}", harness::fig5::render(&rows));
-    harness::trace_export::run_trace_flag(&args, &mut runner);
+    harness::error::or_exit(harness::trace_export::run_trace_flag(&args, &mut runner));
 }

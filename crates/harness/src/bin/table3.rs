@@ -7,5 +7,5 @@ fn main() {
     let mut runner = harness::Runner::new(cfg);
     let rows = harness::table3::table3(&mut runner);
     print!("{}", harness::table3::render(&rows, steps));
-    harness::trace_export::run_trace_flag(&args, &mut runner);
+    harness::error::or_exit(harness::trace_export::run_trace_flag(&args, &mut runner));
 }

@@ -21,6 +21,12 @@ use workloads::spec::WorkloadSpec;
 /// simulated independently of the machine running the harness.
 pub const HOST_SLOWDOWN: f64 = 8.0;
 
+/// Per-operation probability used when fault injection is enabled through
+/// [`ExperimentConfig::fault_seed`] (`--faults <seed>`): high enough that a
+/// quick suite sees many injected faults, low enough that the bounded retry
+/// (8 attempts) never exhausts in practice.
+pub const FAULT_PROBABILITY: f64 = 0.05;
+
 /// Everything an experiment needs to be reproducible.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -37,6 +43,11 @@ pub struct ExperimentConfig {
     pub plan: PlanConfig,
     /// Host-time slowdown emulating the paper's CPU.
     pub host_slowdown: f64,
+    /// When set, every device runs under an injected transient-fault plan
+    /// seeded from this value ([`FAULT_PROBABILITY`] per operation). Retry
+    /// recovery keeps all results bit-exact; only the simulated times grow.
+    /// Absent in result files written before fault injection existed.
+    pub fault_seed: Option<u64>,
 }
 
 impl ExperimentConfig {
@@ -49,6 +60,7 @@ impl ExperimentConfig {
             gravity: GravityParams { g: 1.0, softening: 0.05 },
             plan: PlanConfig::default(),
             host_slowdown: HOST_SLOWDOWN,
+            fault_seed: None,
         }
     }
 
@@ -62,9 +74,15 @@ impl ExperimentConfig {
         WorkloadSpec::plummer(n, self.seed)
     }
 
-    /// A fresh simulated device.
+    /// A fresh simulated device (with the configured fault plan installed,
+    /// if any).
     pub fn device(&self) -> Device {
-        Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::pcie2_x16())
+        let mut device =
+            Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::pcie2_x16());
+        if let Some(seed) = self.fault_seed {
+            device.set_fault_plan(FaultPlan::new(seed, FaultConfig::transient(FAULT_PROBABILITY)));
+        }
+        device
     }
 }
 
@@ -87,6 +105,23 @@ mod tests {
         let q = ExperimentConfig::quick();
         assert!(q.sizes.len() < ExperimentConfig::paper().sizes.len());
         assert!(q.steps < 100);
+    }
+
+    #[test]
+    fn fault_seed_installs_a_plan_without_changing_results() {
+        let mut cfg = ExperimentConfig::quick();
+        assert!(cfg.device().fault_plan().is_none());
+        cfg.fault_seed = Some(9);
+        let device = cfg.device();
+        let plan = device.fault_plan().expect("fault plan installed");
+        assert_eq!(plan.seed(), 9);
+        // old result files (no fault_seed field) still deserialize
+        let legacy = serde_json::to_string(&ExperimentConfig::quick()).unwrap();
+        let stripped =
+            legacy.replace("\"fault_seed\":null,", "").replace(",\"fault_seed\":null", "");
+        assert!(!stripped.contains("fault_seed"));
+        let back: ExperimentConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.fault_seed, None);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! so a result file is self-describing and re-plottable.
 
 use crate::config::ExperimentConfig;
+use crate::error::HarnessError;
 use crate::fig4::Fig4Row;
 use crate::fig5::Fig5Row;
 use crate::table1::Table1Row;
@@ -44,13 +45,19 @@ impl SuiteResults {
     }
 
     /// Serializes to pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("suite results serialize")
+    pub fn to_json(&self) -> Result<String, HarnessError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| HarnessError::Json { what: "suite results".into(), source: e })
     }
 
     /// Parses a previously exported document.
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
+    }
+
+    /// Serializes and writes the document to `path` with typed errors.
+    pub fn write_json(&self, path: &str) -> Result<(), HarnessError> {
+        std::fs::write(path, self.to_json()?).map_err(|e| HarnessError::io(path, e))
     }
 }
 
@@ -63,7 +70,7 @@ mod tests {
         let mut cfg = ExperimentConfig::quick();
         cfg.sizes = vec![256]; // keep the test fast
         let results = SuiteResults::run(cfg);
-        let json = results.to_json();
+        let json = results.to_json().unwrap();
         let back = SuiteResults::from_json(&json).unwrap();
         assert_eq!(back.fig4.len(), 1);
         assert_eq!(back.fig5.len(), 1);

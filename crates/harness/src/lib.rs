@@ -12,11 +12,13 @@
 //! | [`table3`] | Table 3 — kernel-only time of the four plans | `--bin table3` |
 //!
 //! `--bin repro-all` runs the full suite. Every binary accepts `--quick`
-//! for a reduced sweep, and the figure/table binaries accept
+//! for a reduced sweep and `--faults <seed>` for deterministic fault
+//! injection (see [`faults`]); the figure/table binaries accept
 //! `--trace <path>` to also write an execution trace of all four plans
 //! (Chrome trace JSON, or CSV when the path ends in `.csv` — see
 //! [`trace_export`]). The `trace` binary captures traces without running
-//! any experiment.
+//! any experiment, and the `faults` binary demonstrates checkpoint/restart
+//! fault tolerance end to end.
 
 #![warn(missing_docs)]
 
@@ -24,7 +26,9 @@ pub mod chart;
 pub mod config;
 pub mod cpu_baseline;
 pub mod drift;
+pub mod error;
 pub mod export;
+pub mod faults;
 pub mod fig4;
 pub mod fig5;
 pub mod imbalance;
@@ -41,8 +45,10 @@ pub use config::ExperimentConfig;
 pub use runner::Runner;
 
 /// Parses the common CLI convention of the harness binaries: `--quick`
-/// selects the reduced sweep, `--max-n <N>` truncates the size sweep.
-pub fn config_from_args(args: &[String]) -> ExperimentConfig {
+/// selects the reduced sweep, `--max-n <N>` truncates the size sweep,
+/// `--faults <seed>` enables deterministic fault injection. Malformed
+/// values are reported as [`error::HarnessError::BadFlag`].
+pub fn try_config_from_args(args: &[String]) -> Result<ExperimentConfig, error::HarnessError> {
     let mut cfg = if args.iter().any(|a| a == "--quick") {
         ExperimentConfig::quick()
     } else {
@@ -53,7 +59,21 @@ pub fn config_from_args(args: &[String]) -> ExperimentConfig {
             cfg.sizes.retain(|&n| n <= max);
         }
     }
-    cfg
+    if let Some(pos) = args.iter().position(|a| a == "--faults") {
+        let value = args.get(pos + 1).cloned().unwrap_or_default();
+        let seed = value.parse::<u64>().map_err(|_| error::HarnessError::BadFlag {
+            flag: "--faults".into(),
+            value: value.clone(),
+        })?;
+        cfg.fault_seed = Some(seed);
+    }
+    Ok(cfg)
+}
+
+/// [`try_config_from_args`] for binaries: prints the error and exits 1 on a
+/// malformed flag.
+pub fn config_from_args(args: &[String]) -> ExperimentConfig {
+    error::or_exit(try_config_from_args(args))
 }
 
 #[cfg(test)]
@@ -72,5 +92,15 @@ mod tests {
     fn max_n_truncates() {
         let cfg = config_from_args(&["--max-n".to_string(), "4096".to_string()]);
         assert_eq!(*cfg.sizes.last().unwrap(), 4096);
+    }
+
+    #[test]
+    fn faults_flag_sets_seed_and_rejects_garbage() {
+        let cfg = try_config_from_args(&["--faults".to_string(), "42".to_string()]).unwrap();
+        assert_eq!(cfg.fault_seed, Some(42));
+        let err = try_config_from_args(&["--faults".to_string(), "xyz".to_string()]).unwrap_err();
+        assert!(err.to_string().contains("--faults"));
+        let err = try_config_from_args(&["--faults".to_string()]).unwrap_err();
+        assert!(matches!(err, error::HarnessError::BadFlag { .. }));
     }
 }

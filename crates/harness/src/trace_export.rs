@@ -11,6 +11,7 @@
 //! the `trace` binary exposes capture directly.
 
 use crate::config::ExperimentConfig;
+use crate::error::HarnessError;
 use crate::runner::Runner;
 use gpu_sim::trace::Trace;
 use plans::prelude::PlanKind;
@@ -80,6 +81,7 @@ pub fn chrome_trace_json(traces: &[PlanTrace]) -> String {
         let cus = t.compute_units;
         let pcie_tid = cus;
         let host_tid = cus + 1;
+        let fault_tid = cus + 2;
         events.push(metadata(
             "process_name",
             pid,
@@ -91,6 +93,9 @@ pub fn chrome_trace_json(traces: &[PlanTrace]) -> String {
         }
         events.push(metadata("thread_name", pid, pcie_tid, "PCIe"));
         events.push(metadata("thread_name", pid, host_tid, "launches"));
+        if !t.faults.is_empty() {
+            events.push(metadata("thread_name", pid, fault_tid, "faults"));
+        }
 
         for lt in &t.launches {
             events.push(obj(vec![
@@ -147,6 +152,24 @@ pub fn chrome_trace_json(traces: &[PlanTrace]) -> String {
                 ("ts", us(m.at_s)),
             ]));
         }
+        for ft in &t.faults {
+            events.push(obj(vec![
+                ("name", s(format!("fault: {} ({})", ft.kind.id(), ft.op))),
+                ("ph", s("X")),
+                ("pid", Value::UInt(pid as u64)),
+                ("tid", Value::UInt(fault_tid as u64)),
+                ("ts", us(ft.at_s)),
+                ("dur", us(ft.charged_s)),
+                (
+                    "args",
+                    obj(vec![
+                        ("kind", s(ft.kind.id())),
+                        ("op", s(&ft.op)),
+                        ("fault_id", Value::UInt(ft.fault_id as u64)),
+                    ]),
+                ),
+            ]));
+        }
     }
     let doc = obj(vec![("traceEvents", Value::Array(events)), ("displayTimeUnit", s("ms"))]);
     serde_json::to_string(&doc).expect("chrome trace serializes")
@@ -178,8 +201,11 @@ fn cost_cells(cost: &gpu_sim::cost::GroupCost) -> [String; 5] {
 
 /// Renders captures as flat CSV: one `launch` row per kernel launch,
 /// followed by its `phase` aggregates and per-work-group `group` spans,
-/// then `transfer` and `marker` rows. Fully deterministic for a fixed
-/// workload seed — the golden-trace tests diff this byte-for-byte.
+/// then `transfer`, `marker`, and (only under fault injection) `fault`
+/// rows — a fault row's `name` is the fault kind, its `phase` column holds
+/// the faulted operation, and `dur_us` is the simulated time the fault
+/// cost. Fully deterministic for a fixed workload seed — the golden-trace
+/// tests diff this byte-for-byte.
 pub fn csv(traces: &[PlanTrace]) -> String {
     let mut out = String::from(CSV_HEADER);
     out.push('\n');
@@ -240,6 +266,16 @@ pub fn csv(traces: &[PlanTrace]) -> String {
             out.push_str(&csv_row(&cells));
             out.push('\n');
         }
+        // absent entirely in fault-free runs, so golden traces are unchanged
+        for ft in &t.faults {
+            let mut cells = lead("fault");
+            cells.extend([ft.fault_id.to_string(), ft.kind.id().to_string()]);
+            cells.extend(["".into(), "".into(), ft.op.clone(), "".into()]);
+            cells.extend([fmt_us(ft.at_s), fmt_us(ft.charged_s)]);
+            cells.extend(["".into(), "".into(), "".into(), "".into(), "".into()]);
+            out.push_str(&csv_row(&cells));
+            out.push('\n');
+        }
     }
     out
 }
@@ -273,14 +309,16 @@ pub fn trace_flag(args: &[String]) -> Option<&str> {
 /// Implements the repro binaries' `--trace <path>` flag: when present,
 /// captures all four plans at [`default_trace_n`] and writes the file. The
 /// runner is shared with the experiment so workloads and measurements are
-/// reused where sizes overlap.
-pub fn run_trace_flag(args: &[String], runner: &mut Runner) {
-    let Some(path) = trace_flag(args) else { return };
+/// reused where sizes overlap. A failed write surfaces as a typed error so
+/// binaries exit non-zero instead of panicking.
+pub fn run_trace_flag(args: &[String], runner: &mut Runner) -> Result<(), HarnessError> {
+    let Some(path) = trace_flag(args) else { return Ok(()) };
     let path = path.to_string();
     let n = default_trace_n(&runner.cfg);
     let traces = capture_all(runner, n);
-    write_trace(&path, &traces).expect("write trace file");
+    write_trace(&path, &traces).map_err(|e| HarnessError::io(&path, e))?;
     eprintln!("wrote execution trace of all four plans at N={n} to {path}");
+    Ok(())
 }
 
 #[cfg(test)]
@@ -352,6 +390,34 @@ mod tests {
         let a = csv(&quick_traces());
         let b = csv(&quick_traces());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_injection_shows_up_in_both_exports() {
+        // deterministic seed scan: the first seed whose schedule injects
+        // something is fixed forever
+        let traces = (0..20)
+            .map(|seed| {
+                let mut cfg = ExperimentConfig::quick();
+                cfg.sizes = vec![256];
+                cfg.fault_seed = Some(seed);
+                capture_all(&mut Runner::new(cfg), 256)
+            })
+            .find(|traces| traces.iter().any(|pt| !pt.trace.faults.is_empty()))
+            .expect("some seed in 0..20 must inject a fault across four plans");
+        let text = csv(&traces);
+        let fault_rows: Vec<&str> =
+            text.lines().filter(|l| l.split(',').nth(2) == Some("fault")).collect();
+        assert!(!fault_rows.is_empty());
+        let width = CSV_HEADER.split(',').count();
+        for row in &fault_rows {
+            assert_eq!(row.split(',').count(), width, "ragged fault row: {row}");
+        }
+        let json = chrome_trace_json(&traces);
+        assert!(json.contains("fault: "), "chrome trace must carry fault spans");
+        // fault-free capture stays byte-identical to before faults existed
+        let clean = csv(&quick_traces());
+        assert!(!clean.contains(",fault,"));
     }
 
     #[test]

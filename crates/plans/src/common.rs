@@ -193,6 +193,9 @@ pub struct PlanOutcome {
     pub kernel_s: f64,
     /// Simulated seconds moving data over PCIe.
     pub transfer_s: f64,
+    /// Simulated seconds lost to injected faults and retry backoff (the
+    /// device's stall clock; zero on fault-free runs).
+    pub recovery_s: f64,
     /// Kernel launches issued.
     pub launches: usize,
     /// True if the plan pipelines host walk generation with device kernels
@@ -207,14 +210,15 @@ impl PlanOutcome {
     }
 
     /// Total time: the paper's Table 2 column. Walk generation overlaps the
-    /// kernels when the plan pipelines them.
+    /// kernels when the plan pipelines them; fault-recovery stalls are
+    /// serial device time and never hide under host work.
     pub fn total_seconds(&self) -> f64 {
         let body = if self.overlap_walk_with_kernel {
             self.host_walk_s.max(self.kernel_s)
         } else {
             self.host_walk_s + self.kernel_s
         };
-        self.host_tree_s + body + self.transfer_s
+        self.host_tree_s + body + self.transfer_s + self.recovery_s
     }
 
     /// Sustained GFLOPS of the kernel under `convention`.
@@ -264,19 +268,40 @@ pub fn interact_f32(xi: [f32; 3], source: &[f32], eps_sq: f32, acc: &mut [f32; 3
 
 /// Uploads positions+masses as float4 and returns (pos_mass, acc_out)
 /// buffers; `acc_out` is float4 per body. The upload is charged to the
-/// transfer clock — it is part of every plan's per-step cost.
+/// transfer clock — it is part of every plan's per-step cost. Retries
+/// transient injected faults (see [`crate::recover`]).
 pub fn upload_bodies(device: &mut Device, set: &ParticleSet) -> (BufF32, BufF32) {
     let packed = set.pack_pos_mass_f32();
     let pos_mass = device.alloc_f32(packed.len());
-    device.upload_f32(pos_mass, &packed);
+    crate::recover::upload_f32_with_recovery(device, pos_mass, &packed);
     let acc_out = device.alloc_f32(set.len() * 4);
     (pos_mass, acc_out)
 }
 
 /// Downloads a float4 acceleration buffer and widens to `Vec3`, applying the
 /// gravitational constant `g` host-side (kernels work in G = 1 units).
+/// Retries transient injected faults (see [`crate::recover`]).
 pub fn download_acc(device: &mut Device, acc_out: BufF32, n: usize, g: f64) -> Vec<Vec3> {
-    let raw = device.download_f32(acc_out);
+    let raw = crate::recover::download_f32_with_recovery(device, acc_out);
+    widen_acc(&raw, n, g)
+}
+
+/// Fallible [`download_acc`]: retries transient faults, surfaces a permanent
+/// fault (or exhausted retries) to the caller instead of panicking. The
+/// multi-device drivers use this to detect a lost device.
+pub fn try_download_acc(
+    device: &mut Device,
+    acc_out: BufF32,
+    n: usize,
+    g: f64,
+) -> Result<Vec<Vec3>, FaultError> {
+    let raw = crate::recover::with_retry(device, &RetryPolicy::default(), |d| {
+        d.try_download_f32(acc_out)
+    })?;
+    Ok(widen_acc(&raw, n, g))
+}
+
+fn widen_acc(raw: &[f32], n: usize, g: f64) -> Vec<Vec3> {
     (0..n)
         .map(|i| {
             Vec3::new(f64::from(raw[4 * i]), f64::from(raw[4 * i + 1]), f64::from(raw[4 * i + 2]))
@@ -351,11 +376,14 @@ mod tests {
             host_measured_s: 0.0,
             kernel_s: 3.0,
             transfer_s: 0.5,
+            recovery_s: 0.0,
             launches: 1,
             overlap_walk_with_kernel: false,
         };
         assert_eq!(base.kernel_seconds(), 3.0);
         assert_eq!(base.total_seconds(), 6.5);
+        let stalled = PlanOutcome { recovery_s: 0.25, ..base.clone() };
+        assert_eq!(stalled.total_seconds(), 6.75);
         let overlapped = PlanOutcome { overlap_walk_with_kernel: true, ..base.clone() };
         // walk (2) hides under kernel (3)
         assert_eq!(overlapped.total_seconds(), 4.5);

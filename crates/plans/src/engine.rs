@@ -21,6 +21,7 @@ pub struct PlanForceEngine {
     evaluations: u64,
     simulated_total_s: f64,
     simulated_kernel_s: f64,
+    simulated_recovery_s: f64,
     last_outcome: Option<PlanOutcome>,
 }
 
@@ -34,6 +35,7 @@ impl PlanForceEngine {
             evaluations: 0,
             simulated_total_s: 0.0,
             simulated_kernel_s: 0.0,
+            simulated_recovery_s: 0.0,
             last_outcome: None,
         }
     }
@@ -51,6 +53,23 @@ impl PlanForceEngine {
     /// Accumulated simulated kernel seconds.
     pub fn simulated_kernel_seconds(&self) -> f64 {
         self.simulated_kernel_s
+    }
+
+    /// Accumulated simulated fault-recovery seconds (retry backoff and
+    /// injected stalls; zero when no fault plan is installed).
+    pub fn simulated_recovery_seconds(&self) -> f64 {
+        self.simulated_recovery_s
+    }
+
+    /// The underlying simulated device (e.g. to inspect fault counts).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Mutable access to the underlying device (e.g. to install a
+    /// [`gpu_sim::fault::FaultPlan`] after construction).
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
     }
 
     /// The most recent evaluation's full outcome.
@@ -71,6 +90,7 @@ impl ForceEngine for PlanForceEngine {
         self.evaluations += 1;
         self.simulated_total_s += outcome.total_seconds();
         self.simulated_kernel_s += outcome.kernel_s;
+        self.simulated_recovery_s += outcome.recovery_s;
         self.last_outcome = Some(outcome);
     }
 
@@ -123,6 +143,30 @@ mod tests {
         let e1 = total_energy(&set, &params);
         let drift = ((e1 - e0) / e0).abs();
         assert!(drift < 0.02, "energy drift {drift}");
+    }
+
+    #[test]
+    fn faulty_engine_reproduces_healthy_trajectory_bitexactly() {
+        use gpu_sim::prelude::{FaultConfig, FaultPlan};
+        let params = GravityParams { g: 1.0, softening: 0.05 };
+        let mut healthy_set = random_set(96, 3);
+        healthy_set.recenter();
+        let mut faulty_set = healthy_set.clone();
+
+        let mut healthy = engine(PlanKind::JwParallel);
+        run(&mut healthy_set, &mut healthy, &LeapfrogKdk, 1e-3, 4);
+
+        let mut faulty = engine(PlanKind::JwParallel);
+        faulty.device_mut().set_fault_plan(FaultPlan::new(5, FaultConfig::transient(0.25)));
+        run(&mut faulty_set, &mut faulty, &LeapfrogKdk, 1e-3, 4);
+
+        assert_eq!(healthy_set.pos(), faulty_set.pos(), "recovered trajectory must be bit-exact");
+        assert_eq!(healthy_set.vel(), faulty_set.vel());
+        assert!(faulty.simulated_recovery_seconds() > 0.0);
+        assert_eq!(healthy.simulated_recovery_seconds(), 0.0);
+        assert!(faulty.simulated_total_seconds() > healthy.simulated_total_seconds());
+        assert!(faulty.device().fault_plan().unwrap().counts().total() > 0);
+        let _ = params;
     }
 
     #[test]

@@ -168,7 +168,7 @@ impl ExecutionPlan for IParallel {
         let packed = packed_padded(set, n_padded);
         device.annotate("i-parallel: upload");
         let pos_mass = device.alloc_f32(packed.len());
-        device.upload_f32(pos_mass, &packed);
+        crate::recover::upload_f32_with_recovery(device, pos_mass, &packed);
         let acc_out = device.alloc_f32(n * 4);
 
         let kernel = IParallelKernel {
@@ -180,7 +180,11 @@ impl ExecutionPlan for IParallel {
             eps_sq: (params.eps_sq()) as f32,
         };
         device.annotate("i-parallel: force-eval");
-        device.launch(&kernel, NdRange { global: n_padded, local: p });
+        crate::recover::launch_with_recovery(
+            device,
+            &kernel,
+            NdRange { global: n_padded, local: p },
+        );
         device.annotate("i-parallel: download");
         let acc = download_acc(device, acc_out, n, params.g);
 
@@ -192,6 +196,7 @@ impl ExecutionPlan for IParallel {
             host_measured_s: 0.0,
             kernel_s: device.kernel_seconds(),
             transfer_s: device.transfer_seconds(),
+            recovery_s: device.stall_seconds(),
             launches: device.launches().len(),
             overlap_walk_with_kernel: false,
         }

@@ -257,7 +257,7 @@ impl ExecutionPlan for JParallel {
         let packed = packed_padded(set, n_padded);
         device.annotate("j-parallel: upload");
         let pos_mass = device.alloc_f32(packed.len());
-        device.upload_f32(pos_mass, &packed);
+        crate::recover::upload_f32_with_recovery(device, pos_mass, &packed);
         let partial = device.alloc_f32(s_count * n_padded * 4);
         let acc_out = device.alloc_f32(n * 4);
 
@@ -266,11 +266,11 @@ impl ExecutionPlan for JParallel {
             JPartialKernel { pos_mass, partial, n_padded, block: p, s_count, slice_len, eps_sq };
         let groups = (n_padded / p) * s_count;
         device.annotate("j-parallel: force-eval");
-        device.launch(&k1, NdRange { global: groups * p, local: p });
+        crate::recover::launch_with_recovery(device, &k1, NdRange { global: groups * p, local: p });
 
         let k2 = JReduceKernel { partial, acc_out, n, n_padded, s_count };
         device.annotate("j-parallel: reduction");
-        device.launch(&k2, NdRange::round_up(n, p.min(256)));
+        crate::recover::launch_with_recovery(device, &k2, NdRange::round_up(n, p.min(256)));
 
         device.annotate("j-parallel: download");
         let acc = download_acc(device, acc_out, n, params.g);
@@ -283,6 +283,7 @@ impl ExecutionPlan for JParallel {
             host_measured_s: 0.0,
             kernel_s: device.kernel_seconds(),
             transfer_s: device.transfer_seconds(),
+            recovery_s: device.stall_seconds(),
             launches: device.launches().len(),
             overlap_walk_with_kernel: false,
         }

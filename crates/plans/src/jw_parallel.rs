@@ -17,8 +17,7 @@
 //! w-parallel saturates the device on its own.
 
 use crate::common::{
-    download_acc, interact_f32, ExecutionPlan, PlanConfig, PlanKind, PlanOutcome,
-    FLOPS_PER_INTERACTION,
+    interact_f32, ExecutionPlan, PlanConfig, PlanKind, PlanOutcome, FLOPS_PER_INTERACTION,
 };
 use crate::w_parallel::{prepare_walks, NO_TARGET};
 use gpu_sim::prelude::*;
@@ -311,6 +310,7 @@ impl ExecutionPlan for JwParallel {
             host_measured_s: prep.tree_s + prep.walk_s,
             kernel_s: device.kernel_seconds(),
             transfer_s: device.transfer_seconds(),
+            recovery_s: device.stall_seconds(),
             launches: device.launches().len(),
             overlap_walk_with_kernel: true,
         }
@@ -320,7 +320,12 @@ impl ExecutionPlan for JwParallel {
 /// Device-side half of jw-parallel: given packed walks, runs the uploads,
 /// the partial and reduce kernels, and downloads accelerations. Shared by
 /// [`JwParallel`] and the multi-GPU extension (`multi_gpu`), which calls it
-/// once per device with that device's share of the walks.
+/// once per device with that device's share of the walks. Retries transient
+/// injected faults.
+///
+/// # Panics
+/// Panics if a fault is permanent or retries are exhausted; use
+/// [`try_run_jw_kernels`] to handle device loss.
 pub fn run_jw_kernels(
     device: &mut Device,
     set: &ParticleSet,
@@ -328,13 +333,27 @@ pub fn run_jw_kernels(
     config: &PlanConfig,
     params: &GravityParams,
 ) -> Vec<nbody_core::vec3::Vec3> {
+    try_run_jw_kernels(device, set, packed, config, params)
+        .unwrap_or_else(|e| panic!("jw-parallel kernels failed beyond recovery: {e}"))
+}
+
+/// Fallible [`run_jw_kernels`]: transient faults are retried with backoff;
+/// a permanent fault (lost device) or exhausted retries is returned so a
+/// multi-device driver can redistribute this device's walks.
+pub fn try_run_jw_kernels(
+    device: &mut Device,
+    set: &ParticleSet,
+    packed: &crate::w_parallel::PackedWalks,
+    config: &PlanConfig,
+    params: &GravityParams,
+) -> Result<Vec<nbody_core::vec3::Vec3>, FaultError> {
     let n = set.len();
     let ws = config.walk_size;
     let num_walks = packed.walk_desc.len();
     if num_walks == 0 {
         // an empty walk share (e.g. more devices than walks) contributes
         // nothing — no launch, zero forces
-        return vec![nbody_core::vec3::Vec3::ZERO; n];
+        return Ok(vec![nbody_core::vec3::Vec3::ZERO; n]);
     }
     let total_entries = packed.list_data.len() / 4;
     let slice_len =
@@ -342,13 +361,17 @@ pub fn run_jw_kernels(
     let (blocks, slot_ranges) = slice_walks(&packed.walk_desc, slice_len);
     let total_slots = blocks.len();
 
+    let policy = RetryPolicy::default();
     device.annotate("jw-parallel: upload");
     let pos_mass = device.alloc_f32(n * 4);
-    device.upload_f32(pos_mass, &set.pack_pos_mass_f32());
+    let pos_data = set.pack_pos_mass_f32();
+    crate::recover::with_retry(device, &policy, |d| d.try_upload_f32(pos_mass, &pos_data))?;
     let list_data = device.alloc_f32(packed.list_data.len().max(1));
-    device.upload_f32(list_data, &packed.list_data);
+    crate::recover::with_retry(device, &policy, |d| {
+        d.try_upload_f32(list_data, &packed.list_data)
+    })?;
     let targets = device.alloc_u32(packed.targets.len().max(1));
-    device.upload_u32(targets, &packed.targets);
+    crate::recover::with_retry(device, &policy, |d| d.try_upload_u32(targets, &packed.targets))?;
     let partial = device.alloc_f32(total_slots * ws * 4);
     let acc_out = device.alloc_f32(n * 4);
 
@@ -362,14 +385,18 @@ pub fn run_jw_kernels(
         eps_sq: params.eps_sq() as f32,
     };
     device.annotate("jw-parallel: force-eval");
-    device.launch(&k1, NdRange { global: total_slots * ws, local: ws });
+    crate::recover::with_retry(device, &policy, |d| {
+        d.try_launch(&k1, NdRange { global: total_slots * ws, local: ws })
+    })?;
 
     let k2 = JwReduceKernel { partial, targets, acc_out, slot_ranges, walk_size: ws };
     device.annotate("jw-parallel: reduction");
-    device.launch(&k2, NdRange { global: num_walks.max(1) * ws, local: ws });
+    crate::recover::with_retry(device, &policy, |d| {
+        d.try_launch(&k2, NdRange { global: num_walks.max(1) * ws, local: ws })
+    })?;
 
     device.annotate("jw-parallel: download");
-    download_acc(device, acc_out, n, params.g)
+    crate::common::try_download_acc(device, acc_out, n, params.g)
 }
 
 #[cfg(test)]

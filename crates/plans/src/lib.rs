@@ -23,6 +23,7 @@ pub mod j_parallel;
 pub mod jw_parallel;
 pub mod multi_gpu;
 pub mod potential;
+pub mod recover;
 pub mod tune;
 pub mod validate;
 pub mod w_parallel;
@@ -30,15 +31,18 @@ pub mod w_parallel;
 /// Common imports.
 pub mod prelude {
     pub use crate::common::{
-        download_acc, interact_f32, upload_bodies, ExecutionPlan, PlanConfig, PlanKind,
-        PlanOutcome, FLOPS_PER_INTERACTION,
+        download_acc, interact_f32, try_download_acc, upload_bodies, ExecutionPlan, PlanConfig,
+        PlanKind, PlanOutcome, FLOPS_PER_INTERACTION,
     };
     pub use crate::engine::PlanForceEngine;
     pub use crate::i_parallel::IParallel;
     pub use crate::j_parallel::{auto_j_slices, JParallel};
-    pub use crate::jw_parallel::{auto_slice_len, run_jw_kernels, slice_walks, JwParallel};
+    pub use crate::jw_parallel::{
+        auto_slice_len, run_jw_kernels, slice_walks, try_run_jw_kernels, JwParallel,
+    };
     pub use crate::multi_gpu::{MultiGpuJw, MultiGpuOutcome, MultiGpuPp};
     pub use crate::potential::potential_on_device;
+    pub use crate::recover::{launch_with_recovery, with_retry};
     pub use crate::tune::{candidates, tune, TuneObjective, TuneResult};
     pub use crate::validate::{validate_all, validate_plan, ErrorBudget, ValidationReport};
     pub use crate::w_parallel::{pack_walks, WParallel, NO_TARGET};

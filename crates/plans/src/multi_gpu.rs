@@ -12,14 +12,21 @@
 //!   boards, as in a 2010 multi-GPU workstation;
 //! * **kernels overlap** — device kernel time is the *max* across devices;
 //! * host tree/walk work is shared once (the tree is built once).
+//!
+//! Under fault injection ([`MultiGpuJw::with_faults`]) each device draws an
+//! independent deterministic fault stream. Transient faults are retried on
+//! the device; a *lost* device is retired and its walks are LPT-repartitioned
+//! over the survivors mid-step ([`MultiGpuJw::partition_subset`]), so the
+//! evaluation degrades gracefully as long as one device remains.
 
 use crate::common::{HostCostModel, PlanConfig, PlanOutcome};
-use crate::jw_parallel::run_jw_kernels;
+use crate::jw_parallel::try_run_jw_kernels;
 use crate::w_parallel::{pack_walks, PackedWalks};
 use gpu_sim::prelude::*;
 use nbody_core::body::ParticleSet;
 use nbody_core::gravity::GravityParams;
 use nbody_core::vec3::Vec3;
+use std::collections::VecDeque;
 use std::time::Instant;
 use treecode::interaction_list::{build_walks, WalkSet};
 use treecode::mac::OpeningAngle;
@@ -30,20 +37,29 @@ use treecode::tree::{Octree, TreeParams};
 pub struct MultiGpuOutcome {
     /// Combined (summed per body) outcome with multi-device time semantics.
     pub combined: PlanOutcome,
-    /// Simulated kernel seconds per device.
+    /// Simulated kernel seconds per device (includes work a device did
+    /// before being lost).
     pub per_device_kernel_s: Vec<f64>,
-    /// Walks assigned to each device.
+    /// Walks each device *completed* (rescued walks count for the survivor
+    /// that ran them, not the device they were first assigned to).
     pub walks_per_device: Vec<usize>,
+    /// Devices lost during the evaluation, in loss order.
+    pub lost_devices: Vec<usize>,
+    /// Walk assignments moved to surviving devices after a loss.
+    pub redistributed_walks: usize,
 }
 
 impl MultiGpuOutcome {
-    /// Load balance across devices: min/max kernel time.
+    /// Load balance across devices: min/max kernel time over the devices
+    /// that did any work. Idle devices (more devices than walks) and devices
+    /// that died before running a kernel are excluded — otherwise a single
+    /// idle board would report a balance of zero.
     pub fn balance(&self) -> f64 {
-        let max = self.per_device_kernel_s.iter().copied().fold(0.0, f64::max);
+        let busy = self.per_device_kernel_s.iter().copied().filter(|&s| s > 0.0);
+        let (min, max) = busy.fold((f64::INFINITY, 0.0_f64), |(lo, hi), s| (lo.min(s), hi.max(s)));
         if max <= 0.0 {
             return 1.0;
         }
-        let min = self.per_device_kernel_s.iter().copied().fold(f64::INFINITY, f64::min);
         min / max
     }
 }
@@ -59,6 +75,10 @@ pub struct MultiGpuJw {
     pub spec: DeviceSpec,
     /// PCIe model of the shared host link.
     pub transfer_model: TransferModel,
+    /// Seed for per-device fault injection; `None` runs fault-free.
+    pub fault_seed: Option<u64>,
+    /// Fault configuration shared by all devices.
+    pub fault_config: FaultConfig,
 }
 
 impl MultiGpuJw {
@@ -70,25 +90,55 @@ impl MultiGpuJw {
             devices: d,
             spec: DeviceSpec::radeon_hd_5850(),
             transfer_model: TransferModel::pcie2_x16(),
+            fault_seed: None,
+            fault_config: FaultConfig::default(),
         }
+    }
+
+    /// Enables seeded fault injection: device `i` draws an independent
+    /// deterministic stream derived from `seed`.
+    pub fn with_faults(mut self, seed: u64, config: FaultConfig) -> Self {
+        self.fault_seed = Some(seed);
+        self.fault_config = config;
+        self
+    }
+
+    fn make_device(&self, index: usize) -> Device {
+        let mut device = Device::with_transfer_model(self.spec.clone(), self.transfer_model);
+        if let Some(seed) = self.fault_seed {
+            let dev_seed = seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            device.set_fault_plan(FaultPlan::new(dev_seed, self.fault_config));
+        }
+        device
     }
 
     /// Partitions walk indices over devices by LPT on list length:
     /// deterministic and balanced.
     pub fn partition(walks: &WalkSet, devices: usize) -> Vec<Vec<usize>> {
-        let mut order: Vec<usize> = (0..walks.groups.len()).collect();
+        let all: Vec<usize> = (0..walks.groups.len()).collect();
+        Self::partition_subset(walks, &all, devices)
+    }
+
+    /// LPT partition of a subset of walk indices over `parts` buckets —
+    /// longest list first onto the least-loaded bucket, with stable index
+    /// tie-breaks for determinism. Empty lists count as load 1 so they still
+    /// spread. Used for the initial assignment and again when a lost
+    /// device's walks are redistributed over the survivors.
+    pub fn partition_subset(walks: &WalkSet, subset: &[usize], parts: usize) -> Vec<Vec<usize>> {
+        assert!(parts >= 1, "need at least one bucket");
+        let mut order: Vec<usize> = subset.to_vec();
         // longest first; stable tie-break on index keeps determinism
         order.sort_by(|&a, &b| {
             walks.groups[b].list_len().cmp(&walks.groups[a].list_len()).then(a.cmp(&b))
         });
-        let mut buckets = vec![Vec::new(); devices];
-        let mut load = vec![0_usize; devices];
+        let mut buckets = vec![Vec::new(); parts];
+        let mut load = vec![0_usize; parts];
         for w in order {
             let (d, _) = load
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(&b.0)))
-                .expect("at least one device");
+                .expect("at least one bucket");
             buckets[d].push(w);
             load[d] += walks.groups[w].list_len().max(1);
         }
@@ -96,6 +146,9 @@ impl MultiGpuJw {
     }
 
     /// Evaluates accelerations for `set` across all devices.
+    ///
+    /// # Panics
+    /// Panics if every device is lost before the work completes.
     pub fn evaluate(&self, set: &ParticleSet, params: &GravityParams) -> MultiGpuOutcome {
         assert!(params.softening > 0.0, "device plans require softening > 0");
         self.config.validate(&self.spec).expect("invalid plan config");
@@ -108,40 +161,84 @@ impl MultiGpuJw {
         let walks =
             build_walks(&tree, set, OpeningAngle::new(self.config.theta), self.config.walk_size);
         let buckets = Self::partition(&walks, self.devices);
+        let mut host_measured_s = t0.elapsed().as_secs_f64();
 
-        // per-device packing of its walk subset
-        let packed: Vec<PackedWalks> = buckets
-            .iter()
-            .map(|bucket| {
-                let sub = WalkSet {
-                    groups: bucket.iter().map(|&w| walks.groups[w].clone()).collect(),
-                    theta: walks.theta,
-                    walk_size: walks.walk_size,
-                };
-                pack_walks(&sub, &tree, set, self.config.walk_size)
-            })
-            .collect();
-        let host_measured_s = t0.elapsed().as_secs_f64();
-
-        // run each device; kernels overlap, transfers serialize
+        // devices persist across rescue passes so fault streams continue
+        let mut devices: Vec<Option<Device>> =
+            (0..self.devices).map(|i| Some(self.make_device(i))).collect();
         let mut acc = vec![Vec3::ZERO; n];
-        let mut per_device_kernel_s = Vec::with_capacity(self.devices);
+        let mut per_device_kernel_s = vec![0.0; self.devices];
+        let mut walks_per_device = vec![0_usize; self.devices];
         let mut transfer_s = 0.0;
+        let mut recovery_s = 0.0;
         let mut interactions = 0_u64;
         let mut launches = 0;
-        for p in &packed {
-            let mut device = Device::with_transfer_model(self.spec.clone(), self.transfer_model);
-            let dev_acc = run_jw_kernels(&mut device, set, p, &self.config, params);
-            for (a, d) in acc.iter_mut().zip(&dev_acc) {
-                *a += *d; // targets are disjoint; non-targets are zero
+        let mut total_entries = 0_usize;
+        let mut lost_devices = Vec::new();
+        let mut redistributed_walks = 0_usize;
+
+        let mut queue: VecDeque<(usize, Vec<usize>)> = buckets.into_iter().enumerate().collect();
+        while let Some((di, bucket)) = queue.pop_front() {
+            if bucket.is_empty() {
+                continue;
             }
-            per_device_kernel_s.push(device.kernel_seconds());
+            let tp = Instant::now();
+            let sub = WalkSet {
+                groups: bucket.iter().map(|&w| walks.groups[w].clone()).collect(),
+                theta: walks.theta,
+                walk_size: walks.walk_size,
+            };
+            let packed: PackedWalks = pack_walks(&sub, &tree, set, self.config.walk_size);
+            host_measured_s += tp.elapsed().as_secs_f64();
+            total_entries += packed.list_data.len() / 4;
+
+            let device = devices[di].as_mut().expect("queue only references live devices");
+            device.reset_clocks();
+            let result = try_run_jw_kernels(device, set, &packed, &self.config, params);
+            // time the device spent is real either way
+            per_device_kernel_s[di] += device.kernel_seconds();
             transfer_s += device.transfer_seconds();
-            interactions += p.interactions;
+            recovery_s += device.stall_seconds();
             launches += device.launches().len();
+            match result {
+                Ok(dev_acc) => {
+                    for (a, d) in acc.iter_mut().zip(&dev_acc) {
+                        *a += *d; // targets are disjoint; non-targets are zero
+                    }
+                    interactions += packed.interactions;
+                    walks_per_device[di] += bucket.len();
+                }
+                Err(err) => {
+                    // retire the device; its walks (and any still queued for
+                    // it) move to the survivors
+                    devices[di] = None;
+                    lost_devices.push(di);
+                    let mut orphans = bucket;
+                    queue.retain(|(qi, qb)| {
+                        if *qi == di {
+                            orphans.extend(qb.iter().copied());
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    let survivors: Vec<usize> = devices
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, d)| d.as_ref().map(|_| i))
+                        .collect();
+                    assert!(!survivors.is_empty(), "all devices lost ({err})");
+                    redistributed_walks += orphans.len();
+                    let rescue = Self::partition_subset(&walks, &orphans, survivors.len());
+                    for (b, &s) in rescue.into_iter().zip(&survivors) {
+                        if !b.is_empty() {
+                            queue.push_back((s, b));
+                        }
+                    }
+                }
+            }
         }
         let kernel_s = per_device_kernel_s.iter().copied().fold(0.0, f64::max);
-        let total_entries: usize = packed.iter().map(|p| p.list_data.len() / 4).sum();
 
         let combined = PlanOutcome {
             acc,
@@ -151,11 +248,17 @@ impl MultiGpuJw {
             host_measured_s,
             kernel_s,
             transfer_s,
+            recovery_s,
             launches,
             overlap_walk_with_kernel: true,
         };
-        let walks_per_device = buckets.iter().map(Vec::len).collect();
-        MultiGpuOutcome { combined, per_device_kernel_s, walks_per_device }
+        MultiGpuOutcome {
+            combined,
+            per_device_kernel_s,
+            walks_per_device,
+            lost_devices,
+            redistributed_walks,
+        }
     }
 }
 
@@ -344,10 +447,17 @@ impl MultiGpuPp {
             host_measured_s: 0.0,
             kernel_s,
             transfer_s,
+            recovery_s: 0.0,
             launches,
             overlap_walk_with_kernel: false,
         };
-        MultiGpuOutcome { combined, per_device_kernel_s, walks_per_device: vec![0; d] }
+        MultiGpuOutcome {
+            combined,
+            per_device_kernel_s,
+            walks_per_device: vec![0; d],
+            lost_devices: Vec::new(),
+            redistributed_walks: 0,
+        }
     }
 }
 
@@ -358,6 +468,7 @@ mod tests {
     use crate::jw_parallel::JwParallel;
     use nbody_core::gravity::{accelerations_pp, max_relative_error};
     use nbody_core::testutil::random_set;
+    use treecode::interaction_list::WalkGroup;
 
     fn params() -> GravityParams {
         GravityParams { g: 1.0, softening: 0.05 }
@@ -435,6 +546,129 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn zero_devices_rejected() {
         MultiGpuJw::new(0);
+    }
+
+    #[test]
+    fn transient_faults_recover_bitexactly() {
+        let set = random_set(1500, 10);
+        let healthy = MultiGpuJw::new(2).evaluate(&set, &params());
+        let faulty = MultiGpuJw::new(2)
+            .with_faults(21, FaultConfig::transient(0.2))
+            .evaluate(&set, &params());
+        assert_eq!(healthy.combined.acc, faulty.combined.acc, "retry must be bit-exact");
+        assert!(faulty.combined.recovery_s > 0.0, "recovery overhead must be visible");
+        assert_eq!(healthy.combined.recovery_s, 0.0);
+        assert!(faulty.lost_devices.is_empty());
+        assert_eq!(faulty.redistributed_walks, 0);
+        assert_eq!(healthy.walks_per_device, faulty.walks_per_device);
+        assert!(faulty.combined.total_seconds() > healthy.combined.total_seconds());
+    }
+
+    #[test]
+    fn device_loss_redistributes_over_survivors() {
+        let set = random_set(1200, 9);
+        let healthy = MultiGpuJw::new(3).evaluate(&set, &params());
+        // deterministic seed scan: find a schedule where some but not all
+        // devices die (the result is fixed forever once found)
+        let cfg = FaultConfig::default().with_device_loss(0.02);
+        let degraded = (0..40)
+            .map(|seed| MultiGpuJw::new(3).with_faults(seed, cfg).evaluate(&set, &params()))
+            .find(|o| !o.lost_devices.is_empty())
+            .expect("some seed in 0..40 must lose a device");
+        assert!(degraded.lost_devices.len() < 3);
+        assert!(degraded.redistributed_walks > 0, "the dead device's walks must move");
+        for &d in &degraded.lost_devices {
+            assert_eq!(
+                degraded.walks_per_device[d], 0,
+                "a lost device completes no walks (loss fires on its first op)"
+            );
+        }
+        // every walk still ran exactly once, on some survivor
+        let total: usize = degraded.walks_per_device.iter().sum();
+        let healthy_total: usize = healthy.walks_per_device.iter().sum();
+        assert_eq!(total, healthy_total);
+        assert_eq!(degraded.combined.interactions, healthy.combined.interactions);
+        // physics within the cross-validation tolerance (re-slicing changes
+        // f32 summation order, so bit-exactness is not required here)
+        let err = max_relative_error(&healthy.combined.acc, &degraded.combined.acc);
+        assert!(err < 1e-5, "degraded vs healthy: {err}");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let set = random_set(900, 13);
+        let run = || {
+            MultiGpuJw::new(2)
+                .with_faults(77, FaultConfig::transient(0.15).with_device_loss(0.002))
+                .evaluate(&set, &params())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.combined.acc, b.combined.acc);
+        assert_eq!(a.combined.kernel_s, b.combined.kernel_s);
+        assert_eq!(a.combined.recovery_s, b.combined.recovery_s);
+        assert_eq!(a.lost_devices, b.lost_devices);
+        assert_eq!(a.redistributed_walks, b.redistributed_walks);
+        assert_eq!(a.walks_per_device, b.walks_per_device);
+    }
+
+    #[test]
+    fn more_devices_than_walks_leaves_idle_devices() {
+        // 300 bodies at walk_size 256 → a handful of walks at most
+        let set = random_set(300, 11);
+        let out = MultiGpuJw::new(6).evaluate(&set, &params());
+        assert!(
+            out.walks_per_device.contains(&0),
+            "6 devices over {:?} walks must idle someone",
+            out.walks_per_device
+        );
+        let mut exact = vec![Vec3::ZERO; set.len()];
+        accelerations_pp(&set, &params(), &mut exact);
+        let err = max_relative_error(&exact, &out.combined.acc);
+        assert!(err < 0.02, "{err}");
+        // idle devices must not zero the balance metric
+        assert!(out.balance() > 0.0 && out.balance() <= 1.0, "balance {}", out.balance());
+    }
+
+    #[test]
+    fn single_body_set_evaluates() {
+        let set = random_set(1, 12);
+        let out = MultiGpuJw::new(2).evaluate(&set, &params());
+        assert_eq!(out.combined.acc.len(), 1);
+        assert!(out.combined.acc[0].norm().is_finite());
+        assert_eq!(out.walks_per_device.iter().sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn balance_ignores_idle_devices() {
+        let base = MultiGpuJw::new(1).evaluate(&random_set(64, 14), &params());
+        let mut out = base;
+        out.per_device_kernel_s = vec![1.0, 0.9, 0.0];
+        assert!((out.balance() - 0.9).abs() < 1e-12);
+        out.per_device_kernel_s = vec![0.0, 0.0];
+        assert_eq!(out.balance(), 1.0, "no busy device means trivially balanced");
+    }
+
+    #[test]
+    fn partition_handles_empty_interaction_lists() {
+        use treecode::mac::Aabb;
+        // all-empty lists: LPT load falls back to 1 per walk, so walks
+        // still spread evenly instead of piling onto bucket 0
+        let groups = (0..6)
+            .map(|i| WalkGroup {
+                bodies: vec![i as u32],
+                bbox: Aabb::from_points([Vec3::ZERO]),
+                cell_list: Vec::new(),
+                body_list: Vec::new(),
+            })
+            .collect();
+        let walks = WalkSet { groups, theta: OpeningAngle::new(0.5), walk_size: 64 };
+        let buckets = MultiGpuJw::partition(&walks, 3);
+        assert_eq!(buckets.iter().map(Vec::len).collect::<Vec<_>>(), vec![2, 2, 2]);
+        // subset partition over more parts than walks: no panic, empties
+        let sub = MultiGpuJw::partition_subset(&walks, &[0, 1], 4);
+        assert_eq!(sub.iter().map(Vec::len).sum::<usize>(), 2);
+        assert!(sub[2].is_empty() && sub[3].is_empty());
     }
 
     #[test]

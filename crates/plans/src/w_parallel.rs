@@ -277,11 +277,11 @@ impl ExecutionPlan for WParallel {
 
         device.annotate("w-parallel: upload");
         let pos_mass = device.alloc_f32(n * 4);
-        device.upload_f32(pos_mass, &set.pack_pos_mass_f32());
+        crate::recover::upload_f32_with_recovery(device, pos_mass, &set.pack_pos_mass_f32());
         let list_data = device.alloc_f32(packed.list_data.len().max(1));
-        device.upload_f32(list_data, &packed.list_data);
+        crate::recover::upload_f32_with_recovery(device, list_data, &packed.list_data);
         let targets = device.alloc_u32(packed.targets.len().max(1));
-        device.upload_u32(targets, &packed.targets);
+        crate::recover::upload_u32_with_recovery(device, targets, &packed.targets);
         let acc_out = device.alloc_f32(n * 4);
 
         let kernel = WWalkKernel {
@@ -294,7 +294,8 @@ impl ExecutionPlan for WParallel {
             eps_sq: params.eps_sq() as f32,
         };
         device.annotate("w-parallel: force-eval");
-        device.launch(
+        crate::recover::launch_with_recovery(
+            device,
             &kernel,
             NdRange {
                 global: num_walks.max(1) * self.config.walk_size,
@@ -312,6 +313,7 @@ impl ExecutionPlan for WParallel {
             host_measured_s: prep.tree_s + prep.walk_s,
             kernel_s: device.kernel_seconds(),
             transfer_s: device.transfer_seconds(),
+            recovery_s: device.stall_seconds(),
             launches: device.launches().len(),
             overlap_walk_with_kernel: true,
         }

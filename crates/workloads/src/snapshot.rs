@@ -1,6 +1,11 @@
 //! Snapshot I/O: serialize particle sets with their provenance so an
 //! initial condition or a simulation state can be saved, shared, and
 //! reloaded bit-exactly.
+//!
+//! Version 2 adds a content checksum (FNV-1a over the simulation time and
+//! every particle's f64 bit patterns) so silent corruption of a checkpoint
+//! file is detected at load time instead of propagating NaN-free-but-wrong
+//! state into a resumed run. Version-1 snapshots (no checksum) still load.
 
 use nbody_core::body::ParticleSet;
 use serde::{Deserialize, Serialize};
@@ -17,15 +22,45 @@ pub struct Snapshot {
     pub time: f64,
     /// The particles.
     pub set: ParticleSet,
+    /// FNV-1a content checksum (version ≥ 2; absent in v1 files).
+    pub checksum: Option<u64>,
 }
 
 /// Current snapshot schema version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Oldest schema version this crate still reads.
+pub const SNAPSHOT_MIN_VERSION: u32 = 1;
+
+/// FNV-1a over the simulation time and every particle component's f64
+/// bit pattern, in storage order. Bit patterns (not values) make the
+/// checksum as strict as the bit-exact reload guarantee it protects.
+pub fn content_checksum(time: f64, set: &ParticleSet) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut mix = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    mix(time.to_bits());
+    mix(set.len() as u64);
+    for i in 0..set.len() {
+        let (p, v, m) = (set.pos()[i], set.vel()[i], set.mass()[i]);
+        for c in [p.x, p.y, p.z, v.x, v.y, v.z, m] {
+            mix(c.to_bits());
+        }
+    }
+    hash
+}
 
 impl Snapshot {
     /// Wraps a particle set at time `time`.
     pub fn new(label: impl Into<String>, time: f64, set: ParticleSet) -> Self {
-        Self { version: SNAPSHOT_VERSION, label: label.into(), time, set }
+        let checksum = Some(content_checksum(time, &set));
+        Self { version: SNAPSHOT_VERSION, label: label.into(), time, set, checksum }
     }
 
     /// Serializes to JSON.
@@ -33,14 +68,25 @@ impl Snapshot {
         serde_json::to_string(self).expect("snapshot serializes")
     }
 
-    /// Parses from JSON, validating the schema version.
+    /// Parses from JSON, validating the schema version and (for v2 files)
+    /// the content checksum.
     pub fn from_json(s: &str) -> Result<Self, SnapshotError> {
         let snap: Snapshot = serde_json::from_str(s).map_err(SnapshotError::Parse)?;
-        if snap.version != SNAPSHOT_VERSION {
+        if snap.version < SNAPSHOT_MIN_VERSION || snap.version > SNAPSHOT_VERSION {
             return Err(SnapshotError::Version(snap.version));
         }
         if !snap.set.all_finite() {
             return Err(SnapshotError::NonFinite);
+        }
+        if snap.version >= 2 {
+            let expected = snap.checksum.ok_or(SnapshotError::Checksum {
+                expected: content_checksum(snap.time, &snap.set),
+                found: 0,
+            })?;
+            let actual = content_checksum(snap.time, &snap.set);
+            if actual != expected {
+                return Err(SnapshotError::Checksum { expected, found: actual });
+            }
         }
         Ok(snap)
     }
@@ -68,6 +114,13 @@ pub enum SnapshotError {
     Version(u32),
     /// Data contained NaN/∞.
     NonFinite,
+    /// Content checksum did not match the stored one (corrupt file).
+    Checksum {
+        /// Checksum recorded in the file (0 when the field was missing).
+        expected: u64,
+        /// Checksum recomputed from the loaded data.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -77,6 +130,11 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Parse(e) => write!(f, "snapshot parse error: {e}"),
             SnapshotError::Version(v) => write!(f, "unsupported snapshot version {v}"),
             SnapshotError::NonFinite => write!(f, "snapshot contains non-finite values"),
+            SnapshotError::Checksum { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch (stored {expected:#018x}, computed {found:#018x}): \
+                 file is corrupt"
+            ),
         }
     }
 }
@@ -96,6 +154,8 @@ mod tests {
         assert_eq!(back.set, set);
         assert_eq!(back.time, 1.25);
         assert_eq!(back.label, "test");
+        assert_eq!(back.version, SNAPSHOT_VERSION);
+        assert!(back.checksum.is_some());
     }
 
     #[test]
@@ -130,5 +190,50 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = Snapshot::load("/definitely/not/here.json").unwrap_err();
         assert!(matches!(err, SnapshotError::Io(_)));
+    }
+
+    #[test]
+    fn v1_snapshot_without_checksum_still_loads() {
+        let set = plummer(8, PlummerParams::default(), 12);
+        let mut snap = Snapshot::new("legacy", 0.5, set.clone());
+        snap.version = 1;
+        snap.checksum = None;
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.set, set);
+        assert_eq!(back.checksum, None);
+    }
+
+    #[test]
+    fn corrupted_payload_is_detected() {
+        let set = plummer(8, PlummerParams::default(), 13);
+        let mut snap = Snapshot::new("c", 0.5, set);
+        // flip one particle coordinate without touching the stored checksum,
+        // as silent bit rot in the file would
+        snap.set.pos_mut()[3].x += 0.125;
+        let err = Snapshot::from_json(&snap.to_json()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Checksum { .. }), "got {err}");
+        assert!(err.to_string().contains("corrupt"));
+    }
+
+    #[test]
+    fn v2_snapshot_missing_checksum_rejected() {
+        let set = plummer(4, PlummerParams::default(), 14);
+        let mut snap = Snapshot::new("m", 0.0, set);
+        snap.checksum = None;
+        let err = Snapshot::from_json(&snap.to_json()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Checksum { .. }));
+    }
+
+    #[test]
+    fn checksum_depends_on_time_and_every_component() {
+        let set = plummer(4, PlummerParams::default(), 15);
+        let base = content_checksum(1.0, &set);
+        assert_ne!(base, content_checksum(2.0, &set));
+        let mut moved = set.clone();
+        moved.pos_mut()[2].y += 1e-12;
+        assert_ne!(base, content_checksum(1.0, &moved));
+        let mut kicked = set.clone();
+        kicked.vel_mut()[0].z = -kicked.vel_mut()[0].z;
+        assert_ne!(base, content_checksum(1.0, &kicked));
     }
 }

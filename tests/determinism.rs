@@ -48,6 +48,35 @@ fn workload_generation_is_cross_run_stable() {
 }
 
 #[test]
+fn fault_schedule_and_recovery_are_seed_deterministic() {
+    use gpu_sim::prelude::{FaultConfig, FaultPlan};
+    let evaluate_faulty = |kind: PlanKind| {
+        let mut dev =
+            Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::pcie2_x16());
+        dev.set_fault_plan(FaultPlan::new(31, FaultConfig::transient(0.2)));
+        let set = plummer(800, PlummerParams::default(), 21);
+        let plan = make_plan(kind, PlanConfig::default());
+        let outcome = plan.evaluate(&mut dev, &set, &GravityParams { g: 1.0, softening: 0.05 });
+        let counts = dev.fault_plan().unwrap().counts();
+        (outcome, counts)
+    };
+    for kind in PlanKind::all() {
+        let (a, ca) = evaluate_faulty(kind);
+        let (b, cb) = evaluate_faulty(kind);
+        // same seed → same fault schedule, same recovery path, same clocks
+        assert_eq!(ca, cb, "{} fault schedule differs", kind.id());
+        assert_eq!(a.recovery_s, b.recovery_s, "{} recovery time differs", kind.id());
+        assert_eq!(a.kernel_s, b.kernel_s, "{} kernel clock differs", kind.id());
+        assert_eq!(a.total_seconds(), b.total_seconds());
+        assert_eq!(a.acc, b.acc, "{} forces differ", kind.id());
+        // and the recovered forces match the fault-free run bit-exactly
+        let clean = evaluate(kind, 800, 21);
+        assert_eq!(a.acc, clean.acc, "{} recovery is not bit-exact", kind.id());
+        assert_eq!(clean.recovery_s, 0.0);
+    }
+}
+
+#[test]
 fn simulated_clocks_are_independent_of_wall_time() {
     // run the same evaluation twice with an artificial pause between; the
     // simulated clocks must not change (only host_measured_s may)
