@@ -40,4 +40,22 @@ echo "==> fault-injection smoke test"
 cargo run --release -p harness --bin faults -- --seed 7 --dir "$out/faults" | tee "$out/faults.log"
 grep -q 'FAULTS OK' "$out/faults.log" || { echo "FAIL: fault recovery smoke did not pass"; exit 1; }
 
+echo "==> threaded repro smoke test (--threads 4, small N)"
+cargo run --release -p harness --bin repro-all -- --quick --max-n 1024 --threads 4 \
+    > "$out/repro-threaded.log"
+grep -q 'jw-parallel' "$out/repro-threaded.log" || { echo "FAIL: threaded repro produced no tables"; exit 1; }
+
+echo "==> bench-json smoke test"
+# The speedup gate self-waives on single-core machines (BENCH SKIP); the
+# bit-exactness gate inside the benchmark always applies, so BENCH FAIL
+# means either divergent forces or a real slowdown on a multicore machine.
+# quick sizes bench at N in {1024, 8192}, so the N >= 4096 speedup gate is
+# active whenever the machine has more than one core.
+cargo run --release -p harness --bin repro-all -- --quick --threads 4 \
+    --bench-json "$out/BENCH_pr4.json" > "$out/bench.log"
+test -s "$out/BENCH_pr4.json" || { echo "FAIL: BENCH_pr4.json missing or empty"; exit 1; }
+grep -q '"rows"' "$out/BENCH_pr4.json" || { echo "FAIL: BENCH_pr4.json has no rows"; exit 1; }
+grep -q 'BENCH OK\|BENCH SKIP' "$out/bench.log" || {
+    echo "FAIL: bench gate did not pass:"; grep 'BENCH' "$out/bench.log" || true; exit 1; }
+
 echo "CI OK"

@@ -10,8 +10,14 @@
 //!   (charged as `4 / transaction_bytes` transactions per element);
 //! * plain (gather/scatter) — each lane pays a full transaction.
 //!
-//! Execution is single-threaded and deterministic: groups run in index
-//! order, items in local-id order, phases separated by implicit barriers.
+//! Execution is deterministic regardless of host thread count: groups run
+//! in index order (serially, or chunked over `par` worker threads with the
+//! per-chunk global-memory write logs replayed in chunk order), items in
+//! local-id order, phases separated by implicit barriers. The parallel
+//! schedule is bit-exact against the serial one because work-groups are
+//! independent within a launch — the OpenCL contract the kernels in this
+//! workspace already obey: a group reads pre-launch global memory plus its
+//! own writes, never another group's.
 
 use crate::buffer::{BufF32, BufU32, BufferPool};
 use crate::cost::GroupCost;
@@ -41,6 +47,28 @@ pub struct ItemCtx<'a> {
     cost: &'a mut GroupCost,
     inv_transaction_bytes: f64,
     race: Option<&'a mut RaceDetector>,
+    log: Option<&'a mut WriteLog>,
+}
+
+/// Global-memory writes of one chunk of groups, in execution order. Replayed
+/// into the master pool in chunk order, this reproduces the serial schedule's
+/// final memory byte-for-byte (chunks are contiguous group ranges, so chunk
+/// order *is* group order).
+#[derive(Debug, Default)]
+struct WriteLog {
+    f32s: Vec<(BufF32, usize, f32)>,
+    u32s: Vec<(BufU32, usize, u32)>,
+}
+
+impl WriteLog {
+    fn replay(&self, pool: &mut BufferPool) {
+        for &(buf, idx, v) in &self.f32s {
+            pool.f32_mut(buf)[idx] = v;
+        }
+        for &(buf, idx, v) in &self.u32s {
+            pool.u32_mut(buf)[idx] = v;
+        }
+    }
 }
 
 impl<'a> ItemCtx<'a> {
@@ -172,6 +200,9 @@ impl<'a> ItemCtx<'a> {
         if let Some(d) = self.race.as_deref_mut() {
             d.write(self.local_id, Space::GlobalF32(buf.raw()), idx);
         }
+        if let Some(log) = self.log.as_deref_mut() {
+            log.f32s.push((buf, idx, v));
+        }
         self.pool.f32_mut(buf)[idx] = v;
     }
 
@@ -182,6 +213,9 @@ impl<'a> ItemCtx<'a> {
         self.cost.write_transactions += 1.0;
         if let Some(d) = self.race.as_deref_mut() {
             d.write(self.local_id, Space::GlobalF32(buf.raw()), idx);
+        }
+        if let Some(log) = self.log.as_deref_mut() {
+            log.f32s.push((buf, idx, v));
         }
         self.pool.f32_mut(buf)[idx] = v;
     }
@@ -201,6 +235,9 @@ impl<'a> ItemCtx<'a> {
                 d.write(self.local_id, Space::GlobalF32(buf.raw()), i);
             }
         }
+        if let Some(log) = self.log.as_deref_mut() {
+            log.f32s.extend((0..COUNT).map(|k| (buf, base + k, v[k])));
+        }
         self.pool.f32_mut(buf)[base..base + COUNT].copy_from_slice(&v);
     }
 
@@ -214,6 +251,9 @@ impl<'a> ItemCtx<'a> {
             for i in base..base + COUNT {
                 d.write(self.local_id, Space::GlobalF32(buf.raw()), i);
             }
+        }
+        if let Some(log) = self.log.as_deref_mut() {
+            log.f32s.extend((0..COUNT).map(|k| (buf, base + k, v[k])));
         }
         self.pool.f32_mut(buf)[base..base + COUNT].copy_from_slice(&v);
     }
@@ -247,6 +287,9 @@ impl<'a> ItemCtx<'a> {
         self.cost.write_transactions += 4.0 * self.inv_transaction_bytes;
         if let Some(d) = self.race.as_deref_mut() {
             d.write(self.local_id, Space::GlobalU32(buf.raw()), idx);
+        }
+        if let Some(log) = self.log.as_deref_mut() {
+            log.u32s.push((buf, idx, v));
         }
         self.pool.u32_mut(buf)[idx] = v;
     }
@@ -398,15 +441,82 @@ fn execute_launch_opts<K: Kernel>(
     );
 
     let num_groups = grid.num_groups();
+    let inv_tb = 1.0 / f64::from(spec.transaction_bytes);
+
+    // Race checking keeps the serial schedule: the detector's value is its
+    // byte-stable report, and checked launches are cold paths anyway.
+    if par::threads() == 1 || num_groups < 2 || check_races {
+        let mut detector = check_races.then(|| RaceDetector::new(64));
+        let batch =
+            run_groups(kernel, grid, pool, 0..num_groups, inv_tb, profile, detector.as_mut(), None);
+        let races = detector.map(|d| d.races().to_vec()).unwrap_or_default();
+        let GroupBatch { group_costs, group_phases, phase_costs } = batch;
+        return (ExecOutcome { group_costs, group_phases, phase_costs }, races);
+    }
+
+    // Parallel schedule: contiguous chunks of groups execute on worker
+    // threads, each against a private clone of global memory, logging its
+    // writes. Replaying the logs in chunk order reproduces the serial
+    // schedule's final memory byte-for-byte.
+    let chunks = {
+        let pool_ref: &BufferPool = pool;
+        par::map_chunks(num_groups, |range| {
+            let mut local_pool = pool_ref.clone();
+            let mut log = WriteLog::default();
+            let batch = run_groups(
+                kernel,
+                grid,
+                &mut local_pool,
+                range,
+                inv_tb,
+                profile,
+                None,
+                Some(&mut log),
+            );
+            (batch, log)
+        })
+    };
+
     let mut group_costs = Vec::with_capacity(num_groups);
     let mut group_phases = Vec::with_capacity(num_groups);
     let mut phase_costs: Vec<Vec<PhaseCost>> =
         if profile { Vec::with_capacity(num_groups) } else { Vec::new() };
-    let mut lds = vec![0.0_f32; kernel.lds_words()];
-    let inv_tb = 1.0 / f64::from(spec.transaction_bytes);
-    let mut detector = check_races.then(|| RaceDetector::new(64));
+    for (batch, log) in chunks {
+        log.replay(pool);
+        group_costs.extend(batch.group_costs);
+        group_phases.extend(batch.group_phases);
+        phase_costs.extend(batch.phase_costs);
+    }
+    (ExecOutcome { group_costs, group_phases, phase_costs }, Vec::new())
+}
 
-    for group_id in 0..num_groups {
+/// Per-chunk slice of an [`ExecOutcome`], in group order within the chunk.
+struct GroupBatch {
+    group_costs: Vec<GroupCost>,
+    group_phases: Vec<u64>,
+    phase_costs: Vec<Vec<PhaseCost>>,
+}
+
+/// Executes the contiguous `groups` range of the launch against `pool`.
+#[allow(clippy::too_many_arguments)]
+fn run_groups<K: Kernel>(
+    kernel: &K,
+    grid: NdRange,
+    pool: &mut BufferPool,
+    groups: std::ops::Range<usize>,
+    inv_tb: f64,
+    profile: bool,
+    mut detector: Option<&mut RaceDetector>,
+    mut log: Option<&mut WriteLog>,
+) -> GroupBatch {
+    let num_groups = grid.num_groups();
+    let mut group_costs = Vec::with_capacity(groups.len());
+    let mut group_phases = Vec::with_capacity(groups.len());
+    let mut phase_costs: Vec<Vec<PhaseCost>> =
+        if profile { Vec::with_capacity(groups.len()) } else { Vec::new() };
+    let mut lds = vec![0.0_f32; kernel.lds_words()];
+
+    for group_id in groups {
         lds.iter_mut().for_each(|w| *w = 0.0);
         let mut cost = GroupCost { items: grid.local as u64, ..Default::default() };
         let mut group_regs = K::GroupRegs::default();
@@ -418,7 +528,7 @@ fn execute_launch_opts<K: Kernel>(
         let mut executed = 0_u64;
         let mut profile_acc: Vec<PhaseCost> = Vec::new();
         loop {
-            if let Some(d) = detector.as_mut() {
+            if let Some(d) = detector.as_deref_mut() {
                 d.begin_phase(group_id, phase);
             }
             let cost_before = profile.then_some(cost);
@@ -433,7 +543,8 @@ fn execute_launch_opts<K: Kernel>(
                     pool,
                     cost: &mut cost,
                     inv_transaction_bytes: inv_tb,
-                    race: detector.as_mut(),
+                    race: detector.as_deref_mut(),
+                    log: log.as_deref_mut(),
                 };
                 kernel.phase(phase, &mut ctx, regs, &group_regs);
             }
@@ -468,8 +579,7 @@ fn execute_launch_opts<K: Kernel>(
         }
     }
 
-    let races = detector.map(|d| d.races().to_vec()).unwrap_or_default();
-    (ExecOutcome { group_costs, group_phases, phase_costs }, races)
+    GroupBatch { group_costs, group_phases, phase_costs }
 }
 
 #[cfg(test)]
@@ -686,6 +796,40 @@ mod tests {
         let spec = spec();
         let mut pool = BufferPool::new();
         execute_launch(&Greedy, NdRange { global: 4, local: 4 }, &spec, &mut pool);
+    }
+
+    #[test]
+    fn parallel_chunks_match_serial_bitexactly() {
+        // Run the same launches under several thread counts; outputs and
+        // per-group costs must be identical, including the Jump-loop kernel
+        // whose groups re-read their own prior writes.
+        let spec = spec();
+        let capture = |threads: usize| {
+            par::set_threads(threads);
+            let mut pool = BufferPool::new();
+            let input = pool.alloc_f32(64);
+            let output = pool.alloc_f32(64);
+            for i in 0..64 {
+                pool.f32_mut(input)[i] = (i as f32).sin();
+            }
+            let d = DoubleKernel { input, output, n: 64 };
+            let out_d = execute_launch(&d, NdRange { global: 64, local: 4 }, &spec, &mut pool);
+            let loop_out = pool.alloc_f32(16);
+            let l = LoopKernel { output: loop_out, rounds: 3 };
+            let out_l = execute_launch(&l, NdRange { global: 64, local: 4 }, &spec, &mut pool);
+            (
+                pool.f32(output).to_vec(),
+                pool.f32(loop_out).to_vec(),
+                out_d.group_costs,
+                out_l.group_costs,
+                out_l.group_phases,
+            )
+        };
+        let serial = capture(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(capture(threads), serial, "threads={threads} diverged from serial");
+        }
+        par::set_threads(1);
     }
 
     #[test]

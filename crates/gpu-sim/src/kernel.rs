@@ -90,8 +90,11 @@ pub struct GroupInfo {
 ///
 /// Implementations are pure policies: all mutable state lives in the
 /// executor-owned registers and device buffers, so a single kernel value can
-/// be launched many times.
-pub trait Kernel {
+/// be launched many times. The `Sync` bound lets the executor run disjoint
+/// work-group chunks of one launch on host worker threads sharing `&self`;
+/// kernels are plain parameter blocks (buffer handles, sizes), so the bound
+/// is automatic in practice.
+pub trait Kernel: Sync {
     /// Per-work-item registers (divergent state).
     type ItemRegs: Default + Clone;
     /// Per-work-group registers (uniform state: loop counters etc.).

@@ -31,8 +31,7 @@ use crate::kernel::NdRange;
 use crate::sched::LaunchTiming;
 use crate::spec::DeviceSpec;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One work-group's stay on its compute unit, with its phase breakdown.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -193,7 +192,13 @@ impl Trace {
 /// Receives trace events from a device. Install with
 /// [`Device::set_trace_sink`](crate::device::Device::set_trace_sink);
 /// while no sink is installed the device skips all collection work.
-pub trait TraceSink: std::fmt::Debug {
+///
+/// The `Send` bound keeps whole devices `Send`, so multi-device drivers can
+/// run one device per worker thread. Events still arrive from a single
+/// thread at a time — the device serializes its own issue order — so a sink
+/// needs interior synchronization only if its handles are shared across
+/// devices (as [`MemoryTraceSink`]'s mutex provides).
+pub trait TraceSink: std::fmt::Debug + Send {
     /// Called once when the sink is installed, with the device spec.
     fn begin(&mut self, spec: &DeviceSpec) {
         let _ = spec;
@@ -233,7 +238,7 @@ pub trait TraceSink: std::fmt::Debug {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MemoryTraceSink {
-    trace: Rc<RefCell<Trace>>,
+    trace: Arc<Mutex<Trace>>,
 }
 
 impl MemoryTraceSink {
@@ -244,13 +249,13 @@ impl MemoryTraceSink {
 
     /// A copy of everything recorded so far.
     pub fn snapshot(&self) -> Trace {
-        self.trace.borrow().clone()
+        self.trace.lock().expect("trace sink poisoned").clone()
     }
 
     /// Takes the recorded trace, leaving the sink recording into an empty
     /// one (device identity is preserved).
     pub fn take(&self) -> Trace {
-        let mut t = self.trace.borrow_mut();
+        let mut t = self.trace.lock().expect("trace sink poisoned");
         let taken = t.clone();
         t.launches.clear();
         t.transfers.clear();
@@ -262,26 +267,26 @@ impl MemoryTraceSink {
 
 impl TraceSink for MemoryTraceSink {
     fn begin(&mut self, spec: &DeviceSpec) {
-        let mut t = self.trace.borrow_mut();
+        let mut t = self.trace.lock().expect("trace sink poisoned");
         t.device = spec.name.clone();
         t.clock_hz = spec.clock_hz;
         t.compute_units = spec.compute_units as usize;
     }
 
     fn launch(&mut self, event: LaunchTrace) {
-        self.trace.borrow_mut().launches.push(event);
+        self.trace.lock().expect("trace sink poisoned").launches.push(event);
     }
 
     fn transfer(&mut self, event: TransferTrace) {
-        self.trace.borrow_mut().transfers.push(event);
+        self.trace.lock().expect("trace sink poisoned").transfers.push(event);
     }
 
     fn marker(&mut self, event: MarkerTrace) {
-        self.trace.borrow_mut().markers.push(event);
+        self.trace.lock().expect("trace sink poisoned").markers.push(event);
     }
 
     fn fault(&mut self, event: FaultTrace) {
-        self.trace.borrow_mut().faults.push(event);
+        self.trace.lock().expect("trace sink poisoned").faults.push(event);
     }
 }
 

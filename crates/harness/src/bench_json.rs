@@ -1,0 +1,226 @@
+//! Wall-clock benchmark of the deterministic thread pool (`--bench-json`).
+//!
+//! Every simulated number in the workspace is thread-count invariant, so
+//! the only observable effect of `--threads` is wall-clock time. This
+//! module measures it: each plan runs at the benchmark sizes twice — once
+//! with a single worker thread, once with the configured count — and the
+//! elapsed times become a [`BenchRow`]. The same pass doubles as a
+//! trajectory gate: the two runs' forces must be bit-identical, otherwise
+//! the report fails regardless of speed.
+//!
+//! The verdict is machine-greppable (`BENCH OK` / `BENCH SKIP …` /
+//! `BENCH FAIL …`). On a single-core machine no speedup can exist, so the
+//! speedup gate is waived with an explicit `BENCH SKIP (single core)`
+//! rather than silently passing; the bit-exactness gate always applies.
+
+use crate::config::ExperimentConfig;
+use crate::error::HarnessError;
+use nbody_core::vec3::Vec3;
+use plans::make_plan;
+use plans::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One measured `(plan, size)` point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Plan identifier (`i-parallel`, …).
+    pub plan: String,
+    /// Bodies in the workload.
+    pub n: usize,
+    /// Wall-clock seconds with one worker thread.
+    pub serial_s: f64,
+    /// Wall-clock seconds with [`BenchReport::threads`] workers.
+    pub threaded_s: f64,
+    /// `serial_s / threaded_s`.
+    pub speedup: f64,
+    /// True when the two runs produced bit-identical forces.
+    pub bitexact: bool,
+}
+
+/// A full `--bench-json` document (written to `BENCH_pr4.json` by default).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Worker threads used for the threaded runs.
+    pub threads: usize,
+    /// The machine's available parallelism (1 ⇒ the speedup gate is waived).
+    pub available_parallelism: usize,
+    /// The measurements.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// Gate verdict: `BENCH OK` when every benchmark point is bit-exact and
+    /// no size ≥ 4096 slowed down under threading; `BENCH SKIP (…)` when
+    /// the machine or the sweep cannot express a speedup; `BENCH FAIL (…)`
+    /// otherwise. Bit-exactness is never waived.
+    pub fn verdict(&self) -> String {
+        if self.rows.iter().any(|r| !r.bitexact) {
+            return "BENCH FAIL (threaded forces diverge from serial)".into();
+        }
+        if self.threads < 2 || self.available_parallelism < 2 {
+            return "BENCH SKIP (single core)".into();
+        }
+        let gated: Vec<&BenchRow> = self.rows.iter().filter(|r| r.n >= 4096).collect();
+        if gated.is_empty() {
+            return "BENCH SKIP (no benchmark size reaches 4096)".into();
+        }
+        let worst = gated.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+        if worst >= 1.0 {
+            format!("BENCH OK (min speedup {worst:.2}x at {} threads)", self.threads)
+        } else {
+            format!("BENCH FAIL (min speedup {worst:.2}x < 1.0)")
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> Result<String, HarnessError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| HarnessError::Json { what: "bench report".into(), source: e })
+    }
+
+    /// Parses a previously exported document.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Serializes and writes the document to `path` with typed errors.
+    pub fn write_json(&self, path: &str) -> Result<(), HarnessError> {
+        std::fs::write(path, self.to_json()?).map_err(|e| HarnessError::io(path, e))
+    }
+}
+
+/// The sizes a configuration benchmarks: the largest two of its sweep that
+/// fall in `1024..=16384` (small N has too little work to time, larger N
+/// only lengthens the run without changing the verdict). Falls back to the
+/// configured sweep when none qualify.
+pub fn bench_sizes(sizes: &[usize]) -> Vec<usize> {
+    let qualified: Vec<usize> =
+        sizes.iter().copied().filter(|n| (1024..=16384).contains(n)).collect();
+    let pool = if qualified.is_empty() { sizes.to_vec() } else { qualified };
+    pool[pool.len().saturating_sub(2)..].to_vec()
+}
+
+/// Runs the benchmark: every plan at [`bench_sizes`], serial then threaded,
+/// forces compared bit-for-bit. Restores the configured thread count before
+/// returning.
+pub fn run_bench(cfg: &ExperimentConfig) -> BenchReport {
+    let threads = cfg.threads.unwrap_or_else(par::threads).max(1);
+    let sizes = bench_sizes(&cfg.sizes);
+    let mut rows = Vec::new();
+    for kind in PlanKind::all() {
+        for &n in &sizes {
+            let set = cfg.workload(n).generate();
+            let (serial_s, serial_acc) = timed_eval(cfg, kind, &set, 1);
+            let (threaded_s, threaded_acc) = timed_eval(cfg, kind, &set, threads);
+            rows.push(BenchRow {
+                plan: kind.id().to_string(),
+                n,
+                serial_s,
+                threaded_s,
+                speedup: serial_s / threaded_s.max(1e-12),
+                bitexact: serial_acc == threaded_acc,
+            });
+        }
+    }
+    par::set_threads(threads);
+    BenchReport { threads, available_parallelism: par::available_parallelism(), rows }
+}
+
+fn timed_eval(
+    cfg: &ExperimentConfig,
+    kind: PlanKind,
+    set: &nbody_core::body::ParticleSet,
+    threads: usize,
+) -> (f64, Vec<Vec3>) {
+    par::set_threads(threads);
+    let mut device = cfg.device();
+    let plan = make_plan(kind, cfg.plan);
+    let start = Instant::now();
+    let outcome = plan.evaluate(&mut device, set, &cfg.gravity);
+    (start.elapsed().as_secs_f64(), outcome.acc)
+}
+
+/// Human-readable table of the rows.
+pub fn render(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "threads = {} (machine parallelism {})\n{:<12} {:>7} {:>11} {:>11} {:>8}  exact\n",
+        report.threads,
+        report.available_parallelism,
+        "plan",
+        "N",
+        "serial_s",
+        "threaded_s",
+        "speedup"
+    ));
+    for r in &report.rows {
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>11.4} {:>11.4} {:>7.2}x  {}\n",
+            r.plan,
+            r.n,
+            r.serial_s,
+            r.threaded_s,
+            r.speedup,
+            if r.bitexact { "yes" } else { "NO" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_sizes_prefers_large_midrange_sizes() {
+        assert_eq!(bench_sizes(&[256, 512, 1024, 4096, 16384, 65536]), vec![4096, 16384]);
+        assert_eq!(bench_sizes(&[256, 1024, 8192]), vec![1024, 8192]);
+        assert_eq!(bench_sizes(&[128, 256]), vec![128, 256]);
+        assert_eq!(bench_sizes(&[2048]), vec![2048]);
+    }
+
+    #[test]
+    fn bench_report_roundtrips_and_gates() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.sizes = vec![256]; // keep the test fast; gate falls back to SKIP
+        cfg.threads = Some(2);
+        let report = run_bench(&cfg);
+        par::set_threads(1);
+        assert_eq!(report.rows.len(), PlanKind::all().len());
+        assert!(report.rows.iter().all(|r| r.bitexact), "threaded forces diverged");
+        assert!(report.rows.iter().all(|r| r.serial_s > 0.0 && r.threaded_s > 0.0));
+        let verdict = report.verdict();
+        assert!(verdict.starts_with("BENCH OK") || verdict.starts_with("BENCH SKIP"), "{verdict}");
+        let back = BenchReport::from_json(&report.to_json().unwrap()).unwrap();
+        assert_eq!(back.rows.len(), report.rows.len());
+        assert_eq!(back.threads, 2);
+    }
+
+    #[test]
+    fn verdict_fails_on_divergence_or_slowdown() {
+        let row = |n, speedup, bitexact| BenchRow {
+            plan: "jw-parallel".into(),
+            n,
+            serial_s: 1.0,
+            threaded_s: 1.0 / speedup,
+            speedup,
+            bitexact,
+        };
+        let diverged =
+            BenchReport { threads: 4, available_parallelism: 8, rows: vec![row(4096, 2.0, false)] };
+        assert!(diverged.verdict().starts_with("BENCH FAIL"), "{}", diverged.verdict());
+        let slow =
+            BenchReport { threads: 4, available_parallelism: 8, rows: vec![row(8192, 0.5, true)] };
+        assert!(slow.verdict().contains("FAIL"), "{}", slow.verdict());
+        let single =
+            BenchReport { threads: 4, available_parallelism: 1, rows: vec![row(8192, 0.5, true)] };
+        assert_eq!(single.verdict(), "BENCH SKIP (single core)");
+        let ok =
+            BenchReport { threads: 4, available_parallelism: 8, rows: vec![row(16384, 1.8, true)] };
+        assert!(ok.verdict().starts_with("BENCH OK"), "{}", ok.verdict());
+        let tiny =
+            BenchReport { threads: 4, available_parallelism: 8, rows: vec![row(256, 0.9, true)] };
+        assert!(tiny.verdict().starts_with("BENCH SKIP"), "{}", tiny.verdict());
+    }
+}

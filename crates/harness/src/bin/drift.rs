@@ -1,6 +1,8 @@
 //! Prints the integrator energy-drift study.
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(256);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    harness::apply_threads_flag(&args);
+    let n: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(256);
     let t_total = 1.0;
     let dts = [0.02, 0.01, 0.005, 0.0025];
     let rows = harness::drift::drift_study(n, t_total, &dts, 20110101);

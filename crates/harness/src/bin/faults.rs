@@ -26,6 +26,7 @@ fn parsed<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<Result<T,
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    harness::apply_threads_flag(&args);
     let mut cfg = FaultRun::smoke(7);
     if let Some(seed) = parsed(&args, "--seed") {
         cfg.fault_seed = or_exit(seed);

@@ -1,6 +1,8 @@
 //! Prints the load-imbalance ablation (uniform vs clustered workloads).
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8192);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    harness::apply_threads_flag(&args);
+    let n: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(8192);
     let rows = harness::imbalance::imbalance_experiment(n, 20110101);
     print!("{}", harness::imbalance::render(&rows));
 }

@@ -3,12 +3,19 @@
 //! `--json <path>` additionally writes the machine-readable results;
 //! `--faults <seed>` reruns the whole suite under deterministic fault
 //! injection (results stay bit-exact, simulated times absorb the recovery
-//! overhead) and finishes with a checkpoint/restart smoke.
+//! overhead) and finishes with a checkpoint/restart smoke;
+//! `--bench-json [path]` appends the thread-pool wall-clock benchmark,
+//! writing its rows to `path` (default `BENCH_pr4.json`) and printing a
+//! greppable `BENCH OK` / `BENCH SKIP` / `BENCH FAIL` verdict.
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = harness::config_from_args(&args);
     let steps = cfg.steps;
     let json_path = args.iter().position(|a| a == "--json").and_then(|p| args.get(p + 1)).cloned();
+    let bench_path = args.iter().position(|a| a == "--bench-json").map(|p| match args.get(p + 1) {
+        Some(v) if !v.starts_with("--") => v.clone(),
+        _ => "BENCH_pr4.json".to_string(),
+    });
 
     println!("== PTPM fast N-body reproduction: full experiment suite ==\n");
     if let Some(seed) = cfg.fault_seed {
@@ -32,6 +39,15 @@ fn main() {
 
     let mut runner = harness::Runner::new(results.config.clone());
     harness::error::or_exit(harness::trace_export::run_trace_flag(&args, &mut runner));
+
+    if let Some(path) = bench_path {
+        println!("\n== thread-pool wall-clock benchmark ==");
+        let report = harness::bench_json::run_bench(&results.config);
+        print!("{}", harness::bench_json::render(&report));
+        harness::error::or_exit(report.write_json(&path));
+        println!("benchmark rows written to {path}");
+        println!("{}", report.verdict());
+    }
 
     if let Some(seed) = results.config.fault_seed {
         println!("\n== fault-recovery smoke (seed {seed}) ==");

@@ -1,6 +1,8 @@
 //! Prints the what-if device comparison.
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4096);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    harness::apply_threads_flag(&args);
+    let n: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(4096);
     let rows = harness::whatif::whatif(n, 20110101);
     print!("{}", harness::whatif::render(&rows));
 }

@@ -48,6 +48,12 @@ pub struct ExperimentConfig {
     /// recovery keeps all results bit-exact; only the simulated times grow.
     /// Absent in result files written before fault injection existed.
     pub fault_seed: Option<u64>,
+    /// Host worker-thread count pinned via `--threads` (`None` defers to
+    /// `NBODY_THREADS` and then the machine's available parallelism). Every
+    /// result is bit-exact across thread counts, so the field is purely a
+    /// wall-clock knob. Absent in result files written before host
+    /// parallelism existed (missing deserializes as `None`).
+    pub threads: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -61,6 +67,7 @@ impl ExperimentConfig {
             plan: PlanConfig::default(),
             host_slowdown: HOST_SLOWDOWN,
             fault_seed: None,
+            threads: None,
         }
     }
 

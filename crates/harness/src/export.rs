@@ -31,9 +31,13 @@ pub struct SuiteResults {
 }
 
 impl SuiteResults {
-    /// Runs the whole suite against one shared runner.
+    /// Runs the whole suite against one shared runner. The full
+    /// `(plan, size)` grid is prefetched concurrently (a no-op under fault
+    /// injection or `--threads 1`); the table/figure passes then read the
+    /// primed cache.
     pub fn run(cfg: ExperimentConfig) -> Self {
         let mut runner = crate::Runner::new(cfg.clone());
+        runner.prefetch_all();
         Self {
             config: cfg,
             fig4: crate::fig4::fig4(&mut runner),

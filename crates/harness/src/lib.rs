@@ -12,8 +12,13 @@
 //! | [`table3`] | Table 3 — kernel-only time of the four plans | `--bin table3` |
 //!
 //! `--bin repro-all` runs the full suite. Every binary accepts `--quick`
-//! for a reduced sweep and `--faults <seed>` for deterministic fault
-//! injection (see [`faults`]); the figure/table binaries accept
+//! for a reduced sweep, `--faults <seed>` for deterministic fault
+//! injection (see [`faults`]), and `--threads <N>` to pin the host
+//! worker-thread count (results are bit-exact across thread counts; the
+//! `NBODY_THREADS` environment variable is the flagless equivalent);
+//! `repro-all` additionally accepts `--bench-json [path]` to measure and
+//! record the thread-pool wall-clock speedups (see [`bench_json`]); the
+//! figure/table binaries accept
 //! `--trace <path>` to also write an execution trace of all four plans
 //! (Chrome trace JSON, or CSV when the path ends in `.csv` — see
 //! [`trace_export`]). The `trace` binary captures traces without running
@@ -22,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_json;
 pub mod chart;
 pub mod config;
 pub mod cpu_baseline;
@@ -46,8 +52,12 @@ pub use runner::Runner;
 
 /// Parses the common CLI convention of the harness binaries: `--quick`
 /// selects the reduced sweep, `--max-n <N>` truncates the size sweep,
-/// `--faults <seed>` enables deterministic fault injection. Malformed
-/// values are reported as [`error::HarnessError::BadFlag`].
+/// `--faults <seed>` enables deterministic fault injection, and
+/// `--threads <N>` pins the host worker-thread count (every result is
+/// bit-exact across thread counts; absent the flag, the `NBODY_THREADS`
+/// environment variable and then the machine's available parallelism
+/// decide). Malformed values are reported as
+/// [`error::HarnessError::BadFlag`].
 pub fn try_config_from_args(args: &[String]) -> Result<ExperimentConfig, error::HarnessError> {
     let mut cfg = if args.iter().any(|a| a == "--quick") {
         ExperimentConfig::quick()
@@ -67,13 +77,42 @@ pub fn try_config_from_args(args: &[String]) -> Result<ExperimentConfig, error::
         })?;
         cfg.fault_seed = Some(seed);
     }
+    cfg.threads = try_threads_from_args(args)?;
     Ok(cfg)
 }
 
+/// Parses just the `--threads <N>` flag (`Ok(None)` when absent). Split out
+/// so binaries with ad-hoc positional arguments can honor the flag without
+/// adopting the full [`ExperimentConfig`] convention.
+pub fn try_threads_from_args(args: &[String]) -> Result<Option<usize>, error::HarnessError> {
+    let Some(pos) = args.iter().position(|a| a == "--threads") else {
+        return Ok(None);
+    };
+    let value = args.get(pos + 1).cloned().unwrap_or_default();
+    let n = value.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+        error::HarnessError::BadFlag { flag: "--threads".into(), value: value.clone() }
+    })?;
+    Ok(Some(n))
+}
+
+/// Applies `--threads` to the global `par` worker count for binaries that
+/// never build an [`ExperimentConfig`]; prints the error and exits 1 on a
+/// malformed value.
+pub fn apply_threads_flag(args: &[String]) {
+    if let Some(n) = error::or_exit(try_threads_from_args(args)) {
+        par::set_threads(n);
+    }
+}
+
 /// [`try_config_from_args`] for binaries: prints the error and exits 1 on a
-/// malformed flag.
+/// malformed flag. Applies the configured thread count to the global `par`
+/// pool so every subsequent hot path honors `--threads`.
 pub fn config_from_args(args: &[String]) -> ExperimentConfig {
-    error::or_exit(try_config_from_args(args))
+    let cfg = error::or_exit(try_config_from_args(args));
+    if let Some(n) = cfg.threads {
+        par::set_threads(n);
+    }
+    cfg
 }
 
 #[cfg(test)]
@@ -101,6 +140,21 @@ mod tests {
         let err = try_config_from_args(&["--faults".to_string(), "xyz".to_string()]).unwrap_err();
         assert!(err.to_string().contains("--faults"));
         let err = try_config_from_args(&["--faults".to_string()]).unwrap_err();
+        assert!(matches!(err, error::HarnessError::BadFlag { .. }));
+    }
+
+    #[test]
+    fn threads_flag_sets_count_and_rejects_garbage() {
+        let cfg = try_config_from_args(&["--threads".to_string(), "4".to_string()]).unwrap();
+        assert_eq!(cfg.threads, Some(4));
+        let cfg = try_config_from_args(&[]).unwrap();
+        assert_eq!(cfg.threads, None);
+        for bad in ["0", "xyz"] {
+            let err =
+                try_config_from_args(&["--threads".to_string(), bad.to_string()]).unwrap_err();
+            assert!(err.to_string().contains("--threads"), "{err}");
+        }
+        let err = try_config_from_args(&["--threads".to_string()]).unwrap_err();
         assert!(matches!(err, error::HarnessError::BadFlag { .. }));
     }
 }

@@ -120,9 +120,10 @@ pub fn accelerations_pp_symmetric(set: &ParticleSet, params: &GravityParams, acc
     }
 }
 
-/// Multithreaded PP over row chunks, using scoped threads. Identical
-/// summation order per row as [`accelerations_pp`], so results match it
-/// bit-for-bit.
+/// Multithreaded PP over row chunks (`par`'s fixed chunking on scoped
+/// threads). Identical summation order per row as [`accelerations_pp`], so
+/// results match it bit-for-bit at any thread count. Pass `par::threads()`
+/// to follow the workspace-wide `--threads` setting.
 pub fn accelerations_pp_parallel(
     set: &ParticleSet,
     params: &GravityParams,
@@ -140,13 +141,14 @@ pub fn accelerations_pp_parallel(
     let mass = set.mass();
     let eps_sq = params.eps_sq();
     let g = params.g;
-    let chunk = n.div_ceil(threads);
+    let ranges = par::chunk_ranges(n, threads);
     std::thread::scope(|scope| {
-        for (c, acc_chunk) in acc.chunks_mut(chunk).enumerate() {
-            let start = c * chunk;
+        let mut rest = acc;
+        for range in ranges {
+            let (rows, tail) = rest.split_at_mut(range.len());
+            rest = tail;
             scope.spawn(move || {
-                for (k, ai) in acc_chunk.iter_mut().enumerate() {
-                    let i = start + k;
+                for (ai, i) in rows.iter_mut().zip(range) {
                     let xi = pos[i];
                     let mut a = Vec3::ZERO;
                     for j in 0..n {

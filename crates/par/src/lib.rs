@@ -1,0 +1,235 @@
+//! # par
+//!
+//! Deterministic host parallelism for the workspace, built on
+//! [`std::thread::scope`] only — the build environment has no reachable
+//! crates registry, so no external thread-pool dependency is possible.
+//!
+//! ## The determinism contract
+//!
+//! Every helper here splits work into **contiguous index chunks** and
+//! returns the per-chunk results **in chunk order**, so a caller that
+//! combines them in that order observes a fixed merge order regardless of
+//! which worker finished first. Callers must uphold one rule for results to
+//! be bit-exact across thread counts: the value computed for an item must
+//! depend only on the item (and shared read-only state), never on which
+//! chunk the item landed in. All hot paths in this workspace satisfy that
+//! rule — work-groups of a GPU launch are independent by the programming
+//! model, tree walks are independent per walk, and per-body forces are
+//! independent per body — which is why `--threads 1` and `--threads k`
+//! produce identical forces, energies, and simulated clocks.
+//!
+//! The global thread count is process-wide: [`set_threads`] overrides it,
+//! otherwise the `NBODY_THREADS` environment variable applies, otherwise
+//! [`std::thread::available_parallelism`]. With a count of 1 every helper
+//! degenerates to a plain in-order loop on the calling thread — byte-for-
+//! byte the pre-existing serial behavior.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = not yet resolved; anything else is the configured thread count.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide thread count used by all helpers.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn set_threads(n: usize) {
+    assert!(n >= 1, "thread count must be >= 1");
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The thread count in effect: the last [`set_threads`] value, else
+/// `NBODY_THREADS`, else the machine's available parallelism (at least 1).
+pub fn threads() -> usize {
+    let t = THREADS.load(Ordering::Relaxed);
+    if t != 0 {
+        return t;
+    }
+    let resolved = resolve_default();
+    // first caller wins; any later set_threads still overrides
+    let _ = THREADS.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed);
+    THREADS.load(Ordering::Relaxed)
+}
+
+/// Cores the OS reports, independent of the configured count — what speedup
+/// gates should consult before asserting wall-clock improvements.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+fn resolve_default() -> usize {
+    if let Ok(v) = std::env::var("NBODY_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    available_parallelism()
+}
+
+/// Splits `0..len` into at most `parts` contiguous, near-equal, non-empty
+/// ranges. Deterministic in `(len, parts)`; the concatenation of the ranges
+/// is exactly `0..len`.
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts; // first `extra` chunks get one more item
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Applies `f` to contiguous chunks of `0..len` (at most [`threads`] of
+/// them) and returns the results **in chunk order**. With one thread or one
+/// chunk, `f` runs inline on the caller.
+pub fn map_chunks<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = chunk_ranges(len, threads());
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(move || f(r))).collect();
+        handles.into_iter().map(join_propagating).collect()
+    })
+}
+
+/// Runs independent tasks and returns their results **in task order**. The
+/// tasks are distributed over at most [`threads`] workers as contiguous
+/// slices of the task list; worker `w` runs its slice front to back. With
+/// one thread the tasks simply run in order on the caller.
+pub fn run_tasks<T, F>(tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    let ranges = chunk_ranges(n, threads());
+    if ranges.len() <= 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    let mut tasks: Vec<Option<F>> = tasks.into_iter().map(Some).collect();
+    let mut slices: Vec<&mut [Option<F>]> = Vec::with_capacity(ranges.len());
+    let mut rest = tasks.as_mut_slice();
+    for r in &ranges {
+        let (head, tail) = rest.split_at_mut(r.len());
+        slices.push(head);
+        rest = tail;
+    }
+    let mut per_chunk: Vec<Vec<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = slices
+            .into_iter()
+            .map(|slice| {
+                s.spawn(move || {
+                    slice.iter_mut().map(|t| (t.take().expect("task present"))()).collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(join_propagating).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for chunk in per_chunk.iter_mut() {
+        out.append(chunk);
+    }
+    out
+}
+
+fn join_propagating<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    handle.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests that read results dependent on the *current* global thread
+    /// count must not interleave with tests that change it.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for len in [0_usize, 1, 2, 7, 8, 100, 1023] {
+            for parts in [1_usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty(), "empty chunk for len={len} parts={parts}");
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_are_near_equal() {
+        let ranges = chunk_ranges(10, 3);
+        let sizes: Vec<usize> = ranges.iter().map(Range::len).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn map_chunks_results_arrive_in_chunk_order() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(3);
+        let out = map_chunks(11, |r| r.clone());
+        let flat: Vec<usize> = out.into_iter().flatten().collect();
+        assert_eq!(flat, (0..11).collect::<Vec<_>>());
+        set_threads(1);
+        let serial = map_chunks(11, |r| r.clone());
+        assert_eq!(serial.len(), 1);
+        assert_eq!(serial[0], 0..11);
+    }
+
+    #[test]
+    fn map_chunks_is_thread_count_invariant_for_item_maps() {
+        let _guard = LOCK.lock().unwrap();
+        let work = |r: Range<usize>| -> Vec<u64> { r.map(|i| (i as u64) * 7 + 1).collect() };
+        let mut flats = Vec::new();
+        for t in [1_usize, 2, 3, 8] {
+            set_threads(t);
+            flats.push(map_chunks(100, work).into_iter().flatten().collect::<Vec<u64>>());
+        }
+        set_threads(1);
+        assert!(flats.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn run_tasks_preserves_task_order() {
+        let _guard = LOCK.lock().unwrap();
+        for t in [1_usize, 2, 5] {
+            set_threads(t);
+            let tasks: Vec<_> = (0..9).map(|i| move || i * i).collect();
+            assert_eq!(run_tasks(tasks), (0..9).map(|i| i * i).collect::<Vec<_>>());
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn zero_len_is_fine() {
+        assert!(map_chunks(0, |_| ()).is_empty());
+        assert!(run_tasks(Vec::<fn() -> ()>::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_rejected() {
+        set_threads(0);
+    }
+}

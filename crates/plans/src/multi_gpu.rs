@@ -26,7 +26,6 @@ use gpu_sim::prelude::*;
 use nbody_core::body::ParticleSet;
 use nbody_core::gravity::GravityParams;
 use nbody_core::vec3::Vec3;
-use std::collections::VecDeque;
 use std::time::Instant;
 use treecode::interaction_list::{build_walks, WalkSet};
 use treecode::mac::OpeningAngle;
@@ -177,63 +176,87 @@ impl MultiGpuJw {
         let mut lost_devices = Vec::new();
         let mut redistributed_walks = 0_usize;
 
-        let mut queue: VecDeque<(usize, Vec<usize>)> = buckets.into_iter().enumerate().collect();
-        while let Some((di, bucket)) = queue.pop_front() {
-            if bucket.is_empty() {
-                continue;
-            }
-            let tp = Instant::now();
-            let sub = WalkSet {
-                groups: bucket.iter().map(|&w| walks.groups[w].clone()).collect(),
-                theta: walks.theta,
-                walk_size: walks.walk_size,
-            };
-            let packed: PackedWalks = pack_walks(&sub, &tree, set, self.config.walk_size);
-            host_measured_s += tp.elapsed().as_secs_f64();
-            total_entries += packed.list_data.len() / 4;
+        // Rounds instead of a FIFO queue, so devices can run concurrently
+        // while keeping every observable deterministic and thread-count
+        // invariant: each round runs all current assignments (one `par` task
+        // per device, each owning its device), joins, then merges results in
+        // assignment order; all orphans of the round are re-partitioned
+        // together over the survivors to form the next round. Fault streams
+        // are per-device and each device sees the same operation sequence
+        // regardless of host threads.
+        let mut assignments: Vec<(usize, Vec<usize>)> =
+            buckets.into_iter().enumerate().filter(|(_, b)| !b.is_empty()).collect();
+        while !assignments.is_empty() {
+            let walks_ref = &walks;
+            let tree_ref = &tree;
+            let config = &self.config;
+            let round = par::run_tasks(
+                assignments
+                    .iter()
+                    .map(|(di, bucket)| {
+                        let mut device =
+                            devices[*di].take().expect("assignments only reference live devices");
+                        let (di, bucket) = (*di, bucket.clone());
+                        move || {
+                            let tp = Instant::now();
+                            let sub = WalkSet {
+                                groups: bucket
+                                    .iter()
+                                    .map(|&w| walks_ref.groups[w].clone())
+                                    .collect(),
+                                theta: walks_ref.theta,
+                                walk_size: walks_ref.walk_size,
+                            };
+                            let packed: PackedWalks =
+                                pack_walks(&sub, tree_ref, set, config.walk_size);
+                            let pack_s = tp.elapsed().as_secs_f64();
+                            device.reset_clocks();
+                            let result =
+                                try_run_jw_kernels(&mut device, set, &packed, config, params);
+                            let entries = packed.list_data.len() / 4;
+                            (di, bucket, device, result, packed.interactions, entries, pack_s)
+                        }
+                    })
+                    .collect(),
+            );
 
-            let device = devices[di].as_mut().expect("queue only references live devices");
-            device.reset_clocks();
-            let result = try_run_jw_kernels(device, set, &packed, &self.config, params);
-            // time the device spent is real either way
-            per_device_kernel_s[di] += device.kernel_seconds();
-            transfer_s += device.transfer_seconds();
-            recovery_s += device.stall_seconds();
-            launches += device.launches().len();
-            match result {
-                Ok(dev_acc) => {
-                    for (a, d) in acc.iter_mut().zip(&dev_acc) {
-                        *a += *d; // targets are disjoint; non-targets are zero
+            let mut orphans = Vec::new();
+            for (di, bucket, device, result, packed_interactions, entries, pack_s) in round {
+                host_measured_s += pack_s;
+                total_entries += entries;
+                // time the device spent is real either way
+                per_device_kernel_s[di] += device.kernel_seconds();
+                transfer_s += device.transfer_seconds();
+                recovery_s += device.stall_seconds();
+                launches += device.launches().len();
+                match result {
+                    Ok(dev_acc) => {
+                        for (a, d) in acc.iter_mut().zip(&dev_acc) {
+                            *a += *d; // targets are disjoint; non-targets are zero
+                        }
+                        interactions += packed_interactions;
+                        walks_per_device[di] += bucket.len();
+                        devices[di] = Some(device);
                     }
-                    interactions += packed.interactions;
-                    walks_per_device[di] += bucket.len();
+                    Err(err) => {
+                        // retire the device; its walks move to the survivors
+                        lost_devices.push(di);
+                        orphans.extend(bucket);
+                        let _ = err;
+                    }
                 }
-                Err(err) => {
-                    // retire the device; its walks (and any still queued for
-                    // it) move to the survivors
-                    devices[di] = None;
-                    lost_devices.push(di);
-                    let mut orphans = bucket;
-                    queue.retain(|(qi, qb)| {
-                        if *qi == di {
-                            orphans.extend(qb.iter().copied());
-                            false
-                        } else {
-                            true
-                        }
-                    });
-                    let survivors: Vec<usize> = devices
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, d)| d.as_ref().map(|_| i))
-                        .collect();
-                    assert!(!survivors.is_empty(), "all devices lost ({err})");
-                    redistributed_walks += orphans.len();
-                    let rescue = Self::partition_subset(&walks, &orphans, survivors.len());
-                    for (b, &s) in rescue.into_iter().zip(&survivors) {
-                        if !b.is_empty() {
-                            queue.push_back((s, b));
-                        }
+            }
+
+            assignments.clear();
+            if !orphans.is_empty() {
+                let survivors: Vec<usize> =
+                    devices.iter().enumerate().filter_map(|(i, d)| d.as_ref().map(|_| i)).collect();
+                assert!(!survivors.is_empty(), "all devices lost");
+                redistributed_walks += orphans.len();
+                let rescue = Self::partition_subset(&walks, &orphans, survivors.len());
+                for (b, &s) in rescue.into_iter().zip(&survivors) {
+                    if !b.is_empty() {
+                        assignments.push((s, b));
                     }
                 }
             }
@@ -412,30 +435,57 @@ impl MultiGpuPp {
         let mut launches = 0;
         let packed_full = crate::i_parallel::packed_padded(set, n_padded);
         let slice_len = n.div_ceil(d);
-        for dev_idx in 0..d {
-            let start = dev_idx * slice_len;
-            let end = (start + slice_len).min(n);
-            let m = end.saturating_sub(start);
-            let m_padded = m.div_ceil(p).max(1) * p;
-            let mut sources_data = packed_full[4 * start..4 * end].to_vec();
-            sources_data.resize(m_padded * 4, 0.0);
+        // devices are independent (each owns its source slice and a partial
+        // accumulator), so they run one per `par` task; partials are summed
+        // in device order, keeping f32 accumulation deterministic
+        let packed_ref = &packed_full;
+        let per_device = par::run_tasks(
+            (0..d)
+                .map(|dev_idx| {
+                    move || {
+                        let start = dev_idx * slice_len;
+                        let end = (start + slice_len).min(n);
+                        let m = end.saturating_sub(start);
+                        let m_padded = m.div_ceil(p).max(1) * p;
+                        let mut sources_data = packed_ref[4 * start..4 * end].to_vec();
+                        sources_data.resize(m_padded * 4, 0.0);
 
-            let mut device = Device::with_transfer_model(self.spec.clone(), self.transfer_model);
-            let targets = device.alloc_f32(packed_full.len());
-            device.upload_f32(targets, &packed_full);
-            let sources = device.alloc_f32(sources_data.len());
-            device.upload_f32(sources, &sources_data);
-            let acc_out = device.alloc_f32(n * 4);
-            let kernel =
-                PpSlicedKernel { targets, sources, acc_out, n, m_padded, block: p, eps_sq };
-            device.launch(&kernel, NdRange { global: n_padded, local: p });
-            let dev_acc = crate::common::download_acc(&mut device, acc_out, n, params.g);
+                        let mut device =
+                            Device::with_transfer_model(self.spec.clone(), self.transfer_model);
+                        let targets = device.alloc_f32(packed_ref.len());
+                        device.upload_f32(targets, packed_ref);
+                        let sources = device.alloc_f32(sources_data.len());
+                        device.upload_f32(sources, &sources_data);
+                        let acc_out = device.alloc_f32(n * 4);
+                        let kernel = PpSlicedKernel {
+                            targets,
+                            sources,
+                            acc_out,
+                            n,
+                            m_padded,
+                            block: p,
+                            eps_sq,
+                        };
+                        device.launch(&kernel, NdRange { global: n_padded, local: p });
+                        let dev_acc =
+                            crate::common::download_acc(&mut device, acc_out, n, params.g);
+                        (
+                            dev_acc,
+                            device.kernel_seconds(),
+                            device.transfer_seconds(),
+                            device.launches().len(),
+                        )
+                    }
+                })
+                .collect(),
+        );
+        for (dev_acc, dev_kernel_s, dev_transfer_s, dev_launches) in per_device {
             for (a, da) in acc.iter_mut().zip(&dev_acc) {
                 *a += *da;
             }
-            per_device_kernel_s.push(device.kernel_seconds());
-            transfer_s += device.transfer_seconds();
-            launches += device.launches().len();
+            per_device_kernel_s.push(dev_kernel_s);
+            transfer_s += dev_transfer_s;
+            launches += dev_launches;
         }
         let kernel_s = per_device_kernel_s.iter().copied().fold(0.0, f64::max);
 

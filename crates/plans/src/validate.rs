@@ -10,7 +10,7 @@ use crate::make_plan;
 use gpu_sim::prelude::{Device, DeviceSpec, TransferModel};
 use nbody_core::body::ParticleSet;
 use nbody_core::flops::FlopConvention;
-use nbody_core::gravity::{accelerations_pp, max_relative_error, GravityParams};
+use nbody_core::gravity::{accelerations_pp_parallel, max_relative_error, GravityParams};
 use nbody_core::vec3::Vec3;
 use serde::{Deserialize, Serialize};
 
@@ -79,8 +79,9 @@ pub fn validate_plan(
     params: &GravityParams,
     budget: ErrorBudget,
 ) -> ValidationReport {
+    // bit-identical to the serial reference at any thread count
     let mut exact = vec![Vec3::ZERO; set.len()];
-    accelerations_pp(set, params, &mut exact);
+    accelerations_pp_parallel(set, params, &mut exact, par::threads());
 
     let mut device = Device::with_transfer_model(spec.clone(), TransferModel::pcie2_x16());
     device.set_race_checking(true);
@@ -116,16 +117,22 @@ pub fn validate_plan(
 }
 
 /// Validates all four plans; returns the reports in presentation order.
+/// Each plan validates on its own fresh device, so the four runs are
+/// independent and execute one per `par` task, joined in presentation order.
 pub fn validate_all(
     config: PlanConfig,
     spec: &DeviceSpec,
     set: &ParticleSet,
     params: &GravityParams,
 ) -> Vec<ValidationReport> {
-    PlanKind::all()
-        .into_iter()
-        .map(|kind| validate_plan(kind, config, spec, set, params, ErrorBudget::default()))
-        .collect()
+    par::run_tasks(
+        PlanKind::all()
+            .into_iter()
+            .map(|kind| {
+                move || validate_plan(kind, config, spec, set, params, ErrorBudget::default())
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]

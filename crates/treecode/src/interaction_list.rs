@@ -100,11 +100,25 @@ pub fn build_walks(
 ) -> WalkSet {
     assert!(walk_size > 0, "walk_size must be positive");
     let pos = set.pos();
-    let mut groups = Vec::with_capacity(set.len().div_ceil(walk_size));
-    for chunk in tree.order().chunks(walk_size) {
-        let bbox = Aabb::from_points(chunk.iter().map(|&b| pos[b as usize]));
-        let (cell_list, body_list) = collect_list(tree, &bbox, theta);
-        groups.push(WalkGroup { bodies: chunk.to_vec(), bbox, cell_list, body_list });
+    let num_walks = tree.order().len().div_ceil(walk_size);
+    // Each walk's list depends only on the tree and its own bodies, so the
+    // traversals run chunked over `par` worker threads; concatenating the
+    // per-chunk groups in chunk order keeps the walks in tree order.
+    let chunks = par::map_chunks(num_walks, |range| {
+        range
+            .map(|w| {
+                let start = w * walk_size;
+                let end = (start + walk_size).min(tree.order().len());
+                let bodies = &tree.order()[start..end];
+                let bbox = Aabb::from_points(bodies.iter().map(|&b| pos[b as usize]));
+                let (cell_list, body_list) = collect_list(tree, &bbox, theta);
+                WalkGroup { bodies: bodies.to_vec(), bbox, cell_list, body_list }
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut groups = Vec::with_capacity(num_walks);
+    for chunk in chunks {
+        groups.extend(chunk);
     }
     WalkSet { groups, theta, walk_size }
 }

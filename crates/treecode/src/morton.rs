@@ -78,7 +78,9 @@ pub fn morton_of(p: Vec3, lo: Vec3, hi: Vec3) -> u64 {
 
 /// Particle indices sorted by Morton code over the set's bounding box.
 /// Stable for equal codes (original index breaks ties), hence fully
-/// deterministic.
+/// deterministic — and thread-count invariant: `(code, index)` pairs are
+/// unique, so sorted chunks merged by that total order reproduce the serial
+/// full sort exactly, no matter how the chunks were cut.
 pub fn morton_order(set: &ParticleSet) -> Vec<u32> {
     let n = set.len();
     let mut order: Vec<u32> = (0..n as u32).collect();
@@ -86,13 +88,50 @@ pub fn morton_order(set: &ParticleSet) -> Vec<u32> {
         return order;
     };
     let pos = set.pos();
-    let mut keyed: Vec<(u64, u32)> =
-        order.iter().map(|&i| (morton_of(pos[i as usize], lo, hi), i)).collect();
-    keyed.sort_unstable();
-    for (slot, (_, i)) in keyed.into_iter().enumerate() {
-        order[slot] = i;
+    let mut runs: Vec<Vec<(u64, u32)>> = par::map_chunks(n, |range| {
+        let mut keyed: Vec<(u64, u32)> =
+            range.map(|i| (morton_of(pos[i], lo, hi), i as u32)).collect();
+        keyed.sort_unstable();
+        keyed
+    });
+    while runs.len() > 1 {
+        let mut pairs = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            let b = it.next();
+            pairs.push((a, b));
+        }
+        runs = par::run_tasks(
+            pairs
+                .into_iter()
+                .map(|(a, b)| move || if let Some(b) = b { merge_runs(a, b) } else { a })
+                .collect(),
+        );
+    }
+    if let Some(keyed) = runs.pop() {
+        for (slot, (_, i)) in keyed.into_iter().enumerate() {
+            order[slot] = i;
+        }
     }
     order
+}
+
+/// Merges two sorted runs of unique `(code, index)` pairs.
+fn merge_runs(a: Vec<(u64, u32)>, b: Vec<(u64, u32)>) -> Vec<(u64, u32)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (0, 0);
+    while ia < a.len() && ib < b.len() {
+        if a[ia] <= b[ib] {
+            out.push(a[ia]);
+            ia += 1;
+        } else {
+            out.push(b[ib]);
+            ib += 1;
+        }
+    }
+    out.extend_from_slice(&a[ia..]);
+    out.extend_from_slice(&b[ib..]);
+    out
 }
 
 #[cfg(test)]

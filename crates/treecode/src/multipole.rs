@@ -163,7 +163,10 @@ pub fn acceleration_on_quad(
     acc * params.g
 }
 
-/// Accelerations on every body with quadrupole-corrected walks.
+/// Accelerations on every body with quadrupole-corrected walks. Chunked
+/// over `par` worker threads like
+/// [`accelerations_bh`](crate::traverse::accelerations_bh), with the same
+/// thread-count-invariance guarantee.
 pub fn accelerations_bh_quad(
     tree: &Octree,
     quads: &[Quadrupole],
@@ -173,9 +176,18 @@ pub fn accelerations_bh_quad(
     acc: &mut [Vec3],
 ) -> WalkStats {
     assert_eq!(acc.len(), set.len(), "acceleration buffer length mismatch");
+    let chunks = par::map_chunks(set.len(), |range| {
+        let mut stats = WalkStats::default();
+        let accs: Vec<Vec3> = range
+            .clone()
+            .map(|i| acceleration_on_quad(tree, quads, set, i, theta, params, &mut stats))
+            .collect();
+        (range, accs, stats)
+    });
     let mut stats = WalkStats::default();
-    for (i, a) in acc.iter_mut().enumerate() {
-        *a = acceleration_on_quad(tree, quads, set, i, theta, params, &mut stats);
+    for (range, accs, chunk_stats) in chunks {
+        acc[range].copy_from_slice(&accs);
+        stats += chunk_stats;
     }
     stats
 }

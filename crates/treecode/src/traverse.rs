@@ -81,6 +81,11 @@ pub fn acceleration_on(
 
 /// Accelerations on every body via per-body walks. Returns aggregate walk
 /// statistics.
+///
+/// Walks are independent per body, so they run chunked over `par` worker
+/// threads; each body's acceleration depends only on the tree, and the
+/// stats counters are summed in chunk order, so results are bit-identical
+/// for every thread count.
 pub fn accelerations_bh(
     tree: &Octree,
     set: &nbody_core::body::ParticleSet,
@@ -89,9 +94,18 @@ pub fn accelerations_bh(
     acc: &mut [Vec3],
 ) -> WalkStats {
     assert_eq!(acc.len(), set.len(), "acceleration buffer length mismatch");
+    let chunks = par::map_chunks(set.len(), |range| {
+        let mut stats = WalkStats::default();
+        let accs: Vec<Vec3> = range
+            .clone()
+            .map(|i| acceleration_on(tree, set, i, theta, params, &mut stats))
+            .collect();
+        (range, accs, stats)
+    });
     let mut stats = WalkStats::default();
-    for (i, a) in acc.iter_mut().enumerate() {
-        *a = acceleration_on(tree, set, i, theta, params, &mut stats);
+    for (range, accs, chunk_stats) in chunks {
+        acc[range].copy_from_slice(&accs);
+        stats += chunk_stats;
     }
     stats
 }

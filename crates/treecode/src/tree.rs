@@ -22,7 +22,7 @@ pub const NO_CHILD: u32 = u32::MAX;
 const MAX_DEPTH: u32 = 64;
 
 /// One octree cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     /// Geometric center of the cell.
     pub center: Vec3,
@@ -103,7 +103,11 @@ impl Octree {
         });
 
         if n > params.leaf_capacity {
-            subdivide(0, &mut nodes, &mut order, set, &params);
+            if par::threads() == 1 {
+                subdivide(0, &mut nodes, &mut order, 0, set, &params);
+            } else {
+                subdivide_root_parallel(&mut nodes, &mut order, set, &params);
+            }
         }
 
         let mut tree = Self { nodes, order, params };
@@ -285,23 +289,14 @@ fn octant(p: Vec3, center: Vec3) -> usize {
         | (usize::from(p.z >= center.z) << 2)
 }
 
-fn subdivide(
-    node_idx: usize,
-    nodes: &mut Vec<Node>,
-    order: &mut [u32],
+/// Buckets `slice` (the bodies of one node, as indices into the particle
+/// set) by octant around `center` with a stable counting sort. Returns the
+/// per-octant counts and start offsets within the slice.
+fn bucket_by_octant(
+    slice: &mut [u32],
+    center: Vec3,
     set: &ParticleSet,
-    params: &TreeParams,
-) {
-    let (center, half, start, count, depth) = {
-        let n = &nodes[node_idx];
-        (n.center, n.half, n.body_start as usize, n.body_count as usize, n.depth)
-    };
-    if count <= params.leaf_capacity || depth >= MAX_DEPTH {
-        return;
-    }
-
-    // bucket the node's slice of `order` by octant (stable counting sort)
-    let slice = &mut order[start..start + count];
+) -> ([usize; 8], [usize; 8]) {
     let pos = set.pos();
     let mut counts = [0_usize; 8];
     for &b in slice.iter() {
@@ -314,13 +309,48 @@ fn subdivide(
         acc += c;
     }
     let mut cursor = starts;
-    let mut scratch = vec![0_u32; count];
+    let mut scratch = vec![0_u32; slice.len()];
     for &b in slice.iter() {
         let o = octant(pos[b as usize], center);
         scratch[cursor[o]] = b;
         cursor[o] += 1;
     }
     slice.copy_from_slice(&scratch);
+    (counts, starts)
+}
+
+/// Geometric center offset of octant `o` within a cell of half-side `half`.
+#[inline]
+fn octant_offset(o: usize, quarter: f64) -> Vec3 {
+    Vec3::new(
+        if o & 1 != 0 { quarter } else { -quarter },
+        if o & 2 != 0 { quarter } else { -quarter },
+        if o & 4 != 0 { quarter } else { -quarter },
+    )
+}
+
+/// Recursive DFS-preorder subdivision. `order` covers the bodies from
+/// permutation index `base` onward (the full permutation in the serial
+/// build, one octant's sub-slice in a parallel subtree task); node
+/// `body_start` values are always absolute.
+fn subdivide(
+    node_idx: usize,
+    nodes: &mut Vec<Node>,
+    order: &mut [u32],
+    base: usize,
+    set: &ParticleSet,
+    params: &TreeParams,
+) {
+    let (center, half, start, count, depth) = {
+        let n = &nodes[node_idx];
+        (n.center, n.half, n.body_start as usize, n.body_count as usize, n.depth)
+    };
+    if count <= params.leaf_capacity || depth >= MAX_DEPTH {
+        return;
+    }
+
+    let rel = start - base;
+    let (counts, starts) = bucket_by_octant(&mut order[rel..rel + count], center, set);
 
     nodes[node_idx].is_leaf = false;
     let quarter = half * 0.5;
@@ -328,14 +358,9 @@ fn subdivide(
         if counts[o] == 0 {
             continue;
         }
-        let offset = Vec3::new(
-            if o & 1 != 0 { quarter } else { -quarter },
-            if o & 2 != 0 { quarter } else { -quarter },
-            if o & 4 != 0 { quarter } else { -quarter },
-        );
         let child_idx = nodes.len();
         nodes.push(Node {
-            center: center + offset,
+            center: center + octant_offset(o, quarter),
             half: quarter,
             com: Vec3::ZERO,
             mass: 0.0,
@@ -346,7 +371,78 @@ fn subdivide(
             depth: depth + 1,
         });
         nodes[node_idx].children[o] = child_idx as u32;
-        subdivide(child_idx, nodes, order, set, params);
+        subdivide(child_idx, nodes, order, base, set, params);
+    }
+}
+
+/// Parallel build entry: splits the root one level, builds each occupied
+/// octant's subtree on a `par` worker thread (each into a local node vector
+/// over its own disjoint sub-slice of the permutation), and splices the
+/// subtrees back in octant order.
+///
+/// The serial build numbers nodes in DFS preorder, where each root child's
+/// subtree occupies one contiguous index range in octant order — exactly the
+/// concatenation this performs — so the resulting node array, including all
+/// indices, is **byte-identical** to the serial build's.
+fn subdivide_root_parallel(
+    nodes: &mut Vec<Node>,
+    order: &mut [u32],
+    set: &ParticleSet,
+    params: &TreeParams,
+) {
+    let (center, half) = (nodes[0].center, nodes[0].half);
+    let (counts, _starts) = bucket_by_octant(order, center, set);
+    nodes[0].is_leaf = false;
+    let quarter = half * 0.5;
+
+    // carve the permutation into per-octant sub-slices, in octant order
+    let mut tasks = Vec::new();
+    let mut rest = order;
+    let mut abs_start = 0_usize;
+    for (o, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let (slice, tail) = rest.split_at_mut(count);
+        rest = tail;
+        tasks.push((o, abs_start, count, slice));
+        abs_start += count;
+    }
+
+    let subtrees = par::run_tasks(
+        tasks
+            .into_iter()
+            .map(|(o, start, count, slice)| {
+                move || {
+                    let mut local = vec![Node {
+                        center: center + octant_offset(o, quarter),
+                        half: quarter,
+                        com: Vec3::ZERO,
+                        mass: 0.0,
+                        body_start: start as u32,
+                        body_count: count as u32,
+                        children: [NO_CHILD; 8],
+                        is_leaf: true,
+                        depth: 1,
+                    }];
+                    subdivide(0, &mut local, slice, start, set, params);
+                    (o, local)
+                }
+            })
+            .collect(),
+    );
+
+    for (o, local) in subtrees {
+        let child_idx = nodes.len() as u32;
+        nodes[0].children[o] = child_idx;
+        nodes.extend(local.into_iter().map(|mut node| {
+            for c in node.children.iter_mut() {
+                if *c != NO_CHILD {
+                    *c += child_idx;
+                }
+            }
+            node
+        }));
     }
 }
 
@@ -431,6 +527,23 @@ mod tests {
         let t2 = Octree::build(&set, TreeParams::default());
         assert_eq!(t1.order(), t2.order());
         assert_eq!(t1.nodes().len(), t2.nodes().len());
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial() {
+        // The octant fan-out must reproduce the serial DFS preorder exactly:
+        // same permutation, same node array, including all child indices.
+        let set = random_set(2000, 11);
+        par::set_threads(1);
+        let serial = Octree::build(&set, TreeParams { leaf_capacity: 8 });
+        for threads in [2, 3, 8] {
+            par::set_threads(threads);
+            let parallel = Octree::build(&set, TreeParams { leaf_capacity: 8 });
+            assert_eq!(parallel.order(), serial.order(), "threads={threads}");
+            assert_eq!(parallel.nodes(), serial.nodes(), "threads={threads}");
+            parallel.check_invariants(&set).unwrap();
+        }
+        par::set_threads(1);
     }
 
     #[test]

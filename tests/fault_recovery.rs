@@ -89,6 +89,70 @@ fn multi_gpu_survives_device_loss_within_tolerance() {
 }
 
 #[test]
+fn fault_recovery_is_thread_count_invariant() {
+    // Injected faults draw from a per-device deterministic stream indexed
+    // by operation order, and the host thread pool never reorders device
+    // operations — so for any fault seed, the recovered forces AND the
+    // simulated recovery overhead must be identical at every thread count.
+    let set = plummer(500, PlummerParams::default(), 37);
+    let faulty_eval = |kind: PlanKind, seed: u64| {
+        let plan = make_plan(kind, PlanConfig::default());
+        let mut dev = device();
+        dev.set_fault_plan(FaultPlan::new(seed, FaultConfig::transient(0.25)));
+        plan.evaluate(&mut dev, &set, &params())
+    };
+    for seed in [3u64, 19, 101] {
+        for kind in PlanKind::all() {
+            par::set_threads(1);
+            let base = faulty_eval(kind, seed);
+            assert!(base.recovery_s > 0.0, "{}: seed {seed} must inject faults", kind.id());
+            for t in [2, 3, 8] {
+                par::set_threads(t);
+                let o = faulty_eval(kind, seed);
+                let what = format!("{} seed {seed} @ {t} threads", kind.id());
+                assert_eq!(base.acc, o.acc, "{what}: recovered forces differ");
+                assert_eq!(base.recovery_s, o.recovery_s, "{what}: recovery_s differs");
+                assert_eq!(base.kernel_s, o.kernel_s, "{what}: kernel_s differs");
+                assert_eq!(base.launches, o.launches, "{what}: launches differ");
+            }
+        }
+    }
+    par::set_threads(1);
+}
+
+#[test]
+fn multi_gpu_loss_recovery_is_thread_count_invariant() {
+    // Device-loss rescue (re-partitioning orphaned walks over survivors)
+    // must pick the same survivors and produce the same forces no matter
+    // how many host threads drive the devices.
+    let set = plummer(600, PlummerParams::default(), 29);
+    let cfg = FaultConfig::default().with_device_loss(0.02);
+    let run = |seed: u64, t: usize| {
+        par::set_threads(t);
+        MultiGpuJw::new(3).with_faults(seed, cfg).evaluate(&set, &params())
+    };
+    let mut saw_loss = false;
+    for seed in 0..12 {
+        let base = run(seed, 1);
+        saw_loss |= !base.lost_devices.is_empty();
+        for t in [2, 8] {
+            let got = run(seed, t);
+            let what = format!("seed {seed} @ {t} threads");
+            assert_eq!(base.lost_devices, got.lost_devices, "{what}: losses differ");
+            assert_eq!(base.redistributed_walks, got.redistributed_walks, "{what}: rescues differ");
+            assert_eq!(base.walks_per_device, got.walks_per_device, "{what}: split differs");
+            assert_eq!(base.combined.acc, got.combined.acc, "{what}: forces differ");
+            assert_eq!(
+                base.combined.recovery_s, got.combined.recovery_s,
+                "{what}: recovery_s differs"
+            );
+        }
+    }
+    assert!(saw_loss, "some seed in 0..12 must lose a device");
+    par::set_threads(1);
+}
+
+#[test]
 fn checkpoint_restart_reproduces_the_fault_free_trajectory() {
     let cfg = harness::faults::FaultRun::smoke(13);
     let dir = std::env::temp_dir().join("nbody-ptpm-fault-recovery-test");

@@ -47,6 +47,57 @@ fn csv_export_is_byte_stable_across_captures() {
 }
 
 #[test]
+fn golden_trace_is_byte_identical_with_threading_enabled() {
+    // The parallel launch path re-serializes per-group events in fixed
+    // group-index order, so the golden CSV must not move by a single byte
+    // when worker threads execute the workgroups.
+    par::set_threads(4);
+    let text = csv(&golden_traces());
+    par::set_threads(1);
+    let golden = include_str!("golden/trace_n64.csv");
+    assert!(
+        text == golden,
+        "threaded trace CSV drifted from tests/golden/trace_n64.csv:\n{}",
+        first_diff(golden, &text)
+    );
+}
+
+#[test]
+fn per_cu_group_spans_stay_monotone_under_threading() {
+    // Well-formedness of the simulated schedule: within one launch, the
+    // groups a compute unit executes occupy increasing, non-overlapping
+    // cycle spans regardless of the host thread count.
+    for &threads in &[1usize, 4] {
+        par::set_threads(threads);
+        for plan in golden_traces() {
+            for launch in &plan.trace.launches {
+                let mut last_end: Vec<f64> = vec![f64::NEG_INFINITY; plan.trace.compute_units];
+                for span in &launch.groups {
+                    assert!(
+                        span.end_cycle >= span.start_cycle,
+                        "{}: launch {} group {} runs backwards",
+                        plan.plan.id(),
+                        launch.launch_id,
+                        span.group
+                    );
+                    assert!(
+                        span.start_cycle >= last_end[span.cu],
+                        "{}: launch {} group {} overlaps CU {} at {} threads",
+                        plan.plan.id(),
+                        launch.launch_id,
+                        span.group,
+                        span.cu,
+                        threads
+                    );
+                    last_end[span.cu] = span.end_cycle;
+                }
+            }
+        }
+    }
+    par::set_threads(1);
+}
+
+#[test]
 fn chrome_trace_is_byte_stable_and_structurally_valid() {
     let a = chrome_trace_json(&golden_traces());
     let b = chrome_trace_json(&golden_traces());
