@@ -58,4 +58,21 @@ grep -q '"rows"' "$out/BENCH_pr4.json" || { echo "FAIL: BENCH_pr4.json has no ro
 grep -q 'BENCH OK\|BENCH SKIP' "$out/bench.log" || {
     echo "FAIL: bench gate did not pass:"; grep 'BENCH' "$out/bench.log" || true; exit 1; }
 
+# The same repro-all run writes the PR5 hot-path rows next to the pr4 file.
+# The JSON must parse (have rows), every row must be bit-exact, and the
+# greppable verdict must not be a failure.
+test -s "$out/BENCH_pr5.json" || { echo "FAIL: BENCH_pr5.json missing or empty"; exit 1; }
+grep -q '"rows"' "$out/BENCH_pr5.json" || { echo "FAIL: BENCH_pr5.json has no rows"; exit 1; }
+if grep -q '"bitexact": false' "$out/BENCH_pr5.json"; then
+    echo "FAIL: BENCH_pr5.json reports an inexact optimized path"; exit 1
+fi
+grep -q 'BENCH_PR5 OK\|BENCH_PR5 SKIP' "$out/bench.log" || {
+    echo "FAIL: pr5 bench gate did not pass:"; grep 'BENCH_PR5' "$out/bench.log" || true; exit 1; }
+
+echo "==> allocation-regression gate (zero allocs per steady-state step)"
+# tests/alloc_steady_state.rs installs the counting global allocator and
+# asserts the serial PP/treecode/walk/Morton steps allocate nothing after
+# warmup; run it in release so the gate matches shipping codegen.
+cargo test --release -q --test alloc_steady_state
+
 echo "CI OK"

@@ -1,0 +1,55 @@
+//! Microbenches of the PR5 hot paths (real wall time): the cache-blocked
+//! SoA PP kernel against the scalar AoS reference, and the incremental
+//! Morton re-sort against a full sort, at N = 1024 and 4096.
+
+use bench::{gravity, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbody_core::prelude::*;
+use treecode::prelude::*;
+
+fn soa_hot_paths(c: &mut Criterion) {
+    let params = gravity();
+
+    let mut group = c.benchmark_group("soa_hot_paths");
+    group.sample_size(10);
+
+    for n in [1024_usize, 4096] {
+        let set = workload(n);
+        let mut acc = vec![Vec3::ZERO; n];
+        group.bench_with_input(BenchmarkId::new("pp_naive", n), &n, |b, _| {
+            b.iter(|| accelerations_pp(&set, &params, &mut acc));
+        });
+        let mut soa = SoaBodies::new();
+        let tile = nbody_core::soa::tile();
+        group.bench_with_input(BenchmarkId::new("pp_tiled", n), &n, |b, _| {
+            // includes the per-step AoS→SoA packing, as the engine pays it
+            b.iter(|| {
+                soa.fill_from(&set);
+                accelerations_pp_tiled_with(soa.view(), &params, tile, &mut acc);
+            });
+        });
+
+        // drift the bodies so the previous Morton order is near-sorted —
+        // the regime the incremental sort exploits
+        let mut drifted = set.clone();
+        let order0 = morton_order(&drifted);
+        let mut engine = SoaPp::new(params);
+        nbody_core::integrator::run(&mut drifted, &mut engine, &LeapfrogKdk, 5e-3, 5);
+        group.bench_with_input(BenchmarkId::new("morton_full", n), &n, |b, _| {
+            b.iter(|| morton_order(&drifted));
+        });
+        let mut scratch = par::arena::Scratch::new();
+        let mut order: Vec<u32> = Vec::new();
+        group.bench_with_input(BenchmarkId::new("morton_incremental", n), &n, |b, _| {
+            b.iter(|| {
+                order.clear();
+                order.extend_from_slice(&order0);
+                morton_order_incremental(&drifted, &mut order, &mut scratch);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, soa_hot_paths);
+criterion_main!(benches);

@@ -6,7 +6,26 @@
 //! overhead) and finishes with a checkpoint/restart smoke;
 //! `--bench-json [path]` appends the thread-pool wall-clock benchmark,
 //! writing its rows to `path` (default `BENCH_pr4.json`) and printing a
-//! greppable `BENCH OK` / `BENCH SKIP` / `BENCH FAIL` verdict.
+//! greppable `BENCH OK` / `BENCH SKIP` / `BENCH FAIL` verdict, then the
+//! seed-vs-optimized hot-path benchmark (`BENCH_pr5.json` next to it,
+//! verdict `BENCH_PR5 …`). Build with `--features alloc-count` to install
+//! the counting allocator and gate steady-state allocations at zero.
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: par::arena::CountingAlloc = par::arena::CountingAlloc;
+
+/// `BENCH_pr5.json` in the same directory as the `--bench-json` target.
+fn sibling_pr5_path(bench_path: &str) -> String {
+    let p = std::path::Path::new(bench_path);
+    match p.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => {
+            dir.join("BENCH_pr5.json").to_string_lossy().into_owned()
+        }
+        _ => "BENCH_pr5.json".to_string(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = harness::config_from_args(&args);
@@ -47,6 +66,14 @@ fn main() {
         harness::error::or_exit(report.write_json(&path));
         println!("benchmark rows written to {path}");
         println!("{}", report.verdict());
+
+        println!("\n== SoA hot-path benchmark (seed vs optimized) ==");
+        let pr5 = harness::bench_pr5::run_bench(&results.config);
+        print!("{}", harness::bench_pr5::render(&pr5));
+        let pr5_path = sibling_pr5_path(&path);
+        harness::error::or_exit(pr5.write_json(&pr5_path));
+        println!("hot-path rows written to {pr5_path}");
+        println!("{}", pr5.verdict());
     }
 
     if let Some(seed) = results.config.fault_seed {

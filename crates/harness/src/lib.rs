@@ -17,7 +17,11 @@
 //! worker-thread count (results are bit-exact across thread counts; the
 //! `NBODY_THREADS` environment variable is the flagless equivalent);
 //! `repro-all` additionally accepts `--bench-json [path]` to measure and
-//! record the thread-pool wall-clock speedups (see [`bench_json`]); the
+//! record the thread-pool wall-clock speedups (see [`bench_json`]) plus
+//! the seed-vs-optimized hot-path comparison (see [`bench_pr5`], written
+//! next to the thread-pool rows as `BENCH_pr5.json`; build with
+//! `--features alloc-count` to also gate steady-state heap allocations at
+//! zero); the
 //! figure/table binaries accept
 //! `--trace <path>` to also write an execution trace of all four plans
 //! (Chrome trace JSON, or CSV when the path ends in `.csv` — see
@@ -28,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod bench_json;
+pub mod bench_pr5;
 pub mod chart;
 pub mod config;
 pub mod cpu_baseline;

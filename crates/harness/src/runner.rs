@@ -80,9 +80,12 @@ impl Runner {
         if let Some(o) = self.outcomes.get(&(kind, n)) {
             return o.clone();
         }
-        let set = self.set(n).clone();
-        let plan = make_plan(kind, self.cfg.plan);
-        let outcome = plan.evaluate(&mut self.device, &set, &self.cfg.gravity);
+        // disjoint field borrows: the cached set is evaluated in place
+        // instead of cloned per run
+        let cfg = &self.cfg;
+        let set = self.sets.entry(n).or_insert_with(|| cfg.workload(n).generate());
+        let plan = make_plan(kind, cfg.plan);
+        let outcome = plan.evaluate(&mut self.device, set, &cfg.gravity);
         self.outcomes.insert((kind, n), outcome.clone());
         outcome
     }
@@ -97,12 +100,13 @@ impl Runner {
         if let Some(t) = self.traces.get(&(kind, n)) {
             return t.clone();
         }
-        let set = self.set(n).clone();
-        let mut device = self.cfg.device();
+        let cfg = &self.cfg;
+        let set = self.sets.entry(n).or_insert_with(|| cfg.workload(n).generate());
+        let mut device = cfg.device();
         let sink = MemoryTraceSink::new();
         device.set_trace_sink(Box::new(sink.clone()));
-        let plan = make_plan(kind, self.cfg.plan);
-        let outcome = plan.evaluate(&mut device, &set, &self.cfg.gravity);
+        let plan = make_plan(kind, cfg.plan);
+        let outcome = plan.evaluate(&mut device, set, &cfg.gravity);
         self.outcomes.entry((kind, n)).or_insert(outcome);
         let trace = sink.snapshot();
         self.traces.insert((kind, n), trace.clone());

@@ -21,21 +21,25 @@ pub struct Body {
 
 impl Body {
     /// Creates a body at rest.
+    #[inline]
     pub fn at_rest(pos: Vec3, mass: f64) -> Self {
         Self { pos, vel: Vec3::ZERO, mass }
     }
 
     /// Creates a body with position, velocity and mass.
+    #[inline]
     pub fn new(pos: Vec3, vel: Vec3, mass: f64) -> Self {
         Self { pos, vel, mass }
     }
 
     /// Momentum `m v`.
+    #[inline]
     pub fn momentum(&self) -> Vec3 {
         self.vel * self.mass
     }
 
     /// Kinetic energy `m v² / 2`.
+    #[inline]
     pub fn kinetic_energy(&self) -> f64 {
         0.5 * self.mass * self.vel.norm_sq()
     }
@@ -218,6 +222,28 @@ impl ParticleSet {
         for v in &mut self.vel {
             *v -= cov;
         }
+    }
+
+    /// Moves the acceleration buffer out of the set (leaving it empty) so a
+    /// force engine can fill it without a second allocation; pair with
+    /// [`ParticleSet::restore_acc`]. While taken, [`ParticleSet::acc`] is
+    /// empty — force engines only read positions and masses, so the
+    /// integrator's refresh step can hand the set and its own acceleration
+    /// buffer to the engine simultaneously, allocation-free.
+    #[inline]
+    pub fn take_acc(&mut self) -> Vec<Vec3> {
+        std::mem::take(&mut self.acc)
+    }
+
+    /// Returns a buffer taken by [`ParticleSet::take_acc`].
+    ///
+    /// # Panics
+    /// Panics if `acc.len() != self.len()` (the length invariant must hold
+    /// again once restored).
+    #[inline]
+    pub fn restore_acc(&mut self, acc: Vec<Vec3>) {
+        assert_eq!(acc.len(), self.len(), "restored acceleration buffer length mismatch");
+        self.acc = acc;
     }
 
     /// Zeroes the acceleration buffer.

@@ -124,6 +124,11 @@ pub fn accelerations_pp_symmetric(set: &ParticleSet, params: &GravityParams, acc
 /// threads). Identical summation order per row as [`accelerations_pp`], so
 /// results match it bit-for-bit at any thread count. Pass `par::threads()`
 /// to follow the workspace-wide `--threads` setting.
+///
+/// Since PR 5 the rows run through the cache-blocked SoA tile kernel
+/// ([`crate::soa::pp_rows_tiled`]), which preserves the per-row summation
+/// order exactly — this helper packs a fresh SoA copy per call; use
+/// [`crate::soa::SoaPp`] to amortize the packing across steps.
 pub fn accelerations_pp_parallel(
     set: &ParticleSet,
     params: &GravityParams,
@@ -137,30 +142,15 @@ pub fn accelerations_pp_parallel(
         accelerations_pp(set, params, acc);
         return;
     }
-    let pos = set.pos();
-    let mass = set.mass();
-    let eps_sq = params.eps_sq();
-    let g = params.g;
-    let ranges = par::chunk_ranges(n, threads);
-    std::thread::scope(|scope| {
-        let mut rest = acc;
-        for range in ranges {
-            let (rows, tail) = rest.split_at_mut(range.len());
-            rest = tail;
-            scope.spawn(move || {
-                for (ai, i) in rows.iter_mut().zip(range) {
-                    let xi = pos[i];
-                    let mut a = Vec3::ZERO;
-                    for j in 0..n {
-                        if j != i {
-                            a += pair_acceleration(xi, pos[j], mass[j], eps_sq);
-                        }
-                    }
-                    *ai = a * g;
-                }
-            });
-        }
-    });
+    let mut soa = crate::soa::SoaBodies::new();
+    soa.fill_from(set);
+    crate::soa::accelerations_pp_tiled_parallel(
+        soa.view(),
+        params,
+        crate::soa::tile(),
+        threads,
+        acc,
+    );
 }
 
 /// Total potential energy, `O(N²)` over unordered pairs.

@@ -73,10 +73,7 @@ pub trait Integrator {
 /// Fills the acceleration field for the initial state. Call once before the
 /// first [`Integrator::step`].
 pub fn prime(set: &mut ParticleSet, engine: &mut dyn ForceEngine) {
-    let n = set.len();
-    let mut acc = vec![Vec3::ZERO; n];
-    engine.accelerations(set, &mut acc);
-    set.acc_mut().copy_from_slice(&acc);
+    refresh_acc(set, engine);
 }
 
 /// Symplectic (semi-implicit) Euler: kick then drift. First order.
@@ -184,11 +181,15 @@ impl Integrator for LeapfrogDkd {
     }
 }
 
+/// Refreshes `set.acc()` in place by temporarily moving the set's own
+/// acceleration buffer out ([`ParticleSet::take_acc`]) and handing it to the
+/// engine — no per-step allocation, no copy-back. Engines only read
+/// positions and masses, so the momentarily empty `acc` field is never
+/// observed.
 fn refresh_acc(set: &mut ParticleSet, engine: &mut dyn ForceEngine) {
-    let n = set.len();
-    let mut acc = vec![Vec3::ZERO; n];
+    let mut acc = set.take_acc();
     engine.accelerations(set, &mut acc);
-    set.acc_mut().copy_from_slice(&acc);
+    set.restore_acc(acc);
 }
 
 /// Convenience driver: primes, then advances `steps` steps of size `dt`.

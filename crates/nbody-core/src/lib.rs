@@ -37,6 +37,7 @@ pub mod gravity;
 pub mod hermite;
 pub mod integrator;
 pub mod simulation;
+pub mod soa;
 pub mod testutil;
 pub mod units;
 pub mod vec3;
@@ -54,6 +55,10 @@ pub mod prelude {
         prime, run, DirectPp, ForceEngine, Integrator, LeapfrogDkd, LeapfrogKdk, SymplecticEuler,
     };
     pub use crate::simulation::{Sample, Simulation};
+    pub use crate::soa::{
+        accelerations_pp_tiled, accelerations_pp_tiled_parallel, accelerations_pp_tiled_with,
+        SoaBodies, SoaPp, SoaView,
+    };
     pub use crate::units::{to_standard_units, UnitsTransform};
     pub use crate::vec3::{Vec3, Vec3f};
 }

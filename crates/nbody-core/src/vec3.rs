@@ -232,6 +232,7 @@ macro_rules! define_vec3 {
         }
 
         impl Sum for $name {
+            #[inline]
             fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
                 iter.fold(Self::ZERO, Add::add)
             }
@@ -263,12 +264,14 @@ macro_rules! define_vec3 {
         }
 
         impl From<[$t; 3]> for $name {
+            #[inline]
             fn from(a: [$t; 3]) -> Self {
                 Self::from_array(a)
             }
         }
 
         impl From<$name> for [$t; 3] {
+            #[inline]
             fn from(v: $name) -> [$t; 3] {
                 v.to_array()
             }

@@ -24,6 +24,8 @@
 //! degenerates to a plain in-order loop on the calling thread — byte-for-
 //! byte the pre-existing serial behavior.
 
+pub mod arena;
+
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -266,6 +266,20 @@ pub fn interact_f32(xi: [f32; 3], source: &[f32], eps_sq: f32, acc: &mut [f32; 3
     acc[2] += dz * s;
 }
 
+/// Accumulates a whole LDS tile of float4 sources onto one target: the
+/// shared inner loop of every plan kernel's force-eval phase. Iterating
+/// `chunks_exact(4)` over the staged slice keeps the j-ascending
+/// accumulation order of per-element [`interact_f32`] calls (bit-identical
+/// results) while exposing the full tile to the optimizer as one
+/// bounds-check-free loop.
+#[inline]
+pub fn interact_tile_f32(xi: [f32; 3], tile: &[f32], eps_sq: f32, acc: &mut [f32; 3]) {
+    debug_assert!(tile.len().is_multiple_of(4), "tile must be packed float4");
+    for source in tile.chunks_exact(4) {
+        interact_f32(xi, source, eps_sq, acc);
+    }
+}
+
 /// Uploads positions+masses as float4 and returns (pos_mass, acc_out)
 /// buffers; `acc_out` is float4 per body. The upload is charged to the
 /// transfer clock — it is part of every plan's per-step cost. Retries

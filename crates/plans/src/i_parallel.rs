@@ -8,7 +8,7 @@
 //! feed 18 compute units.
 
 use crate::common::{
-    download_acc, interact_f32, ExecutionPlan, PlanConfig, PlanKind, PlanOutcome,
+    download_acc, interact_tile_f32, ExecutionPlan, PlanConfig, PlanKind, PlanOutcome,
     FLOPS_PER_INTERACTION,
 };
 use gpu_sim::prelude::*;
@@ -88,9 +88,7 @@ impl Kernel for IParallelKernel {
                 let xi = regs.xi;
                 let mut acc = regs.acc;
                 let lds = ctx.lds_read_slice(0, 4 * p);
-                for j in 0..p {
-                    interact_f32(xi, &lds[4 * j..4 * j + 4], self.eps_sq, &mut acc);
-                }
+                interact_tile_f32(xi, lds, self.eps_sq, &mut acc);
                 regs.acc = acc;
             }
             // write result

@@ -7,7 +7,7 @@
 //! buffer of `S × N` float4s and a second reduction kernel.
 
 use crate::common::{
-    download_acc, interact_f32, ExecutionPlan, PlanConfig, PlanKind, PlanOutcome,
+    download_acc, interact_tile_f32, ExecutionPlan, PlanConfig, PlanKind, PlanOutcome,
     FLOPS_PER_INTERACTION,
 };
 use crate::i_parallel::packed_padded;
@@ -126,9 +126,7 @@ impl Kernel for JPartialKernel {
                 let xi = regs.xi;
                 let mut acc = regs.acc;
                 let lds = ctx.lds_read_slice(0, 4 * tile);
-                for j in 0..tile {
-                    interact_f32(xi, &lds[4 * j..4 * j + 4], self.eps_sq, &mut acc);
-                }
+                interact_tile_f32(xi, lds, self.eps_sq, &mut acc);
                 regs.acc = acc;
             }
             3 => {

@@ -17,7 +17,7 @@
 //! w-parallel saturates the device on its own.
 
 use crate::common::{
-    interact_f32, ExecutionPlan, PlanConfig, PlanKind, PlanOutcome, FLOPS_PER_INTERACTION,
+    interact_tile_f32, ExecutionPlan, PlanConfig, PlanKind, PlanOutcome, FLOPS_PER_INTERACTION,
 };
 use crate::w_parallel::{prepare_walks, NO_TARGET};
 use gpu_sim::prelude::*;
@@ -178,9 +178,7 @@ impl Kernel for JwPartialKernel {
                 let mut acc = regs.acc;
                 let lds = ctx.lds_read_slice(0, 4 * tile);
                 if active {
-                    for j in 0..tile {
-                        interact_f32(xi, &lds[4 * j..4 * j + 4], self.eps_sq, &mut acc);
-                    }
+                    interact_tile_f32(xi, lds, self.eps_sq, &mut acc);
                     regs.acc = acc;
                 }
             }

@@ -31,8 +31,8 @@ pub mod w_parallel;
 /// Common imports.
 pub mod prelude {
     pub use crate::common::{
-        download_acc, interact_f32, try_download_acc, upload_bodies, ExecutionPlan, PlanConfig,
-        PlanKind, PlanOutcome, FLOPS_PER_INTERACTION,
+        download_acc, interact_f32, interact_tile_f32, try_download_acc, upload_bodies,
+        ExecutionPlan, PlanConfig, PlanKind, PlanOutcome, FLOPS_PER_INTERACTION,
     };
     pub use crate::engine::PlanForceEngine;
     pub use crate::i_parallel::IParallel;
@@ -43,7 +43,9 @@ pub mod prelude {
     pub use crate::multi_gpu::{MultiGpuJw, MultiGpuOutcome, MultiGpuPp};
     pub use crate::potential::potential_on_device;
     pub use crate::recover::{launch_with_recovery, with_retry};
-    pub use crate::tune::{candidates, tune, TuneObjective, TuneResult};
+    pub use crate::tune::{
+        candidates, tune, tune_host_tile, HostTilePoint, TuneObjective, TuneResult,
+    };
     pub use crate::validate::{validate_all, validate_plan, ErrorBudget, ValidationReport};
     pub use crate::w_parallel::{pack_walks, WParallel, NO_TARGET};
 }

@@ -356,9 +356,7 @@ impl Kernel for PpSlicedKernel {
                 let xi = regs.xi;
                 let mut acc = regs.acc;
                 let lds = ctx.lds_read_slice(0, 4 * tile);
-                for j in 0..tile {
-                    crate::common::interact_f32(xi, &lds[4 * j..4 * j + 4], self.eps_sq, &mut acc);
-                }
+                crate::common::interact_tile_f32(xi, lds, self.eps_sq, &mut acc);
                 regs.acc = acc;
             }
             3 => {

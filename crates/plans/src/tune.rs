@@ -109,6 +109,46 @@ pub fn tune(
     TuneResult { best: best_point.config, best_seconds: best_point.seconds, trace }
 }
 
+/// One measured host-tile candidate.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HostTilePoint {
+    /// Candidate tile size (rows per cache block).
+    pub tile: usize,
+    /// Best-of-two wall seconds for one tiled PP sweep over the probe set.
+    pub seconds: f64,
+}
+
+/// Host-side counterpart of [`tune`]: times the cache-blocked CPU PP kernel
+/// (`nbody_core::soa`) over its candidate tile sizes on `set` and returns
+/// the fastest, with the full trace. Unlike the simulated-device tuners this
+/// measures *real* wall clock on the current host, so results vary by
+/// machine — which is the point: the winner can be pinned for the session
+/// via [`nbody_core::soa::set_tile`].
+pub fn tune_host_tile(set: &ParticleSet, params: &GravityParams) -> (usize, Vec<HostTilePoint>) {
+    let mut soa = nbody_core::soa::SoaBodies::new();
+    soa.fill_from(set);
+    let view = soa.view();
+    let mut acc = vec![nbody_core::vec3::Vec3::ZERO; set.len()];
+    let mut trace = Vec::with_capacity(nbody_core::soa::TILE_CANDIDATES.len());
+    for &tile in &nbody_core::soa::TILE_CANDIDATES {
+        // warmup pass, then best-of-two to shed scheduler noise
+        nbody_core::soa::accelerations_pp_tiled_with(view, params, tile, &mut acc);
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let t0 = std::time::Instant::now();
+            nbody_core::soa::accelerations_pp_tiled_with(view, params, tile, &mut acc);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        trace.push(HostTilePoint { tile, seconds: best });
+    }
+    let best = trace
+        .iter()
+        .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
+        .expect("non-empty candidate list")
+        .tile;
+    (best, trace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +218,15 @@ mod tests {
         assert_eq!(a.best, b.best);
         assert_eq!(a.best_seconds, b.best_seconds);
         assert_eq!(a.trace.len(), b.trace.len());
+    }
+
+    #[test]
+    fn host_tile_tuning_returns_valid_candidate() {
+        let set = random_set(512, 7);
+        let (best, trace) = tune_host_tile(&set, &params());
+        assert!(nbody_core::soa::TILE_CANDIDATES.contains(&best));
+        assert_eq!(trace.len(), nbody_core::soa::TILE_CANDIDATES.len());
+        assert!(trace.iter().all(|p| p.seconds.is_finite() && p.seconds >= 0.0));
     }
 
     #[test]

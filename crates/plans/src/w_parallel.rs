@@ -13,7 +13,7 @@
 //! the device.
 
 use crate::common::{
-    download_acc, interact_f32, ExecutionPlan, PlanConfig, PlanKind, PlanOutcome,
+    download_acc, interact_tile_f32, ExecutionPlan, PlanConfig, PlanKind, PlanOutcome,
     FLOPS_PER_INTERACTION,
 };
 use gpu_sim::prelude::*;
@@ -185,9 +185,7 @@ impl Kernel for WWalkKernel {
                 let mut acc = regs.acc;
                 let lds = ctx.lds_read_slice(0, 4 * tile);
                 if active {
-                    for j in 0..tile {
-                        interact_f32(xi, &lds[4 * j..4 * j + 4], self.eps_sq, &mut acc);
-                    }
+                    interact_tile_f32(xi, lds, self.eps_sq, &mut acc);
                     regs.acc = acc;
                 }
             }

@@ -6,7 +6,7 @@
 
 use crate::mac::OpeningAngle;
 use crate::multipole::{accelerations_bh_quad, compute_quadrupoles};
-use crate::traverse::{accelerations_bh, WalkStats};
+use crate::traverse::{accelerations_bh_scratch, WalkStats};
 use crate::tree::{Octree, TreeParams};
 use nbody_core::body::ParticleSet;
 use nbody_core::gravity::GravityParams;
@@ -31,6 +31,9 @@ pub struct BarnesHut {
     /// topology) — the standard cheap update. 1 = always rebuild.
     pub rebuild_interval: u64,
     cached_tree: Option<Octree>,
+    /// Pooled buffers (bucketing scratch, traversal stack) persisting across
+    /// evaluations; cloning an engine starts with a cold arena.
+    scratch: par::arena::Scratch,
     evaluations: u64,
     stats: WalkStats,
     tree_time: Duration,
@@ -52,6 +55,7 @@ impl BarnesHut {
             quadrupoles: false,
             rebuild_interval: 1,
             cached_tree: None,
+            scratch: par::arena::Scratch::new(),
             evaluations: 0,
             stats: WalkStats::default(),
             tree_time: Duration::ZERO,
@@ -116,7 +120,14 @@ impl ForceEngine for BarnesHut {
             }
         };
         if needs_rebuild {
-            self.cached_tree = Some(Octree::build(set, self.tree_params));
+            // rebuild into the existing node pool when possible; identical
+            // output to a fresh build, without the per-step allocations
+            match self.cached_tree.as_mut() {
+                Some(tree) if tree.params() == self.tree_params => {
+                    tree.rebuild(set, &mut self.scratch)
+                }
+                _ => self.cached_tree = Some(Octree::build(set, self.tree_params)),
+            }
         } else if let Some(tree) = self.cached_tree.as_mut() {
             tree.refit(set);
         }
@@ -126,7 +137,7 @@ impl ForceEngine for BarnesHut {
             let quads = compute_quadrupoles(tree, set);
             accelerations_bh_quad(tree, &quads, set, self.theta, &self.params, acc)
         } else {
-            accelerations_bh(tree, set, self.theta, &self.params, acc)
+            accelerations_bh_scratch(tree, set, self.theta, &self.params, acc, &mut self.scratch)
         };
         let t2 = std::time::Instant::now();
         self.tree_time += t1 - t0;

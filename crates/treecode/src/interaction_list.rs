@@ -123,12 +123,87 @@ pub fn build_walks(
     WalkSet { groups, theta, walk_size }
 }
 
+/// Rebuilds a walk set **in place**, reusing every group's `bodies`,
+/// `cell_list`, and `body_list` capacity and pooling the traversal stack in
+/// `scratch` — after a warmup build, a steady-state rebuild over a
+/// same-sized set performs no heap allocation at one thread (list capacities
+/// grow monotonically to their high-water mark).
+///
+/// The result is exactly [`build_walks`]' output: same groups, same order.
+/// With more than one `par` thread this delegates to the chunked
+/// [`build_walks`] (zero-alloc is a serial invariant; see DESIGN.md §9).
+///
+/// # Panics
+/// Panics if `walk_size == 0`.
+pub fn build_walks_into(
+    walks: &mut WalkSet,
+    tree: &Octree,
+    set: &ParticleSet,
+    theta: OpeningAngle,
+    walk_size: usize,
+    scratch: &mut par::arena::Scratch,
+) {
+    assert!(walk_size > 0, "walk_size must be positive");
+    if par::threads() != 1 {
+        *walks = build_walks(tree, set, theta, walk_size);
+        return;
+    }
+    let pos = set.pos();
+    let num_walks = tree.order().len().div_ceil(walk_size);
+    walks.theta = theta;
+    walks.walk_size = walk_size;
+    walks.groups.truncate(num_walks);
+    let mut stack = scratch.take::<u32>("list-stack");
+    for w in 0..num_walks {
+        let start = w * walk_size;
+        let end = (start + walk_size).min(tree.order().len());
+        let bodies = &tree.order()[start..end];
+        let bbox = Aabb::from_points(bodies.iter().map(|&b| pos[b as usize]));
+        if let Some(group) = walks.groups.get_mut(w) {
+            group.bodies.clear();
+            group.bodies.extend_from_slice(bodies);
+            group.bbox = bbox;
+            collect_list_into(
+                tree,
+                &group.bbox,
+                theta,
+                &mut group.cell_list,
+                &mut group.body_list,
+                &mut stack,
+            );
+        } else {
+            let mut cell_list = Vec::new();
+            let mut body_list = Vec::new();
+            collect_list_into(tree, &bbox, theta, &mut cell_list, &mut body_list, &mut stack);
+            walks.groups.push(WalkGroup { bodies: bodies.to_vec(), bbox, cell_list, body_list });
+        }
+    }
+    scratch.put("list-stack", stack);
+}
+
 /// Traverses the tree once for a group box, splitting accepted cells from
 /// leaf bodies.
 fn collect_list(tree: &Octree, bbox: &Aabb, theta: OpeningAngle) -> (Vec<u32>, Vec<u32>) {
     let mut cells = Vec::new();
     let mut bodies = Vec::new();
     let mut stack: Vec<u32> = Vec::with_capacity(64);
+    collect_list_into(tree, bbox, theta, &mut cells, &mut bodies, &mut stack);
+    (cells, bodies)
+}
+
+/// [`collect_list`] into caller-provided buffers (cleared on entry), with a
+/// reusable traversal stack.
+fn collect_list_into(
+    tree: &Octree,
+    bbox: &Aabb,
+    theta: OpeningAngle,
+    cells: &mut Vec<u32>,
+    bodies: &mut Vec<u32>,
+    stack: &mut Vec<u32>,
+) {
+    cells.clear();
+    bodies.clear();
+    stack.clear();
     if tree.root().body_count > 0 {
         stack.push(0);
     }
@@ -142,7 +217,6 @@ fn collect_list(tree: &Octree, bbox: &Aabb, theta: OpeningAngle) -> (Vec<u32>, V
             stack.extend(node.child_indices());
         }
     }
-    (cells, bodies)
 }
 
 /// Reference CPU evaluation of a walk set: the semantics every GPU walk
@@ -286,6 +360,22 @@ mod tests {
         let set = random_set(10, 8);
         let tree = Octree::build(&set, TreeParams::default());
         build_walks(&tree, &set, OpeningAngle::default(), 0);
+    }
+
+    #[test]
+    fn build_walks_into_matches_build_walks() {
+        let (set, tree, fresh) = setup(500, 10, 32);
+        let mut scratch = par::arena::Scratch::new();
+        // cold start from an empty set of walks
+        let mut walks = WalkSet { groups: Vec::new(), theta: OpeningAngle::new(0.9), walk_size: 1 };
+        build_walks_into(&mut walks, &tree, &set, OpeningAngle::new(0.5), 32, &mut scratch);
+        assert_eq!(walks, fresh);
+        // rebuild over stale contents (different walk size: more groups than needed)
+        build_walks_into(&mut walks, &tree, &set, OpeningAngle::new(0.5), 8, &mut scratch);
+        assert_eq!(walks, build_walks(&tree, &set, OpeningAngle::new(0.5), 8));
+        // and shrink back, reusing capacity
+        build_walks_into(&mut walks, &tree, &set, OpeningAngle::new(0.5), 32, &mut scratch);
+        assert_eq!(walks, fresh);
     }
 
     #[test]

@@ -33,11 +33,18 @@ pub mod tree;
 /// Common imports.
 pub mod prelude {
     pub use crate::engine::BarnesHut;
-    pub use crate::interaction_list::{build_walks, evaluate_walks_cpu, WalkGroup, WalkSet};
+    pub use crate::interaction_list::{
+        build_walks, build_walks_into, evaluate_walks_cpu, WalkGroup, WalkSet,
+    };
     pub use crate::mac::{accepts_group, accepts_point, Aabb, OpeningAngle};
-    pub use crate::morton::{demorton3, morton3, morton_of, morton_order};
+    pub use crate::morton::{
+        demorton3, morton3, morton_of, morton_order, morton_order_incremental,
+    };
     pub use crate::multipole::{accelerations_bh_quad, compute_quadrupoles, Quadrupole};
-    pub use crate::traverse::{acceleration_on, accelerations_bh, WalkStats};
+    pub use crate::traverse::{
+        acceleration_on, acceleration_on_with_stack, accelerations_bh, accelerations_bh_scratch,
+        WalkStats,
+    };
     pub use crate::tree::{Node, Octree, TreeParams, NO_CHILD};
 }
 

@@ -116,6 +116,96 @@ pub fn morton_order(set: &ParticleSet) -> Vec<u32> {
     order
 }
 
+/// Incrementally re-sorts a Morton order **in place**, reusing the previous
+/// step's permutation and pooled key buffers from `scratch`.
+///
+/// Bodies barely move between integrator steps, so keying the *previous*
+/// order leaves a near-sorted sequence — a handful of long ascending runs.
+/// An adaptive natural merge sort ([`natural_merge_sort`]) then costs
+/// `O(n log r)` for `r` runs (one verification pass when the order is still
+/// sorted) instead of a full `O(n log n)` sort, and no heap allocation once
+/// the buffers are warm.
+///
+/// The `(code, index)` keys are unique, so any correct sort yields the same
+/// permutation: the result is always identical to a fresh
+/// [`morton_order`]. If `order` does not match the set's population (first
+/// call, or bodies added/removed), it is reset to the identity before
+/// keying, which degenerates to a full sort.
+pub fn morton_order_incremental(
+    set: &ParticleSet,
+    order: &mut Vec<u32>,
+    scratch: &mut par::arena::Scratch,
+) {
+    let n = set.len();
+    if order.len() != n {
+        order.clear();
+        order.extend(0..n as u32);
+    }
+    let Some((lo, hi)) = set.bounding_box() else {
+        return;
+    };
+    let pos = set.pos();
+    let mut keyed: Vec<(u64, u32)> = scratch.take("morton-keyed");
+    let mut tmp: Vec<(u64, u32)> = scratch.take("morton-tmp");
+    keyed.extend(order.iter().map(|&i| (morton_of(pos[i as usize], lo, hi), i)));
+    natural_merge_sort(&mut keyed, &mut tmp);
+    for (slot, &(_, i)) in keyed.iter().enumerate() {
+        order[slot] = i;
+    }
+    scratch.put("morton-keyed", keyed);
+    scratch.put("morton-tmp", tmp);
+}
+
+/// Bottom-up natural merge sort: detects the existing ascending runs and
+/// merges adjacent pairs until one run remains. Already-sorted input costs a
+/// single scan; `k` runs cost `⌈log₂ k⌉` passes. `tmp` is resized (not
+/// reallocated, once warm) to serve as the ping-pong buffer.
+fn natural_merge_sort(keys: &mut Vec<(u64, u32)>, tmp: &mut Vec<(u64, u32)>) {
+    let n = keys.len();
+    if n < 2 {
+        return;
+    }
+    tmp.clear();
+    tmp.resize(n, (0, 0));
+    while !keys.windows(2).all(|w| w[0] <= w[1]) {
+        // one pass: merge adjacent runs of `keys` into `tmp`
+        let mut out = 0;
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && keys[j - 1] <= keys[j] {
+                j += 1;
+            }
+            if j == n {
+                // trailing lone run: copy through
+                tmp[out..out + (n - i)].copy_from_slice(&keys[i..n]);
+                break;
+            }
+            let mut k = j + 1;
+            while k < n && keys[k - 1] <= keys[k] {
+                k += 1;
+            }
+            let (mut a, mut b) = (i, j);
+            while a < j && b < k {
+                if keys[a] <= keys[b] {
+                    tmp[out] = keys[a];
+                    a += 1;
+                } else {
+                    tmp[out] = keys[b];
+                    b += 1;
+                }
+                out += 1;
+            }
+            tmp[out..out + (j - a)].copy_from_slice(&keys[a..j]);
+            out += j - a;
+            tmp[out..out + (k - b)].copy_from_slice(&keys[b..k]);
+            out += k - b;
+            i = k;
+        }
+        std::mem::swap(keys, tmp);
+    }
+}
+
 /// Merges two sorted runs of unique `(code, index)` pairs.
 fn merge_runs(a: Vec<(u64, u32)>, b: Vec<(u64, u32)>) -> Vec<(u64, u32)> {
     let mut out = Vec::with_capacity(a.len() + b.len());
@@ -227,6 +317,59 @@ mod tests {
     fn empty_set_orders_trivially() {
         let set = ParticleSet::new();
         assert!(morton_order(&set).is_empty());
+        let mut order = Vec::new();
+        let mut scratch = par::arena::Scratch::new();
+        morton_order_incremental(&set, &mut order, &mut scratch);
+        assert!(order.is_empty());
+    }
+
+    #[test]
+    fn incremental_matches_full_sort_from_cold_start() {
+        let set = random_set(777, 21);
+        let mut order = Vec::new();
+        let mut scratch = par::arena::Scratch::new();
+        morton_order_incremental(&set, &mut order, &mut scratch);
+        assert_eq!(order, morton_order(&set));
+    }
+
+    #[test]
+    fn incremental_matches_full_sort_after_drift() {
+        let mut set = random_set(1000, 22);
+        let mut order = Vec::new();
+        let mut scratch = par::arena::Scratch::new();
+        morton_order_incremental(&set, &mut order, &mut scratch);
+        let mut rng = nbody_core::testutil::XorShift64::new(23);
+        for _ in 0..5 {
+            for p in set.pos_mut() {
+                *p += rng.uniform_vec3(-1e-3, 1e-3);
+            }
+            morton_order_incremental(&set, &mut order, &mut scratch);
+            assert_eq!(order, morton_order(&set), "incremental re-sort diverged from full sort");
+        }
+    }
+
+    #[test]
+    fn natural_merge_sorts_adversarial_inputs() {
+        let mut rng = nbody_core::testutil::XorShift64::new(24);
+        for n in [0_usize, 1, 2, 3, 17, 256, 1000] {
+            // reverse-sorted (maximal run count) and random
+            for reverse in [true, false] {
+                let mut keys: Vec<(u64, u32)> = (0..n)
+                    .map(|i| {
+                        if reverse {
+                            ((n - i) as u64, i as u32)
+                        } else {
+                            (rng.next_u64() % 64, i as u32) // many duplicate codes
+                        }
+                    })
+                    .collect();
+                let mut expected = keys.clone();
+                expected.sort_unstable();
+                let mut tmp = Vec::new();
+                natural_merge_sort(&mut keys, &mut tmp);
+                assert_eq!(keys, expected, "n={n} reverse={reverse}");
+            }
+        }
     }
 
     use nbody_core::body::ParticleSet;

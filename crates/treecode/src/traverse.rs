@@ -49,12 +49,28 @@ pub fn acceleration_on(
     params: &GravityParams,
     stats: &mut WalkStats,
 ) -> Vec3 {
+    let mut stack: Vec<u32> = Vec::with_capacity(64);
+    acceleration_on_with_stack(tree, set, target, theta, params, stats, &mut stack)
+}
+
+/// [`acceleration_on`] with a caller-provided traversal stack, so repeated
+/// walks (one per body, every step) reuse one buffer instead of allocating
+/// per walk. The stack is cleared on entry.
+pub fn acceleration_on_with_stack(
+    tree: &Octree,
+    set: &nbody_core::body::ParticleSet,
+    target: usize,
+    theta: OpeningAngle,
+    params: &GravityParams,
+    stats: &mut WalkStats,
+    stack: &mut Vec<u32>,
+) -> Vec3 {
     let pos = set.pos();
     let mass = set.mass();
     let xi = pos[target];
     let eps_sq = params.eps_sq();
     let mut acc = Vec3::ZERO;
-    let mut stack: Vec<u32> = Vec::with_capacity(64);
+    stack.clear();
     if tree.root().body_count > 0 {
         stack.push(0);
     }
@@ -94,11 +110,19 @@ pub fn accelerations_bh(
     acc: &mut [Vec3],
 ) -> WalkStats {
     assert_eq!(acc.len(), set.len(), "acceleration buffer length mismatch");
+    if par::threads() == 1 {
+        // serial fast path: write in place with one shared traversal stack
+        let mut stack: Vec<u32> = Vec::with_capacity(64);
+        return bh_rows(tree, set, theta, params, acc, &mut stack);
+    }
     let chunks = par::map_chunks(set.len(), |range| {
         let mut stats = WalkStats::default();
+        let mut stack: Vec<u32> = Vec::with_capacity(64);
         let accs: Vec<Vec3> = range
             .clone()
-            .map(|i| acceleration_on(tree, set, i, theta, params, &mut stats))
+            .map(|i| {
+                acceleration_on_with_stack(tree, set, i, theta, params, &mut stats, &mut stack)
+            })
             .collect();
         (range, accs, stats)
     });
@@ -107,6 +131,45 @@ pub fn accelerations_bh(
         acc[range].copy_from_slice(&accs);
         stats += chunk_stats;
     }
+    stats
+}
+
+/// Serial per-body walks over all of `acc`, reusing `stack`.
+fn bh_rows(
+    tree: &Octree,
+    set: &nbody_core::body::ParticleSet,
+    theta: OpeningAngle,
+    params: &GravityParams,
+    acc: &mut [Vec3],
+    stack: &mut Vec<u32>,
+) -> WalkStats {
+    let mut stats = WalkStats::default();
+    for (i, ai) in acc.iter_mut().enumerate() {
+        *ai = acceleration_on_with_stack(tree, set, i, theta, params, &mut stats, stack);
+    }
+    stats
+}
+
+/// [`accelerations_bh`] with the traversal stack pooled in `scratch`:
+/// the allocation-free walk used by the steady-state treecode step. Results
+/// are bit-identical to [`accelerations_bh`] (same walks, same order). With
+/// more than one `par` thread this delegates to the chunked path, whose
+/// per-chunk buffers still allocate (zero-alloc is a serial invariant).
+pub fn accelerations_bh_scratch(
+    tree: &Octree,
+    set: &nbody_core::body::ParticleSet,
+    theta: OpeningAngle,
+    params: &GravityParams,
+    acc: &mut [Vec3],
+    scratch: &mut par::arena::Scratch,
+) -> WalkStats {
+    assert_eq!(acc.len(), set.len(), "acceleration buffer length mismatch");
+    if par::threads() != 1 {
+        return accelerations_bh(tree, set, theta, params, acc);
+    }
+    let mut stack = scratch.take::<u32>("walk-stack");
+    let stats = bh_rows(tree, set, theta, params, acc, &mut stack);
+    scratch.put("walk-stack", stack);
     stats
 }
 
@@ -198,6 +261,27 @@ mod tests {
         a += WalkStats { cell_interactions: 10, body_interactions: 20, nodes_visited: 30 };
         assert_eq!(a.cell_interactions, 11);
         assert_eq!(a.total_interactions(), 33);
+    }
+
+    #[test]
+    fn scratch_walk_is_bitwise_identical() {
+        let set = random_set(400, 8);
+        let params = GravityParams::default();
+        let tree = Octree::build(&set, TreeParams::default());
+        let mut a = vec![Vec3::ZERO; set.len()];
+        let mut b = vec![Vec3::ZERO; set.len()];
+        let s1 = accelerations_bh(&tree, &set, OpeningAngle::new(0.5), &params, &mut a);
+        let mut scratch = par::arena::Scratch::new();
+        let s2 = accelerations_bh_scratch(
+            &tree,
+            &set,
+            OpeningAngle::new(0.5),
+            &params,
+            &mut b,
+            &mut scratch,
+        );
+        assert_eq!(a, b);
+        assert_eq!(s1, s2);
     }
 
     #[test]

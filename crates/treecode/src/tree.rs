@@ -86,11 +86,32 @@ impl Octree {
     pub fn build(set: &ParticleSet, params: TreeParams) -> Self {
         assert!(params.leaf_capacity >= 1, "leaf capacity must be >= 1");
         let n = set.len();
-        let mut order: Vec<u32> = (0..n as u32).collect();
-        let mut nodes = Vec::with_capacity(2 * n.max(1));
+        let mut tree =
+            Self { nodes: Vec::with_capacity(2 * n.max(1)), order: Vec::with_capacity(n), params };
+        let mut scratch = par::arena::Scratch::new();
+        tree.rebuild(set, &mut scratch);
+        tree
+    }
+
+    /// Rebuilds the tree **in place** for the current positions of `set`,
+    /// reusing the node pool, the permutation buffer, and the bucketing
+    /// scratch from `scratch` — after a warmup build, a steady-state rebuild
+    /// of a same-sized set performs no heap allocation at one thread.
+    ///
+    /// The result is identical to a fresh [`Octree::build`] with the same
+    /// parameters (same algorithm, same DFS preorder node numbering); only
+    /// the allocation behavior differs. With more than one `par` thread the
+    /// parallel octant fan-out is used, whose task-local buffers still
+    /// allocate (the zero-allocation invariant is scoped to serial steps;
+    /// see DESIGN.md §9).
+    pub fn rebuild(&mut self, set: &ParticleSet, scratch: &mut par::arena::Scratch) {
+        let n = set.len();
+        self.order.clear();
+        self.order.extend(0..n as u32);
+        self.nodes.clear();
 
         let (center, half) = root_cube(set);
-        nodes.push(Node {
+        self.nodes.push(Node {
             center,
             half,
             com: Vec3::ZERO,
@@ -102,17 +123,17 @@ impl Octree {
             depth: 0,
         });
 
-        if n > params.leaf_capacity {
+        if n > self.params.leaf_capacity {
             if par::threads() == 1 {
-                subdivide(0, &mut nodes, &mut order, 0, set, &params);
+                let mut bucket = scratch.take::<u32>("octree-bucket");
+                subdivide(0, &mut self.nodes, &mut self.order, 0, set, &self.params, &mut bucket);
+                scratch.put("octree-bucket", bucket);
             } else {
-                subdivide_root_parallel(&mut nodes, &mut order, set, &params);
+                subdivide_root_parallel(&mut self.nodes, &mut self.order, set, &self.params);
             }
         }
 
-        let mut tree = Self { nodes, order, params };
-        tree.compute_multipoles(set);
-        tree
+        self.compute_multipoles(set);
     }
 
     /// All nodes; index 0 is the root.
@@ -290,12 +311,15 @@ fn octant(p: Vec3, center: Vec3) -> usize {
 }
 
 /// Buckets `slice` (the bodies of one node, as indices into the particle
-/// set) by octant around `center` with a stable counting sort. Returns the
-/// per-octant counts and start offsets within the slice.
+/// set) by octant around `center` with a stable counting sort, staging
+/// through `scratch` (cleared and resized as needed; a pooled buffer makes
+/// repeated builds allocation-free). Returns the per-octant counts and start
+/// offsets within the slice.
 fn bucket_by_octant(
     slice: &mut [u32],
     center: Vec3,
     set: &ParticleSet,
+    scratch: &mut Vec<u32>,
 ) -> ([usize; 8], [usize; 8]) {
     let pos = set.pos();
     let mut counts = [0_usize; 8];
@@ -309,13 +333,14 @@ fn bucket_by_octant(
         acc += c;
     }
     let mut cursor = starts;
-    let mut scratch = vec![0_u32; slice.len()];
+    scratch.clear();
+    scratch.resize(slice.len(), 0);
     for &b in slice.iter() {
         let o = octant(pos[b as usize], center);
         scratch[cursor[o]] = b;
         cursor[o] += 1;
     }
-    slice.copy_from_slice(&scratch);
+    slice.copy_from_slice(scratch);
     (counts, starts)
 }
 
@@ -340,6 +365,7 @@ fn subdivide(
     base: usize,
     set: &ParticleSet,
     params: &TreeParams,
+    scratch: &mut Vec<u32>,
 ) {
     let (center, half, start, count, depth) = {
         let n = &nodes[node_idx];
@@ -350,7 +376,9 @@ fn subdivide(
     }
 
     let rel = start - base;
-    let (counts, starts) = bucket_by_octant(&mut order[rel..rel + count], center, set);
+    // the parent's staging completes before any child recurses, so one
+    // shared scratch buffer serves the whole DFS
+    let (counts, starts) = bucket_by_octant(&mut order[rel..rel + count], center, set, scratch);
 
     nodes[node_idx].is_leaf = false;
     let quarter = half * 0.5;
@@ -371,7 +399,7 @@ fn subdivide(
             depth: depth + 1,
         });
         nodes[node_idx].children[o] = child_idx as u32;
-        subdivide(child_idx, nodes, order, base, set, params);
+        subdivide(child_idx, nodes, order, base, set, params, scratch);
     }
 }
 
@@ -391,7 +419,7 @@ fn subdivide_root_parallel(
     params: &TreeParams,
 ) {
     let (center, half) = (nodes[0].center, nodes[0].half);
-    let (counts, _starts) = bucket_by_octant(order, center, set);
+    let (counts, _starts) = bucket_by_octant(order, center, set, &mut Vec::new());
     nodes[0].is_leaf = false;
     let quarter = half * 0.5;
 
@@ -425,7 +453,7 @@ fn subdivide_root_parallel(
                         is_leaf: true,
                         depth: 1,
                     }];
-                    subdivide(0, &mut local, slice, start, set, params);
+                    subdivide(0, &mut local, slice, start, set, params, &mut Vec::new());
                     (o, local)
                 }
             })
@@ -596,6 +624,46 @@ mod tests {
         let mut tree = Octree::build(&set, TreeParams::default());
         let other = random_set(51, 8);
         tree.refit(&other);
+    }
+
+    #[test]
+    fn rebuild_in_place_is_identical_to_fresh_build() {
+        let set = random_set(700, 12);
+        let fresh = Octree::build(&set, TreeParams { leaf_capacity: 8 });
+        // start from a tree over a *different* snapshot, then rebuild in place
+        let other = random_set(700, 13);
+        let mut tree = Octree::build(&other, TreeParams { leaf_capacity: 8 });
+        let mut scratch = par::arena::Scratch::new();
+        tree.rebuild(&set, &mut scratch);
+        assert_eq!(tree.order(), fresh.order());
+        assert_eq!(tree.nodes(), fresh.nodes());
+        tree.check_invariants(&set).unwrap();
+    }
+
+    #[test]
+    fn rebuild_reuses_capacity() {
+        let set = random_set(400, 14);
+        let mut tree = Octree::build(&set, TreeParams::default());
+        let mut scratch = par::arena::Scratch::new();
+        tree.rebuild(&set, &mut scratch); // warm the bucket scratch
+        let node_cap = tree.nodes.capacity();
+        let order_cap = tree.order.capacity();
+        tree.rebuild(&set, &mut scratch);
+        assert_eq!(tree.nodes.capacity(), node_cap);
+        assert_eq!(tree.order.capacity(), order_cap);
+    }
+
+    #[test]
+    fn rebuild_handles_population_change() {
+        let small = random_set(50, 15);
+        let big = random_set(900, 15);
+        let mut tree = Octree::build(&small, TreeParams::default());
+        let mut scratch = par::arena::Scratch::new();
+        tree.rebuild(&big, &mut scratch);
+        tree.check_invariants(&big).unwrap();
+        tree.rebuild(&small, &mut scratch);
+        tree.check_invariants(&small).unwrap();
+        assert_eq!(tree.order().len(), 50);
     }
 
     #[test]
