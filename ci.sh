@@ -69,6 +69,35 @@ fi
 grep -q 'BENCH_PR5 OK\|BENCH_PR5 SKIP' "$out/bench.log" || {
     echo "FAIL: pr5 bench gate did not pass:"; grep 'BENCH_PR5' "$out/bench.log" || true; exit 1; }
 
+echo "==> job-server crash-recovery smoke test (SIGKILL mid-job)"
+# Submit a small batch, kill the server with SIGKILL mid-job, restart it,
+# and require the summary's JOBS OK tail: the interrupted job must resume
+# from its checkpoint and verify bit-exact against an uninterrupted
+# reference run. The server binary is exec'd directly (not via cargo run)
+# so the SIGKILL hits the server process itself.
+spool="$out/spool"
+./target/release/submit --spool "$spool" --n 96 --steps 12 --seed 1 --every 2
+./target/release/submit --spool "$spool" --n 96 --steps 12 --seed 2 --every 2 --priority high
+./target/release/submit --spool "$spool" --n 96 --steps 12 --seed 3 --every 2 --fault-seed 7
+./target/release/serve --spool "$spool" --throttle-ms 80 > "$out/serve-killed.log" 2>&1 &
+serve_pid=$!
+sleep 1
+kill -9 "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+test "$(ls "$spool/running" "$spool/submitted" 2>/dev/null | grep -c json || true)" -gt 0 || {
+    echo "FAIL: SIGKILL landed after the drain finished; nothing left to recover"; exit 1; }
+./target/release/serve --spool "$spool" | tee "$out/serve-restart.log"
+grep -q 'JOBS OK' "$out/serve-restart.log" || { echo "FAIL: restarted server did not report JOBS OK"; exit 1; }
+grep -q 'requeued=[1-9]' "$out/serve-restart.log" || { echo "FAIL: no killed job was requeued"; exit 1; }
+
+# identical resubmission of the full batch must be served 100% from cache
+./target/release/submit --spool "$spool" --n 96 --steps 12 --seed 1 --every 2
+./target/release/submit --spool "$spool" --n 96 --steps 12 --seed 2 --every 2 --priority high
+./target/release/submit --spool "$spool" --n 96 --steps 12 --seed 3 --every 2 --fault-seed 7
+./target/release/serve --spool "$spool" | tee "$out/serve-cached.log"
+grep -q 'completed=3 computed=0 cache-hits=3' "$out/serve-cached.log" || {
+    echo "FAIL: resubmitted batch was not served entirely from cache"; exit 1; }
+
 echo "==> allocation-regression gate (zero allocs per steady-state step)"
 # tests/alloc_steady_state.rs installs the counting global allocator and
 # asserts the serial PP/treecode/walk/Morton steps allocate nothing after

@@ -156,6 +156,35 @@ impl FaultConfig {
         self.device_loss_prob = p;
         self
     }
+
+    /// Checks the configuration is usable: every probability in `[0, 1]`,
+    /// every penalty finite and non-negative. Admission layers call this on
+    /// *deserialized* configs, which bypass the asserting constructors.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("launch_fail_prob", self.launch_fail_prob),
+            ("launch_corrupt_prob", self.launch_corrupt_prob),
+            ("transfer_error_prob", self.transfer_error_prob),
+            ("transfer_timeout_prob", self.transfer_timeout_prob),
+            ("device_loss_prob", self.device_loss_prob),
+            ("cu_degrade_prob", self.cu_degrade_prob),
+            ("cu_loss_prob", self.cu_loss_prob),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} {p} outside [0, 1]"));
+            }
+        }
+        for (name, s) in [
+            ("launch_fail_penalty_s", self.launch_fail_penalty_s),
+            ("transfer_timeout_s", self.transfer_timeout_s),
+        ] {
+            if !s.is_finite() || s < 0.0 {
+                return Err(format!("{name} {s} must be finite and non-negative"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Health of one compute unit, rolled once when the plan is installed.
@@ -404,6 +433,18 @@ impl RetryPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_accepts_constructors_and_rejects_garbage() {
+        assert!(FaultConfig::default().validate().is_ok());
+        assert!(FaultConfig::transient(0.3).with_device_loss(0.01).validate().is_ok());
+        let bad = FaultConfig { transfer_error_prob: 1.5, ..FaultConfig::default() };
+        assert!(bad.validate().unwrap_err().contains("transfer_error_prob"));
+        let bad = FaultConfig { device_loss_prob: -0.1, ..FaultConfig::default() };
+        assert!(bad.validate().unwrap_err().contains("device_loss_prob"));
+        let bad = FaultConfig { transfer_timeout_s: f64::NAN, ..FaultConfig::default() };
+        assert!(bad.validate().unwrap_err().contains("transfer_timeout_s"));
+    }
 
     #[test]
     fn fault_schedule_is_deterministic() {

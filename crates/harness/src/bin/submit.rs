@@ -1,0 +1,115 @@
+//! Submit simulation jobs to a spool directory.
+//!
+//! ```text
+//! cargo run -p harness --release --bin submit -- --spool <dir> \
+//!     [--workload plummer] [--n 384] [--seed 1] [--plan jw-parallel] \
+//!     [--steps 12] [--dt 1e-3] [--every 4] [--priority normal] \
+//!     [--deadline-s 0.5] [--tile 128] [--job-threads 4] \
+//!     [--fault-seed 7] [--fault-prob 0.1] [--fault-loss-prob 0.01] \
+//!     [--count 1]
+//! ```
+//!
+//! Each submission is admission-checked client-side (a malformed spec is
+//! refused with a typed error before touching the spool), then durably
+//! written into `<spool>/submitted/`. `--count K` submits K copies of the
+//! same spec — a cheap way to demonstrate the content-addressed cache: the
+//! server computes the result once and serves the rest as cache hits.
+//! Prints one `submitted: <job-id>` line per job.
+
+use harness::error::{exit_with, or_exit, HarnessError};
+use jobs::prelude::*;
+use plans::prelude::PlanKind;
+use workloads::spec::{WorkloadKind, WorkloadSpec};
+
+fn parsed<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<Result<T, HarnessError>> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let value = args.get(pos + 1).cloned().unwrap_or_default();
+    Some(
+        value
+            .parse()
+            .map_err(|_| HarnessError::BadFlag { flag: flag.to_string(), value: value.clone() }),
+    )
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|p| args.get(p + 1)).map(String::as_str)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(spool_dir) = flag_value(&args, "--spool") else {
+        eprintln!("usage: submit --spool <dir> [--workload k] [--n N] [--seed S] [--plan p]");
+        eprintln!("              [--steps K] [--dt D] [--every E] [--priority c]");
+        eprintln!("              [--deadline-s T] [--tile W] [--job-threads H] [--count C]");
+        eprintln!("              [--fault-seed F] [--fault-prob P] [--fault-loss-prob Q]");
+        std::process::exit(2);
+    };
+
+    let kind = match flag_value(&args, "--workload") {
+        None => WorkloadKind::Plummer,
+        Some(id) => WorkloadKind::parse(id).unwrap_or_else(|| {
+            exit_with(HarnessError::BadFlag { flag: "--workload".into(), value: id.into() })
+        }),
+    };
+    let plan = match flag_value(&args, "--plan") {
+        None => PlanKind::JwParallel,
+        Some(id) => PlanKind::parse(id).unwrap_or_else(|| {
+            exit_with(HarnessError::BadFlag { flag: "--plan".into(), value: id.into() })
+        }),
+    };
+    let n = parsed(&args, "--n").map_or(384, or_exit);
+    let seed = parsed(&args, "--seed").map_or(1, or_exit);
+    let steps = parsed(&args, "--steps").map_or(12, or_exit);
+
+    let mut spec = JobSpec::new(WorkloadSpec { kind, n, seed }, plan, steps);
+    if let Some(dt) = parsed(&args, "--dt") {
+        spec.dt = or_exit(dt);
+    }
+    if let Some(every) = parsed(&args, "--every") {
+        spec.checkpoint_every = or_exit(every);
+    }
+    if let Some(id) = flag_value(&args, "--priority") {
+        spec.priority = Priority::parse(id).unwrap_or_else(|| {
+            exit_with(HarnessError::BadFlag { flag: "--priority".into(), value: id.into() })
+        });
+    }
+    if let Some(d) = parsed(&args, "--deadline-s") {
+        spec.deadline_s = Some(or_exit(d));
+    }
+    if let Some(t) = parsed(&args, "--tile") {
+        spec.tile = Some(or_exit(t));
+    }
+    if let Some(t) = parsed(&args, "--job-threads") {
+        spec.threads = Some(or_exit(t));
+    }
+    if let Some(s) = parsed(&args, "--fault-seed") {
+        spec.fault_seed = Some(or_exit(s));
+    }
+    if let Some(p) = parsed(&args, "--fault-prob") {
+        spec.fault_prob = Some(or_exit(p));
+    }
+    if let Some(q) = parsed(&args, "--fault-loss-prob") {
+        spec.fault_loss_prob = Some(or_exit(q));
+    }
+    let count: usize = parsed(&args, "--count").map_or(1, or_exit);
+
+    // client-side admission: refuse malformed specs before spooling
+    if let Err(err) = admit(&spec, &AdmissionPolicy::default()) {
+        eprintln!("error: admission refused the spec: {err}");
+        std::process::exit(1);
+    }
+
+    let (spool, _recovery) = Spool::open(spool_dir).unwrap_or_else(|e| {
+        eprintln!("error: cannot open spool {spool_dir}: {e}");
+        std::process::exit(1);
+    });
+    for _ in 0..count.max(1) {
+        match spool.submit(&spec) {
+            Ok(record) => println!("submitted: {} ({})", record.id, spec.label()),
+            Err(e) => {
+                eprintln!("error: submit failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

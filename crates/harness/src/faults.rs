@@ -110,35 +110,20 @@ pub struct FaultRunReport {
 
 /// Finds the newest loadable checkpoint `(step, snapshot)` in `dir`.
 ///
-/// Corrupt or unreadable checkpoint files are skipped (a crash can truncate
-/// the file being written — the previous checkpoint still restores), so only
-/// a checksum-valid snapshot is ever resumed from.
+/// Delegates to the hardened scanner in [`jobs::checkpoint`]: zero-byte,
+/// truncated, wrong-version, and checksum-corrupt files are skipped (with a
+/// reason on stderr), stale `.tmp` litter from interrupted atomic writes is
+/// deleted, and only a checksum-valid snapshot is ever resumed from.
 pub fn latest_checkpoint(dir: &Path) -> Result<Option<(usize, Snapshot)>, HarnessError> {
-    if !dir.exists() {
-        return Ok(None);
+    let scan = jobs::checkpoint::scan(dir).map_err(|e| match e {
+        jobs::JobError::Io { path, source } => HarnessError::Io { path, source },
+        jobs::JobError::Snapshot { path, source } => HarnessError::Snapshot { path, source },
+        other => HarnessError::Verification(other.to_string()),
+    })?;
+    for skipped in &scan.skipped {
+        eprintln!("skipping unusable checkpoint {}: {}", skipped.file, skipped.reason);
     }
-    let entries =
-        std::fs::read_dir(dir).map_err(|e| HarnessError::io(dir.display().to_string(), e))?;
-    let mut best: Option<(usize, Snapshot)> = None;
-    for entry in entries {
-        let entry = entry.map_err(|e| HarnessError::io(dir.display().to_string(), e))?;
-        let name = entry.file_name().to_string_lossy().into_owned();
-        let Some(step) = name
-            .strip_prefix("ckpt-")
-            .and_then(|r| r.strip_suffix(".json"))
-            .and_then(|d| d.parse::<usize>().ok())
-        else {
-            continue;
-        };
-        if best.as_ref().is_some_and(|(b, _)| *b >= step) {
-            continue;
-        }
-        match Snapshot::load(entry.path()) {
-            Ok(snap) => best = Some((step, snap)),
-            Err(err) => eprintln!("skipping unusable checkpoint {name}: {err}"),
-        }
-    }
-    Ok(best)
+    Ok(scan.best)
 }
 
 /// Runs (or resumes) a fault-tolerant simulation, checkpointing into `dir`.
@@ -319,6 +304,25 @@ mod tests {
     #[test]
     fn latest_checkpoint_of_missing_dir_is_none() {
         assert!(latest_checkpoint(Path::new("/definitely/not/here")).unwrap().is_none());
+    }
+
+    #[test]
+    fn latest_checkpoint_survives_crash_litter() {
+        let cfg = FaultRun::smoke(13);
+        let dir = tmp("litter");
+        std::fs::remove_dir_all(&dir).ok();
+        let report = run(&cfg, &dir).unwrap();
+        assert!(!report.crashed);
+        let (step, _) = latest_checkpoint(&dir).unwrap().unwrap();
+        // litter the directory the way assorted crashes would
+        std::fs::write(dir.join(format!("ckpt-{:05}.json", step + 1)), "").unwrap();
+        std::fs::write(dir.join(format!("ckpt-{:05}.json", step + 2)), "{trunc").unwrap();
+        std::fs::write(dir.join(format!("ckpt-{:05}.json.tmp", step + 3)), "{half").unwrap();
+        let (best, snap) = latest_checkpoint(&dir).unwrap().expect("valid checkpoint survives");
+        assert_eq!(best, step, "garbage newer than the valid checkpoint is never resumed");
+        assert!(snap.set.all_finite());
+        assert!(!dir.join(format!("ckpt-{:05}.json.tmp", step + 3)).exists(), "tmp cleaned");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Typed errors for the job subsystem.
+//!
+//! The server is long-running and multi-tenant, so a failing job must
+//! surface as a *recorded, typed* failure on that job — never a panic that
+//! takes the daemon down. [`JobError::is_retryable`] is the single place
+//! that decides which failures the scheduler retries with bounded backoff
+//! (deadline yields that made progress) and which are terminal (I/O,
+//! corrupt state, unrecoverable device faults).
+
+use crate::spec::AdmissionError;
+use workloads::snapshot::SnapshotError;
+
+/// What can go wrong submitting, spooling, or running a job.
+#[derive(Debug)]
+pub enum JobError {
+    /// A spool or artifact file operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// A checkpoint or result snapshot failed to load or validate.
+    Snapshot {
+        /// The file involved.
+        path: String,
+        /// The underlying snapshot error.
+        source: SnapshotError,
+    },
+    /// A spool record or cache entry was unparseable.
+    Parse {
+        /// The file involved.
+        path: String,
+        /// What the parser reported.
+        msg: String,
+    },
+    /// The spec was refused at admission.
+    Admission(AdmissionError),
+    /// The attempt's simulated clock exceeded the job's deadline; the
+    /// runner checkpointed and yielded cooperatively.
+    DeadlineExceeded {
+        /// The step the attempt reached (and checkpointed).
+        step: usize,
+        /// Simulated seconds the attempt had consumed.
+        simulated_s: f64,
+        /// The per-attempt budget that was exceeded.
+        deadline_s: f64,
+        /// True when this attempt advanced past the step it resumed from —
+        /// a retry can make further progress from the new checkpoint.
+        progressed: bool,
+    },
+    /// The job's device faulted beyond recovery (e.g. permanent device
+    /// loss); caught at the job boundary so the server survives.
+    Unrecoverable(String),
+    /// A result-integrity invariant failed (resumed run diverged from the
+    /// reference, or a cached result failed its checksum).
+    Verification(String),
+}
+
+impl JobError {
+    /// Wraps an I/O error with the path it occurred on.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        JobError::Io { path: path.into(), source }
+    }
+
+    /// Wraps a snapshot error with the file it occurred on.
+    pub fn snapshot(path: impl Into<String>, source: SnapshotError) -> Self {
+        JobError::Snapshot { path: path.into(), source }
+    }
+
+    /// Stable machine-readable identifier recorded in failed job records.
+    pub fn id(&self) -> &'static str {
+        match self {
+            JobError::Io { .. } => "io",
+            JobError::Snapshot { .. } => "snapshot",
+            JobError::Parse { .. } => "parse",
+            JobError::Admission(_) => "admission",
+            JobError::DeadlineExceeded { .. } => "deadline-exceeded",
+            JobError::Unrecoverable(_) => "unrecoverable",
+            JobError::Verification(_) => "verification",
+        }
+    }
+
+    /// True when the scheduler should retry with bounded backoff: only a
+    /// deadline yield that made progress (the retry resumes from the new
+    /// checkpoint with a fresh simulated-time budget). Everything else is
+    /// deterministic-terminal or unsafe to repeat blindly.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, JobError::DeadlineExceeded { progressed: true, .. })
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Io { path, source } => write!(f, "[io] cannot access {path}: {source}"),
+            JobError::Snapshot { path, source } => {
+                write!(f, "[snapshot] {path} unusable: {source}")
+            }
+            JobError::Parse { path, msg } => write!(f, "[parse] {path} malformed: {msg}"),
+            JobError::Admission(e) => write!(f, "[admission] {e}"),
+            JobError::DeadlineExceeded { step, simulated_s, deadline_s, progressed } => write!(
+                f,
+                "[deadline-exceeded] simulated {simulated_s:.3e} s > budget {deadline_s:.3e} s \
+                 at step {step} ({})",
+                if *progressed { "progress checkpointed" } else { "no progress" }
+            ),
+            JobError::Unrecoverable(msg) => write!(f, "[unrecoverable] {msg}"),
+            JobError::Verification(msg) => write!(f, "[verification] {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Io { source, .. } => Some(source),
+            JobError::Snapshot { source, .. } => Some(source),
+            JobError::Admission(source) => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<AdmissionError> for JobError {
+    fn from(e: AdmissionError) -> Self {
+        JobError::Admission(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_progressing_deadline_is_retryable() {
+        let yes = JobError::DeadlineExceeded {
+            step: 4,
+            simulated_s: 2.0,
+            deadline_s: 1.0,
+            progressed: true,
+        };
+        let no = JobError::DeadlineExceeded {
+            step: 4,
+            simulated_s: 2.0,
+            deadline_s: 1.0,
+            progressed: false,
+        };
+        assert!(yes.is_retryable());
+        assert!(!no.is_retryable());
+        assert!(!JobError::Unrecoverable("x".into()).is_retryable());
+        assert!(!JobError::io("p", std::io::Error::other("boom")).is_retryable());
+    }
+
+    #[test]
+    fn messages_carry_ids_and_context() {
+        let e = JobError::io("/spool/x.json", std::io::Error::other("disk"));
+        assert_eq!(e.id(), "io");
+        assert!(e.to_string().contains("/spool/x.json"));
+        let e = JobError::Admission(AdmissionError::ZeroSteps);
+        assert!(e.to_string().contains("zero-steps"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = JobError::DeadlineExceeded {
+            step: 3,
+            simulated_s: 1.5,
+            deadline_s: 1.0,
+            progressed: true,
+        };
+        assert!(e.to_string().contains("deadline-exceeded"), "{e}");
+    }
+}

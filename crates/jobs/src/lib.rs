@@ -1,0 +1,55 @@
+//! # jobs
+//!
+//! Simulation-as-a-service: a crash-safe, multi-tenant job server over the
+//! deterministic PTPM simulation stack.
+//!
+//! A *job* is a fully reproducible simulation request — workload spec, plan,
+//! steps, time-step, optional fault injection — described by [`spec::JobSpec`].
+//! Jobs flow through a durable on-disk [`spool::Spool`] with a four-state
+//! machine (`submitted → running → done | failed`) whose every transition is
+//! an atomic rename, so a `kill -9` at any instant leaves the spool in a
+//! recoverable state: on the next [`spool::Spool::open`], in-flight jobs are
+//! re-queued and resume from their newest usable checkpoint
+//! ([`checkpoint::scan`]) bit-exactly.
+//!
+//! The scheduler ([`server::drain`]) applies admission control
+//! ([`spec::admit`] — malformed or over-budget specs fail with typed
+//! [`spec::AdmissionError`]s), orders work by priority class then submission
+//! sequence, and runs up to `max_parallel` jobs concurrently on the
+//! [`par`] pool. Per-job deadlines are *cooperative*: the runner checks the
+//! simulated device clock between integration steps, checkpoints, and yields;
+//! the server retries with the deterministic bounded backoff of
+//! [`gpu_sim::fault::RetryPolicy`], so a deadline behaves as a simulated-time
+//! slice and retry counts are identical across host thread counts.
+//!
+//! Because every run is bit-exact in `(spec, seed, plan, threads, tile)`
+//! (DESIGN.md §8), completed results are content-addressed by the canonical
+//! job hash ([`spec::JobSpec::canonical_hash`]) and stored in
+//! [`cache::ResultCache`]: resubmitting an identical spec is a cache hit that
+//! never recomputes. Every computed job also emits the PR 1 observability
+//! artifacts (`trace.csv`, `bench.json`) into its spool work directory
+//! ([`artifact`]).
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod cache;
+pub mod checkpoint;
+pub mod error;
+pub mod runner;
+pub mod server;
+pub mod spec;
+pub mod spool;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::cache::{JobResult, ResultCache};
+    pub use crate::checkpoint::{scan, CheckpointScan};
+    pub use crate::error::JobError;
+    pub use crate::runner::{reference_set, run_job, RunOptions, RunStatus};
+    pub use crate::server::{drain, DrainSummary, JobOutcome, JobReport, ServerConfig};
+    pub use crate::spec::{admit, AdmissionError, AdmissionPolicy, JobSpec, Priority};
+    pub use crate::spool::{JobRecord, JobState, Spool, SpoolRecovery};
+}
+
+pub use prelude::*;

@@ -1,0 +1,306 @@
+//! Executes one job attempt: resume, integrate, checkpoint, yield.
+//!
+//! [`run_job`] is the single-attempt engine under the server's retry loop.
+//! It resumes from the newest usable checkpoint in the job's work directory
+//! ([`crate::checkpoint::scan`]), re-primes forces from the restored
+//! positions (bit-exact, per the determinism contract), integrates with
+//! kick-drift-kick leapfrog, and checkpoints on the spec's cadence plus the
+//! final step.
+//!
+//! Deadlines are *cooperative and simulated*: after each step the runner
+//! compares the engine's accumulated simulated device seconds against
+//! `spec.deadline_s`. On exceed it checkpoints the current step and returns
+//! [`JobError::DeadlineExceeded`] — the server retries, and the retry
+//! resumes from that checkpoint with a fresh budget. Because the simulated
+//! clock is deterministic, the yield step — and therefore the retry count —
+//! is identical across host thread counts and runs.
+//!
+//! A permanent device fault (injected device loss) panics deep in the
+//! recovery layer by design; the server catches it at the job boundary, so
+//! this module stays panic-transparent.
+
+use crate::cache::JobResult;
+use crate::checkpoint::{save_checkpoint, scan};
+use crate::error::JobError;
+use crate::spec::JobSpec;
+use gpu_sim::prelude::{Device, DeviceSpec, FaultPlan, TransferModel};
+use nbody_core::body::ParticleSet;
+use nbody_core::gravity::GravityParams;
+use nbody_core::integrator::{prime, Integrator, LeapfrogKdk};
+use plans::engine::PlanForceEngine;
+use plans::make_plan;
+use plans::prelude::PlanConfig;
+use std::path::Path;
+use workloads::snapshot::Snapshot;
+
+/// Knobs for one attempt that are not part of the job spec (and therefore
+/// never hashed): test/CI hooks.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Wall-clock milliseconds to sleep after each step. Used by the serve
+    /// binary's `--throttle-ms` so a CI `SIGKILL` reliably lands mid-job;
+    /// never affects the simulated clocks or the trajectory.
+    pub throttle_ms: u64,
+    /// Abandon the attempt after this step *without* transitioning the
+    /// spool — an in-process stand-in for a host crash (the on-disk state
+    /// is exactly what a `kill -9` at that instant leaves).
+    pub crash_after: Option<usize>,
+}
+
+/// How an attempt ended (errors are returned separately as [`JobError`]).
+#[derive(Debug)]
+pub enum RunStatus {
+    /// The job integrated all its steps; the result is ready to cache.
+    Complete(Box<JobResult>),
+    /// The simulated crash hook fired; state survives only as checkpoints.
+    Crashed {
+        /// The step the attempt had reached when it died.
+        at_step: usize,
+    },
+}
+
+/// The initial particle set of a spec, recentered like every driver in this
+/// repo does before integrating.
+fn initial_set(spec: &JobSpec) -> ParticleSet {
+    let mut set = spec.workload.generate();
+    set.recenter();
+    set
+}
+
+fn plan_config(spec: &JobSpec) -> PlanConfig {
+    let mut config = PlanConfig::default();
+    if let Some(tile) = spec.tile {
+        // one knob pins both block geometries; results are tile-invariant
+        // (DESIGN.md §8), only the simulated clocks move
+        config.block_size = tile;
+        config.walk_size = tile;
+    }
+    config
+}
+
+fn engine(spec: &JobSpec, with_faults: bool) -> PlanForceEngine {
+    let mut device =
+        Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::pcie2_x16());
+    if with_faults {
+        if let Some((seed, cfg)) = spec.fault_config() {
+            device.set_fault_plan(FaultPlan::new(seed, cfg));
+        }
+    }
+    PlanForceEngine::new(
+        device,
+        make_plan(spec.plan, plan_config(spec)),
+        GravityParams { g: 1.0, softening: 0.05 },
+    )
+}
+
+/// Runs (or resumes) one attempt of `spec`, checkpointing into `dir`.
+///
+/// On success the returned [`JobResult`] carries the final snapshot, the
+/// attempt's simulated clocks, fault tally, and the step it resumed from;
+/// `retries` is left at zero for the server to fill in. A deadline yield
+/// returns [`JobError::DeadlineExceeded`] with the progress flag the retry
+/// policy keys on.
+pub fn run_job(spec: &JobSpec, dir: &Path, opts: &RunOptions) -> Result<RunStatus, JobError> {
+    std::fs::create_dir_all(dir).map_err(|e| JobError::io(dir.display().to_string(), e))?;
+    let (start_step, mut set) = match scan(dir)?.best {
+        Some((step, snap)) => (step, snap.set),
+        None => (0, initial_set(spec)),
+    };
+
+    let mut eng = engine(spec, true);
+    // re-prime after restore: forces are a deterministic function of the
+    // restored positions, so this reproduces the pre-crash accelerations
+    prime(&mut set, &mut eng);
+
+    let mut step = start_step;
+    while step < spec.steps {
+        LeapfrogKdk.step(&mut set, &mut eng, spec.dt);
+        step += 1;
+        let on_cadence = step % spec.checkpoint_every == 0 || step == spec.steps;
+        if on_cadence {
+            save_checkpoint(dir, &spec.label(), step as f64 * spec.dt, step, &set)?;
+        }
+        if opts.crash_after == Some(step) && step < spec.steps {
+            return Ok(RunStatus::Crashed { at_step: step });
+        }
+        if let Some(deadline_s) = spec.deadline_s {
+            let simulated_s = eng.simulated_total_seconds();
+            if step < spec.steps && simulated_s > deadline_s {
+                if !on_cadence {
+                    save_checkpoint(dir, &spec.label(), step as f64 * spec.dt, step, &set)?;
+                }
+                return Err(JobError::DeadlineExceeded {
+                    step,
+                    simulated_s,
+                    deadline_s,
+                    progressed: step > start_step,
+                });
+            }
+        }
+        if opts.throttle_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(opts.throttle_ms));
+        }
+    }
+
+    let final_snapshot = Snapshot::new(spec.label(), spec.steps as f64 * spec.dt, set);
+    let result_checksum = final_snapshot.checksum.expect("fresh snapshots carry a checksum");
+    let fault_total = eng.device().fault_plan().map(|p| p.counts().total() as u64).unwrap_or(0);
+    Ok(RunStatus::Complete(Box::new(JobResult {
+        hash_hex: spec.hash_hex(),
+        spec: spec.clone(),
+        final_snapshot,
+        result_checksum,
+        steps: spec.steps,
+        simulated_total_s: eng.simulated_total_seconds(),
+        simulated_kernel_s: eng.simulated_kernel_seconds(),
+        recovery_s: eng.simulated_recovery_seconds(),
+        fault_total,
+        resumed_from: start_step,
+        retries: 0,
+    })))
+}
+
+/// The fault-free, checkpoint-free reference trajectory for `spec` — what
+/// crash-recovery and cache verification compare against bit-exactly.
+pub fn reference_set(spec: &JobSpec) -> ParticleSet {
+    let mut set = initial_set(spec);
+    let mut eng = engine(spec, false);
+    prime(&mut set, &mut eng);
+    for _ in 0..spec.steps {
+        LeapfrogKdk.step(&mut set, &mut eng, spec.dt);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plans::prelude::PlanKind;
+    use std::path::PathBuf;
+    use workloads::spec::WorkloadSpec;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("nbody-ptpm-jobs-runner").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn spec() -> JobSpec {
+        let mut s = JobSpec::new(WorkloadSpec::plummer(96, 42), PlanKind::JwParallel, 6);
+        s.checkpoint_every = 2;
+        s
+    }
+
+    fn complete(status: RunStatus) -> JobResult {
+        match status {
+            RunStatus::Complete(result) => *result,
+            RunStatus::Crashed { at_step } => panic!("unexpected crash at step {at_step}"),
+        }
+    }
+
+    #[test]
+    fn fresh_run_completes_and_matches_reference() {
+        let dir = tmp("fresh");
+        let result = complete(run_job(&spec(), &dir, &RunOptions::default()).unwrap());
+        assert_eq!(result.resumed_from, 0);
+        assert_eq!(result.steps, 6);
+        assert_eq!(result.fault_total, 0);
+        assert_eq!(result.recovery_s, 0.0);
+        assert!(result.simulated_total_s > result.simulated_kernel_s);
+        let reference = reference_set(&spec());
+        assert_eq!(result.final_snapshot.set.pos(), reference.pos());
+        assert_eq!(result.final_snapshot.set.vel(), reference.vel());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_then_resume_is_bitexact() {
+        let dir = tmp("crash");
+        let opts = RunOptions { crash_after: Some(3), ..Default::default() };
+        match run_job(&spec(), &dir, &opts).unwrap() {
+            RunStatus::Crashed { at_step } => assert_eq!(at_step, 3),
+            RunStatus::Complete(_) => panic!("crash hook did not fire"),
+        }
+        let result = complete(run_job(&spec(), &dir, &RunOptions::default()).unwrap());
+        assert_eq!(result.resumed_from, 2, "newest checkpoint before the crash is step 2");
+        let reference = reference_set(&spec());
+        assert_eq!(result.final_snapshot.set.pos(), reference.pos());
+        assert_eq!(result.final_snapshot.set.vel(), reference.vel());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deadline_yields_checkpoint_and_retries_complete_bitexactly() {
+        let dir = tmp("deadline-probe");
+        let full = complete(run_job(&spec(), &dir, &RunOptions::default()).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+
+        let mut tight = spec();
+        tight.deadline_s = Some(full.simulated_total_s * 0.4);
+        let dir = tmp("deadline");
+        let mut attempts = 0;
+        let result = loop {
+            attempts += 1;
+            assert!(attempts <= 8, "deadline slicing did not converge");
+            match run_job(&tight, &dir, &RunOptions::default()) {
+                Ok(status) => break complete(status),
+                Err(JobError::DeadlineExceeded { progressed, step, .. }) => {
+                    assert!(progressed, "every attempt must advance at least one step");
+                    assert!(step < tight.steps);
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        };
+        assert!(attempts > 1, "deadline at 40% of total must slice the job");
+        assert!(result.resumed_from > 0);
+        let reference = reference_set(&spec());
+        assert_eq!(result.final_snapshot.set.pos(), reference.pos());
+        assert_eq!(result.final_snapshot.set.vel(), reference.vel());
+
+        // deterministic slicing: the same tight deadline yields the same
+        // attempt count from a fresh directory
+        let dir2 = tmp("deadline-again");
+        let mut attempts2 = 0;
+        loop {
+            attempts2 += 1;
+            match run_job(&tight, &dir2, &RunOptions::default()) {
+                Ok(_) => break,
+                Err(JobError::DeadlineExceeded { .. }) => {}
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert_eq!(attempts, attempts2);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    #[test]
+    fn transient_faults_do_not_change_the_answer() {
+        let mut faulty = spec();
+        faulty.fault_seed = Some(3);
+        faulty.fault_prob = Some(0.1);
+        let dir = tmp("faulty");
+        let result = complete(run_job(&faulty, &dir, &RunOptions::default()).unwrap());
+        assert!(result.fault_total > 0, "seed 3 at p=0.1 must inject something");
+        assert!(result.recovery_s > 0.0);
+        let reference = reference_set(&faulty);
+        assert_eq!(result.final_snapshot.set.pos(), reference.pos());
+        assert_eq!(result.final_snapshot.set.vel(), reference.vel());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tile_override_changes_clocks_not_physics() {
+        let dir_a = tmp("tile-a");
+        let base = complete(run_job(&spec(), &dir_a, &RunOptions::default()).unwrap());
+        let mut tiled = spec();
+        tiled.tile = Some(128);
+        let dir_b = tmp("tile-b");
+        let other = complete(run_job(&tiled, &dir_b, &RunOptions::default()).unwrap());
+        assert_ne!(base.hash_hex, other.hash_hex, "tile is hashed as provenance");
+        assert_eq!(base.final_snapshot.set.pos(), other.final_snapshot.set.pos());
+        assert_eq!(base.final_snapshot.set.vel(), other.final_snapshot.set.vel());
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+}

@@ -1,0 +1,584 @@
+//! The multi-tenant scheduler: admission, waves, retries, cache, survival.
+//!
+//! [`drain`] empties a spool deterministically. Each round it lists
+//! `submitted/` (already ordered by priority class then submission
+//! sequence), applies admission control, serves cache hits, and runs the
+//! next *wave* — up to `max_parallel` jobs with pairwise-distinct canonical
+//! hashes — concurrently on the [`par`] pool. A duplicate hash inside a
+//! wave is deferred one round so it becomes a cache hit instead of a
+//! redundant computation.
+//!
+//! Retry lives here, not in the runner: a deadline yield that made progress
+//! is retried up to [`gpu_sim::fault::RetryPolicy::max_attempts`] with
+//! deterministic exponential backoff (charged as a bounded wall-clock
+//! sleep). A permanent device fault panics inside the recovery layer by
+//! design; the wave worker catches the unwind at the job boundary and
+//! records a typed `unrecoverable` failure — one tenant's chaos never takes
+//! the server down.
+//!
+//! All spool transitions happen on the scheduler thread in wave order, so
+//! the spool's on-disk history is identical for every host thread count.
+
+use crate::artifact::write_artifacts;
+use crate::cache::JobResult;
+use crate::error::JobError;
+use crate::runner::{reference_set, run_job, RunOptions, RunStatus};
+use crate::spec::{admit, AdmissionPolicy};
+use crate::spool::{JobRecord, JobState, Spool, SpoolRecovery};
+use gpu_sim::fault::RetryPolicy;
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Jobs run concurrently per wave (admission-controlled parallelism).
+    pub max_parallel: usize,
+    /// Budgets specs must fit inside.
+    pub admission: AdmissionPolicy,
+    /// Retry budget and backoff for deadline yields.
+    pub retry: RetryPolicy,
+    /// Re-run resumed jobs' references and require bit-exactness before
+    /// caching (the crash-recovery gate; costs one uninterrupted re-run).
+    pub verify_resumed: bool,
+    /// Runner hooks (CI throttle, simulated crash).
+    pub run: RunOptions,
+    /// Emit `bench.json` / `trace.csv` for every computed job.
+    pub artifacts: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_parallel: 2,
+            admission: AdmissionPolicy::default(),
+            retry: RetryPolicy::default(),
+            verify_resumed: true,
+            run: RunOptions::default(),
+            artifacts: true,
+        }
+    }
+}
+
+/// How one drained job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// Ran to completion and was stored in the cache.
+    Computed,
+    /// Served from the content-addressed cache without recomputing.
+    CacheHit,
+    /// Terminal failure, recorded in `failed/` with the error string.
+    Failed(String),
+    /// Refused at admission, recorded in `failed/`.
+    Rejected(String),
+    /// The simulated-crash hook fired; the record stays in `running/` for
+    /// the next [`Spool::open`] to requeue.
+    Crashed,
+}
+
+impl JobOutcome {
+    /// Stable identifier for report lines.
+    pub fn id(&self) -> &'static str {
+        match self {
+            JobOutcome::Computed => "computed",
+            JobOutcome::CacheHit => "cache-hit",
+            JobOutcome::Failed(_) => "failed",
+            JobOutcome::Rejected(_) => "rejected",
+            JobOutcome::Crashed => "crashed",
+        }
+    }
+}
+
+/// One job's drain report.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The job's spool identity.
+    pub id: String,
+    /// Canonical hash.
+    pub hash_hex: String,
+    /// How it ended.
+    pub outcome: JobOutcome,
+    /// Deadline retries consumed in this drain.
+    pub retries: u32,
+    /// Step the final attempt resumed from (0 = from scratch).
+    pub resumed_from: usize,
+    /// Bit-exactness verdict for resumed jobs (None = not applicable).
+    pub verified: Option<bool>,
+}
+
+/// Everything one [`drain`] did, in completion order.
+#[derive(Debug)]
+pub struct DrainSummary {
+    /// Per-job reports in the order jobs were finalized.
+    pub reports: Vec<JobReport>,
+    /// What opening the spool had to repair.
+    pub recovery: SpoolRecovery,
+}
+
+impl DrainSummary {
+    fn count(&self, id: &str) -> usize {
+        self.reports.iter().filter(|r| r.outcome.id() == id).count()
+    }
+
+    /// Jobs that ended in `done/` (computed or cache hit).
+    pub fn completed(&self) -> usize {
+        self.count("computed") + self.count("cache-hit")
+    }
+
+    /// Jobs that resumed from a checkpoint.
+    pub fn resumed_jobs(&self) -> usize {
+        self.reports.iter().filter(|r| r.resumed_from > 0).count()
+    }
+
+    /// Resumed jobs that verified bit-exact against their reference.
+    pub fn verified_bitexact(&self) -> usize {
+        self.reports.iter().filter(|r| r.verified == Some(true)).count()
+    }
+
+    /// True when nothing failed for an unexpected reason: every job either
+    /// completed, was rejected by admission, failed with a *typed* error,
+    /// or crashed on purpose — and no resumed job failed verification.
+    pub fn ok(&self) -> bool {
+        self.reports.iter().all(|r| r.verified != Some(false))
+    }
+
+    /// Human- and grep-friendly report (the `serve` binary prints this;
+    /// the CI smoke greps its `JOBS OK` tail).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.reports {
+            out.push_str(&format!("{} : {}", r.id, r.outcome.id()));
+            if r.retries > 0 {
+                out.push_str(&format!(" retries={}", r.retries));
+            }
+            if r.resumed_from > 0 {
+                out.push_str(&format!(" resumed-from={}", r.resumed_from));
+            }
+            if let Some(v) = r.verified {
+                out.push_str(if v { " bit-exact" } else { " DIVERGED" });
+            }
+            match &r.outcome {
+                JobOutcome::Failed(msg) | JobOutcome::Rejected(msg) => {
+                    out.push_str(&format!(" ({msg})"));
+                }
+                _ => {}
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "jobs    : completed={} computed={} cache-hits={} failed={} rejected={} crashed={}\n",
+            self.completed(),
+            self.count("computed"),
+            self.count("cache-hit"),
+            self.count("failed"),
+            self.count("rejected"),
+            self.count("crashed"),
+        ));
+        out.push_str(&format!(
+            "recovery: requeued={} tmp-cleaned={} duplicates-dropped={} resumed-jobs={} \
+             verified-bitexact={}\n",
+            self.recovery.requeued,
+            self.recovery.tmp_cleaned,
+            self.recovery.duplicates_dropped,
+            self.resumed_jobs(),
+            self.verified_bitexact(),
+        ));
+        out.push_str(if self.ok() { "JOBS OK\n" } else { "JOBS DEGRADED\n" });
+        out
+    }
+}
+
+/// What a wave worker hands back to the scheduler thread.
+struct WaveResult {
+    record: JobRecord,
+    outcome: Result<Box<JobResult>, JobError>,
+    retries: u32,
+    crashed: bool,
+    verified: Option<bool>,
+}
+
+/// Runs one job to completion, retrying deadline yields per `config.retry`.
+/// Never panics: unwinds from the recovery layer become typed errors.
+fn run_with_retry(spool: &Spool, record: &JobRecord, config: &ServerConfig) -> WaveResult {
+    let dir = spool.job_dir(&record.hash_hex);
+    let mut retries = 0u32;
+    loop {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(&record.spec, &dir, &config.run)
+        }));
+        let outcome = match attempt {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "panic with non-string payload".into());
+                Err(JobError::Unrecoverable(msg))
+            }
+        };
+        match outcome {
+            Ok(RunStatus::Complete(mut result)) => {
+                result.retries = record.attempts + retries;
+                let verified = if result.resumed_from > 0 && config.verify_resumed {
+                    let reference = reference_set(&record.spec);
+                    Some(
+                        result.final_snapshot.set.pos() == reference.pos()
+                            && result.final_snapshot.set.vel() == reference.vel(),
+                    )
+                } else {
+                    None
+                };
+                return WaveResult {
+                    record: record.clone(),
+                    outcome: Ok(result),
+                    retries,
+                    crashed: false,
+                    verified,
+                };
+            }
+            Ok(RunStatus::Crashed { .. }) => {
+                return WaveResult {
+                    record: record.clone(),
+                    outcome: Err(JobError::Unrecoverable("simulated crash".into())),
+                    retries,
+                    crashed: true,
+                    verified: None,
+                };
+            }
+            Err(err)
+                if err.is_retryable() && (retries as usize + 1) < config.retry.max_attempts =>
+            {
+                retries += 1;
+                // deterministic exponential backoff, charged as bounded wall
+                // time so a tight deadline cannot stall the wave
+                let backoff = config.retry.backoff_s(retries as usize).min(0.05);
+                std::thread::sleep(std::time::Duration::from_secs_f64(backoff));
+            }
+            Err(err) => {
+                return WaveResult {
+                    record: record.clone(),
+                    outcome: Err(err),
+                    retries,
+                    crashed: false,
+                    verified: None,
+                };
+            }
+        }
+    }
+}
+
+/// Drains the spool: runs every submitted job to a terminal state (or to a
+/// simulated crash). Deterministic for a fixed spool content: job ordering,
+/// retry counts, cache hits, and the resulting on-disk state are identical
+/// across host thread counts.
+pub fn drain(
+    spool: &Spool,
+    recovery: SpoolRecovery,
+    config: &ServerConfig,
+) -> Result<DrainSummary, JobError> {
+    let cache = spool.cache();
+    let mut summary = DrainSummary { reports: Vec::new(), recovery };
+
+    loop {
+        let submitted = spool.list(JobState::Submitted)?;
+        if submitted.is_empty() {
+            break;
+        }
+
+        // admission, cache service, and wave selection — sequential, in
+        // scheduling order, so the outcome is thread-count invariant
+        let mut wave: Vec<JobRecord> = Vec::new();
+        let mut deferred = 0usize;
+        for record in submitted {
+            if wave.len() == config.max_parallel.max(1) {
+                deferred += 1;
+                continue;
+            }
+            if let Err(err) = admit(&record.spec, &config.admission) {
+                let job_err = JobError::from(err);
+                let mut failed = record.clone();
+                failed.error = Some(job_err.to_string());
+                spool.transition(&failed, JobState::Submitted, JobState::Failed)?;
+                summary.reports.push(JobReport {
+                    id: record.id,
+                    hash_hex: record.hash_hex,
+                    outcome: JobOutcome::Rejected(job_err.to_string()),
+                    retries: 0,
+                    resumed_from: 0,
+                    verified: None,
+                });
+                continue;
+            }
+            if let Some(_hit) = cache.lookup(&record.hash_hex)? {
+                let mut done = record.clone();
+                done.error = None;
+                spool.transition(&done, JobState::Submitted, JobState::Done)?;
+                summary.reports.push(JobReport {
+                    id: record.id,
+                    hash_hex: record.hash_hex,
+                    outcome: JobOutcome::CacheHit,
+                    retries: 0,
+                    resumed_from: 0,
+                    verified: None,
+                });
+                continue;
+            }
+            if wave.iter().any(|w| w.hash_hex == record.hash_hex) {
+                // identical job already in this wave: defer one round so it
+                // lands on the cache entry the first copy is about to write
+                deferred += 1;
+                continue;
+            }
+            spool.transition(&record, JobState::Submitted, JobState::Running)?;
+            wave.push(record);
+        }
+        if wave.is_empty() {
+            if deferred == 0 {
+                break;
+            }
+            continue;
+        }
+
+        // the wave runs concurrently; results come back in wave order
+        // because par::run_tasks preserves task order
+        let results: Vec<WaveResult> = par::run_tasks(
+            wave.iter().map(|record| || run_with_retry(spool, record, config)).collect(),
+        );
+
+        // finalization is sequential and in wave order: spool and cache
+        // mutations are identical for every host thread count
+        for wave_result in results {
+            let mut record = wave_result.record;
+            record.attempts += wave_result.retries + 1;
+            let report = match wave_result.outcome {
+                Ok(result) => {
+                    if wave_result.verified == Some(false) {
+                        let msg = JobError::Verification(
+                            "resumed run diverged from the fault-free reference".into(),
+                        )
+                        .to_string();
+                        record.error = Some(msg.clone());
+                        spool.transition(&record, JobState::Running, JobState::Failed)?;
+                        JobReport {
+                            id: record.id.clone(),
+                            hash_hex: record.hash_hex.clone(),
+                            outcome: JobOutcome::Failed(msg),
+                            retries: wave_result.retries,
+                            resumed_from: result.resumed_from,
+                            verified: Some(false),
+                        }
+                    } else {
+                        cache.store(&result)?;
+                        if config.artifacts {
+                            write_artifacts(&result, &spool.job_dir(&record.hash_hex))?;
+                        }
+                        record.error = None;
+                        spool.transition(&record, JobState::Running, JobState::Done)?;
+                        JobReport {
+                            id: record.id.clone(),
+                            hash_hex: record.hash_hex.clone(),
+                            outcome: JobOutcome::Computed,
+                            retries: wave_result.retries,
+                            resumed_from: result.resumed_from,
+                            verified: wave_result.verified,
+                        }
+                    }
+                }
+                Err(_) if wave_result.crashed => JobReport {
+                    // leave the record in running/ exactly as a dead server
+                    // would; Spool::open requeues it
+                    id: record.id.clone(),
+                    hash_hex: record.hash_hex.clone(),
+                    outcome: JobOutcome::Crashed,
+                    retries: wave_result.retries,
+                    resumed_from: 0,
+                    verified: None,
+                },
+                Err(err) => {
+                    let msg = err.to_string();
+                    record.error = Some(msg.clone());
+                    spool.transition(&record, JobState::Running, JobState::Failed)?;
+                    JobReport {
+                        id: record.id.clone(),
+                        hash_hex: record.hash_hex.clone(),
+                        outcome: JobOutcome::Failed(msg),
+                        retries: wave_result.retries,
+                        resumed_from: 0,
+                        verified: None,
+                    }
+                }
+            };
+            summary.reports.push(report);
+        }
+
+        // a simulated crash stops the server like a real one would
+        if summary.reports.iter().any(|r| r.outcome == JobOutcome::Crashed) {
+            break;
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{JobSpec, Priority};
+    use plans::prelude::PlanKind;
+    use std::path::PathBuf;
+    use workloads::spec::WorkloadSpec;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("nbody-ptpm-jobs-server").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn spec(n: usize, seed: u64) -> JobSpec {
+        let mut s = JobSpec::new(WorkloadSpec::plummer(n, seed), PlanKind::JwParallel, 4);
+        s.checkpoint_every = 2;
+        s
+    }
+
+    fn quick_config() -> ServerConfig {
+        ServerConfig { artifacts: false, ..Default::default() }
+    }
+
+    #[test]
+    fn drains_batch_in_priority_order_and_caches() {
+        let (spool, recovery) = Spool::open(tmp("basic")).unwrap();
+        let mut high = spec(64, 2);
+        high.priority = Priority::High;
+        spool.submit(&spec(64, 1)).unwrap();
+        spool.submit(&high).unwrap();
+        let summary = drain(&spool, recovery, &quick_config()).unwrap();
+        assert!(summary.ok(), "{}", summary.render());
+        assert_eq!(summary.completed(), 2);
+        assert_eq!(summary.reports[0].hash_hex, high.hash_hex(), "high priority runs first");
+        assert_eq!(spool.count(JobState::Done), 2);
+        assert_eq!(spool.cache().len(), 2);
+
+        // resubmission of an identical spec is a pure cache hit
+        spool.submit(&spec(64, 1)).unwrap();
+        let (spool, recovery) = Spool::open(spool.root()).unwrap();
+        let summary = drain(&spool, recovery, &quick_config()).unwrap();
+        assert_eq!(summary.reports.len(), 1);
+        assert_eq!(summary.reports[0].outcome, JobOutcome::CacheHit);
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn duplicate_hashes_in_one_wave_compute_once() {
+        let (spool, recovery) = Spool::open(tmp("dedup")).unwrap();
+        spool.submit(&spec(64, 5)).unwrap();
+        spool.submit(&spec(64, 5)).unwrap();
+        spool.submit(&spec(64, 5)).unwrap();
+        let summary = drain(&spool, recovery, &quick_config()).unwrap();
+        assert!(summary.ok());
+        let computed = summary.reports.iter().filter(|r| r.outcome == JobOutcome::Computed).count();
+        let hits = summary.reports.iter().filter(|r| r.outcome == JobOutcome::CacheHit).count();
+        assert_eq!((computed, hits), (1, 2), "{}", summary.render());
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn admission_rejections_are_typed_and_recorded() {
+        let (spool, recovery) = Spool::open(tmp("reject")).unwrap();
+        // checkpoint_every = 0 is malformed but JSON-representable, so it
+        // reaches the server's admission check (a NaN dt would already be
+        // quarantined at spool parse time)
+        let mut bad = spec(64, 1);
+        bad.checkpoint_every = 0;
+        spool.submit(&bad).unwrap();
+        spool.submit(&spec(64, 2)).unwrap();
+        let summary = drain(&spool, recovery, &quick_config()).unwrap();
+        assert!(summary.ok(), "a typed rejection is not degradation");
+        let rejected: Vec<_> = summary
+            .reports
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                JobOutcome::Rejected(msg) => Some(msg.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rejected.len(), 1);
+        assert!(rejected[0].contains("zero-checkpoint-every"), "{rejected:?}");
+        assert_eq!(spool.count(JobState::Failed), 1);
+        assert_eq!(spool.count(JobState::Done), 1);
+        let failed = spool.list(JobState::Failed).unwrap();
+        assert!(failed[0].error.as_deref().unwrap().contains("zero-checkpoint-every"));
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn deadline_jobs_retry_and_complete() {
+        let (spool, recovery) = Spool::open(tmp("deadline")).unwrap();
+        // probe the budget first
+        let probe = spec(64, 9);
+        spool.submit(&probe).unwrap();
+        let summary = drain(&spool, recovery, &quick_config()).unwrap();
+        assert!(summary.ok());
+        let total = spool.cache().lookup(&probe.hash_hex()).unwrap().unwrap().simulated_total_s;
+
+        let mut sliced = spec(64, 10);
+        sliced.deadline_s = Some(total * 0.4);
+        spool.submit(&sliced).unwrap();
+        let (spool, recovery) = Spool::open(spool.root()).unwrap();
+        let summary = drain(&spool, recovery, &quick_config()).unwrap();
+        assert!(summary.ok(), "{}", summary.render());
+        let report = &summary.reports[0];
+        assert_eq!(report.outcome, JobOutcome::Computed);
+        assert!(report.retries > 0, "a 40% budget must slice the job");
+        assert!(report.resumed_from > 0);
+        assert_eq!(report.verified, Some(true), "resumed job verified bit-exact");
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn permanent_device_loss_fails_the_job_not_the_server() {
+        let (spool, recovery) = Spool::open(tmp("chaos")).unwrap();
+        let mut doomed = spec(64, 11);
+        doomed.fault_seed = Some(1);
+        doomed.fault_prob = Some(0.2);
+        doomed.fault_loss_prob = Some(1.0); // every CU dies on first touch
+        spool.submit(&doomed).unwrap();
+        spool.submit(&spec(64, 12)).unwrap();
+        let summary = drain(&spool, recovery, &quick_config()).unwrap();
+        assert!(summary.ok(), "typed failure keeps the server healthy");
+        let failed: Vec<_> =
+            summary.reports.iter().filter(|r| matches!(r.outcome, JobOutcome::Failed(_))).collect();
+        assert_eq!(failed.len(), 1, "{}", summary.render());
+        assert_eq!(spool.count(JobState::Done), 1, "the healthy job still completes");
+        assert_eq!(spool.count(JobState::Failed), 1);
+        let record = &spool.list(JobState::Failed).unwrap()[0];
+        assert!(record.error.as_deref().unwrap().contains("unrecoverable"), "{record:?}");
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn simulated_crash_leaves_job_running_and_resume_completes() {
+        let root = tmp("crash");
+        let (spool, recovery) = Spool::open(&root).unwrap();
+        let job = spec(64, 13);
+        spool.submit(&job).unwrap();
+        let crash_config = ServerConfig {
+            run: RunOptions { crash_after: Some(2), ..Default::default() },
+            ..quick_config()
+        };
+        let summary = drain(&spool, recovery, &crash_config).unwrap();
+        assert_eq!(summary.reports[0].outcome, JobOutcome::Crashed);
+        assert_eq!(spool.count(JobState::Running), 1, "crash leaves the claim in place");
+
+        // restart: open requeues, drain resumes from the checkpoint
+        let (spool, recovery) = Spool::open(&root).unwrap();
+        assert_eq!(recovery.requeued, 1);
+        let summary = drain(&spool, recovery, &quick_config()).unwrap();
+        assert!(summary.ok(), "{}", summary.render());
+        let report = &summary.reports[0];
+        assert_eq!(report.outcome, JobOutcome::Computed);
+        assert_eq!(report.resumed_from, 2);
+        assert_eq!(report.verified, Some(true), "resumed result is bit-exact");
+        let rendered = summary.render();
+        assert!(rendered.contains("resumed-jobs=1"), "{rendered}");
+        assert!(rendered.ends_with("JOBS OK\n"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,450 @@
+//! Job specifications, canonical content hashing, and admission control.
+//!
+//! A [`JobSpec`] pins down everything that determines a simulation result:
+//! the workload (kind, N, seed), the execution plan, step count and
+//! time-step. The determinism contract (DESIGN.md §8) guarantees the result
+//! is *also* invariant in host thread count and tile size, so those fields
+//! are recorded (and hashed, when pinned) purely as provenance — the
+//! canonical hash over the result-determining fields is what makes completed
+//! results content-addressable.
+//!
+//! Admission control ([`admit`]) rejects malformed and over-budget specs
+//! with typed [`AdmissionError`]s before any compute is spent — the server
+//! applies it at intake, and `submit` applies it client-side for an early
+//! error.
+
+use gpu_sim::prelude::FaultConfig;
+use plans::prelude::PlanKind;
+use serde::{Deserialize, Serialize};
+use workloads::spec::WorkloadSpec;
+
+/// Scheduling priority class, highest first. Within a class, jobs run in
+/// submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Priority {
+    /// Latency-sensitive: always scheduled before the other classes.
+    High,
+    /// The default class.
+    Normal,
+    /// Bulk/background work: scheduled only after the other classes.
+    Batch,
+}
+
+impl Priority {
+    /// Stable identifier used in spool records and CLI flags.
+    pub fn id(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Scheduling rank: lower runs first.
+    pub fn rank(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// Parses the [`Priority::id`] form.
+    pub fn parse(s: &str) -> Option<Self> {
+        Priority::all().into_iter().find(|p| p.id() == s)
+    }
+
+    /// All classes, highest first.
+    pub fn all() -> [Priority; 3] {
+        [Priority::High, Priority::Normal, Priority::Batch]
+    }
+}
+
+/// A fully reproducible simulation job request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The initial condition (kind, N, seed).
+    pub workload: WorkloadSpec,
+    /// The execution plan to run on the simulated device.
+    pub plan: PlanKind,
+    /// Leapfrog steps to integrate.
+    pub steps: usize,
+    /// Time-step size.
+    pub dt: f64,
+    /// Checkpoint cadence in steps (also the resume granularity).
+    pub checkpoint_every: usize,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Cooperative deadline in *simulated device seconds per attempt*; when
+    /// the attempt's simulated clock exceeds it between steps, the runner
+    /// checkpoints and yields, and the server retries with bounded backoff —
+    /// a deadline therefore acts as a deterministic time slice.
+    pub deadline_s: Option<f64>,
+    /// Requested host thread count (provenance; results are bit-exact across
+    /// thread counts, so this is hashed but never changes the answer).
+    pub threads: Option<usize>,
+    /// Requested host tile size (provenance, as with `threads`).
+    pub tile: Option<usize>,
+    /// Seed for deterministic fault injection on this job's device.
+    pub fault_seed: Option<u64>,
+    /// Transient-fault probability used with `fault_seed` (default 0.05).
+    pub fault_prob: Option<f64>,
+    /// Per-operation device-loss probability (chaos testing: an
+    /// unrecoverable device surfaces as a typed job failure, never as a
+    /// server crash).
+    pub fault_loss_prob: Option<f64>,
+}
+
+impl JobSpec {
+    /// A spec with the default knobs: `dt = 1e-3`, checkpoint every 8
+    /// steps, [`Priority::Normal`], no deadline, no fault injection.
+    pub fn new(workload: WorkloadSpec, plan: PlanKind, steps: usize) -> Self {
+        Self {
+            workload,
+            plan,
+            steps,
+            dt: 1e-3,
+            checkpoint_every: 8,
+            priority: Priority::Normal,
+            deadline_s: None,
+            threads: None,
+            tile: None,
+            fault_seed: None,
+            fault_prob: None,
+            fault_loss_prob: None,
+        }
+    }
+
+    /// FNV-1a content hash over exactly the result-determining fields:
+    /// `(workload kind, n, seed, plan, steps, dt, threads, tile)` — the
+    /// `(spec, seed, plan, threads, tile)` key of the determinism contract.
+    ///
+    /// Priority, deadline, and fault injection are deliberately *excluded*:
+    /// they change scheduling and simulated clocks but never the trajectory
+    /// (fault recovery is bit-exact), so two submissions differing only in
+    /// those fields share one cached result.
+    pub fn canonical_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut mix_bytes = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        mix_bytes(self.workload.kind.id().as_bytes());
+        mix_bytes(&(self.workload.n as u64).to_le_bytes());
+        mix_bytes(&self.workload.seed.to_le_bytes());
+        mix_bytes(self.plan.id().as_bytes());
+        mix_bytes(&(self.steps as u64).to_le_bytes());
+        mix_bytes(&self.dt.to_bits().to_le_bytes());
+        mix_bytes(&(self.threads.unwrap_or(0) as u64).to_le_bytes());
+        mix_bytes(&(self.tile.unwrap_or(0) as u64).to_le_bytes());
+        hash
+    }
+
+    /// The canonical hash as 16 lowercase hex digits — the job's cache key
+    /// and work-directory name.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.canonical_hash())
+    }
+
+    /// The fault plan seed and configuration this spec asks for, if any.
+    /// Built field-by-field (not via the asserting constructors) so a
+    /// malformed probability reaches [`admit`]'s validation as a typed
+    /// rejection instead of a panic.
+    pub fn fault_config(&self) -> Option<(u64, FaultConfig)> {
+        let seed = self.fault_seed?;
+        let p = self.fault_prob.unwrap_or(0.05);
+        let mut cfg = FaultConfig {
+            launch_fail_prob: p,
+            launch_corrupt_prob: p,
+            transfer_error_prob: p,
+            transfer_timeout_prob: p,
+            ..FaultConfig::default()
+        };
+        if let Some(loss) = self.fault_loss_prob {
+            cfg.device_loss_prob = loss;
+        }
+        Some((seed, cfg))
+    }
+
+    /// Human-readable one-liner for logs.
+    pub fn label(&self) -> String {
+        format!(
+            "{} plan={} steps={} prio={}",
+            self.workload.label(),
+            self.plan.id(),
+            self.steps,
+            self.priority.id()
+        )
+    }
+}
+
+/// Resource budgets a job must fit inside to be admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionPolicy {
+    /// Largest admissible body count.
+    pub max_n: usize,
+    /// Largest admissible step count.
+    pub max_steps: usize,
+    /// Cap on `n² × (steps + 1)` — the pairwise-interaction budget of the
+    /// whole job (the `+ 1` charges the priming force evaluation).
+    pub max_interactions: u64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        Self { max_n: 65_536, max_steps: 100_000, max_interactions: u64::MAX }
+    }
+}
+
+/// Why a spec was refused at admission. [`AdmissionError::id`] is the
+/// machine-readable form recorded in the spool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// `n == 0`: nothing to simulate.
+    ZeroBodies,
+    /// `n` exceeds the policy's cap.
+    TooManyBodies {
+        /// Requested body count.
+        n: usize,
+        /// The policy cap it exceeded.
+        max: usize,
+    },
+    /// `steps == 0`: nothing to do (a zero-step job would cache vacuously).
+    ZeroSteps,
+    /// `steps` exceeds the policy's cap.
+    TooManySteps {
+        /// Requested step count.
+        steps: usize,
+        /// The policy cap it exceeded.
+        max: usize,
+    },
+    /// Total interaction budget `n² × (steps + 1)` exceeds the policy cap.
+    OverBudget {
+        /// The job's interaction count.
+        interactions: u64,
+        /// The policy cap it exceeded.
+        max: u64,
+    },
+    /// `dt` is NaN, infinite, or not strictly positive.
+    BadDt(f64),
+    /// Deadline is NaN, infinite, or not strictly positive.
+    BadDeadline(f64),
+    /// `checkpoint_every == 0` would divide by zero at the cadence check.
+    ZeroCheckpointEvery,
+    /// A pinned thread count of zero is meaningless.
+    ZeroThreads,
+    /// A pinned tile size of zero is meaningless.
+    ZeroTile,
+    /// The fault configuration is invalid (probability outside `[0, 1]` or
+    /// a non-finite penalty).
+    BadFaultConfig(String),
+}
+
+impl AdmissionError {
+    /// Stable machine-readable identifier (recorded in failed job records).
+    pub fn id(&self) -> &'static str {
+        match self {
+            AdmissionError::ZeroBodies => "zero-bodies",
+            AdmissionError::TooManyBodies { .. } => "too-many-bodies",
+            AdmissionError::ZeroSteps => "zero-steps",
+            AdmissionError::TooManySteps { .. } => "too-many-steps",
+            AdmissionError::OverBudget { .. } => "over-budget",
+            AdmissionError::BadDt(_) => "bad-dt",
+            AdmissionError::BadDeadline(_) => "bad-deadline",
+            AdmissionError::ZeroCheckpointEvery => "zero-checkpoint-every",
+            AdmissionError::ZeroThreads => "zero-threads",
+            AdmissionError::ZeroTile => "zero-tile",
+            AdmissionError::BadFaultConfig(_) => "bad-fault-config",
+        }
+    }
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] ", self.id())?;
+        match self {
+            AdmissionError::ZeroBodies => write!(f, "workload has zero bodies"),
+            AdmissionError::TooManyBodies { n, max } => {
+                write!(f, "n={n} exceeds the admission cap of {max}")
+            }
+            AdmissionError::ZeroSteps => write!(f, "job has zero integration steps"),
+            AdmissionError::TooManySteps { steps, max } => {
+                write!(f, "steps={steps} exceeds the admission cap of {max}")
+            }
+            AdmissionError::OverBudget { interactions, max } => {
+                write!(f, "interaction budget {interactions} exceeds the cap of {max}")
+            }
+            AdmissionError::BadDt(dt) => write!(f, "dt={dt} is not a positive finite number"),
+            AdmissionError::BadDeadline(d) => {
+                write!(f, "deadline_s={d} is not a positive finite number")
+            }
+            AdmissionError::ZeroCheckpointEvery => write!(f, "checkpoint_every must be >= 1"),
+            AdmissionError::ZeroThreads => write!(f, "a pinned thread count must be >= 1"),
+            AdmissionError::ZeroTile => write!(f, "a pinned tile size must be >= 1"),
+            AdmissionError::BadFaultConfig(msg) => write!(f, "fault config invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Validates `spec` against `policy`; `Err` is the first violated rule.
+pub fn admit(spec: &JobSpec, policy: &AdmissionPolicy) -> Result<(), AdmissionError> {
+    if spec.workload.n == 0 {
+        return Err(AdmissionError::ZeroBodies);
+    }
+    if spec.workload.n > policy.max_n {
+        return Err(AdmissionError::TooManyBodies { n: spec.workload.n, max: policy.max_n });
+    }
+    if spec.steps == 0 {
+        return Err(AdmissionError::ZeroSteps);
+    }
+    if spec.steps > policy.max_steps {
+        return Err(AdmissionError::TooManySteps { steps: spec.steps, max: policy.max_steps });
+    }
+    let interactions = (spec.workload.n as u64)
+        .saturating_mul(spec.workload.n as u64)
+        .saturating_mul(spec.steps as u64 + 1);
+    if interactions > policy.max_interactions {
+        return Err(AdmissionError::OverBudget { interactions, max: policy.max_interactions });
+    }
+    if !spec.dt.is_finite() || spec.dt <= 0.0 {
+        return Err(AdmissionError::BadDt(spec.dt));
+    }
+    if let Some(d) = spec.deadline_s {
+        if !d.is_finite() || d <= 0.0 {
+            return Err(AdmissionError::BadDeadline(d));
+        }
+    }
+    if spec.checkpoint_every == 0 {
+        return Err(AdmissionError::ZeroCheckpointEvery);
+    }
+    if spec.threads == Some(0) {
+        return Err(AdmissionError::ZeroThreads);
+    }
+    if spec.tile == Some(0) {
+        return Err(AdmissionError::ZeroTile);
+    }
+    if let Some((_, cfg)) = spec.fault_config() {
+        cfg.validate().map_err(AdmissionError::BadFaultConfig)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec::new(WorkloadSpec::plummer(128, 1), PlanKind::JwParallel, 10)
+    }
+
+    #[test]
+    fn default_spec_admits() {
+        admit(&spec(), &AdmissionPolicy::default()).unwrap();
+    }
+
+    #[test]
+    fn hash_is_stable_and_sensitive_to_result_fields() {
+        let base = spec();
+        assert_eq!(base.canonical_hash(), spec().canonical_hash());
+        assert_eq!(base.hash_hex().len(), 16);
+        for mutated in [
+            JobSpec { workload: WorkloadSpec::plummer(129, 1), ..base.clone() },
+            JobSpec { workload: WorkloadSpec::plummer(128, 2), ..base.clone() },
+            JobSpec { plan: PlanKind::IParallel, ..base.clone() },
+            JobSpec { steps: 11, ..base.clone() },
+            JobSpec { dt: 2e-3, ..base.clone() },
+            JobSpec { threads: Some(4), ..base.clone() },
+            JobSpec { tile: Some(8), ..base.clone() },
+        ] {
+            assert_ne!(base.canonical_hash(), mutated.canonical_hash(), "{mutated:?}");
+        }
+    }
+
+    #[test]
+    fn hash_ignores_scheduling_only_fields() {
+        let base = spec();
+        for same in [
+            JobSpec { priority: Priority::High, ..base.clone() },
+            JobSpec { deadline_s: Some(1.0), ..base.clone() },
+            JobSpec { fault_seed: Some(7), ..base.clone() },
+            JobSpec { checkpoint_every: 3, ..base.clone() },
+        ] {
+            assert_eq!(base.canonical_hash(), same.canonical_hash());
+        }
+    }
+
+    #[test]
+    fn admission_rejects_each_malformation_with_its_id() {
+        let policy = AdmissionPolicy { max_n: 1024, max_steps: 100, max_interactions: 1 << 20 };
+        let cases: Vec<(JobSpec, &str)> = vec![
+            (
+                JobSpec {
+                    workload: WorkloadSpec::plummer(0, 1),
+                    ..JobSpec::new(WorkloadSpec::plummer(0, 1), PlanKind::JwParallel, 5)
+                },
+                "zero-bodies",
+            ),
+            (
+                JobSpec::new(WorkloadSpec::plummer(2048, 1), PlanKind::JwParallel, 5),
+                "too-many-bodies",
+            ),
+            (JobSpec { steps: 0, ..spec() }, "zero-steps"),
+            (JobSpec { steps: 101, ..spec() }, "too-many-steps"),
+            (
+                JobSpec::new(WorkloadSpec::plummer(1024, 1), PlanKind::JwParallel, 100),
+                "over-budget",
+            ),
+            (JobSpec { dt: 0.0, ..spec() }, "bad-dt"),
+            (JobSpec { dt: f64::NAN, ..spec() }, "bad-dt"),
+            (JobSpec { deadline_s: Some(-1.0), ..spec() }, "bad-deadline"),
+            (JobSpec { checkpoint_every: 0, ..spec() }, "zero-checkpoint-every"),
+            (JobSpec { threads: Some(0), ..spec() }, "zero-threads"),
+            (JobSpec { tile: Some(0), ..spec() }, "zero-tile"),
+            (JobSpec { fault_seed: Some(1), fault_prob: Some(1.5), ..spec() }, "bad-fault-config"),
+        ];
+        for (bad, id) in cases {
+            let err = admit(&bad, &policy).unwrap_err();
+            assert_eq!(err.id(), id, "{bad:?} -> {err}");
+            assert!(err.to_string().contains(id), "{err}");
+        }
+    }
+
+    #[test]
+    fn priority_parse_roundtrips_and_orders() {
+        for p in Priority::all() {
+            assert_eq!(Priority::parse(p.id()), Some(p));
+        }
+        assert_eq!(Priority::parse("nope"), None);
+        assert!(Priority::High.rank() < Priority::Normal.rank());
+        assert!(Priority::Normal.rank() < Priority::Batch.rank());
+    }
+
+    #[test]
+    fn fault_config_built_from_spec() {
+        let mut s = spec();
+        assert!(s.fault_config().is_none());
+        s.fault_seed = Some(9);
+        s.fault_prob = Some(0.2);
+        s.fault_loss_prob = Some(0.5);
+        let (seed, cfg) = s.fault_config().unwrap();
+        assert_eq!(seed, 9);
+        assert_eq!(cfg.launch_fail_prob, 0.2);
+        assert_eq!(cfg.device_loss_prob, 0.5);
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let mut s = spec();
+        s.deadline_s = Some(0.25);
+        s.fault_seed = Some(3);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,438 @@
+//! The durable on-disk job spool: a crash-safe four-state machine.
+//!
+//! ```text
+//! spool/
+//!   seq                      next submission sequence ticket
+//!   submitted/<id>.json      waiting for the scheduler
+//!   running/<id>.json        claimed by a serve process
+//!   done/<id>.json           completed (result in cache/)
+//!   failed/<id>.json         terminal failure (typed error recorded)
+//!   jobs/<hash16>/           per-job work dir: checkpoints + artifacts
+//!   cache/<hash16>.json      content-addressed results
+//! ```
+//!
+//! Every file write goes through a `.tmp` sibling plus atomic rename, and
+//! every state transition is `write destination → remove source`, so a
+//! `kill -9` at any instant leaves either the old state, the new state, or
+//! both — never a torn file. [`Spool::open`] repairs the "both" case with a
+//! fixed precedence (`done`/`failed` over `running` over `submitted`),
+//! deletes stale `.tmp` litter everywhere, and re-queues jobs a dead server
+//! left in `running/` so they resume from their checkpoints.
+
+use crate::error::JobError;
+use crate::spec::JobSpec;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// The four job states; each is a directory under the spool root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Waiting for the scheduler.
+    Submitted,
+    /// Claimed by a serve process.
+    Running,
+    /// Completed; the result is in the cache.
+    Done,
+    /// Terminal failure; the record carries the typed error.
+    Failed,
+}
+
+impl JobState {
+    /// Directory name under the spool root.
+    pub fn dir_name(self) -> &'static str {
+        match self {
+            JobState::Submitted => "submitted",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// All states.
+    pub fn all() -> [JobState; 4] {
+        [JobState::Submitted, JobState::Running, JobState::Done, JobState::Failed]
+    }
+}
+
+/// One spooled job: the spec plus its submission identity and outcome
+/// bookkeeping. This is the JSON document that moves between state dirs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Monotone submission sequence (scheduling tiebreaker within a
+    /// priority class).
+    pub seq: u64,
+    /// Stable identity: `job-<seq:08>-<hash16>` (also the file stem).
+    pub id: String,
+    /// Canonical content hash of the spec, as 16 hex digits.
+    pub hash_hex: String,
+    /// The request itself.
+    pub spec: JobSpec,
+    /// Run attempts consumed so far (retries = attempts - 1).
+    pub attempts: u32,
+    /// Typed error message for failed jobs (`[id] detail` form).
+    pub error: Option<String>,
+}
+
+impl JobRecord {
+    /// The record's file name in any state directory.
+    pub fn file_name(&self) -> String {
+        format!("{}.json", self.id)
+    }
+}
+
+/// What [`Spool::open`] had to repair after a crash.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SpoolRecovery {
+    /// Jobs moved from `running/` back to `submitted/` (they resume from
+    /// their newest checkpoint).
+    pub requeued: usize,
+    /// Stale `.tmp` files deleted across the spool.
+    pub tmp_cleaned: usize,
+    /// Duplicate records dropped (a crash between the two halves of a
+    /// transition left the job in two state dirs).
+    pub duplicates_dropped: usize,
+}
+
+/// Writes `text` to `path` atomically: `.tmp` sibling, then rename.
+pub fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Handle to a spool directory tree.
+#[derive(Debug, Clone)]
+pub struct Spool {
+    root: PathBuf,
+}
+
+impl Spool {
+    /// Opens (creating if needed) the spool at `root` and repairs any
+    /// crash litter: stale `.tmp` files are deleted, duplicate records are
+    /// resolved by state precedence, and jobs a dead server left in
+    /// `running/` are re-queued.
+    pub fn open(root: impl Into<PathBuf>) -> Result<(Self, SpoolRecovery), JobError> {
+        let spool = Spool { root: root.into() };
+        let mut recovery = SpoolRecovery::default();
+        for state in JobState::all() {
+            let dir = spool.dir(state);
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| JobError::io(dir.display().to_string(), e))?;
+            recovery.tmp_cleaned += crate::checkpoint::clean_stale_tmp(&dir)
+                .map_err(|e| JobError::io(dir.display().to_string(), e))?;
+        }
+        for extra in [spool.cache_dir(), spool.jobs_dir()] {
+            std::fs::create_dir_all(&extra)
+                .map_err(|e| JobError::io(extra.display().to_string(), e))?;
+            recovery.tmp_cleaned += crate::checkpoint::clean_stale_tmp(&extra)
+                .map_err(|e| JobError::io(extra.display().to_string(), e))?;
+        }
+        recovery.tmp_cleaned += crate::checkpoint::clean_stale_tmp(&spool.root)
+            .map_err(|e| JobError::io(spool.root.display().to_string(), e))?;
+        // per-job work dirs can hold checkpoint .tmp litter too
+        if let Ok(entries) = std::fs::read_dir(spool.jobs_dir()) {
+            for entry in entries.flatten() {
+                if entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+                    recovery.tmp_cleaned +=
+                        crate::checkpoint::clean_stale_tmp(&entry.path()).unwrap_or(0);
+                }
+            }
+        }
+
+        // duplicate resolution: a terminal record wins over running, which
+        // wins over submitted; then requeue whatever genuinely runs nowhere
+        let terminal: Vec<String> = [JobState::Done, JobState::Failed]
+            .into_iter()
+            .flat_map(|s| spool.file_names(s))
+            .collect();
+        for state in [JobState::Running, JobState::Submitted] {
+            for name in spool.file_names(state) {
+                if terminal.contains(&name) {
+                    std::fs::remove_file(spool.dir(state).join(&name)).ok();
+                    recovery.duplicates_dropped += 1;
+                }
+            }
+        }
+        let running: Vec<String> = spool.file_names(JobState::Running);
+        for name in running {
+            let dst = spool.dir(JobState::Submitted).join(&name);
+            if dst.exists() {
+                // crash between claim-write and submitted-remove: the
+                // submitted copy is authoritative, drop the claim
+                std::fs::remove_file(spool.dir(JobState::Running).join(&name)).ok();
+                recovery.duplicates_dropped += 1;
+            } else {
+                std::fs::rename(spool.dir(JobState::Running).join(&name), &dst)
+                    .map_err(|e| JobError::io(dst.display().to_string(), e))?;
+                recovery.requeued += 1;
+            }
+        }
+        Ok((spool, recovery))
+    }
+
+    /// The spool root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory for `state`.
+    pub fn dir(&self, state: JobState) -> PathBuf {
+        self.root.join(state.dir_name())
+    }
+
+    /// The content-addressed result cache directory.
+    pub fn cache_dir(&self) -> PathBuf {
+        self.root.join("cache")
+    }
+
+    /// The parent of all per-job work directories.
+    pub fn jobs_dir(&self) -> PathBuf {
+        self.root.join("jobs")
+    }
+
+    /// The work directory (checkpoints, artifacts) for a job hash. Shared
+    /// by identical resubmissions — which is exactly what lets a re-queued
+    /// job resume the checkpoints of its crashed predecessor.
+    pub fn job_dir(&self, hash_hex: &str) -> PathBuf {
+        self.jobs_dir().join(hash_hex)
+    }
+
+    /// The result cache over this spool's cache directory.
+    pub fn cache(&self) -> crate::cache::ResultCache {
+        crate::cache::ResultCache::new(self.cache_dir())
+    }
+
+    fn file_names(&self, state: JobState) -> Vec<String> {
+        let mut names = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(self.dir(state)) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.ends_with(".json") {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        names
+    }
+
+    /// Allocates the next submission sequence number (ticket file, written
+    /// atomically). Single-writer per spool; concurrent submitters should
+    /// serialize externally.
+    fn next_seq(&self) -> Result<u64, JobError> {
+        let path = self.root.join("seq");
+        let next = match std::fs::read_to_string(&path) {
+            Ok(text) => text.trim().parse::<u64>().unwrap_or(0) + 1,
+            Err(_) => 1,
+        };
+        write_atomic(&path, &next.to_string())
+            .map_err(|e| JobError::io(path.display().to_string(), e))?;
+        Ok(next)
+    }
+
+    /// Submits a spec: allocates a sequence number and durably writes the
+    /// record into `submitted/`. No admission check happens here — the
+    /// server is the authority (use [`crate::spec::admit`] client-side for
+    /// an early error).
+    pub fn submit(&self, spec: &JobSpec) -> Result<JobRecord, JobError> {
+        let seq = self.next_seq()?;
+        let hash_hex = spec.hash_hex();
+        let record = JobRecord {
+            seq,
+            id: format!("job-{seq:08}-{hash_hex}"),
+            hash_hex,
+            spec: spec.clone(),
+            attempts: 0,
+            error: None,
+        };
+        self.write_record(&record, JobState::Submitted)?;
+        Ok(record)
+    }
+
+    fn write_record(&self, record: &JobRecord, state: JobState) -> Result<(), JobError> {
+        let path = self.dir(state).join(record.file_name());
+        let json = serde_json::to_string_pretty(record).map_err(|e| JobError::Parse {
+            path: path.display().to_string(),
+            msg: e.to_string(),
+        })?;
+        write_atomic(&path, &json).map_err(|e| JobError::io(path.display().to_string(), e))
+    }
+
+    /// All records in `state`, in scheduling order: priority class rank,
+    /// then submission sequence. Unparseable records are quarantined into
+    /// `failed/` (renamed as-is) instead of wedging the queue.
+    pub fn list(&self, state: JobState) -> Result<Vec<JobRecord>, JobError> {
+        let mut records = Vec::new();
+        for name in self.file_names(state) {
+            let path = self.dir(state).join(&name);
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| JobError::io(path.display().to_string(), e))?;
+            match serde_json::from_str::<JobRecord>(&text) {
+                Ok(rec) => records.push(rec),
+                Err(err) => {
+                    eprintln!("quarantining malformed spool record {name}: {err}");
+                    let dst = self.dir(JobState::Failed).join(&name);
+                    std::fs::rename(&path, &dst)
+                        .map_err(|e| JobError::io(dst.display().to_string(), e))?;
+                }
+            }
+        }
+        records.sort_by_key(|r| (r.spec.priority.rank(), r.seq));
+        Ok(records)
+    }
+
+    /// Counts records in `state`.
+    pub fn count(&self, state: JobState) -> usize {
+        self.file_names(state).len()
+    }
+
+    /// Moves `record` from `from` to `to`, persisting any field updates
+    /// (attempts, error). Crash-safe: destination is written first, then
+    /// the source is removed; [`Spool::open`] resolves the overlap window.
+    pub fn transition(
+        &self,
+        record: &JobRecord,
+        from: JobState,
+        to: JobState,
+    ) -> Result<(), JobError> {
+        self.write_record(record, to)?;
+        let src = self.dir(from).join(record.file_name());
+        match std::fs::remove_file(&src) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(JobError::io(src.display().to_string(), e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{JobSpec, Priority};
+    use plans::prelude::PlanKind;
+    use workloads::spec::WorkloadSpec;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("nbody-ptpm-jobs-spool").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn spec(n: usize, seed: u64) -> JobSpec {
+        JobSpec::new(WorkloadSpec::plummer(n, seed), PlanKind::JwParallel, 4)
+    }
+
+    #[test]
+    fn submit_list_transition_roundtrip() {
+        let (spool, rec) = Spool::open(tmp("roundtrip")).unwrap();
+        assert_eq!(rec, SpoolRecovery::default());
+        let a = spool.submit(&spec(32, 1)).unwrap();
+        let b = spool.submit(&spec(32, 2)).unwrap();
+        assert_eq!(a.seq, 1);
+        assert_eq!(b.seq, 2);
+        assert!(a.id.starts_with("job-00000001-"));
+        let listed = spool.list(JobState::Submitted).unwrap();
+        assert_eq!(listed.len(), 2);
+        assert_eq!(listed[0].id, a.id, "sequence order within a class");
+        spool.transition(&a, JobState::Submitted, JobState::Running).unwrap();
+        assert_eq!(spool.count(JobState::Submitted), 1);
+        assert_eq!(spool.count(JobState::Running), 1);
+        let mut done = a.clone();
+        done.attempts = 1;
+        spool.transition(&done, JobState::Running, JobState::Done).unwrap();
+        let done_listed = spool.list(JobState::Done).unwrap();
+        assert_eq!(done_listed[0].attempts, 1);
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn priority_classes_order_before_sequence() {
+        let (spool, _) = Spool::open(tmp("priority")).unwrap();
+        let mut batch = spec(16, 1);
+        batch.priority = Priority::Batch;
+        let mut high = spec(16, 2);
+        high.priority = Priority::High;
+        let normal = spec(16, 3);
+        spool.submit(&batch).unwrap();
+        spool.submit(&normal).unwrap();
+        spool.submit(&high).unwrap();
+        let ids: Vec<u64> =
+            spool.list(JobState::Submitted).unwrap().iter().map(|r| r.seq).collect();
+        assert_eq!(ids, [3, 2, 1], "high, then normal, then batch");
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn reopen_requeues_running_and_cleans_tmp() {
+        let root = tmp("requeue");
+        let (spool, _) = Spool::open(&root).unwrap();
+        let a = spool.submit(&spec(32, 1)).unwrap();
+        spool.transition(&a, JobState::Submitted, JobState::Running).unwrap();
+        // crash litter: a half-written record and a half-written checkpoint
+        std::fs::write(spool.dir(JobState::Submitted).join("x.json.tmp"), "{half").unwrap();
+        let jd = spool.job_dir(&a.hash_hex);
+        std::fs::create_dir_all(&jd).unwrap();
+        std::fs::write(jd.join("ckpt-00004.json.tmp"), "{half").unwrap();
+
+        let (spool2, recovery) = Spool::open(&root).unwrap();
+        assert_eq!(recovery.requeued, 1);
+        assert!(recovery.tmp_cleaned >= 2, "{recovery:?}");
+        assert_eq!(spool2.count(JobState::Running), 0);
+        let listed = spool2.list(JobState::Submitted).unwrap();
+        assert_eq!(listed[0].id, a.id);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn reopen_resolves_duplicates_by_precedence() {
+        let root = tmp("dupes");
+        let (spool, _) = Spool::open(&root).unwrap();
+        let a = spool.submit(&spec(32, 1)).unwrap();
+        // simulate a crash between transition halves: record in both
+        // running/ and done/
+        spool.write_record(&a, JobState::Running).unwrap();
+        spool.write_record(&a, JobState::Done).unwrap();
+        std::fs::remove_file(spool.dir(JobState::Submitted).join(a.file_name())).unwrap();
+        let (spool2, recovery) = Spool::open(&root).unwrap();
+        assert_eq!(recovery.duplicates_dropped, 1);
+        assert_eq!(recovery.requeued, 0);
+        assert_eq!(spool2.count(JobState::Done), 1);
+        assert_eq!(spool2.count(JobState::Running), 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn malformed_record_is_quarantined_not_fatal() {
+        let (spool, _) = Spool::open(tmp("quarantine")).unwrap();
+        spool.submit(&spec(32, 1)).unwrap();
+        std::fs::write(spool.dir(JobState::Submitted).join("job-zzz.json"), "{nope").unwrap();
+        let listed = spool.list(JobState::Submitted).unwrap();
+        assert_eq!(listed.len(), 1, "the good record survives");
+        assert_eq!(spool.count(JobState::Failed), 1, "the bad one is quarantined");
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn write_atomic_leaves_no_tmp_sibling() {
+        let root = tmp("atomic");
+        std::fs::create_dir_all(&root).unwrap();
+        let path = root.join("x.json");
+        write_atomic(&path, "{}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}");
+        assert!(!root.join("x.json.tmp").exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn identical_specs_share_hash_but_not_identity() {
+        let (spool, _) = Spool::open(tmp("identity")).unwrap();
+        let a = spool.submit(&spec(32, 1)).unwrap();
+        let b = spool.submit(&spec(32, 1)).unwrap();
+        assert_eq!(a.hash_hex, b.hash_hex);
+        assert_ne!(a.id, b.id);
+        assert_eq!(spool.job_dir(&a.hash_hex), spool.job_dir(&b.hash_hex));
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+}

@@ -48,6 +48,11 @@ impl PlanKind {
         }
     }
 
+    /// Parses the [`PlanKind::id`] form (CLI flags, job specs).
+    pub fn parse(s: &str) -> Option<Self> {
+        PlanKind::all().into_iter().find(|k| k.id() == s)
+    }
+
     /// All plans in the paper's presentation order.
     pub fn all() -> [PlanKind; 4] {
         [PlanKind::IParallel, PlanKind::JParallel, PlanKind::WParallel, PlanKind::JwParallel]
@@ -335,6 +340,14 @@ mod tests {
         assert_eq!(PlanKind::all().len(), 4);
         assert!(PlanKind::WParallel.uses_tree());
         assert!(!PlanKind::JParallel.uses_tree());
+    }
+
+    #[test]
+    fn plan_parse_roundtrips_every_id() {
+        for kind in PlanKind::all() {
+            assert_eq!(PlanKind::parse(kind.id()), Some(kind));
+        }
+        assert_eq!(PlanKind::parse("k-parallel"), None);
     }
 
     #[test]

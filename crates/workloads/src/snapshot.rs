@@ -91,9 +91,17 @@ impl Snapshot {
         Ok(snap)
     }
 
-    /// Writes to a file.
+    /// Writes to a file atomically: the JSON lands in a `.tmp` sibling
+    /// first and is renamed into place, so a crash mid-write can never
+    /// leave a truncated snapshot under the final name — at worst it leaves
+    /// `.tmp` litter for startup cleanup to delete.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
     }
 
     /// Reads from a file.
@@ -169,6 +177,21 @@ mod tests {
         let back = Snapshot::load(&path).unwrap();
         assert_eq!(back, snap);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_leaving_no_tmp_sibling() {
+        let set = plummer(8, PlummerParams::default(), 21);
+        let snap = Snapshot::new("atomic", 0.25, set);
+        let dir = std::env::temp_dir().join("nbody-ptpm-test-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        // a stale tmp from a previous crash must not confuse the write
+        std::fs::write(dir.join("snap.json.tmp"), "{half-written").unwrap();
+        snap.save(&path).unwrap();
+        assert!(!dir.join("snap.json.tmp").exists(), "tmp renamed away");
+        assert_eq!(Snapshot::load(&path).unwrap(), snap);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

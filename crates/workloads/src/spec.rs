@@ -41,6 +41,11 @@ impl WorkloadKind {
         }
     }
 
+    /// Parses the [`WorkloadKind::id`] form (CLI flags, job specs).
+    pub fn parse(s: &str) -> Option<Self> {
+        WorkloadKind::all().into_iter().find(|k| k.id() == s)
+    }
+
     /// All kinds, for sweeps.
     pub fn all() -> [WorkloadKind; 6] {
         [
@@ -124,6 +129,14 @@ mod tests {
             WorkloadSpec { kind: WorkloadKind::UniformCube, n: 77, seed: 1 }.generate().len(),
             77
         );
+    }
+
+    #[test]
+    fn parse_roundtrips_every_id() {
+        for kind in WorkloadKind::all() {
+            assert_eq!(WorkloadKind::parse(kind.id()), Some(kind));
+        }
+        assert_eq!(WorkloadKind::parse("nope"), None);
     }
 
     #[test]
