@@ -98,6 +98,16 @@ grep -q 'requeued=[1-9]' "$out/serve-restart.log" || { echo "FAIL: no killed job
 grep -q 'completed=3 computed=0 cache-hits=3' "$out/serve-cached.log" || {
     echo "FAIL: resubmitted batch was not served entirely from cache"; exit 1; }
 
+echo "==> cross-backend conformance gate (sim / host / f32 matrix)"
+# The full differential matrix (workloads x N x all four plans x {1,2,4}
+# threads across the three backends, DESIGN.md section 11) runs in well
+# under a second in release mode, so CI takes the non---quick sweep. The
+# bin exits 1 on any contract violation; grep the verdict line anyway so a
+# silent early exit can never pass.
+cargo run --release -p harness --bin conformance | tee "$out/conformance.log"
+grep -q 'CONFORMANCE OK' "$out/conformance.log" || {
+    echo "FAIL: cross-backend conformance matrix did not pass"; exit 1; }
+
 echo "==> allocation-regression gate (zero allocs per steady-state step)"
 # tests/alloc_steady_state.rs installs the counting global allocator and
 # asserts the serial PP/treecode/walk/Morton steps allocate nothing after

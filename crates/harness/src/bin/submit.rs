@@ -5,6 +5,7 @@
 //!     [--workload plummer] [--n 384] [--seed 1] [--plan jw-parallel] \
 //!     [--steps 12] [--dt 1e-3] [--every 4] [--priority normal] \
 //!     [--deadline-s 0.5] [--tile 128] [--job-threads 4] \
+//!     [--backend auto|sim|host|f32] \
 //!     [--fault-seed 7] [--fault-prob 0.1] [--fault-loss-prob 0.01] \
 //!     [--count 1]
 //! ```
@@ -18,7 +19,7 @@
 
 use harness::error::{exit_with, or_exit, HarnessError};
 use jobs::prelude::*;
-use plans::prelude::PlanKind;
+use plans::prelude::{BackendKind, PlanKind};
 use workloads::spec::{WorkloadKind, WorkloadSpec};
 
 fn parsed<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<Result<T, HarnessError>> {
@@ -41,6 +42,7 @@ fn main() {
         eprintln!("usage: submit --spool <dir> [--workload k] [--n N] [--seed S] [--plan p]");
         eprintln!("              [--steps K] [--dt D] [--every E] [--priority c]");
         eprintln!("              [--deadline-s T] [--tile W] [--job-threads H] [--count C]");
+        eprintln!("              [--backend auto|sim|host|f32]");
         eprintln!("              [--fault-seed F] [--fault-prob P] [--fault-loss-prob Q]");
         std::process::exit(2);
     };
@@ -90,6 +92,11 @@ fn main() {
     }
     if let Some(q) = parsed(&args, "--fault-loss-prob") {
         spec.fault_loss_prob = Some(or_exit(q));
+    }
+    if let Some(id) = flag_value(&args, "--backend") {
+        spec.backend = Some(BackendKind::parse(id).unwrap_or_else(|| {
+            exit_with(HarnessError::BadFlag { flag: "--backend".into(), value: id.into() })
+        }));
     }
     let count: usize = parsed(&args, "--count").map_or(1, or_exit);
 

@@ -7,7 +7,7 @@
 
 use gpu_sim::prelude::*;
 use nbody_core::gravity::GravityParams;
-use plans::prelude::PlanConfig;
+use plans::prelude::{Backend, BackendKind, PlanConfig, SimBackend};
 use serde::{Deserialize, Serialize};
 use workloads::spec::WorkloadSpec;
 
@@ -54,6 +54,11 @@ pub struct ExperimentConfig {
     /// wall-clock knob. Absent in result files written before host
     /// parallelism existed (missing deserializes as `None`).
     pub threads: Option<usize>,
+    /// Execution backend pinned via `--backend` (`None` = auto = the
+    /// simulated device). Non-sim backends have no simulated clocks, fault
+    /// injection, or traces — see DESIGN.md §11. Absent in result files
+    /// written before the backend seam existed.
+    pub backend: Option<BackendKind>,
 }
 
 impl ExperimentConfig {
@@ -68,6 +73,7 @@ impl ExperimentConfig {
             host_slowdown: HOST_SLOWDOWN,
             fault_seed: None,
             threads: None,
+            backend: None,
         }
     }
 
@@ -90,6 +96,23 @@ impl ExperimentConfig {
             device.set_fault_plan(FaultPlan::new(seed, FaultConfig::transient(FAULT_PROBABILITY)));
         }
         device
+    }
+
+    /// The resolved backend kind this experiment runs on (`None`/`auto` →
+    /// sim).
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.unwrap_or_default().resolve()
+    }
+
+    /// A fresh backend for one evaluation stream. On the sim backend this
+    /// wraps [`ExperimentConfig::device`], so the configured fault plan is
+    /// installed; the host and f32 backends ignore `fault_seed` (they have
+    /// no device to inject into — CLI parsing rejects the combination).
+    pub fn make_backend(&self) -> Box<dyn Backend> {
+        match self.backend_kind() {
+            BackendKind::Sim => Box::new(SimBackend::new(self.device(), self.plan)),
+            other => plans::prelude::make_backend(other, self.plan),
+        }
     }
 }
 
@@ -129,6 +152,22 @@ mod tests {
         assert!(!stripped.contains("fault_seed"));
         let back: ExperimentConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back.fault_seed, None);
+    }
+
+    #[test]
+    fn backend_field_resolves_and_legacy_json_parses() {
+        let mut cfg = ExperimentConfig::quick();
+        assert_eq!(cfg.backend_kind(), BackendKind::Sim);
+        assert!(cfg.make_backend().device().is_some());
+        cfg.backend = Some(BackendKind::Host);
+        assert_eq!(cfg.backend_kind(), BackendKind::Host);
+        assert!(cfg.make_backend().device().is_none());
+        // result files written before the backend field existed still load
+        let json = serde_json::to_string(&ExperimentConfig::quick()).unwrap();
+        let stripped = json.replace("\"backend\":null,", "").replace(",\"backend\":null", "");
+        assert!(!stripped.contains("\"backend\""));
+        let back: ExperimentConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.backend, None);
     }
 
     #[test]

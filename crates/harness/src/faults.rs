@@ -160,7 +160,8 @@ pub fn run(cfg: &FaultRun, dir: &Path) -> Result<FaultRunReport, HarnessError> {
         }
     }
 
-    let fault_counts = engine.device().fault_plan().map(|p| p.counts()).unwrap_or_default();
+    let fault_counts =
+        engine.device().and_then(|d| d.fault_plan()).map(|p| p.counts()).unwrap_or_default();
     Ok(FaultRunReport {
         steps_completed: step,
         resumed_from,

@@ -57,7 +57,9 @@ pub use runner::Runner;
 
 /// Parses the common CLI convention of the harness binaries: `--quick`
 /// selects the reduced sweep, `--max-n <N>` truncates the size sweep,
-/// `--faults <seed>` enables deterministic fault injection, and
+/// `--faults <seed>` enables deterministic fault injection,
+/// `--backend auto|sim|host|f32` pins the execution backend (sim-only
+/// features like `--faults` are rejected on other backends), and
 /// `--threads <N>` pins the host worker-thread count (every result is
 /// bit-exact across thread counts; absent the flag, the `NBODY_THREADS`
 /// environment variable and then the machine's available parallelism
@@ -81,6 +83,20 @@ pub fn try_config_from_args(args: &[String]) -> Result<ExperimentConfig, error::
             value: value.clone(),
         })?;
         cfg.fault_seed = Some(seed);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--backend") {
+        let value = args.get(pos + 1).cloned().unwrap_or_default();
+        let kind = plans::prelude::BackendKind::parse(&value).ok_or_else(|| {
+            error::HarnessError::BadFlag { flag: "--backend".into(), value: value.clone() }
+        })?;
+        cfg.backend = Some(kind);
+    }
+    if cfg.fault_seed.is_some() && cfg.backend_kind() != plans::prelude::BackendKind::Sim {
+        // fault injection needs a simulated device
+        return Err(error::HarnessError::BadFlag {
+            flag: "--faults".into(),
+            value: format!("unsupported on backend '{}'", cfg.backend_kind().id()),
+        });
     }
     cfg.threads = try_threads_from_args(args)?;
     Ok(cfg)
@@ -146,6 +162,31 @@ mod tests {
         assert!(err.to_string().contains("--faults"));
         let err = try_config_from_args(&["--faults".to_string()]).unwrap_err();
         assert!(matches!(err, error::HarnessError::BadFlag { .. }));
+    }
+
+    #[test]
+    fn backend_flag_parses_and_guards_faults() {
+        use plans::prelude::BackendKind;
+        for (value, kind) in [
+            ("auto", BackendKind::Auto),
+            ("sim", BackendKind::Sim),
+            ("host", BackendKind::Host),
+            ("f32", BackendKind::F32),
+        ] {
+            let cfg = try_config_from_args(&["--backend".to_string(), value.to_string()]).unwrap();
+            assert_eq!(cfg.backend, Some(kind));
+        }
+        assert_eq!(try_config_from_args(&[]).unwrap().backend, None);
+        let err = try_config_from_args(&["--backend".to_string(), "cuda".to_string()]).unwrap_err();
+        assert!(err.to_string().contains("--backend"), "{err}");
+        // fault injection is sim-only
+        let args: Vec<String> =
+            ["--backend", "host", "--faults", "7"].iter().map(|s| s.to_string()).collect();
+        let err = try_config_from_args(&args).unwrap_err();
+        assert!(err.to_string().contains("--faults"), "{err}");
+        let args: Vec<String> =
+            ["--backend", "sim", "--faults", "7"].iter().map(|s| s.to_string()).collect();
+        assert!(try_config_from_args(&args).is_ok());
     }
 
     #[test]

@@ -2,18 +2,19 @@
 //! outcome so all tables and figures derive from the same measurements.
 
 use crate::config::ExperimentConfig;
-use gpu_sim::device::Device;
 use gpu_sim::trace::{MemoryTraceSink, Trace};
 use nbody_core::body::ParticleSet;
 use plans::make_plan;
 use plans::prelude::*;
 use std::collections::HashMap;
 
-/// Caching evaluator over the experiment grid.
+/// Caching evaluator over the experiment grid. All evaluations flow through
+/// the configured [`Backend`]; the sim backend keeps one shared device so a
+/// configured fault stream advances across the grid exactly as before.
 pub struct Runner {
     /// The configuration in force.
     pub cfg: ExperimentConfig,
-    device: Device,
+    backend: Box<dyn Backend>,
     sets: HashMap<usize, ParticleSet>,
     outcomes: HashMap<(PlanKind, usize), PlanOutcome>,
     traces: HashMap<(PlanKind, usize), Trace>,
@@ -22,8 +23,19 @@ pub struct Runner {
 impl Runner {
     /// Creates a runner for a configuration.
     pub fn new(cfg: ExperimentConfig) -> Self {
-        let device = cfg.device();
-        Self { cfg, device, sets: HashMap::new(), outcomes: HashMap::new(), traces: HashMap::new() }
+        let backend = cfg.make_backend();
+        Self {
+            cfg,
+            backend,
+            sets: HashMap::new(),
+            outcomes: HashMap::new(),
+            traces: HashMap::new(),
+        }
+    }
+
+    /// The backend grid points evaluate on.
+    pub fn backend(&self) -> &dyn Backend {
+        self.backend.as_ref()
     }
 
     /// The workload at size `n` (generated once).
@@ -62,9 +74,8 @@ impl Runner {
                 .map(|&(kind, n)| {
                     move || {
                         let set = &sets[&n];
-                        let mut device = cfg.device();
-                        let plan = make_plan(kind, cfg.plan);
-                        let outcome = plan.evaluate(&mut device, set, &cfg.gravity);
+                        let mut backend = cfg.make_backend();
+                        let outcome = backend.evaluate(kind, set, &cfg.gravity);
                         (kind, n, outcome)
                     }
                 })
@@ -84,8 +95,7 @@ impl Runner {
         // instead of cloned per run
         let cfg = &self.cfg;
         let set = self.sets.entry(n).or_insert_with(|| cfg.workload(n).generate());
-        let plan = make_plan(kind, cfg.plan);
-        let outcome = plan.evaluate(&mut self.device, set, &cfg.gravity);
+        let outcome = self.backend.evaluate(kind, set, &cfg.gravity);
         self.outcomes.insert((kind, n), outcome.clone());
         outcome
     }
@@ -99,6 +109,13 @@ impl Runner {
     pub fn trace(&mut self, kind: PlanKind, n: usize) -> Trace {
         if let Some(t) = self.traces.get(&(kind, n)) {
             return t.clone();
+        }
+        // trace contract: only the sim backend owns a device, so the other
+        // backends yield an empty trace
+        if self.cfg.backend_kind() != BackendKind::Sim {
+            let trace = Trace::default();
+            self.traces.insert((kind, n), trace.clone());
+            return trace;
         }
         let cfg = &self.cfg;
         let set = self.sets.entry(n).or_insert_with(|| cfg.workload(n).generate());
@@ -189,6 +206,30 @@ mod tests {
             let b = pre.outcome(kind, 256);
             assert_eq!(a.acc, b.acc, "{kind:?}");
             assert_eq!(a.recovery_s, b.recovery_s, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn non_sim_backends_run_the_grid_without_devices() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.sizes = vec![256];
+
+        cfg.backend = Some(BackendKind::Host);
+        let mut host = Runner::new(cfg.clone());
+        assert_eq!(host.backend().kind(), BackendKind::Host);
+        let o = host.outcome(PlanKind::JwParallel, 256);
+        assert!(o.acc.iter().all(|a| a.x.is_finite() && a.y.is_finite() && a.z.is_finite()));
+        assert_eq!(o.kernel_s, 0.0, "no simulated clock off the sim backend");
+        assert!(host.trace(PlanKind::JwParallel, 256).is_empty(), "no device, no trace");
+
+        // the f32 backend reproduces the sim oracle bit-exactly through the
+        // full Runner path
+        cfg.backend = Some(BackendKind::F32);
+        let mut f32r = Runner::new(cfg.clone());
+        cfg.backend = None;
+        let mut sim = Runner::new(cfg);
+        for kind in PlanKind::all() {
+            assert_eq!(f32r.outcome(kind, 256).acc, sim.outcome(kind, 256).acc, "{kind:?}");
         }
     }
 

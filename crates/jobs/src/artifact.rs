@@ -63,13 +63,21 @@ pub struct BenchRecord {
 
 /// Captures one traced force evaluation of the job's plan: a fresh traced
 /// device primes the initial set once. Deterministic for a fixed spec.
+///
+/// Trace contract (DESIGN.md §11): only the sim backend owns a device, so
+/// jobs pinned to the host or f32 backend get an *empty* trace — the
+/// `trace.csv` artifact is then just the header.
 fn traced_evaluation(spec: &crate::spec::JobSpec) -> Trace {
     use gpu_sim::prelude::{Device, DeviceSpec, FaultPlan, TransferModel};
     use nbody_core::gravity::GravityParams;
     use nbody_core::integrator::prime;
     use plans::engine::PlanForceEngine;
     use plans::make_plan;
-    use plans::prelude::PlanConfig;
+    use plans::prelude::{BackendKind, PlanConfig};
+
+    if spec.backend_kind() != BackendKind::Sim {
+        return Trace::default();
+    }
 
     let sink = MemoryTraceSink::new();
     let mut device =
@@ -240,6 +248,17 @@ mod tests {
         };
         assert_eq!(csv, csv2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_sim_backends_emit_empty_traces() {
+        for backend in [plans::prelude::BackendKind::Host, plans::prelude::BackendKind::F32] {
+            let mut spec = JobSpec::new(WorkloadSpec::plummer(64, 5), PlanKind::IParallel, 1);
+            spec.backend = Some(backend);
+            let trace = traced_evaluation(&spec);
+            assert!(trace.is_empty(), "{backend:?} must not trace");
+            assert_eq!(trace_csv(&trace).trim_end(), TRACE_CSV_HEADER);
+        }
     }
 
     #[test]

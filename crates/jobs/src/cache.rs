@@ -149,7 +149,7 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plans::prelude::PlanKind;
+    use plans::prelude::{BackendKind, PlanKind};
     use workloads::spec::WorkloadSpec;
 
     fn tmp(name: &str) -> PathBuf {
@@ -187,6 +187,35 @@ mod tests {
         let hit = cache.lookup(&r.hash_hex).unwrap().expect("hit after store");
         assert_eq!(hit, r);
         assert_eq!(cache.len(), 1);
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn precision_tiers_never_share_cache_entries() {
+        let cache = ResultCache::new(tmp("tiers"));
+        let r = result(16, 6); // computed on the default (sim, f32-tier) backend
+        cache.store(&r).unwrap();
+
+        // the same spec pinned to another tier hashes differently, so the
+        // lookup is a miss — an f32 result can never serve an f64 request
+        let mut host_spec = r.spec.clone();
+        host_spec.backend = Some(BackendKind::Host);
+        assert_ne!(host_spec.hash_hex(), r.hash_hex);
+        assert!(cache.lookup(&host_spec.hash_hex()).unwrap().is_none());
+
+        let mut f32_spec = r.spec.clone();
+        f32_spec.backend = Some(BackendKind::F32);
+        assert_ne!(f32_spec.hash_hex(), host_spec.hash_hex());
+        assert_ne!(f32_spec.hash_hex(), r.hash_hex);
+        assert!(cache.lookup(&f32_spec.hash_hex()).unwrap().is_none());
+
+        // while an explicit `auto` or `sim` still hits the stored entry
+        for same in [BackendKind::Auto, BackendKind::Sim] {
+            let mut spec = r.spec.clone();
+            spec.backend = Some(same);
+            assert_eq!(spec.hash_hex(), r.hash_hex);
+            assert!(cache.lookup(&spec.hash_hex()).unwrap().is_some());
+        }
         std::fs::remove_dir_all(cache.dir()).ok();
     }
 

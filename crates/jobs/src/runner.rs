@@ -28,8 +28,7 @@ use nbody_core::body::ParticleSet;
 use nbody_core::gravity::GravityParams;
 use nbody_core::integrator::{prime, Integrator, LeapfrogKdk};
 use plans::engine::PlanForceEngine;
-use plans::make_plan;
-use plans::prelude::PlanConfig;
+use plans::prelude::{make_backend, Backend, BackendKind, PlanConfig, SimBackend};
 use std::path::Path;
 use workloads::snapshot::Snapshot;
 
@@ -79,18 +78,26 @@ fn plan_config(spec: &JobSpec) -> PlanConfig {
 }
 
 fn engine(spec: &JobSpec, with_faults: bool) -> PlanForceEngine {
-    let mut device =
-        Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::pcie2_x16());
-    if with_faults {
-        if let Some((seed, cfg)) = spec.fault_config() {
-            device.set_fault_plan(FaultPlan::new(seed, cfg));
+    let config = plan_config(spec);
+    let params = GravityParams { g: 1.0, softening: 0.05 };
+    let backend: Box<dyn Backend> = match spec.backend_kind() {
+        // admission guarantees fault injection only reaches the sim
+        // backend, but build the device here anyway so the plan can carry it
+        BackendKind::Sim => {
+            let mut device = Device::with_transfer_model(
+                DeviceSpec::radeon_hd_5850(),
+                TransferModel::pcie2_x16(),
+            );
+            if with_faults {
+                if let Some((seed, cfg)) = spec.fault_config() {
+                    device.set_fault_plan(FaultPlan::new(seed, cfg));
+                }
+            }
+            Box::new(SimBackend::new(device, config))
         }
-    }
-    PlanForceEngine::new(
-        device,
-        make_plan(spec.plan, plan_config(spec)),
-        GravityParams { g: 1.0, softening: 0.05 },
-    )
+        other => make_backend(other, config),
+    };
+    PlanForceEngine::with_backend(backend, spec.plan, params)
 }
 
 /// Runs (or resumes) one attempt of `spec`, checkpointing into `dir`.
@@ -144,7 +151,8 @@ pub fn run_job(spec: &JobSpec, dir: &Path, opts: &RunOptions) -> Result<RunStatu
 
     let final_snapshot = Snapshot::new(spec.label(), spec.steps as f64 * spec.dt, set);
     let result_checksum = final_snapshot.checksum.expect("fresh snapshots carry a checksum");
-    let fault_total = eng.device().fault_plan().map(|p| p.counts().total() as u64).unwrap_or(0);
+    let fault_total =
+        eng.device().and_then(|d| d.fault_plan()).map(|p| p.counts().total() as u64).unwrap_or(0);
     Ok(RunStatus::Complete(Box::new(JobResult {
         hash_hex: spec.hash_hex(),
         spec: spec.clone(),
@@ -287,6 +295,41 @@ mod tests {
         assert_eq!(result.final_snapshot.set.pos(), reference.pos());
         assert_eq!(result.final_snapshot.set.vel(), reference.vel());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backend_tiers_route_through_the_trait() {
+        let dir = tmp("backend-sim");
+        let sim = complete(run_job(&spec(), &dir, &RunOptions::default()).unwrap());
+
+        // the f32 backend re-executes the device kernels bit-exactly, so the
+        // whole trajectory matches the sim oracle — under a distinct hash
+        let mut f32_spec = spec();
+        f32_spec.backend = Some(BackendKind::F32);
+        let dir_f = tmp("backend-f32");
+        let f32_res = complete(run_job(&f32_spec, &dir_f, &RunOptions::default()).unwrap());
+        assert_ne!(sim.hash_hex, f32_res.hash_hex);
+        assert_eq!(sim.final_snapshot.set.pos(), f32_res.final_snapshot.set.pos());
+        assert_eq!(sim.final_snapshot.set.vel(), f32_res.final_snapshot.set.vel());
+        assert_eq!(f32_res.simulated_total_s, 0.0, "no simulated clock off the sim backend");
+
+        // the host f64 tier computes different bits but the same physics,
+        // and reproduces its own reference trajectory exactly
+        let mut host_spec = spec();
+        host_spec.backend = Some(BackendKind::Host);
+        let dir_h = tmp("backend-host");
+        let host = complete(run_job(&host_spec, &dir_h, &RunOptions::default()).unwrap());
+        assert_ne!(host.hash_hex, sim.hash_hex);
+        assert_ne!(host.hash_hex, f32_res.hash_hex);
+        assert_ne!(host.final_snapshot.set.pos(), sim.final_snapshot.set.pos());
+        assert!(host.final_snapshot.set.all_finite());
+        let reference = reference_set(&host_spec);
+        assert_eq!(host.final_snapshot.set.pos(), reference.pos());
+        assert_eq!(host.final_snapshot.set.vel(), reference.vel());
+
+        for dir in [dir, dir_f, dir_h] {
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

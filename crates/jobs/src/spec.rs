@@ -14,7 +14,7 @@
 //! error.
 
 use gpu_sim::prelude::FaultConfig;
-use plans::prelude::PlanKind;
+use plans::prelude::{BackendKind, PlanKind};
 use serde::{Deserialize, Serialize};
 use workloads::spec::WorkloadSpec;
 
@@ -93,6 +93,11 @@ pub struct JobSpec {
     /// unrecoverable device surfaces as a typed job failure, never as a
     /// server crash).
     pub fault_loss_prob: Option<f64>,
+    /// Execution backend / precision tier (`None` = auto = sim). Hashed by
+    /// its *resolved* kind: an f32-tier result can never be served for an
+    /// f64-tier request, while `auto` and an explicit `sim` share one cache
+    /// entry.
+    pub backend: Option<BackendKind>,
 }
 
 impl JobSpec {
@@ -112,12 +117,20 @@ impl JobSpec {
             fault_seed: None,
             fault_prob: None,
             fault_loss_prob: None,
+            backend: None,
         }
     }
 
+    /// The resolved backend this job runs on (`None`/`auto` → sim).
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.unwrap_or_default().resolve()
+    }
+
     /// FNV-1a content hash over exactly the result-determining fields:
-    /// `(workload kind, n, seed, plan, steps, dt, threads, tile)` — the
-    /// `(spec, seed, plan, threads, tile)` key of the determinism contract.
+    /// `(workload kind, n, seed, plan, steps, dt, threads, tile, backend)` —
+    /// the `(spec, seed, plan, threads, tile)` key of the determinism
+    /// contract plus the backend/precision tier, which changes delivered
+    /// bits between tiers.
     ///
     /// Priority, deadline, and fault injection are deliberately *excluded*:
     /// they change scheduling and simulated clocks but never the trajectory
@@ -141,6 +154,7 @@ impl JobSpec {
         mix_bytes(&self.dt.to_bits().to_le_bytes());
         mix_bytes(&(self.threads.unwrap_or(0) as u64).to_le_bytes());
         mix_bytes(&(self.tile.unwrap_or(0) as u64).to_le_bytes());
+        mix_bytes(self.backend_kind().id().as_bytes());
         hash
     }
 
@@ -170,15 +184,20 @@ impl JobSpec {
         Some((seed, cfg))
     }
 
-    /// Human-readable one-liner for logs.
+    /// Human-readable one-liner for logs. The backend is mentioned only
+    /// when explicitly pinned off the default.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{} plan={} steps={} prio={}",
             self.workload.label(),
             self.plan.id(),
             self.steps,
             self.priority.id()
-        )
+        );
+        if let Some(backend) = self.backend {
+            label.push_str(&format!(" backend={}", backend.id()));
+        }
+        label
     }
 }
 
@@ -242,6 +261,11 @@ pub enum AdmissionError {
     /// The fault configuration is invalid (probability outside `[0, 1]` or
     /// a non-finite penalty).
     BadFaultConfig(String),
+    /// Fault injection requested on a backend without a simulated device.
+    FaultsUnsupportedBackend(&'static str),
+    /// A simulated-clock deadline requested on a backend without a
+    /// simulated clock.
+    DeadlineUnsupportedBackend(&'static str),
 }
 
 impl AdmissionError {
@@ -259,6 +283,8 @@ impl AdmissionError {
             AdmissionError::ZeroThreads => "zero-threads",
             AdmissionError::ZeroTile => "zero-tile",
             AdmissionError::BadFaultConfig(_) => "bad-fault-config",
+            AdmissionError::FaultsUnsupportedBackend(_) => "faults-unsupported-backend",
+            AdmissionError::DeadlineUnsupportedBackend(_) => "deadline-unsupported-backend",
         }
     }
 }
@@ -286,6 +312,12 @@ impl std::fmt::Display for AdmissionError {
             AdmissionError::ZeroThreads => write!(f, "a pinned thread count must be >= 1"),
             AdmissionError::ZeroTile => write!(f, "a pinned tile size must be >= 1"),
             AdmissionError::BadFaultConfig(msg) => write!(f, "fault config invalid: {msg}"),
+            AdmissionError::FaultsUnsupportedBackend(b) => {
+                write!(f, "backend '{b}' has no simulated device to inject faults into")
+            }
+            AdmissionError::DeadlineUnsupportedBackend(b) => {
+                write!(f, "backend '{b}' has no simulated clock for deadline_s to slice")
+            }
         }
     }
 }
@@ -332,6 +364,15 @@ pub fn admit(spec: &JobSpec, policy: &AdmissionPolicy) -> Result<(), AdmissionEr
     if let Some((_, cfg)) = spec.fault_config() {
         cfg.validate().map_err(AdmissionError::BadFaultConfig)?;
     }
+    let backend = spec.backend_kind();
+    if backend != BackendKind::Sim {
+        if spec.fault_seed.is_some() {
+            return Err(AdmissionError::FaultsUnsupportedBackend(backend.id()));
+        }
+        if spec.deadline_s.is_some() {
+            return Err(AdmissionError::DeadlineUnsupportedBackend(backend.id()));
+        }
+    }
     Ok(())
 }
 
@@ -361,9 +402,30 @@ mod tests {
             JobSpec { dt: 2e-3, ..base.clone() },
             JobSpec { threads: Some(4), ..base.clone() },
             JobSpec { tile: Some(8), ..base.clone() },
+            JobSpec { backend: Some(BackendKind::Host), ..base.clone() },
+            JobSpec { backend: Some(BackendKind::F32), ..base.clone() },
         ] {
             assert_ne!(base.canonical_hash(), mutated.canonical_hash(), "{mutated:?}");
         }
+    }
+
+    #[test]
+    fn hash_distinguishes_precision_tiers_but_not_auto_from_sim() {
+        let base = spec();
+        // auto, an explicit auto, and an explicit sim all share one entry…
+        for same in [
+            JobSpec { backend: Some(BackendKind::Auto), ..base.clone() },
+            JobSpec { backend: Some(BackendKind::Sim), ..base.clone() },
+        ] {
+            assert_eq!(base.canonical_hash(), same.canonical_hash());
+        }
+        // …while the three substrates are pairwise distinct: an f32-tier
+        // result can never be served for an f64-tier request
+        let host = JobSpec { backend: Some(BackendKind::Host), ..base.clone() };
+        let f32b = JobSpec { backend: Some(BackendKind::F32), ..base.clone() };
+        assert_ne!(host.canonical_hash(), f32b.canonical_hash());
+        assert_ne!(host.canonical_hash(), base.canonical_hash());
+        assert_ne!(f32b.canonical_hash(), base.canonical_hash());
     }
 
     #[test]
@@ -407,6 +469,14 @@ mod tests {
             (JobSpec { threads: Some(0), ..spec() }, "zero-threads"),
             (JobSpec { tile: Some(0), ..spec() }, "zero-tile"),
             (JobSpec { fault_seed: Some(1), fault_prob: Some(1.5), ..spec() }, "bad-fault-config"),
+            (
+                JobSpec { backend: Some(BackendKind::Host), fault_seed: Some(1), ..spec() },
+                "faults-unsupported-backend",
+            ),
+            (
+                JobSpec { backend: Some(BackendKind::F32), deadline_s: Some(1.0), ..spec() },
+                "deadline-unsupported-backend",
+            ),
         ];
         for (bad, id) in cases {
             let err = admit(&bad, &policy).unwrap_err();
@@ -443,8 +513,23 @@ mod tests {
         let mut s = spec();
         s.deadline_s = Some(0.25);
         s.fault_seed = Some(3);
+        s.backend = Some(BackendKind::Host);
         let json = serde_json::to_string(&s).unwrap();
         let back: JobSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+        assert!(s.label().contains("backend=host"), "{}", s.label());
+    }
+
+    #[test]
+    fn legacy_json_without_backend_field_still_parses() {
+        // specs spooled before the backend field existed must keep loading
+        let s = spec();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"backend\""));
+        let legacy = json.replace("\"backend\":null,", "").replace(",\"backend\":null", "");
+        assert!(!legacy.contains("\"backend\""), "{legacy}");
+        let back: JobSpec = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.backend_kind(), BackendKind::Sim);
     }
 }

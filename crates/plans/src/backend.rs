@@ -1,0 +1,739 @@
+//! The [`Backend`] trait: execution substrates a plan can run on.
+//!
+//! Every plan used to be welded to the simulated `gpu-sim` device. This
+//! module introduces the seam that a real-GPU backend will later plug into
+//! (ROADMAP item 1): a backend is *where* a force evaluation executes, a
+//! [`PlanKind`] is *which* decomposition it uses. Three substrates ship
+//! today:
+//!
+//! | kind | substrate | precision | clocks | faults/traces |
+//! |------|-----------|-----------|--------|---------------|
+//! | [`BackendKind::Sim`]  | simulated HD 5850 ([`SimBackend`]) | f32 kernels | simulated | yes |
+//! | [`BackendKind::Host`] | host SoA/treecode ([`HostBackend`]) | f64 | wall only | no |
+//! | [`BackendKind::F32`]  | host re-execution of the device kernels ([`DeviceF32Backend`]) | f32 | wall only | no |
+//!
+//! `auto` resolves to `sim`, which stays the deterministic oracle for PTPM
+//! forecasts and golden traces.
+//!
+//! **The differential contract** (enforced by `plans::conformance` and
+//! `tests/backend_conformance.rs`, documented in DESIGN.md §11):
+//!
+//! * every backend is bit-exact across host thread counts;
+//! * [`DeviceF32Backend`] reproduces [`SimBackend`]'s accelerations **to the
+//!   bit** per plan — it replays the exact f32 accumulation order of each
+//!   device kernel (tiles ascending, slices ascending, slots ascending), and
+//!   Rust never contracts `a*b+c` into an FMA, so the host f32 re-execution
+//!   and the simulated device compute identical IEEE-754 sequences;
+//! * [`HostBackend`]'s PP plans are bit-exact against the scalar f64
+//!   reference, and its tree plans bit-exact against
+//!   [`treecode::interaction_list::evaluate_walks_cpu`];
+//! * the f32 tier agrees with the f64 tier within the
+//!   [`crate::conformance::f32_l2_bound`] error-model band.
+
+use crate::common::{interact_tile_f32, PlanConfig, PlanKind, PlanOutcome, FLOPS_PER_INTERACTION};
+use crate::i_parallel::packed_padded;
+use crate::j_parallel::auto_j_slices;
+use crate::jw_parallel::{auto_slice_len, slice_walks};
+use crate::w_parallel::{prepare_walks, PackedWalks, NO_TARGET};
+use gpu_sim::device::Device;
+use gpu_sim::prelude::{DeviceSpec, TransferModel};
+use nbody_core::body::ParticleSet;
+use nbody_core::gravity::{pair_acceleration, GravityParams};
+use nbody_core::soa::{accelerations_pp_tiled_parallel, accelerations_pp_tiled_with, SoaBodies};
+use nbody_core::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use treecode::interaction_list::build_walks;
+use treecode::mac::OpeningAngle;
+use treecode::tree::{Octree, TreeParams};
+
+/// Which execution substrate to run plans on (`--backend` CLI values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum BackendKind {
+    /// Pick the default substrate ([`BackendKind::Sim`] today).
+    #[default]
+    Auto,
+    /// The simulated device — deterministic oracle with simulated clocks,
+    /// fault injection, and execution traces.
+    Sim,
+    /// The host f64 path: SoA tiled PP and the CPU treecode evaluator.
+    Host,
+    /// The device-f32 stub: the device kernels' f32 arithmetic re-executed
+    /// on the host in deterministic reduction order, bit-exact vs `sim`.
+    F32,
+}
+
+impl BackendKind {
+    /// Stable identifier used in CLI flags, job specs, and cache hashes.
+    pub fn id(self) -> &'static str {
+        match self {
+            BackendKind::Auto => "auto",
+            BackendKind::Sim => "sim",
+            BackendKind::Host => "host",
+            BackendKind::F32 => "f32",
+        }
+    }
+
+    /// Parses the [`BackendKind::id`] form.
+    pub fn parse(s: &str) -> Option<Self> {
+        BackendKind::all().into_iter().find(|k| k.id() == s)
+    }
+
+    /// All kinds, `auto` first.
+    pub fn all() -> [BackendKind; 4] {
+        [BackendKind::Auto, BackendKind::Sim, BackendKind::Host, BackendKind::F32]
+    }
+
+    /// The concrete substrate this kind selects (`auto` → `sim`). Cache
+    /// hashes and admission rules key on the resolved kind so `auto` and an
+    /// explicit `sim` share one cache entry.
+    pub fn resolve(self) -> BackendKind {
+        match self {
+            BackendKind::Auto => BackendKind::Sim,
+            other => other,
+        }
+    }
+
+    /// The arithmetic tier the resolved substrate computes forces in.
+    pub fn tier(self) -> PrecisionTier {
+        match self.resolve() {
+            BackendKind::Host => PrecisionTier::F64,
+            _ => PrecisionTier::F32,
+        }
+    }
+}
+
+/// Arithmetic precision a backend accumulates forces in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrecisionTier {
+    /// Single precision (the device kernels).
+    F32,
+    /// Double precision (the host reference paths).
+    F64,
+}
+
+impl PrecisionTier {
+    /// Stable identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            PrecisionTier::F32 => "f32",
+            PrecisionTier::F64 => "f64",
+        }
+    }
+}
+
+/// An execution substrate for the four plans.
+///
+/// The plan is chosen per call (a backend is a *place*, not a strategy), so
+/// one backend instance can serve a whole experiment grid — and, on the sim
+/// backend, a shared device's fault stream position carries across
+/// evaluations exactly as before.
+pub trait Backend {
+    /// The resolved kind of this backend (never [`BackendKind::Auto`]).
+    fn kind(&self) -> BackendKind;
+
+    /// Display name (the kind id unless specialized).
+    fn name(&self) -> &'static str {
+        self.kind().id()
+    }
+
+    /// The precision tier forces are accumulated in.
+    fn precision(&self) -> PrecisionTier {
+        self.kind().tier()
+    }
+
+    /// Evaluates accelerations for `set` under `plan`.
+    fn evaluate(
+        &mut self,
+        plan: PlanKind,
+        set: &ParticleSet,
+        params: &GravityParams,
+    ) -> PlanOutcome;
+
+    /// The underlying simulated device, if this backend has one.
+    fn device(&self) -> Option<&Device> {
+        None
+    }
+
+    /// Mutable access to the simulated device, if any (e.g. to install a
+    /// fault plan or trace sink).
+    fn device_mut(&mut self) -> Option<&mut Device> {
+        None
+    }
+
+    /// True when deterministic fault injection is available.
+    fn supports_fault_injection(&self) -> bool {
+        self.device().is_some()
+    }
+
+    /// True when the backend reports *simulated* clocks (kernel, transfer,
+    /// recovery seconds). Backends without one report wall time only, in
+    /// `host_measured_s`.
+    fn has_simulated_clock(&self) -> bool {
+        self.device().is_some()
+    }
+}
+
+/// Builds a backend of the given (possibly `auto`) kind. The sim variant
+/// gets the paper's HD 5850 behind PCIe 2.0 x16; callers that need a custom
+/// device (fault plans, trace sinks) construct [`SimBackend`] directly.
+pub fn make_backend(kind: BackendKind, config: PlanConfig) -> Box<dyn Backend> {
+    match kind.resolve() {
+        BackendKind::Host => Box::new(HostBackend::new(config)),
+        BackendKind::F32 => Box::new(DeviceF32Backend::new(config)),
+        _ => Box::new(SimBackend::new(default_device(), config)),
+    }
+}
+
+/// The default simulated device: the paper's Radeon HD 5850 behind
+/// PCIe 2.0 x16.
+pub fn default_device() -> Device {
+    Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::pcie2_x16())
+}
+
+// ---------------------------------------------------------------------------
+// Sim
+// ---------------------------------------------------------------------------
+
+/// The simulated-device backend: dispatches each evaluation to the plan's
+/// device kernels exactly as before the trait existed.
+pub struct SimBackend {
+    device: Device,
+    config: PlanConfig,
+}
+
+impl SimBackend {
+    /// Wraps a device (which may carry a fault plan or trace sink) and the
+    /// plan tunables.
+    pub fn new(device: Device, config: PlanConfig) -> Self {
+        Self { device, config }
+    }
+}
+
+impl Backend for SimBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sim
+    }
+
+    fn evaluate(
+        &mut self,
+        plan: PlanKind,
+        set: &ParticleSet,
+        params: &GravityParams,
+    ) -> PlanOutcome {
+        crate::make_plan(plan, self.config).evaluate(&mut self.device, set, params)
+    }
+
+    fn device(&self) -> Option<&Device> {
+        Some(&self.device)
+    }
+
+    fn device_mut(&mut self) -> Option<&mut Device> {
+        Some(&mut self.device)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Host (f64)
+// ---------------------------------------------------------------------------
+
+/// The host f64 backend: PP plans run the SoA tiled kernel (bit-exact
+/// against the scalar reference at every tile size and thread count), tree
+/// plans run the CPU treecode evaluator parallelized over walk groups
+/// (groups own disjoint bodies, so the scatter is deterministic).
+///
+/// No simulated clocks: `kernel_s`/`transfer_s`/`recovery_s` are zero and
+/// `launches` is zero; only the informational wall-clock `host_measured_s`
+/// is reported.
+pub struct HostBackend {
+    config: PlanConfig,
+    soa: SoaBodies,
+}
+
+impl HostBackend {
+    /// Creates the backend; `config.block_size` doubles as the SoA tile
+    /// size (results are tile-invariant, the knob only moves wall time).
+    pub fn new(config: PlanConfig) -> Self {
+        Self { config, soa: SoaBodies::new() }
+    }
+
+    fn evaluate_pp(&mut self, set: &ParticleSet, params: &GravityParams, acc: &mut [Vec3]) {
+        self.soa.fill_from(set);
+        let view = self.soa.view();
+        let tile = self.config.block_size.min(nbody_core::soa::MAX_TILE);
+        let threads = par::threads();
+        if threads <= 1 {
+            accelerations_pp_tiled_with(view, params, tile, acc);
+        } else {
+            accelerations_pp_tiled_parallel(view, params, tile, threads, acc);
+        }
+    }
+
+    fn evaluate_tree(&self, set: &ParticleSet, params: &GravityParams, acc: &mut [Vec3]) -> u64 {
+        let tree = Octree::build(set, TreeParams { leaf_capacity: self.config.leaf_capacity });
+        let walks =
+            build_walks(&tree, set, OpeningAngle::new(self.config.theta), self.config.walk_size);
+        let pos = set.pos();
+        let mass = set.mass();
+        let eps_sq = params.eps_sq();
+        // replicates `evaluate_walks_cpu` per group (cells then bodies,
+        // list order, skip i == j) — conformance pins the two bit-exactly
+        let eval_group = |group: &treecode::interaction_list::WalkGroup,
+                          out: &mut Vec<(u32, Vec3)>| {
+            for &i in &group.bodies {
+                let xi = pos[i as usize];
+                let mut a = Vec3::ZERO;
+                for &c in &group.cell_list {
+                    let node = &tree.nodes()[c as usize];
+                    a += pair_acceleration(xi, node.com, node.mass, eps_sq);
+                }
+                for &j in &group.body_list {
+                    if j != i {
+                        a += pair_acceleration(xi, pos[j as usize], mass[j as usize], eps_sq);
+                    }
+                }
+                out.push((i, a * params.g));
+            }
+        };
+        let threads = par::threads().min(walks.groups.len().max(1));
+        if threads <= 1 {
+            let mut out = Vec::new();
+            for group in &walks.groups {
+                eval_group(group, &mut out);
+            }
+            for (i, a) in out {
+                acc[i as usize] = a;
+            }
+        } else {
+            let ranges = par::chunk_ranges(walks.groups.len(), threads);
+            let groups = &walks.groups;
+            let eval_group = &eval_group;
+            let results = par::run_tasks(
+                ranges
+                    .into_iter()
+                    .map(|range| {
+                        move || {
+                            let mut out = Vec::new();
+                            for group in &groups[range] {
+                                eval_group(group, &mut out);
+                            }
+                            out
+                        }
+                    })
+                    .collect(),
+            );
+            for out in results {
+                for (i, a) in out {
+                    acc[i as usize] = a;
+                }
+            }
+        }
+        walks.total_interactions()
+    }
+}
+
+impl Backend for HostBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Host
+    }
+
+    fn evaluate(
+        &mut self,
+        plan: PlanKind,
+        set: &ParticleSet,
+        params: &GravityParams,
+    ) -> PlanOutcome {
+        let n = set.len();
+        let t0 = Instant::now();
+        let mut acc = vec![Vec3::ZERO; n];
+        let interactions = if plan.uses_tree() {
+            self.evaluate_tree(set, params, &mut acc)
+        } else {
+            self.evaluate_pp(set, params, &mut acc);
+            (n as u64) * (n as u64)
+        };
+        host_outcome(acc, interactions, t0.elapsed().as_secs_f64(), 0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Device-f32 stub
+// ---------------------------------------------------------------------------
+
+/// The device-f32 backend: the plans' kernel arithmetic re-executed on the
+/// host in f32, replaying each sim kernel's accumulation order exactly —
+/// tiles ascending within a slice, partial slices/slots reduced in
+/// ascending order — so every acceleration is **bit-identical** to the
+/// simulated device's. This is the stand-in (and the validation harness)
+/// for a real f32 GPU kernel.
+///
+/// Geometry knobs that the sim auto-tunes against the device spec
+/// (`auto_j_slices`, `auto_slice_len`) resolve against the same HD 5850
+/// spec here, so the slice decomposition — and therefore the f32 reduction
+/// tree — matches the oracle's.
+pub struct DeviceF32Backend {
+    config: PlanConfig,
+    spec: DeviceSpec,
+}
+
+impl DeviceF32Backend {
+    /// Creates the backend with the paper's HD 5850 geometry.
+    pub fn new(config: PlanConfig) -> Self {
+        Self { config, spec: DeviceSpec::radeon_hd_5850() }
+    }
+
+    /// i-parallel: per target, one j-ascending pass over the padded f32
+    /// buffer (the kernel's p-sized LDS tiles concatenate to exactly this).
+    fn pp_i(&self, set: &ParticleSet, params: &GravityParams, acc: &mut [Vec3]) {
+        let n = set.len();
+        let p = self.config.block_size;
+        let n_padded = n.div_ceil(p).max(1) * p;
+        let packed = packed_padded(set, n_padded);
+        let eps_sq = params.eps_sq() as f32;
+        let g = params.g;
+        par_rows(acc, |i| {
+            let xi = [packed[4 * i], packed[4 * i + 1], packed[4 * i + 2]];
+            let mut a = [0.0_f32; 3];
+            interact_tile_f32(xi, &packed, eps_sq, &mut a);
+            widen3(a, g)
+        });
+    }
+
+    /// j-parallel: per-slice partials (each a j-ascending pass), reduced in
+    /// ascending slice order — the two-kernel launch replayed per target.
+    fn pp_j(&self, set: &ParticleSet, params: &GravityParams, acc: &mut [Vec3]) {
+        let n = set.len();
+        let p = self.config.block_size;
+        let n_padded = n.div_ceil(p).max(1) * p;
+        let s_count =
+            self.config.j_slices.unwrap_or_else(|| auto_j_slices(n_padded, p, &self.spec));
+        let slice_len = n_padded.div_ceil(s_count);
+        let packed = packed_padded(set, n_padded);
+        let eps_sq = params.eps_sq() as f32;
+        let g = params.g;
+        par_rows(acc, |i| {
+            let xi = [packed[4 * i], packed[4 * i + 1], packed[4 * i + 2]];
+            let mut a = [0.0_f32; 3];
+            for s in 0..s_count {
+                let start = s * slice_len;
+                let len = slice_len.min(n_padded.saturating_sub(start));
+                let mut part = [0.0_f32; 3];
+                interact_tile_f32(xi, &packed[4 * start..4 * (start + len)], eps_sq, &mut part);
+                a[0] += part[0];
+                a[1] += part[1];
+                a[2] += part[2];
+            }
+            widen3(a, g)
+        });
+    }
+
+    /// w-parallel: per walk lane, one ascending pass over the walk's packed
+    /// f32 interaction list.
+    fn tree_w(
+        &self,
+        set: &ParticleSet,
+        packed: &PackedWalks,
+        params: &GravityParams,
+        acc: &mut [Vec3],
+    ) {
+        let ws = self.config.walk_size;
+        let pos_mass = set.pack_pos_mass_f32();
+        let eps_sq = params.eps_sq() as f32;
+        let g = params.g;
+        scatter_walks(acc, packed.walk_desc.len(), |w, out| {
+            let (start, len) = packed.walk_desc[w];
+            let list = &packed.list_data[4 * start as usize..4 * (start + len) as usize];
+            for lane in 0..ws {
+                let target = packed.targets[w * ws + lane];
+                if target == NO_TARGET {
+                    continue;
+                }
+                let t = target as usize;
+                let xi = [pos_mass[4 * t], pos_mass[4 * t + 1], pos_mass[4 * t + 2]];
+                let mut a = [0.0_f32; 3];
+                interact_tile_f32(xi, list, eps_sq, &mut a);
+                out.push((target, widen3(a, g)));
+            }
+        });
+    }
+
+    /// jw-parallel: per-(walk, slice) partials, reduced per walk in
+    /// ascending slot order — exactly the partial + reduce kernel pair.
+    fn tree_jw(
+        &self,
+        set: &ParticleSet,
+        packed: &PackedWalks,
+        params: &GravityParams,
+        acc: &mut [Vec3],
+    ) {
+        let ws = self.config.walk_size;
+        let total_entries = packed.list_data.len() / 4;
+        let slice_len = self
+            .config
+            .jw_slice_len
+            .unwrap_or_else(|| auto_slice_len(total_entries, ws, &self.spec));
+        let (blocks, slot_ranges) = slice_walks(&packed.walk_desc, slice_len);
+        let pos_mass = set.pack_pos_mass_f32();
+        let eps_sq = params.eps_sq() as f32;
+        let g = params.g;
+        scatter_walks(acc, packed.walk_desc.len(), |w, out| {
+            let (first, count) = slot_ranges[w];
+            for lane in 0..ws {
+                let target = packed.targets[w * ws + lane];
+                if target == NO_TARGET {
+                    continue;
+                }
+                let t = target as usize;
+                let xi = [pos_mass[4 * t], pos_mass[4 * t + 1], pos_mass[4 * t + 2]];
+                let mut a = [0.0_f32; 3];
+                for s in 0..count {
+                    let b = blocks[(first + s) as usize];
+                    let list =
+                        &packed.list_data[4 * b.start as usize..4 * (b.start + b.len) as usize];
+                    let mut part = [0.0_f32; 3];
+                    interact_tile_f32(xi, list, eps_sq, &mut part);
+                    a[0] += part[0];
+                    a[1] += part[1];
+                    a[2] += part[2];
+                }
+                out.push((target, widen3(a, g)));
+            }
+        });
+    }
+}
+
+impl Backend for DeviceF32Backend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::F32
+    }
+
+    fn evaluate(
+        &mut self,
+        plan: PlanKind,
+        set: &ParticleSet,
+        params: &GravityParams,
+    ) -> PlanOutcome {
+        assert!(params.softening > 0.0, "f32 plans require softening > 0");
+        self.config.validate(&self.spec).expect("invalid plan config");
+        let n = set.len();
+        let t0 = Instant::now();
+        let mut acc = vec![Vec3::ZERO; n];
+        let (interactions, passes) = match plan {
+            PlanKind::IParallel => {
+                self.pp_i(set, params, &mut acc);
+                ((n as u64) * (n as u64), 1)
+            }
+            PlanKind::JParallel => {
+                self.pp_j(set, params, &mut acc);
+                ((n as u64) * (n as u64), 2)
+            }
+            PlanKind::WParallel => {
+                let prep = prepare_walks(set, &self.config);
+                self.tree_w(set, &prep.packed, params, &mut acc);
+                (prep.packed.interactions, 1)
+            }
+            PlanKind::JwParallel => {
+                let prep = prepare_walks(set, &self.config);
+                self.tree_jw(set, &prep.packed, params, &mut acc);
+                (prep.packed.interactions, 2)
+            }
+        };
+        host_outcome(acc, interactions, t0.elapsed().as_secs_f64(), passes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared plumbing
+// ---------------------------------------------------------------------------
+
+/// Widens an f32 accumulator exactly like the device download path does.
+#[inline]
+fn widen3(a: [f32; 3], g: f64) -> Vec3 {
+    Vec3::new(f64::from(a[0]), f64::from(a[1]), f64::from(a[2])) * g
+}
+
+/// Outcome shape shared by the host-executed backends: no simulated clocks,
+/// wall time in `host_measured_s` only; `launches` counts kernel-equivalent
+/// passes (zero on the f64 host, which has no kernel analogue at all).
+fn host_outcome(acc: Vec<Vec3>, interactions: u64, wall_s: f64, passes: usize) -> PlanOutcome {
+    let _ = FLOPS_PER_INTERACTION; // flops are charged only on the sim device
+    PlanOutcome {
+        acc,
+        interactions,
+        host_tree_s: 0.0,
+        host_walk_s: 0.0,
+        host_measured_s: wall_s,
+        kernel_s: 0.0,
+        transfer_s: 0.0,
+        recovery_s: 0.0,
+        launches: passes,
+        overlap_walk_with_kernel: false,
+    }
+}
+
+/// Computes `acc[i] = row(i)` for all rows, chunked over the `par` worker
+/// count. Rows are independent, so the result is bit-identical at any
+/// thread count.
+fn par_rows(acc: &mut [Vec3], row: impl Fn(usize) -> Vec3 + Sync) {
+    let n = acc.len();
+    let threads = par::threads().max(1).min(n.max(1));
+    if threads <= 1 || n < 64 {
+        for (i, slot) in acc.iter_mut().enumerate() {
+            *slot = row(i);
+        }
+        return;
+    }
+    let ranges = par::chunk_ranges(n, threads);
+    std::thread::scope(|scope| {
+        let mut rest = acc;
+        let row = &row;
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            scope.spawn(move || {
+                for (slot, i) in chunk.iter_mut().zip(range) {
+                    *slot = row(i);
+                }
+            });
+        }
+    });
+}
+
+/// Evaluates `eval(walk, &mut out)` for every walk (chunked over threads)
+/// and scatters the `(target, acc)` pairs. Walks own disjoint targets, so
+/// the scatter is deterministic at any thread count.
+fn scatter_walks(
+    acc: &mut [Vec3],
+    num_walks: usize,
+    eval: impl Fn(usize, &mut Vec<(u32, Vec3)>) + Sync,
+) {
+    let threads = par::threads().max(1).min(num_walks.max(1));
+    if threads <= 1 {
+        let mut out = Vec::new();
+        for w in 0..num_walks {
+            eval(w, &mut out);
+        }
+        for (t, a) in out {
+            acc[t as usize] = a;
+        }
+        return;
+    }
+    let ranges = par::chunk_ranges(num_walks, threads);
+    let eval = &eval;
+    let results = par::run_tasks(
+        ranges
+            .into_iter()
+            .map(|range| {
+                move || {
+                    let mut out = Vec::new();
+                    for w in range {
+                        eval(w, &mut out);
+                    }
+                    out
+                }
+            })
+            .collect(),
+    );
+    for out in results {
+        for (t, a) in out {
+            acc[t as usize] = a;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_core::gravity::{accelerations_pp, max_relative_error};
+    use nbody_core::testutil::random_set;
+
+    fn params() -> GravityParams {
+        GravityParams { g: 1.0, softening: 0.05 }
+    }
+
+    #[test]
+    fn kind_parse_roundtrips_and_resolves() {
+        for k in BackendKind::all() {
+            assert_eq!(BackendKind::parse(k.id()), Some(k));
+            assert_ne!(k.resolve(), BackendKind::Auto);
+        }
+        assert_eq!(BackendKind::parse("gpu"), None);
+        assert_eq!(BackendKind::Auto.resolve(), BackendKind::Sim);
+        assert_eq!(BackendKind::default(), BackendKind::Auto);
+        assert_eq!(BackendKind::Host.tier(), PrecisionTier::F64);
+        assert_eq!(BackendKind::Auto.tier(), PrecisionTier::F32);
+        assert_eq!(BackendKind::F32.tier().id(), "f32");
+    }
+
+    #[test]
+    fn make_backend_resolves_auto_to_sim() {
+        let b = make_backend(BackendKind::Auto, PlanConfig::default());
+        assert_eq!(b.kind(), BackendKind::Sim);
+        assert!(b.supports_fault_injection());
+        assert!(b.has_simulated_clock());
+        for kind in [BackendKind::Host, BackendKind::F32] {
+            let b = make_backend(kind, PlanConfig::default());
+            assert_eq!(b.kind(), kind);
+            assert!(b.device().is_none());
+            assert!(!b.supports_fault_injection());
+            assert!(!b.has_simulated_clock());
+        }
+    }
+
+    #[test]
+    fn f32_backend_is_bit_exact_vs_sim_for_every_plan() {
+        let set = random_set(400, 11);
+        for plan in PlanKind::all() {
+            let mut sim = make_backend(BackendKind::Sim, PlanConfig::default());
+            let mut f32b = make_backend(BackendKind::F32, PlanConfig::default());
+            let a = sim.evaluate(plan, &set, &params());
+            let b = f32b.evaluate(plan, &set, &params());
+            assert_eq!(a.acc, b.acc, "{plan:?}: f32 backend diverged from sim");
+            assert_eq!(a.interactions, b.interactions, "{plan:?}");
+            assert_eq!(a.launches, b.launches, "{plan:?}: pass count");
+        }
+    }
+
+    #[test]
+    fn host_pp_is_bit_exact_vs_scalar_reference() {
+        let set = random_set(333, 12);
+        let mut exact = vec![Vec3::ZERO; set.len()];
+        accelerations_pp(&set, &params(), &mut exact);
+        for plan in [PlanKind::IParallel, PlanKind::JParallel] {
+            let mut host = make_backend(BackendKind::Host, PlanConfig::default());
+            let got = host.evaluate(plan, &set, &params());
+            assert_eq!(got.acc, exact, "{plan:?}: host PP diverged from scalar f64");
+            assert_eq!(got.launches, 0);
+            assert_eq!(got.kernel_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn host_tree_matches_evaluate_walks_cpu() {
+        let set = random_set(500, 13);
+        let config = PlanConfig::default();
+        let tree = Octree::build(&set, TreeParams { leaf_capacity: config.leaf_capacity });
+        let walks = build_walks(&tree, &set, OpeningAngle::new(config.theta), config.walk_size);
+        let mut exact = vec![Vec3::ZERO; set.len()];
+        treecode::interaction_list::evaluate_walks_cpu(&walks, &tree, &set, &params(), &mut exact);
+        for plan in [PlanKind::WParallel, PlanKind::JwParallel] {
+            let mut host = make_backend(BackendKind::Host, config);
+            let got = host.evaluate(plan, &set, &params());
+            assert_eq!(got.acc, exact, "{plan:?}: host tree diverged from evaluate_walks_cpu");
+            assert_eq!(got.interactions, walks.total_interactions());
+        }
+    }
+
+    #[test]
+    fn f32_tier_tracks_the_f64_tier() {
+        let set = random_set(256, 14);
+        for plan in PlanKind::all() {
+            let mut host = make_backend(BackendKind::Host, PlanConfig::default());
+            let mut f32b = make_backend(BackendKind::F32, PlanConfig::default());
+            let a = host.evaluate(plan, &set, &params());
+            let b = f32b.evaluate(plan, &set, &params());
+            let err = max_relative_error(&a.acc, &b.acc);
+            assert!(err < 1e-3, "{plan:?}: f32 vs f64 relative error {err}");
+        }
+    }
+}

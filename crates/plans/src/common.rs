@@ -242,6 +242,10 @@ pub trait ExecutionPlan {
         self.kind().id()
     }
 
+    /// The tunables this plan was instantiated with — lets a
+    /// [`crate::backend::Backend`] be built from a boxed plan.
+    fn config(&self) -> &PlanConfig;
+
     /// Evaluates accelerations for `set` on `device`.
     ///
     /// Implementations must reset the device clocks on entry so the outcome

@@ -1,22 +1,25 @@
-//! [`PlanForceEngine`]: run a whole simulation on the simulated GPU.
+//! [`PlanForceEngine`]: run a whole simulation on a plan [`Backend`].
 //!
-//! Adapts any [`ExecutionPlan`] to `nbody_core`'s [`ForceEngine`] so the
-//! standard integrators drive the device plans exactly like they drive the
-//! CPU engines — this is what the paper's Table 1 measures (100 steps of
-//! the full loop). The engine accumulates the simulated device time and the
-//! per-evaluation outcomes so callers can report time splits afterwards.
+//! Adapts any ([`Backend`], [`PlanKind`]) pair to `nbody_core`'s
+//! [`ForceEngine`] so the standard integrators drive the plans exactly like
+//! they drive the CPU engines — this is what the paper's Table 1 measures
+//! (100 steps of the full loop). The engine accumulates the simulated
+//! device time and the per-evaluation outcomes so callers can report time
+//! splits afterwards. On backends without a simulated clock (host, f32)
+//! those accumulators simply stay zero.
 
-use crate::common::{ExecutionPlan, PlanOutcome};
+use crate::backend::{Backend, BackendKind, SimBackend};
+use crate::common::{ExecutionPlan, PlanKind, PlanOutcome};
 use gpu_sim::device::Device;
 use nbody_core::body::ParticleSet;
 use nbody_core::gravity::GravityParams;
 use nbody_core::integrator::ForceEngine;
 use nbody_core::vec3::Vec3;
 
-/// A force engine backed by a simulated-GPU execution plan.
+/// A force engine backed by an execution plan running on a [`Backend`].
 pub struct PlanForceEngine {
-    device: Device,
-    plan: Box<dyn ExecutionPlan>,
+    backend: Box<dyn Backend>,
+    plan: PlanKind,
     params: GravityParams,
     evaluations: u64,
     simulated_total_s: f64,
@@ -26,10 +29,17 @@ pub struct PlanForceEngine {
 }
 
 impl PlanForceEngine {
-    /// Creates an engine from a device, plan, and gravity model.
+    /// Creates a sim-backed engine from a device, plan, and gravity model —
+    /// the historical constructor, equivalent to wrapping `device` in a
+    /// [`SimBackend`] with the plan's configuration.
     pub fn new(device: Device, plan: Box<dyn ExecutionPlan>, params: GravityParams) -> Self {
+        Self::with_backend(Box::new(SimBackend::new(device, *plan.config())), plan.kind(), params)
+    }
+
+    /// Creates an engine on an arbitrary backend.
+    pub fn with_backend(backend: Box<dyn Backend>, plan: PlanKind, params: GravityParams) -> Self {
         Self {
-            device,
+            backend,
             plan,
             params,
             evaluations: 0,
@@ -46,6 +56,7 @@ impl PlanForceEngine {
     }
 
     /// Accumulated simulated end-to-end seconds (the paper's total time).
+    /// Stays zero on backends without a simulated clock.
     pub fn simulated_total_seconds(&self) -> f64 {
         self.simulated_total_s
     }
@@ -61,15 +72,26 @@ impl PlanForceEngine {
         self.simulated_recovery_s
     }
 
-    /// The underlying simulated device (e.g. to inspect fault counts).
-    pub fn device(&self) -> &Device {
-        &self.device
+    /// The backend this engine evaluates on.
+    pub fn backend(&self) -> &dyn Backend {
+        self.backend.as_ref()
     }
 
-    /// Mutable access to the underlying device (e.g. to install a
-    /// [`gpu_sim::fault::FaultPlan`] after construction).
-    pub fn device_mut(&mut self) -> &mut Device {
-        &mut self.device
+    /// The backend's resolved kind.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// The underlying simulated device, when the backend has one (e.g. to
+    /// inspect fault counts). `None` on host/f32 backends.
+    pub fn device(&self) -> Option<&Device> {
+        self.backend.device()
+    }
+
+    /// Mutable access to the underlying device, when present (e.g. to
+    /// install a [`gpu_sim::fault::FaultPlan`] after construction).
+    pub fn device_mut(&mut self) -> Option<&mut Device> {
+        self.backend.device_mut()
     }
 
     /// The most recent evaluation's full outcome.
@@ -77,15 +99,20 @@ impl PlanForceEngine {
         self.last_outcome.as_ref()
     }
 
-    /// The underlying plan's name.
+    /// The plan's name.
     pub fn plan_name(&self) -> &str {
-        self.plan.name()
+        self.plan.id()
+    }
+
+    /// The plan this engine runs.
+    pub fn plan_kind(&self) -> PlanKind {
+        self.plan
     }
 }
 
 impl ForceEngine for PlanForceEngine {
     fn accelerations(&mut self, set: &ParticleSet, acc: &mut [Vec3]) {
-        let outcome = self.plan.evaluate(&mut self.device, set, &self.params);
+        let outcome = self.backend.evaluate(self.plan, set, &self.params);
         acc.copy_from_slice(&outcome.acc);
         self.evaluations += 1;
         self.simulated_total_s += outcome.total_seconds();
@@ -95,13 +122,14 @@ impl ForceEngine for PlanForceEngine {
     }
 
     fn name(&self) -> &str {
-        self.plan.name()
+        self.plan.id()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::make_backend;
     use crate::common::{PlanConfig, PlanKind};
     use crate::make_plan;
     use gpu_sim::prelude::{DeviceSpec, TransferModel};
@@ -130,6 +158,8 @@ mod tests {
         assert!(eng.last_outcome().is_some());
         assert!(set.all_finite());
         assert_eq!(eng.plan_name(), "jw-parallel");
+        assert_eq!(eng.backend_kind(), BackendKind::Sim);
+        assert!(eng.device().is_some());
     }
 
     #[test]
@@ -157,7 +187,10 @@ mod tests {
         run(&mut healthy_set, &mut healthy, &LeapfrogKdk, 1e-3, 4);
 
         let mut faulty = engine(PlanKind::JwParallel);
-        faulty.device_mut().set_fault_plan(FaultPlan::new(5, FaultConfig::transient(0.25)));
+        faulty
+            .device_mut()
+            .expect("sim engine has a device")
+            .set_fault_plan(FaultPlan::new(5, FaultConfig::transient(0.25)));
         run(&mut faulty_set, &mut faulty, &LeapfrogKdk, 1e-3, 4);
 
         assert_eq!(healthy_set.pos(), faulty_set.pos(), "recovered trajectory must be bit-exact");
@@ -165,7 +198,7 @@ mod tests {
         assert!(faulty.simulated_recovery_seconds() > 0.0);
         assert_eq!(healthy.simulated_recovery_seconds(), 0.0);
         assert!(faulty.simulated_total_seconds() > healthy.simulated_total_seconds());
-        assert!(faulty.device().fault_plan().unwrap().counts().total() > 0);
+        assert!(faulty.device().unwrap().fault_plan().unwrap().counts().total() > 0);
         let _ = params;
     }
 
@@ -174,6 +207,29 @@ mod tests {
         for kind in PlanKind::all() {
             let eng = engine(kind);
             assert_eq!(eng.name(), kind.id());
+        }
+    }
+
+    #[test]
+    fn engine_runs_on_every_backend() {
+        for backend_kind in [BackendKind::Sim, BackendKind::Host, BackendKind::F32] {
+            let mut set = random_set(64, 9);
+            set.recenter();
+            let mut eng = PlanForceEngine::with_backend(
+                make_backend(backend_kind, PlanConfig::default()),
+                PlanKind::JwParallel,
+                GravityParams { g: 1.0, softening: 0.05 },
+            );
+            run(&mut set, &mut eng, &LeapfrogKdk, 1e-3, 3);
+            assert_eq!(eng.evaluations(), 4);
+            assert!(set.all_finite());
+            assert_eq!(eng.backend_kind(), backend_kind);
+            if backend_kind == BackendKind::Sim {
+                assert!(eng.simulated_total_seconds() > 0.0);
+            } else {
+                assert_eq!(eng.simulated_total_seconds(), 0.0);
+                assert!(eng.device().is_none());
+            }
         }
     }
 }

@@ -149,6 +149,10 @@ impl ExecutionPlan for IParallel {
         PlanKind::IParallel
     }
 
+    fn config(&self) -> &PlanConfig {
+        &self.config
+    }
+
     fn evaluate(
         &self,
         device: &mut Device,

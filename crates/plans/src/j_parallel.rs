@@ -236,6 +236,10 @@ impl ExecutionPlan for JParallel {
         PlanKind::JParallel
     }
 
+    fn config(&self) -> &PlanConfig {
+        &self.config
+    }
+
     fn evaluate(
         &self,
         device: &mut Device,

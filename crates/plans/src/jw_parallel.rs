@@ -283,6 +283,10 @@ impl ExecutionPlan for JwParallel {
         PlanKind::JwParallel
     }
 
+    fn config(&self) -> &PlanConfig {
+        &self.config
+    }
+
     fn evaluate(
         &self,
         device: &mut Device,

@@ -16,7 +16,9 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod common;
+pub mod conformance;
 pub mod engine;
 pub mod i_parallel;
 pub mod j_parallel;
@@ -30,9 +32,17 @@ pub mod w_parallel;
 
 /// Common imports.
 pub mod prelude {
+    pub use crate::backend::{
+        default_device, make_backend, Backend, BackendKind, DeviceF32Backend, HostBackend,
+        PrecisionTier, SimBackend,
+    };
     pub use crate::common::{
         download_acc, interact_f32, interact_tile_f32, try_download_acc, upload_bodies,
         ExecutionPlan, PlanConfig, PlanKind, PlanOutcome, FLOPS_PER_INTERACTION,
+    };
+    pub use crate::conformance::{
+        check_cell, check_energy_drift, check_fault_contract, check_trace_contract, f32_l2_bound,
+        rel_l2, run_matrix, CellReport, ConformanceCase, ConformanceReport, DEFAULT_THREADS,
     };
     pub use crate::engine::PlanForceEngine;
     pub use crate::i_parallel::IParallel;

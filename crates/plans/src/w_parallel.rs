@@ -257,6 +257,10 @@ impl ExecutionPlan for WParallel {
         PlanKind::WParallel
     }
 
+    fn config(&self) -> &PlanConfig {
+        &self.config
+    }
+
     fn evaluate(
         &self,
         device: &mut Device,
