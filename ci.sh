@@ -98,6 +98,69 @@ grep -q 'requeued=[1-9]' "$out/serve-restart.log" || { echo "FAIL: no killed job
 grep -q 'completed=3 computed=0 cache-hits=3' "$out/serve-cached.log" || {
     echo "FAIL: resubmitted batch was not served entirely from cache"; exit 1; }
 
+echo "==> supervised daemon smoke test (SIGKILL mid-wave, restart, poison, SIGTERM drain)"
+# Typed exit codes first: missing --spool is a configuration error (2),
+# distinct from degradation (1) and spool corruption (3).
+set +e
+./target/release/serve >/dev/null 2>&1
+usage_code=$?
+set -e
+test "$usage_code" -eq 2 || { echo "FAIL: serve without --spool exited $usage_code, want 2"; exit 1; }
+
+dspool="$out/daemon-spool"
+# a deliberately-unrunnable tenant: every compute unit dies on first touch,
+# so supervision must requeue it until the attempt budget poisons it
+./target/release/submit --spool "$dspool" --n 64 --steps 6 --every 2 --priority batch \
+    --fault-seed 1 --fault-prob 0.2 --fault-loss-prob 1.0
+./target/release/submit --spool "$dspool" --n 96 --steps 12 --seed 4 --every 2 --priority batch
+./target/release/submit --spool "$dspool" --n 96 --steps 12 --seed 5 --every 2
+./target/release/serve --spool "$dspool" --daemon --throttle-ms 60 > "$out/daemon-killed.log" 2>&1 &
+daemon_pid=$!
+sleep 1
+# a high-priority job lands mid-wave (the daemon preempts batch for it),
+# then SIGKILL the daemon exactly as a crashed host would
+./target/release/submit --spool "$dspool" --n 96 --steps 12 --seed 6 --every 2 --priority high
+sleep 0.3
+kill -9 "$daemon_pid" 2>/dev/null || true
+wait "$daemon_pid" 2>/dev/null || true
+test "$(ls "$dspool/running" "$dspool/submitted" 2>/dev/null | grep -c json || true)" -gt 0 || {
+    echo "FAIL: SIGKILL landed after the daemon drained; nothing left to recover"; exit 1; }
+
+# restart in daemon mode: recovery requeues, supervision poisons the doomed
+# tenant; submit --wait mirrors outcomes into exit codes (0 done, 3 poisoned)
+./target/release/serve --spool "$dspool" --daemon > "$out/daemon-drain.log" 2>&1 &
+daemon_pid=$!
+./target/release/submit --spool "$dspool" --n 96 --steps 12 --seed 8 --every 2 --wait \
+    | tee "$out/wait-done.log"
+grep -q 'outcome: .* done' "$out/wait-done.log" || { echo "FAIL: submit --wait did not report done"; exit 1; }
+set +e
+./target/release/submit --spool "$dspool" --n 64 --steps 6 --seed 9 --every 2 --priority batch \
+    --fault-seed 2 --fault-prob 0.2 --fault-loss-prob 1.0 --wait > "$out/wait-poisoned.log" 2>&1
+wait_code=$?
+set -e
+test "$wait_code" -eq 3 || { echo "FAIL: submit --wait on a poisoned job exited $wait_code, want 3"; exit 1; }
+# let the queue drain fully, then SIGTERM: the daemon must exit 0 cleanly
+for _ in $(seq 1 120); do
+    test "$(ls "$dspool/running" "$dspool/submitted" 2>/dev/null | grep -c json || true)" -eq 0 && break
+    sleep 0.5
+done
+kill -TERM "$daemon_pid"
+set +e
+wait "$daemon_pid"
+daemon_code=$?
+set -e
+test "$daemon_code" -eq 0 || { echo "FAIL: SIGTERM drain exited $daemon_code, want 0"; exit 1; }
+grep -q 'JOBS OK' "$out/daemon-drain.log" || { echo "FAIL: daemon did not report JOBS OK"; exit 1; }
+grep -q 'poisoned=[1-9]' "$out/daemon-drain.log" || { echo "FAIL: daemon never poisoned the doomed tenant"; exit 1; }
+test "$(ls "$dspool/poisoned" 2>/dev/null | grep -c json || true)" -gt 0 || {
+    echo "FAIL: poisoned/ is empty; the unrunnable tenant was not quarantined"; exit 1; }
+test -s "$dspool/daemon.json" || { echo "FAIL: daemon heartbeat was never written"; exit 1; }
+
+echo "==> crash-point fuzz gate (every durable mutation prefix must recover)"
+cargo test --release -q --test crashpoint_fuzz -- --nocapture | tee "$out/crashpoint.log"
+grep -q 'CRASHPOINT OK' "$out/crashpoint.log" || {
+    echo "FAIL: crash-point fuzz gate did not pass"; exit 1; }
+
 echo "==> cross-backend conformance gate (sim / host / f32 matrix)"
 # The full differential matrix (workloads x N x all four plans x {1,2,4}
 # threads across the three backends, DESIGN.md section 11) runs in well

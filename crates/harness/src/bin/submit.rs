@@ -7,7 +7,7 @@
 //!     [--deadline-s 0.5] [--tile 128] [--job-threads 4] \
 //!     [--backend auto|sim|host|f32] \
 //!     [--fault-seed 7] [--fault-prob 0.1] [--fault-loss-prob 0.01] \
-//!     [--count 1]
+//!     [--count 1] [--wait] [--wait-timeout-s 120]
 //! ```
 //!
 //! Each submission is admission-checked client-side (a malformed spec is
@@ -16,6 +16,12 @@
 //! same spec — a cheap way to demonstrate the content-addressed cache: the
 //! server computes the result once and serves the rest as cache hits.
 //! Prints one `submitted: <job-id>` line per job.
+//!
+//! With `--wait`, blocks after submitting until every submitted job reaches
+//! a terminal spool state (a running `serve --daemon` does the work), then
+//! prints one `outcome: <job-id> <state>` line per job and mirrors the
+//! outcome in the exit code: 0 when all are `done`, 3 if any was poisoned,
+//! 1 if any failed (or the `--wait-timeout-s` wall-clock budget expired).
 
 use harness::error::{exit_with, or_exit, HarnessError};
 use jobs::prelude::*;
@@ -110,13 +116,44 @@ fn main() {
         eprintln!("error: cannot open spool {spool_dir}: {e}");
         std::process::exit(1);
     });
+    let mut ids = Vec::new();
     for _ in 0..count.max(1) {
         match spool.submit(&spec) {
-            Ok(record) => println!("submitted: {} ({})", record.id, spec.label()),
+            Ok(record) => {
+                println!("submitted: {} ({})", record.id, spec.label());
+                ids.push(record.id);
+            }
             Err(e) => {
                 eprintln!("error: submit failed: {e}");
                 std::process::exit(1);
             }
         }
+    }
+
+    if args.iter().any(|a| a == "--wait") {
+        let timeout_s: f64 = parsed(&args, "--wait-timeout-s").map_or(120.0, or_exit);
+        let started = std::time::Instant::now();
+        let mut worst = 0i32;
+        for id in &ids {
+            let state = loop {
+                match spool.job_state(id) {
+                    Some(state) if state.is_terminal() => break state,
+                    _ => {
+                        if started.elapsed().as_secs_f64() > timeout_s {
+                            eprintln!("error: timed out waiting for {id}");
+                            std::process::exit(1);
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(25));
+                    }
+                }
+            };
+            println!("outcome: {id} {}", state.dir_name());
+            worst = worst.max(match state {
+                JobState::Done => 0,
+                JobState::Poisoned => 3,
+                _ => 1,
+            });
+        }
+        std::process::exit(worst);
     }
 }

@@ -16,7 +16,7 @@
 
 use crate::cache::JobResult;
 use crate::error::JobError;
-use crate::spool::write_atomic;
+use crate::fsx::SpoolFs;
 use gpu_sim::trace::{MemoryTraceSink, Trace};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -162,9 +162,13 @@ pub fn trace_csv(trace: &Trace) -> String {
 }
 
 /// Writes `bench.json` and `trace.csv` for a computed result into its work
-/// directory, atomically.
-pub fn write_artifacts(result: &JobResult, dir: &Path) -> Result<ArtifactSet, JobError> {
-    std::fs::create_dir_all(dir).map_err(|e| JobError::io(dir.display().to_string(), e))?;
+/// directory, atomically, through the `fs` seam.
+pub fn write_artifacts(
+    result: &JobResult,
+    dir: &Path,
+    fs: &dyn SpoolFs,
+) -> Result<ArtifactSet, JobError> {
+    fs.create_dir_all(dir).map_err(|e| JobError::io(dir.display().to_string(), e))?;
     let trace = traced_evaluation(&result.spec);
 
     let record = BenchRecord {
@@ -187,11 +191,11 @@ pub fn write_artifacts(result: &JobResult, dir: &Path) -> Result<ArtifactSet, Jo
         path: bench_json.display().to_string(),
         msg: e.to_string(),
     })?;
-    write_atomic(&bench_json, &json)
+    fs.write_atomic(&bench_json, &json)
         .map_err(|e| JobError::io(bench_json.display().to_string(), e))?;
 
     let trace_path = dir.join("trace.csv");
-    write_atomic(&trace_path, &trace_csv(&trace))
+    fs.write_atomic(&trace_path, &trace_csv(&trace))
         .map_err(|e| JobError::io(trace_path.display().to_string(), e))?;
     Ok(ArtifactSet { bench_json, trace_csv: trace_path })
 }
@@ -216,9 +220,9 @@ mod tests {
         let dir = tmp("emit");
         let result = match run_job(&spec, &dir, &RunOptions::default()).unwrap() {
             RunStatus::Complete(result) => *result,
-            RunStatus::Crashed { .. } => unreachable!(),
+            other => panic!("unexpected status {other:?}"),
         };
-        let set = write_artifacts(&result, &dir).unwrap();
+        let set = write_artifacts(&result, &dir, &crate::fsx::RealFs).unwrap();
         let bench: BenchRecord =
             serde_json::from_str(&std::fs::read_to_string(&set.bench_json).unwrap()).unwrap();
         assert_eq!(bench.job, result.hash_hex);
@@ -241,7 +245,7 @@ mod tests {
         // second emission is byte-identical
         let csv2 = {
             let dir2 = tmp("emit-again");
-            let set2 = write_artifacts(&result, &dir2).unwrap();
+            let set2 = write_artifacts(&result, &dir2, &crate::fsx::RealFs).unwrap();
             let text = std::fs::read_to_string(&set2.trace_csv).unwrap();
             std::fs::remove_dir_all(&dir2).ok();
             text

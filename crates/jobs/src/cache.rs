@@ -17,10 +17,11 @@
 //! entry is treated as a miss and deleted.
 
 use crate::error::JobError;
+use crate::fsx::{real_fs, SpoolFs};
 use crate::spec::JobSpec;
-use crate::spool::write_atomic;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use workloads::snapshot::{content_checksum, Snapshot};
 
 /// A completed job's durable result: the final particle state plus the
@@ -55,12 +56,19 @@ pub struct JobResult {
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    fs: Arc<dyn SpoolFs>,
 }
 
 impl ResultCache {
-    /// Wraps `dir` (created lazily on first store).
+    /// Wraps `dir` (created lazily on first store) on the production
+    /// filesystem.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        ResultCache { dir: dir.into() }
+        Self::with_fs(dir, real_fs())
+    }
+
+    /// Wraps `dir` with every mutation routed through `fs`.
+    pub fn with_fs(dir: impl Into<PathBuf>, fs: Arc<dyn SpoolFs>) -> Self {
+        ResultCache { dir: dir.into(), fs }
     }
 
     /// The cache directory.
@@ -87,7 +95,7 @@ impl ResultCache {
             Ok(result) => Ok(Some(result)),
             Err(reason) => {
                 eprintln!("evicting corrupt cache entry {}: {reason}", path.display());
-                std::fs::remove_file(&path).ok();
+                self.fs.remove_file(&path).ok();
                 Ok(None)
             }
         }
@@ -118,14 +126,15 @@ impl ResultCache {
     /// Stores a result under its canonical hash, atomically. Overwrites any
     /// existing entry (determinism makes them bit-identical anyway).
     pub fn store(&self, result: &JobResult) -> Result<(), JobError> {
-        std::fs::create_dir_all(&self.dir)
+        self.fs
+            .create_dir_all(&self.dir)
             .map_err(|e| JobError::io(self.dir.display().to_string(), e))?;
         let path = self.entry_path(&result.hash_hex);
         let json = serde_json::to_string(result).map_err(|e| JobError::Parse {
             path: path.display().to_string(),
             msg: e.to_string(),
         })?;
-        write_atomic(&path, &json).map_err(|e| JobError::io(path.display().to_string(), e))
+        self.fs.write_atomic(&path, &json).map_err(|e| JobError::io(path.display().to_string(), e))
     }
 
     /// Number of entries currently stored.

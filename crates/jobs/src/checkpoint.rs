@@ -15,6 +15,7 @@
 //! `harness::faults` checkpoint/restart driver.
 
 use crate::error::JobError;
+use crate::fsx::{RealFs, SpoolFs};
 use std::path::{Path, PathBuf};
 use workloads::snapshot::Snapshot;
 
@@ -23,7 +24,8 @@ pub fn checkpoint_path(dir: &Path, step: usize) -> PathBuf {
     dir.join(format!("ckpt-{step:05}.json"))
 }
 
-/// Writes the checkpoint for `step` (atomically, via [`Snapshot::save`]).
+/// Writes the checkpoint for `step` atomically on the production
+/// filesystem. See [`save_checkpoint_with`].
 pub fn save_checkpoint(
     dir: &Path,
     label: &str,
@@ -31,10 +33,25 @@ pub fn save_checkpoint(
     step: usize,
     set: &nbody_core::body::ParticleSet,
 ) -> Result<PathBuf, JobError> {
-    std::fs::create_dir_all(dir).map_err(|e| JobError::io(dir.display().to_string(), e))?;
+    save_checkpoint_with(&RealFs, dir, label, time, step, set)
+}
+
+/// Writes the checkpoint for `step` through the `fs` seam: the same
+/// `.tmp`-then-rename transaction as [`Snapshot::save`], byte-identical
+/// payload, but interruptible by the crash-point fuzzer.
+pub fn save_checkpoint_with(
+    fs: &dyn SpoolFs,
+    dir: &Path,
+    label: &str,
+    time: f64,
+    step: usize,
+    set: &nbody_core::body::ParticleSet,
+) -> Result<PathBuf, JobError> {
+    fs.create_dir_all(dir).map_err(|e| JobError::io(dir.display().to_string(), e))?;
     let path = checkpoint_path(dir, step);
     let snap = Snapshot::new(label, time, set.clone());
-    snap.save(&path).map_err(|e| JobError::io(path.display().to_string(), e))?;
+    fs.write_atomic(&path, &snap.to_json())
+        .map_err(|e| JobError::io(path.display().to_string(), e))?;
     Ok(path)
 }
 
@@ -142,6 +159,30 @@ pub fn clean_stale_tmp(dir: &Path) -> std::io::Result<usize> {
         let name = entry.file_name().to_string_lossy().into_owned();
         if name.ends_with(".tmp") && entry.file_type()?.is_file() {
             std::fs::remove_file(entry.path())?;
+            cleaned += 1;
+        }
+    }
+    Ok(cleaned)
+}
+
+/// Deletes every stale `*.tmp` file anywhere under `root` — state dirs,
+/// the result cache, and per-job work/artifact directories at any depth.
+/// Removals go through `fs` so recovery itself is crash-enumerable.
+/// Traversal is depth-first over a sorted entry list, so the removal order
+/// (and thus the fuzzer's op numbering) is deterministic.
+pub fn clean_stale_tmp_recursive(root: &Path, fs: &dyn SpoolFs) -> std::io::Result<usize> {
+    if !root.exists() {
+        return Ok(0);
+    }
+    let mut cleaned = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(root)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            cleaned += clean_stale_tmp_recursive(&entry.path(), fs)?;
+        } else if ty.is_file() && entry.file_name().to_string_lossy().ends_with(".tmp") {
+            fs.remove_file(&entry.path())?;
             cleaned += 1;
         }
     }

@@ -55,6 +55,29 @@ pub enum JobError {
     /// A result-integrity invariant failed (resumed run diverged from the
     /// reference, or a cached result failed its checksum).
     Verification(String),
+    /// The attempt exceeded its *wall-clock* watchdog budget (distinct from
+    /// the simulated-seconds deadline): the host was genuinely stuck or
+    /// throttled, not just simulating a long run. The runner checkpointed
+    /// before yielding; the daemon decides whether to requeue or poison.
+    WatchdogTimeout {
+        /// The step the attempt reached (and checkpointed).
+        step: usize,
+        /// Wall-clock seconds the attempt had consumed.
+        elapsed_s: f64,
+        /// The wall-clock budget that was exceeded.
+        watchdog_s: f64,
+    },
+    /// Admission shed this job: the PTPM forecast of the queue's simulated
+    /// cost exceeded the configured budget, and the job's priority class
+    /// does not override load shedding.
+    Overloaded {
+        /// PTPM-forecast simulated seconds for this job alone.
+        forecast_s: f64,
+        /// Forecast simulated seconds of everything queued and running.
+        debt_s: f64,
+        /// The configured queue-debt budget that was exceeded.
+        budget_s: f64,
+    },
 }
 
 impl JobError {
@@ -78,6 +101,8 @@ impl JobError {
             JobError::DeadlineExceeded { .. } => "deadline-exceeded",
             JobError::Unrecoverable(_) => "unrecoverable",
             JobError::Verification(_) => "verification",
+            JobError::WatchdogTimeout { .. } => "watchdog-timeout",
+            JobError::Overloaded { .. } => "overloaded",
         }
     }
 
@@ -107,6 +132,16 @@ impl std::fmt::Display for JobError {
             ),
             JobError::Unrecoverable(msg) => write!(f, "[unrecoverable] {msg}"),
             JobError::Verification(msg) => write!(f, "[verification] {msg}"),
+            JobError::WatchdogTimeout { step, elapsed_s, watchdog_s } => write!(
+                f,
+                "[watchdog-timeout] wall clock {elapsed_s:.3} s > budget {watchdog_s:.3} s \
+                 at step {step} (progress checkpointed)"
+            ),
+            JobError::Overloaded { forecast_s, debt_s, budget_s } => write!(
+                f,
+                "[overloaded] forecast queue debt {debt_s:.3e} s exceeds budget {budget_s:.3e} s \
+                 (this job forecasts {forecast_s:.3e} s); resubmit later or raise priority"
+            ),
         }
     }
 }
@@ -167,5 +202,17 @@ mod tests {
             progressed: true,
         };
         assert!(e.to_string().contains("deadline-exceeded"), "{e}");
+    }
+
+    #[test]
+    fn supervision_errors_are_typed_and_not_blindly_retryable() {
+        let wd = JobError::WatchdogTimeout { step: 7, elapsed_s: 3.2, watchdog_s: 1.0 };
+        assert_eq!(wd.id(), "watchdog-timeout");
+        assert!(!wd.is_retryable(), "the daemon supervises watchdog requeues, not the wave loop");
+        assert!(wd.to_string().contains("watchdog-timeout"));
+        let shed = JobError::Overloaded { forecast_s: 2.0, debt_s: 9.0, budget_s: 5.0 };
+        assert_eq!(shed.id(), "overloaded");
+        assert!(!shed.is_retryable());
+        assert!(shed.to_string().contains("overloaded"), "{shed}");
     }
 }

@@ -5,12 +5,16 @@
 //!
 //! A *job* is a fully reproducible simulation request — workload spec, plan,
 //! steps, time-step, optional fault injection — described by [`spec::JobSpec`].
-//! Jobs flow through a durable on-disk [`spool::Spool`] with a four-state
-//! machine (`submitted → running → done | failed`) whose every transition is
-//! an atomic rename, so a `kill -9` at any instant leaves the spool in a
-//! recoverable state: on the next [`spool::Spool::open`], in-flight jobs are
-//! re-queued and resume from their newest usable checkpoint
-//! ([`checkpoint::scan`]) bit-exactly.
+//! Jobs flow through a durable on-disk [`spool::Spool`] with a five-state
+//! machine (`submitted → running → done | failed | poisoned`) whose every
+//! transition is an atomic rename, so a `kill -9` at any instant leaves the
+//! spool in a recoverable state: on the next [`spool::Spool::open`],
+//! in-flight jobs are re-queued and resume from their newest usable
+//! checkpoint ([`checkpoint::scan`]) bit-exactly. That claim is not prose:
+//! every durable mutation goes through the [`fsx::SpoolFs`] seam, and the
+//! crash-point fuzzer ([`crashpoint`]) replays a full job lifecycle killing
+//! the filesystem after each mutation prefix, asserting recovery loses and
+//! duplicates nothing.
 //!
 //! The scheduler ([`server::drain`]) applies admission control
 //! ([`spec::admit`] — malformed or over-budget specs fail with typed
@@ -29,13 +33,24 @@
 //! never recomputes. Every computed job also emits the PR 1 observability
 //! artifacts (`trace.csv`, `bench.json`) into its spool work directory
 //! ([`artifact`]).
+//!
+//! On top of the finite drain sits the supervised daemon
+//! ([`daemon::run_daemon`]): a long-lived tick loop with preemptive
+//! scheduling (an arriving `high` job preempts running `batch` jobs at
+//! their next checkpoint boundary), wall-clock watchdogs for stuck
+//! attempts, attempt-budget poisoning into `poisoned/`, PTPM-forecast load
+//! shedding ([`server::ShedPolicy`]), an atomic `daemon.json` heartbeat,
+//! and graceful SIGTERM drain.
 
 #![warn(missing_docs)]
 
 pub mod artifact;
 pub mod cache;
 pub mod checkpoint;
+pub mod crashpoint;
+pub mod daemon;
 pub mod error;
+pub mod fsx;
 pub mod runner;
 pub mod server;
 pub mod spec;
@@ -45,9 +60,12 @@ pub mod spool;
 pub mod prelude {
     pub use crate::cache::{JobResult, ResultCache};
     pub use crate::checkpoint::{scan, CheckpointScan};
+    pub use crate::crashpoint::{fuzz, CrashpointReport};
+    pub use crate::daemon::{run_daemon, DaemonConfig, DaemonExit, DaemonStatus, DaemonSummary};
     pub use crate::error::JobError;
+    pub use crate::fsx::{real_fs, CrashFs, RealFs, SpoolFs};
     pub use crate::runner::{reference_set, run_job, RunOptions, RunStatus};
-    pub use crate::server::{drain, DrainSummary, JobOutcome, JobReport, ServerConfig};
+    pub use crate::server::{drain, DrainSummary, JobOutcome, JobReport, ServerConfig, ShedPolicy};
     pub use crate::spec::{admit, AdmissionError, AdmissionPolicy, JobSpec, Priority};
     pub use crate::spool::{JobRecord, JobState, Spool, SpoolRecovery};
 }

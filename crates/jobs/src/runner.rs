@@ -20,8 +20,9 @@
 //! this module stays panic-transparent.
 
 use crate::cache::JobResult;
-use crate::checkpoint::{save_checkpoint, scan};
+use crate::checkpoint::{save_checkpoint_with, scan};
 use crate::error::JobError;
+use crate::fsx::{real_fs, SpoolFs};
 use crate::spec::JobSpec;
 use gpu_sim::prelude::{Device, DeviceSpec, FaultPlan, TransferModel};
 use nbody_core::body::ParticleSet;
@@ -30,11 +31,13 @@ use nbody_core::integrator::{prime, Integrator, LeapfrogKdk};
 use plans::engine::PlanForceEngine;
 use plans::prelude::{make_backend, Backend, BackendKind, PlanConfig, SimBackend};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use workloads::snapshot::Snapshot;
 
 /// Knobs for one attempt that are not part of the job spec (and therefore
-/// never hashed): test/CI hooks.
-#[derive(Debug, Clone, Default)]
+/// never hashed): supervision hooks and test/CI hooks.
+#[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Wall-clock milliseconds to sleep after each step. Used by the serve
     /// binary's `--throttle-ms` so a CI `SIGKILL` reliably lands mid-job;
@@ -44,6 +47,30 @@ pub struct RunOptions {
     /// spool — an in-process stand-in for a host crash (the on-disk state
     /// is exactly what a `kill -9` at that instant leaves).
     pub crash_after: Option<usize>,
+    /// Cooperative preemption flag: when the scheduler sets it, the attempt
+    /// yields [`RunStatus::Preempted`] at its next checkpoint boundary —
+    /// progress is durable, so the requeued job resumes bit-exactly.
+    pub preempt: Option<Arc<AtomicBool>>,
+    /// Wall-clock watchdog budget per attempt, in seconds. Distinct from
+    /// the simulated-seconds deadline: this one catches attempts that are
+    /// genuinely stuck on the host. Checked cooperatively between steps;
+    /// on exceed the attempt checkpoints and returns
+    /// [`JobError::WatchdogTimeout`].
+    pub watchdog_s: Option<f64>,
+    /// The filesystem seam checkpoint writes go through.
+    pub fs: Arc<dyn SpoolFs>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            throttle_ms: 0,
+            crash_after: None,
+            preempt: None,
+            watchdog_s: None,
+            fs: real_fs(),
+        }
+    }
 }
 
 /// How an attempt ended (errors are returned separately as [`JobError`]).
@@ -54,6 +81,12 @@ pub enum RunStatus {
     /// The simulated crash hook fired; state survives only as checkpoints.
     Crashed {
         /// The step the attempt had reached when it died.
+        at_step: usize,
+    },
+    /// The scheduler's preemption flag fired; the attempt checkpointed at
+    /// `at_step` and yielded. Requeue and resume bit-exactly.
+    Preempted {
+        /// The checkpoint boundary the attempt yielded at.
         at_step: usize,
     },
 }
@@ -108,7 +141,7 @@ fn engine(spec: &JobSpec, with_faults: bool) -> PlanForceEngine {
 /// returns [`JobError::DeadlineExceeded`] with the progress flag the retry
 /// policy keys on.
 pub fn run_job(spec: &JobSpec, dir: &Path, opts: &RunOptions) -> Result<RunStatus, JobError> {
-    std::fs::create_dir_all(dir).map_err(|e| JobError::io(dir.display().to_string(), e))?;
+    opts.fs.create_dir_all(dir).map_err(|e| JobError::io(dir.display().to_string(), e))?;
     let (start_step, mut set) = match scan(dir)?.best {
         Some((step, snap)) => (step, snap.set),
         None => (0, initial_set(spec)),
@@ -119,22 +152,46 @@ pub fn run_job(spec: &JobSpec, dir: &Path, opts: &RunOptions) -> Result<RunStatu
     // restored positions, so this reproduces the pre-crash accelerations
     prime(&mut set, &mut eng);
 
+    let started = std::time::Instant::now();
     let mut step = start_step;
     while step < spec.steps {
         LeapfrogKdk.step(&mut set, &mut eng, spec.dt);
         step += 1;
         let on_cadence = step % spec.checkpoint_every == 0 || step == spec.steps;
         if on_cadence {
-            save_checkpoint(dir, &spec.label(), step as f64 * spec.dt, step, &set)?;
+            save_checkpoint_with(
+                opts.fs.as_ref(),
+                dir,
+                &spec.label(),
+                step as f64 * spec.dt,
+                step,
+                &set,
+            )?;
         }
         if opts.crash_after == Some(step) && step < spec.steps {
             return Ok(RunStatus::Crashed { at_step: step });
+        }
+        // preemption only fires where a checkpoint just landed: the yield
+        // point is always durable, so the requeued job resumes bit-exactly
+        if on_cadence && step < spec.steps {
+            if let Some(flag) = &opts.preempt {
+                if flag.load(Ordering::SeqCst) {
+                    return Ok(RunStatus::Preempted { at_step: step });
+                }
+            }
         }
         if let Some(deadline_s) = spec.deadline_s {
             let simulated_s = eng.simulated_total_seconds();
             if step < spec.steps && simulated_s > deadline_s {
                 if !on_cadence {
-                    save_checkpoint(dir, &spec.label(), step as f64 * spec.dt, step, &set)?;
+                    save_checkpoint_with(
+                        opts.fs.as_ref(),
+                        dir,
+                        &spec.label(),
+                        step as f64 * spec.dt,
+                        step,
+                        &set,
+                    )?;
                 }
                 return Err(JobError::DeadlineExceeded {
                     step,
@@ -142,6 +199,22 @@ pub fn run_job(spec: &JobSpec, dir: &Path, opts: &RunOptions) -> Result<RunStatu
                     deadline_s,
                     progressed: step > start_step,
                 });
+            }
+        }
+        if let Some(watchdog_s) = opts.watchdog_s {
+            let elapsed_s = started.elapsed().as_secs_f64();
+            if step < spec.steps && elapsed_s > watchdog_s {
+                if !on_cadence {
+                    save_checkpoint_with(
+                        opts.fs.as_ref(),
+                        dir,
+                        &spec.label(),
+                        step as f64 * spec.dt,
+                        step,
+                        &set,
+                    )?;
+                }
+                return Err(JobError::WatchdogTimeout { step, elapsed_s, watchdog_s });
             }
         }
         if opts.throttle_ms > 0 {
@@ -202,7 +275,7 @@ mod tests {
     fn complete(status: RunStatus) -> JobResult {
         match status {
             RunStatus::Complete(result) => *result,
-            RunStatus::Crashed { at_step } => panic!("unexpected crash at step {at_step}"),
+            other => panic!("unexpected status {other:?}"),
         }
     }
 
@@ -227,7 +300,7 @@ mod tests {
         let opts = RunOptions { crash_after: Some(3), ..Default::default() };
         match run_job(&spec(), &dir, &opts).unwrap() {
             RunStatus::Crashed { at_step } => assert_eq!(at_step, 3),
-            RunStatus::Complete(_) => panic!("crash hook did not fire"),
+            other => panic!("crash hook did not fire: {other:?}"),
         }
         let result = complete(run_job(&spec(), &dir, &RunOptions::default()).unwrap());
         assert_eq!(result.resumed_from, 2, "newest checkpoint before the crash is step 2");
@@ -330,6 +403,50 @@ mod tests {
         for dir in [dir, dir_f, dir_h] {
             std::fs::remove_dir_all(&dir).ok();
         }
+    }
+
+    #[test]
+    fn preemption_yields_at_checkpoint_boundary_and_resumes_bitexactly() {
+        let dir = tmp("preempt");
+        let flag = Arc::new(AtomicBool::new(true)); // raised before the attempt starts
+        let opts = RunOptions { preempt: Some(Arc::clone(&flag)), ..Default::default() };
+        match run_job(&spec(), &dir, &opts).unwrap() {
+            RunStatus::Preempted { at_step } => {
+                assert_eq!(at_step, 2, "first checkpoint boundary (checkpoint_every=2)");
+                assert!(crate::checkpoint::checkpoint_path(&dir, at_step).exists());
+            }
+            other => panic!("expected preemption, got {other:?}"),
+        }
+        // flag lowered: the resumed attempt runs to completion from step 2
+        flag.store(false, Ordering::SeqCst);
+        let result = complete(run_job(&spec(), &dir, &opts).unwrap());
+        assert_eq!(result.resumed_from, 2);
+        let reference = reference_set(&spec());
+        assert_eq!(result.final_snapshot.set.pos(), reference.pos());
+        assert_eq!(result.final_snapshot.set.vel(), reference.vel());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watchdog_checkpoints_then_times_out_stuck_attempts() {
+        let dir = tmp("watchdog");
+        // a zero budget trips on the very first step regardless of host
+        // speed, and the trip point must be durable so a later attempt
+        // resumes instead of restarting
+        let opts = RunOptions { watchdog_s: Some(0.0), ..Default::default() };
+        match run_job(&spec(), &dir, &opts).unwrap_err() {
+            JobError::WatchdogTimeout { step, elapsed_s, watchdog_s } => {
+                assert_eq!(step, 1);
+                assert!(elapsed_s > watchdog_s);
+                assert!(crate::checkpoint::checkpoint_path(&dir, step).exists());
+            }
+            other => panic!("expected watchdog timeout, got {other}"),
+        }
+        let result = complete(run_job(&spec(), &dir, &RunOptions::default()).unwrap());
+        assert_eq!(result.resumed_from, 1);
+        let reference = reference_set(&spec());
+        assert_eq!(result.final_snapshot.set.pos(), reference.pos());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

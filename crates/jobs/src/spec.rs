@@ -164,6 +164,14 @@ impl JobSpec {
         format!("{:016x}", self.canonical_hash())
     }
 
+    /// PTPM-forecast simulated seconds for the whole job (`steps` force
+    /// evaluations plus priming) on the reference device — the number
+    /// admission-time load shedding budgets against. Deterministic for a
+    /// fixed spec.
+    pub fn forecast_seconds(&self) -> f64 {
+        ptpm::jobcost::forecast_job_seconds(self.plan.id(), self.workload.n, self.steps, self.tile)
+    }
+
     /// The fault plan seed and configuration this spec asks for, if any.
     /// Built field-by-field (not via the asserting constructors) so a
     /// malformed probability reaches [`admit`]'s validation as a typed

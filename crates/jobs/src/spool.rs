@@ -1,4 +1,4 @@
-//! The durable on-disk job spool: a crash-safe four-state machine.
+//! The durable on-disk job spool: a crash-safe five-state machine.
 //!
 //! ```text
 //! spool/
@@ -7,24 +7,35 @@
 //!   running/<id>.json        claimed by a serve process
 //!   done/<id>.json           completed (result in cache/)
 //!   failed/<id>.json         terminal failure (typed error recorded)
+//!   poisoned/<id>.json       quarantined: exhausted its attempt budget
 //!   jobs/<hash16>/           per-job work dir: checkpoints + artifacts
 //!   cache/<hash16>.json      content-addressed results
+//!   daemon.json              daemon heartbeat (written atomically per tick)
 //! ```
 //!
 //! Every file write goes through a `.tmp` sibling plus atomic rename, and
 //! every state transition is `write destination → remove source`, so a
 //! `kill -9` at any instant leaves either the old state, the new state, or
 //! both — never a torn file. [`Spool::open`] repairs the "both" case with a
-//! fixed precedence (`done`/`failed` over `running` over `submitted`),
-//! deletes stale `.tmp` litter everywhere, and re-queues jobs a dead server
-//! left in `running/` so they resume from their checkpoints.
+//! fixed precedence (`done`/`failed`/`poisoned` over `running` over
+//! `submitted`), deletes stale `.tmp` litter *recursively across the whole
+//! spool tree* (state dirs, the cache, and every per-job work/artifact
+//! directory — a kill-9 between an artifact's `.tmp` write and its rename
+//! must not leave debris forever), and re-queues jobs a dead server left in
+//! `running/` so they resume from their checkpoints.
+//!
+//! Every mutation goes through the [`crate::fsx::SpoolFs`] seam, which is
+//! what lets the crash-point fuzzer ([`crate::crashpoint`]) enumerate and
+//! interrupt each one.
 
 use crate::error::JobError;
+use crate::fsx::{real_fs, SpoolFs};
 use crate::spec::JobSpec;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-/// The four job states; each is a directory under the spool root.
+/// The five job states; each is a directory under the spool root.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JobState {
     /// Waiting for the scheduler.
@@ -35,6 +46,10 @@ pub enum JobState {
     Done,
     /// Terminal failure; the record carries the typed error.
     Failed,
+    /// Quarantined: the job consumed its whole cross-restart attempt budget
+    /// (watchdog kills, unrecoverable faults, crash loops) and will not be
+    /// retried again. The record carries the typed reason.
+    Poisoned,
 }
 
 impl JobState {
@@ -45,12 +60,24 @@ impl JobState {
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Failed => "failed",
+            JobState::Poisoned => "poisoned",
         }
     }
 
     /// All states.
-    pub fn all() -> [JobState; 4] {
-        [JobState::Submitted, JobState::Running, JobState::Done, JobState::Failed]
+    pub fn all() -> [JobState; 5] {
+        [
+            JobState::Submitted,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Poisoned,
+        ]
+    }
+
+    /// True for states a job never leaves.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Poisoned)
     }
 }
 
@@ -67,9 +94,12 @@ pub struct JobRecord {
     pub hash_hex: String,
     /// The request itself.
     pub spec: JobSpec,
-    /// Run attempts consumed so far (retries = attempts - 1).
+    /// Attempts started so far. Incremented durably at *claim* time
+    /// ([`Spool::claim`]), so a job that crashes the server on every
+    /// attempt still accumulates history and can be poisoned instead of
+    /// requeued forever.
     pub attempts: u32,
-    /// Typed error message for failed jobs (`[id] detail` form).
+    /// Typed error message for failed/poisoned jobs (`[id] detail` form).
     pub error: Option<String>,
 }
 
@@ -86,7 +116,7 @@ pub struct SpoolRecovery {
     /// Jobs moved from `running/` back to `submitted/` (they resume from
     /// their newest checkpoint).
     pub requeued: usize,
-    /// Stale `.tmp` files deleted across the spool.
+    /// Stale `.tmp` files deleted across the whole spool tree.
     pub tmp_cleaned: usize,
     /// Duplicate records dropped (a crash between the two halves of a
     /// transition left the job in two state dirs).
@@ -94,63 +124,66 @@ pub struct SpoolRecovery {
 }
 
 /// Writes `text` to `path` atomically: `.tmp` sibling, then rename.
+/// Production-only convenience over [`crate::fsx::RealFs`]; seam-aware code
+/// uses [`SpoolFs::write_atomic`].
 pub fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = PathBuf::from(tmp);
-    std::fs::write(&tmp, text)?;
-    std::fs::rename(&tmp, path)
+    crate::fsx::RealFs.write_atomic(path, text)
 }
 
 /// Handle to a spool directory tree.
 #[derive(Debug, Clone)]
 pub struct Spool {
     root: PathBuf,
+    fs: Arc<dyn SpoolFs>,
 }
 
 impl Spool {
-    /// Opens (creating if needed) the spool at `root` and repairs any
-    /// crash litter: stale `.tmp` files are deleted, duplicate records are
-    /// resolved by state precedence, and jobs a dead server left in
-    /// `running/` are re-queued.
+    /// Opens (creating if needed) the spool at `root` on the production
+    /// filesystem. See [`Spool::open_with`].
     pub fn open(root: impl Into<PathBuf>) -> Result<(Self, SpoolRecovery), JobError> {
-        let spool = Spool { root: root.into() };
+        Self::open_with(root, real_fs())
+    }
+
+    /// Opens the spool at `root` with every mutation routed through `fs`,
+    /// and repairs any crash litter: stale `.tmp` files are deleted
+    /// recursively across the whole tree (state dirs, cache, per-job
+    /// work/artifact dirs), duplicate records are resolved by state
+    /// precedence, and jobs a dead server left in `running/` are re-queued.
+    pub fn open_with(
+        root: impl Into<PathBuf>,
+        fs: Arc<dyn SpoolFs>,
+    ) -> Result<(Self, SpoolRecovery), JobError> {
+        let spool = Spool { root: root.into(), fs };
         let mut recovery = SpoolRecovery::default();
         for state in JobState::all() {
             let dir = spool.dir(state);
-            std::fs::create_dir_all(&dir)
-                .map_err(|e| JobError::io(dir.display().to_string(), e))?;
-            recovery.tmp_cleaned += crate::checkpoint::clean_stale_tmp(&dir)
+            spool
+                .fs
+                .create_dir_all(&dir)
                 .map_err(|e| JobError::io(dir.display().to_string(), e))?;
         }
         for extra in [spool.cache_dir(), spool.jobs_dir()] {
-            std::fs::create_dir_all(&extra)
-                .map_err(|e| JobError::io(extra.display().to_string(), e))?;
-            recovery.tmp_cleaned += crate::checkpoint::clean_stale_tmp(&extra)
+            spool
+                .fs
+                .create_dir_all(&extra)
                 .map_err(|e| JobError::io(extra.display().to_string(), e))?;
         }
-        recovery.tmp_cleaned += crate::checkpoint::clean_stale_tmp(&spool.root)
-            .map_err(|e| JobError::io(spool.root.display().to_string(), e))?;
-        // per-job work dirs can hold checkpoint .tmp litter too
-        if let Ok(entries) = std::fs::read_dir(spool.jobs_dir()) {
-            for entry in entries.flatten() {
-                if entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
-                    recovery.tmp_cleaned +=
-                        crate::checkpoint::clean_stale_tmp(&entry.path()).unwrap_or(0);
-                }
-            }
-        }
+        // one recursive sweep covers everything: state dirs, the cache, and
+        // every per-job work directory however deep its artifacts nest
+        recovery.tmp_cleaned +=
+            crate::checkpoint::clean_stale_tmp_recursive(&spool.root, spool.fs.as_ref())
+                .map_err(|e| JobError::io(spool.root.display().to_string(), e))?;
 
         // duplicate resolution: a terminal record wins over running, which
         // wins over submitted; then requeue whatever genuinely runs nowhere
-        let terminal: Vec<String> = [JobState::Done, JobState::Failed]
+        let terminal: Vec<String> = [JobState::Done, JobState::Failed, JobState::Poisoned]
             .into_iter()
             .flat_map(|s| spool.file_names(s))
             .collect();
         for state in [JobState::Running, JobState::Submitted] {
             for name in spool.file_names(state) {
                 if terminal.contains(&name) {
-                    std::fs::remove_file(spool.dir(state).join(&name)).ok();
+                    spool.fs.remove_file(&spool.dir(state).join(&name)).ok();
                     recovery.duplicates_dropped += 1;
                 }
             }
@@ -161,10 +194,12 @@ impl Spool {
             if dst.exists() {
                 // crash between claim-write and submitted-remove: the
                 // submitted copy is authoritative, drop the claim
-                std::fs::remove_file(spool.dir(JobState::Running).join(&name)).ok();
+                spool.fs.remove_file(&spool.dir(JobState::Running).join(&name)).ok();
                 recovery.duplicates_dropped += 1;
             } else {
-                std::fs::rename(spool.dir(JobState::Running).join(&name), &dst)
+                spool
+                    .fs
+                    .rename(&spool.dir(JobState::Running).join(&name), &dst)
                     .map_err(|e| JobError::io(dst.display().to_string(), e))?;
                 recovery.requeued += 1;
             }
@@ -175,6 +210,11 @@ impl Spool {
     /// The spool root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The filesystem seam all of this spool's mutations go through.
+    pub fn fs(&self) -> Arc<dyn SpoolFs> {
+        Arc::clone(&self.fs)
     }
 
     /// The directory for `state`.
@@ -192,6 +232,11 @@ impl Spool {
         self.root.join("jobs")
     }
 
+    /// The daemon heartbeat/status file.
+    pub fn status_path(&self) -> PathBuf {
+        self.root.join("daemon.json")
+    }
+
     /// The work directory (checkpoints, artifacts) for a job hash. Shared
     /// by identical resubmissions — which is exactly what lets a re-queued
     /// job resume the checkpoints of its crashed predecessor.
@@ -199,9 +244,10 @@ impl Spool {
         self.jobs_dir().join(hash_hex)
     }
 
-    /// The result cache over this spool's cache directory.
+    /// The result cache over this spool's cache directory (sharing the
+    /// spool's filesystem seam).
     pub fn cache(&self) -> crate::cache::ResultCache {
-        crate::cache::ResultCache::new(self.cache_dir())
+        crate::cache::ResultCache::with_fs(self.cache_dir(), Arc::clone(&self.fs))
     }
 
     fn file_names(&self, state: JobState) -> Vec<String> {
@@ -227,7 +273,8 @@ impl Spool {
             Ok(text) => text.trim().parse::<u64>().unwrap_or(0) + 1,
             Err(_) => 1,
         };
-        write_atomic(&path, &next.to_string())
+        self.fs
+            .write_atomic(&path, &next.to_string())
             .map_err(|e| JobError::io(path.display().to_string(), e))?;
         Ok(next)
     }
@@ -251,13 +298,13 @@ impl Spool {
         Ok(record)
     }
 
-    fn write_record(&self, record: &JobRecord, state: JobState) -> Result<(), JobError> {
+    pub(crate) fn write_record(&self, record: &JobRecord, state: JobState) -> Result<(), JobError> {
         let path = self.dir(state).join(record.file_name());
         let json = serde_json::to_string_pretty(record).map_err(|e| JobError::Parse {
             path: path.display().to_string(),
             msg: e.to_string(),
         })?;
-        write_atomic(&path, &json).map_err(|e| JobError::io(path.display().to_string(), e))
+        self.fs.write_atomic(&path, &json).map_err(|e| JobError::io(path.display().to_string(), e))
     }
 
     /// All records in `state`, in scheduling order: priority class rank,
@@ -274,7 +321,8 @@ impl Spool {
                 Err(err) => {
                     eprintln!("quarantining malformed spool record {name}: {err}");
                     let dst = self.dir(JobState::Failed).join(&name);
-                    std::fs::rename(&path, &dst)
+                    self.fs
+                        .rename(&path, &dst)
                         .map_err(|e| JobError::io(dst.display().to_string(), e))?;
                 }
             }
@@ -288,6 +336,13 @@ impl Spool {
         self.file_names(state).len()
     }
 
+    /// The state dir currently holding job `id`, if any. Linear scan over
+    /// the five dirs — used by `submit --wait` to poll an outcome.
+    pub fn job_state(&self, id: &str) -> Option<JobState> {
+        let name = format!("{id}.json");
+        JobState::all().into_iter().find(|s| self.dir(*s).join(&name).exists())
+    }
+
     /// Moves `record` from `from` to `to`, persisting any field updates
     /// (attempts, error). Crash-safe: destination is written first, then
     /// the source is removed; [`Spool::open`] resolves the overlap window.
@@ -299,11 +354,23 @@ impl Spool {
     ) -> Result<(), JobError> {
         self.write_record(record, to)?;
         let src = self.dir(from).join(record.file_name());
-        match std::fs::remove_file(&src) {
+        match self.fs.remove_file(&src) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(JobError::io(src.display().to_string(), e)),
         }
+    }
+
+    /// Claims a submitted job for execution: durably charges one attempt
+    /// (`attempts + 1` is written into `running/` *before* the job starts),
+    /// so even a server that dies mid-job leaves an accurate attempt count
+    /// for the poisoning policy to read after requeue. Returns the claimed
+    /// record.
+    pub fn claim(&self, record: &JobRecord) -> Result<JobRecord, JobError> {
+        let mut claimed = record.clone();
+        claimed.attempts += 1;
+        self.transition(&claimed, JobState::Submitted, JobState::Running)?;
+        Ok(claimed)
     }
 }
 
@@ -386,6 +453,35 @@ mod tests {
     }
 
     #[test]
+    fn reopen_sweeps_cache_and_artifact_tmp_debris() {
+        // the found shape: kill-9 between an artifact's .tmp write and its
+        // rename used to leave debris forever in cache/ and jobs/<hash>/
+        let root = tmp("artifact-debris");
+        let (spool, _) = Spool::open(&root).unwrap();
+        let a = spool.submit(&spec(32, 9)).unwrap();
+        std::fs::write(spool.cache_dir().join("deadbeef.json.tmp"), "{half").unwrap();
+        let jd = spool.job_dir(&a.hash_hex);
+        std::fs::create_dir_all(&jd).unwrap();
+        std::fs::write(jd.join("bench.json.tmp"), "{half").unwrap();
+        std::fs::write(jd.join("trace.csv.tmp"), "event,").unwrap();
+        std::fs::write(spool.root().join("daemon.json.tmp"), "{half").unwrap();
+        // and one nested a level deeper than any current writer produces —
+        // the sweep is recursive, not a hand-kept directory list
+        let deep = jd.join("extra");
+        std::fs::create_dir_all(&deep).unwrap();
+        std::fs::write(deep.join("x.tmp"), "junk").unwrap();
+
+        let (spool2, recovery) = Spool::open(&root).unwrap();
+        assert_eq!(recovery.tmp_cleaned, 5, "{recovery:?}");
+        assert!(!spool2.cache_dir().join("deadbeef.json.tmp").exists());
+        assert!(!jd.join("bench.json.tmp").exists());
+        assert!(!jd.join("trace.csv.tmp").exists());
+        assert!(!deep.join("x.tmp").exists());
+        assert!(!spool2.root().join("daemon.json.tmp").exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
     fn reopen_resolves_duplicates_by_precedence() {
         let root = tmp("dupes");
         let (spool, _) = Spool::open(&root).unwrap();
@@ -401,6 +497,41 @@ mod tests {
         assert_eq!(spool2.count(JobState::Done), 1);
         assert_eq!(spool2.count(JobState::Running), 0);
         std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn poisoned_records_win_precedence_and_survive_reopen() {
+        let root = tmp("poison-precedence");
+        let (spool, _) = Spool::open(&root).unwrap();
+        let a = spool.submit(&spec(32, 4)).unwrap();
+        let mut poisoned = a.clone();
+        poisoned.attempts = 3;
+        poisoned.error = Some("[poisoned] attempts exhausted".into());
+        // crash between the halves of a running → poisoned transition
+        spool.write_record(&a, JobState::Running).unwrap();
+        spool.write_record(&poisoned, JobState::Poisoned).unwrap();
+        std::fs::remove_file(spool.dir(JobState::Submitted).join(a.file_name())).unwrap();
+        let (spool2, recovery) = Spool::open(&root).unwrap();
+        assert_eq!(recovery.duplicates_dropped, 1);
+        assert_eq!(spool2.count(JobState::Poisoned), 1);
+        assert_eq!(spool2.count(JobState::Running), 0);
+        assert_eq!(spool2.job_state(&a.id), Some(JobState::Poisoned));
+        let rec = &spool2.list(JobState::Poisoned).unwrap()[0];
+        assert_eq!(rec.attempts, 3);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn claim_durably_charges_an_attempt() {
+        let (spool, _) = Spool::open(tmp("claim")).unwrap();
+        let a = spool.submit(&spec(32, 5)).unwrap();
+        assert_eq!(a.attempts, 0);
+        let claimed = spool.claim(&a).unwrap();
+        assert_eq!(claimed.attempts, 1);
+        assert_eq!(spool.count(JobState::Submitted), 0);
+        let on_disk = &spool.list(JobState::Running).unwrap()[0];
+        assert_eq!(on_disk.attempts, 1, "the charge is durable before the job runs");
+        std::fs::remove_dir_all(spool.root()).ok();
     }
 
     #[test]
@@ -433,6 +564,19 @@ mod tests {
         assert_eq!(a.hash_hex, b.hash_hex);
         assert_ne!(a.id, b.id);
         assert_eq!(spool.job_dir(&a.hash_hex), spool.job_dir(&b.hash_hex));
+        std::fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn job_state_locates_records_across_dirs() {
+        let (spool, _) = Spool::open(tmp("locate")).unwrap();
+        let a = spool.submit(&spec(32, 7)).unwrap();
+        assert_eq!(spool.job_state(&a.id), Some(JobState::Submitted));
+        let claimed = spool.claim(&a).unwrap();
+        assert_eq!(spool.job_state(&a.id), Some(JobState::Running));
+        spool.transition(&claimed, JobState::Running, JobState::Done).unwrap();
+        assert_eq!(spool.job_state(&a.id), Some(JobState::Done));
+        assert_eq!(spool.job_state("job-99999999-none"), None);
         std::fs::remove_dir_all(spool.root()).ok();
     }
 }

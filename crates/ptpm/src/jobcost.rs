@@ -1,0 +1,103 @@
+//! Whole-job cost forecasts for admission control.
+//!
+//! The paper's analytic model forecasts one *launch*; a job-server admission
+//! decision needs the cost of a whole job — `steps` force evaluations plus
+//! the priming one — before anything runs. [`forecast_job_seconds`] composes
+//! the per-plan launch forecasts from [`crate::model`] into that number.
+//!
+//! For the blocked plans (`i-parallel`, `j-parallel`) the launch geometry is
+//! exact. The tree plans (`w-parallel`, `jw-parallel`) have data-dependent
+//! interaction lists that do not exist before the job runs, so admission
+//! uses a documented synthetic proxy: uniform lists of length
+//! `min(N, 8·log₂N)` — the classic Barnes–Hut O(log N) list-length scaling
+//! with a small constant — one walk per `walk` bodies. That is an
+//! *admission-grade* estimate (the right order of magnitude, monotone in N
+//! and steps), not a promise; the observed/forecast comparison machinery in
+//! [`crate::observed`] remains the precision instrument.
+//!
+//! Load shedding compares the sum of these forecasts over everything queued
+//! and running ("queue debt") against a budget; the forecast is
+//! deterministic, so shedding decisions are reproducible.
+
+use crate::model::{
+    forecast_i_parallel, forecast_j_parallel, forecast_jw_parallel, forecast_w_parallel,
+};
+use gpu_sim::spec::DeviceSpec;
+
+/// Default work-group size when the job does not pin a tile.
+pub const DEFAULT_BLOCK: usize = 256;
+/// Default walk size for the tree plans.
+pub const DEFAULT_WALK: usize = 64;
+/// Default j-parallel slice count (the paper's sweet spot for the reference
+/// device at the N range the admission budgets allow).
+pub const DEFAULT_SLICES: usize = 54;
+
+/// Synthetic interaction-list lengths for tree-plan admission forecasts:
+/// one walk per `walk` bodies, each list `min(N, 8·log₂N)` long.
+fn proxy_list_lens(n: usize, walk: usize) -> Vec<usize> {
+    let walks = n.div_ceil(walk.max(1)).max(1);
+    let log2n = (usize::BITS - n.max(2).leading_zeros()) as usize;
+    let len = n.min(8 * log2n).max(1);
+    vec![len; walks]
+}
+
+/// Forecast simulated seconds for one force evaluation of `plan_id` at `n`
+/// bodies. Unknown plan ids fall back to the i-parallel forecast (the most
+/// expensive plan — shedding stays conservative).
+pub fn forecast_eval_seconds(plan_id: &str, n: usize, tile: Option<usize>) -> f64 {
+    let spec = DeviceSpec::radeon_hd_5850();
+    let block = tile.unwrap_or(DEFAULT_BLOCK).max(1);
+    let walk = tile.unwrap_or(DEFAULT_WALK).max(1);
+    match plan_id {
+        "j-parallel" => forecast_j_parallel(n, block, DEFAULT_SLICES, &spec).seconds,
+        "w-parallel" => forecast_w_parallel(&proxy_list_lens(n, walk), walk, &spec).seconds,
+        "jw-parallel" => {
+            forecast_jw_parallel(&proxy_list_lens(n, walk), walk, block, &spec).seconds
+        }
+        _ => forecast_i_parallel(n, block, &spec).seconds,
+    }
+}
+
+/// Forecast simulated seconds for a whole job: `steps` integration force
+/// evaluations plus the priming one.
+pub fn forecast_job_seconds(plan_id: &str, n: usize, steps: usize, tile: Option<usize>) -> f64 {
+    (steps as f64 + 1.0) * forecast_eval_seconds(plan_id, n, tile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forecasts_are_positive_finite_and_monotone() {
+        for plan in ["i-parallel", "j-parallel", "w-parallel", "jw-parallel"] {
+            let small = forecast_job_seconds(plan, 1024, 8, None);
+            let big_n = forecast_job_seconds(plan, 8192, 8, None);
+            let big_steps = forecast_job_seconds(plan, 1024, 64, None);
+            assert!(small.is_finite() && small > 0.0, "{plan}: {small}");
+            assert!(big_n > small, "{plan}: more bodies must forecast more time");
+            assert!(big_steps > small, "{plan}: more steps must forecast more time");
+        }
+    }
+
+    #[test]
+    fn j_parallel_beats_i_parallel_as_in_the_paper() {
+        let i = forecast_job_seconds("i-parallel", 4096, 8, None);
+        let j = forecast_job_seconds("j-parallel", 4096, 8, None);
+        assert!(j < i, "the paper's central ranking must survive composition: {j} !< {i}");
+    }
+
+    #[test]
+    fn unknown_plans_shed_conservatively() {
+        let unknown = forecast_job_seconds("quantum-parallel", 2048, 4, None);
+        let i = forecast_job_seconds("i-parallel", 2048, 4, None);
+        assert_eq!(unknown, i, "unknown ids take the most expensive forecast");
+    }
+
+    #[test]
+    fn forecast_is_deterministic() {
+        let a = forecast_job_seconds("jw-parallel", 3000, 12, Some(128));
+        let b = forecast_job_seconds("jw-parallel", 3000, 12, Some(128));
+        assert_eq!(a, b);
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`model`] — closed-form forecasts of each plan's launch shape, used to
 //!   *predict* the ranking the simulator then measures;
 //! * [`observed`] — grids reconstructed from execution traces, and the
-//!   cell-by-cell diff of forecast against observation.
+//!   cell-by-cell diff of forecast against observation;
+//! * [`jobcost`] — whole-job cost forecasts composed from the launch model,
+//!   the admission/load-shedding entry point for the job server.
 //!
 //! ```
 //! use ptpm::prelude::*;
@@ -26,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod grid;
+pub mod jobcost;
 pub mod model;
 pub mod observed;
 
 /// Common imports.
 pub mod prelude {
     pub use crate::grid::{Placement, TimeSpaceGrid};
+    pub use crate::jobcost::{forecast_eval_seconds, forecast_job_seconds};
     pub use crate::model::{
         forecast_blocks, forecast_grid, forecast_i_parallel, forecast_j_parallel,
         forecast_jw_parallel, forecast_w_parallel, i_parallel_block_flops, j_parallel_block_flops,
