@@ -69,6 +69,55 @@ fi
 grep -q 'BENCH_PR5 OK\|BENCH_PR5 SKIP' "$out/bench.log" || {
     echo "FAIL: pr5 bench gate did not pass:"; grep 'BENCH_PR5' "$out/bench.log" || true; exit 1; }
 
+echo "==> bench-history trajectory gate (append-and-verify + negative control)"
+# The committed trajectory (bench/history.jsonl) is copied aside, this run's
+# snapshot is appended, and the noise-banded gate must say OK or SKIP (SKIP
+# is legitimate: first run on a new parallelism class has no comparable
+# baseline — DESIGN.md section 13). CI never rewrites the committed file;
+# appending a canonical entry is a reviewed `--write` against the real path.
+hist="$out/history.jsonl"
+cp bench/history.jsonl "$hist"
+./target/release/bench-history --history "$hist" --ingest "$out/BENCH_pr4.json" \
+    --label ci --write | tee "$out/history.log"
+grep -q 'BENCH HISTORY OK\|BENCH HISTORY SKIP' "$out/history.log" || {
+    echo "FAIL: bench-history gate did not pass:"
+    grep 'BENCH HISTORY' "$out/history.log" || true; exit 1; }
+# negative control: the same snapshot with a synthetic 10x slowdown injected
+# must FAIL against the baseline the previous ingest just wrote (same
+# machine, same class), and the bin must exit 1. A gate that cannot fail is
+# not a gate.
+set +e
+./target/release/bench-history --history "$hist" --ingest "$out/BENCH_pr4.json" \
+    --label slow --inject-slowdown 10 > "$out/history-slow.log" 2>&1
+slow_code=$?
+set -e
+test "$slow_code" -eq 1 || {
+    echo "FAIL: injected 10x slowdown exited $slow_code, want 1"; exit 1; }
+grep -q 'BENCH HISTORY FAIL' "$out/history-slow.log" || {
+    echo "FAIL: injected 10x slowdown was not flagged:"
+    grep 'BENCH HISTORY' "$out/history-slow.log" || true; exit 1; }
+
+echo "==> autotuner smoke test (forecast/measured, then db-hit, then --plan auto provenance)"
+# First resolution on a fresh spool must come from the model or a
+# measurement; the second must replay the persisted winner from tuning.json.
+# Then a --plan auto submission must carry the db-hit provenance through the
+# server into the job's bench.json artifact.
+aspool="$out/tune-spool"
+./target/release/autotune --spool "$aspool" --n 256 --seed 3 | tee "$out/autotune-cold.log"
+grep -Eq 'AUTOTUNE OK plan=.* source=(forecast|measured)' "$out/autotune-cold.log" || {
+    echo "FAIL: cold autotune did not resolve via forecast/measured"; exit 1; }
+./target/release/autotune --spool "$aspool" --n 256 --seed 3 | tee "$out/autotune-warm.log"
+grep -q 'AUTOTUNE OK.*source=db-hit' "$out/autotune-warm.log" || {
+    echo "FAIL: warm autotune did not hit the tuning DB"; exit 1; }
+./target/release/submit --spool "$aspool" --plan auto --n 256 --seed 3 --steps 2 --every 2 \
+    | tee "$out/submit-auto.log"
+grep -q 'plan auto: .*source=db-hit' "$out/submit-auto.log" || {
+    echo "FAIL: submit --plan auto did not hit the tuning DB"; exit 1; }
+./target/release/serve --spool "$aspool" | tee "$out/serve-auto.log"
+grep -q 'JOBS OK' "$out/serve-auto.log" || { echo "FAIL: auto-plan job did not complete"; exit 1; }
+grep -rq '"plan_source": *"auto:db-hit"' "$aspool/jobs" || {
+    echo "FAIL: bench.json artifact does not record the auto resolution path"; exit 1; }
+
 echo "==> job-server crash-recovery smoke test (SIGKILL mid-job)"
 # Submit a small batch, kill the server with SIGKILL mid-job, restart it,
 # and require the summary's JOBS OK tail: the interrupted job must resume

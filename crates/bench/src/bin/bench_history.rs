@@ -1,0 +1,103 @@
+//! Ingest benchmark snapshots into the committed trajectory and gate on it.
+//!
+//! ```text
+//! cargo run -p bench --release --bin bench-history -- \
+//!     --history bench/history.jsonl \
+//!     [--ingest BENCH_pr4.json --label ci [--write]] \
+//!     [--band 0.35] [--min-n 4096] [--inject-slowdown F]
+//! ```
+//!
+//! Without `--ingest`, renders the per-plan speedup trajectory and judges
+//! the newest committed entry. With `--ingest`, appends the given
+//! `BENCH_*.json` (in memory; `--write` persists it) and judges the result
+//! — that is the ci.sh append-and-verify step.
+//!
+//! `--inject-slowdown F` multiplies the ingested report's threaded
+//! timings by `F` before judging and is **never** written: it exists so CI
+//! can prove the gate has teeth (a 10× synthetic slowdown must produce
+//! `BENCH HISTORY FAIL`) on any machine, right after appending the genuine
+//! entry it regresses against.
+//!
+//! Exit codes: 0 for `OK`/`SKIP`, 1 for `FAIL`, 2 for usage or corrupt
+//! inputs.
+
+use bench::history::{verdict, GatePolicy, History};
+use harness::bench_json::BenchReport;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|p| args.get(p + 1)).map(String::as_str)
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: bad value for {flag}: {v}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(history_path) = flag_value(&args, "--history") else {
+        eprintln!(
+            "usage: bench-history --history <jsonl> [--ingest <BENCH.json> --label L [--write]]"
+        );
+        eprintln!("                     [--band 0.35] [--min-n 4096] [--inject-slowdown F]");
+        std::process::exit(2);
+    };
+
+    let mut history = match std::fs::read_to_string(history_path) {
+        Ok(text) => History::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: corrupt history {history_path}: {e}");
+            std::process::exit(2);
+        }),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => History::default(),
+        Err(e) => {
+            eprintln!("error: cannot read {history_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(bench_path) = flag_value(&args, "--ingest") {
+        let text = std::fs::read_to_string(bench_path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {bench_path}: {e}");
+            std::process::exit(2);
+        });
+        let mut report = BenchReport::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("error: corrupt bench report {bench_path}: {e}");
+            std::process::exit(2);
+        });
+        let slowdown: f64 = parsed(&args, "--inject-slowdown", 1.0);
+        if slowdown != 1.0 {
+            for row in &mut report.rows {
+                row.threaded_s *= slowdown;
+            }
+            println!("injected synthetic {slowdown}x slowdown (negative control, never written)");
+        }
+        let label = flag_value(&args, "--label").unwrap_or("local");
+        let entry = history.append(label, report);
+        println!("ingested {bench_path} as entry {} ({label})", entry.seq);
+        if args.iter().any(|a| a == "--write") {
+            if slowdown != 1.0 {
+                eprintln!("error: refusing to --write an --inject-slowdown entry");
+                std::process::exit(2);
+            }
+            if let Err(e) = std::fs::write(history_path, history.render_jsonl()) {
+                eprintln!("error: cannot write {history_path}: {e}");
+                std::process::exit(2);
+            }
+            println!("wrote {history_path} ({} entries)", history.entries.len());
+        }
+    }
+
+    print!("{}", history.render_trajectory());
+    let policy = GatePolicy {
+        band: parsed(&args, "--band", GatePolicy::default().band),
+        min_n: parsed(&args, "--min-n", GatePolicy::default().min_n),
+    };
+    let verdict_line = verdict(&history, &policy);
+    println!("{verdict_line}");
+    std::process::exit(i32::from(verdict_line.contains("FAIL")));
+}

@@ -1,0 +1,361 @@
+//! The committed benchmark trajectory and its regression gate.
+//!
+//! Every `repro-all --bench-json` run produces a `BENCH_*.json` snapshot —
+//! and until this module existed, every snapshot died with its CI run
+//! (`BENCH_*.json` is gitignored). `bench/history.jsonl` fixes the
+//! trajectory problem: one [`HistoryEntry`] per line, append-only,
+//! committed, so "is PR N faster than PR N-1?" has a durable answer.
+//!
+//! The gate ([`verdict`]) compares the newest entry against the history
+//! under a noise band:
+//!
+//! * **bit-exactness is never waived** — any non-bit-exact row in the
+//!   newest entry fails immediately;
+//! * speedups are only compared within the same *parallelism class*
+//!   (single-core machines genuinely cannot show a speedup, so their
+//!   entries would poison multi-core baselines and vice versa);
+//! * per gated `(plan, n ≥ min_n)` key, the newest speedup must stay
+//!   within `band` of the **median** of the prior same-class entries —
+//!   median, not mean, so one noisy CI run cannot drag the baseline;
+//! * no comparable baseline (first entry, new machine class, new size)
+//!   is an explicit `SKIP`, never a silent pass.
+//!
+//! Wall-clock numbers are noisy, which is why the default band is wide
+//! (35%): the gate is meant to catch *architectural* regressions — a plan
+//! losing its parallelism, a lock sneaking into a hot loop — not 3% jitter.
+
+use harness::bench_json::BenchReport;
+use serde::{Deserialize, Serialize};
+
+/// Default relative noise band: the newest speedup may fall up to this
+/// fraction below the baseline median before the gate fails.
+pub const DEFAULT_BAND: f64 = 0.35;
+
+/// Default smallest N whose rows are speedup-gated (smaller workloads have
+/// too little work for stable wall-clock ratios — same bar as the
+/// `--bench-json` verdict).
+pub const DEFAULT_MIN_N: usize = 4096;
+
+/// One line of `bench/history.jsonl`: a labelled, sequenced benchmark
+/// snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistoryEntry {
+    /// Monotone sequence number (1-based, assigned at append).
+    pub seq: u64,
+    /// Where the snapshot came from (`pr9-seed`, `ci`, …).
+    pub label: String,
+    /// The benchmark report itself.
+    pub report: BenchReport,
+}
+
+impl HistoryEntry {
+    /// True when this entry ran with real parallelism (≥ 2 workers on a
+    /// ≥ 2-way machine). Entries are only comparable within one class.
+    pub fn is_parallel(&self) -> bool {
+        self.report.threads >= 2 && self.report.available_parallelism >= 2
+    }
+}
+
+/// The whole trajectory, oldest first.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// The entries, ascending by `seq`.
+    pub entries: Vec<HistoryEntry>,
+}
+
+impl History {
+    /// Parses the JSONL form. Blank lines are tolerated (trailing
+    /// newline); anything unparseable is an error naming the line — a
+    /// corrupt committed history should fail loudly, not gate vacuously.
+    pub fn parse(text: &str) -> Result<History, String> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry: HistoryEntry =
+                serde_json::from_str(line).map_err(|e| format!("history line {}: {e}", i + 1))?;
+            entries.push(entry);
+        }
+        Ok(History { entries })
+    }
+
+    /// Serializes back to JSONL (one compact line per entry).
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            out.push_str(&serde_json::to_string(entry).expect("history entry serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Appends a snapshot with the next sequence number, recomputing every
+    /// row's speedup from its raw timings first (defense against
+    /// hand-edited or stale documents).
+    pub fn append(&mut self, label: &str, mut report: BenchReport) -> &HistoryEntry {
+        for row in &mut report.rows {
+            row.speedup = row.serial_s / row.threaded_s.max(1e-12);
+        }
+        let seq = self.entries.last().map_or(0, |e| e.seq) + 1;
+        self.entries.push(HistoryEntry { seq, label: label.to_string(), report });
+        self.entries.last().expect("just pushed")
+    }
+
+    /// The per-`(plan, n)` speedup series, rendered for humans.
+    pub fn render_trajectory(&self) -> String {
+        let mut keys: Vec<(String, usize)> = Vec::new();
+        for e in &self.entries {
+            for r in &e.report.rows {
+                let key = (r.plan.clone(), r.n);
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+            }
+        }
+        let mut out = String::new();
+        for (plan, n) in keys {
+            out.push_str(&format!("{plan:<12} n={n:<6}"));
+            for e in &self.entries {
+                if let Some(r) = e.report.rows.iter().find(|r| r.plan == plan && r.n == n) {
+                    let class = if e.is_parallel() { "" } else { "*" };
+                    out.push_str(&format!(" {}:{:.2}x{}", e.seq, r.speedup, class));
+                }
+            }
+            out.push('\n');
+        }
+        if !out.is_empty() {
+            out.push_str("(speedup per entry seq; * = single-core entry, not gated together)\n");
+        }
+        out
+    }
+}
+
+/// Gate knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct GatePolicy {
+    /// Relative noise band ([`DEFAULT_BAND`]).
+    pub band: f64,
+    /// Smallest gated N ([`DEFAULT_MIN_N`]).
+    pub min_n: usize,
+}
+
+impl Default for GatePolicy {
+    fn default() -> Self {
+        GatePolicy { band: DEFAULT_BAND, min_n: DEFAULT_MIN_N }
+    }
+}
+
+fn median(sorted: &mut [f64]) -> f64 {
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// The trajectory gate: judges the newest entry against the prior history
+/// under `policy`. Returns a machine-greppable one-liner starting with
+/// `BENCH HISTORY OK`, `BENCH HISTORY SKIP (…)`, or `BENCH HISTORY FAIL (…)`.
+pub fn verdict(history: &History, policy: &GatePolicy) -> String {
+    let Some(latest) = history.entries.last() else {
+        return "BENCH HISTORY SKIP (no history)".into();
+    };
+    // bit-exactness first: never waived, not even without a baseline
+    if let Some(bad) = latest.report.rows.iter().find(|r| !r.bitexact) {
+        return format!(
+            "BENCH HISTORY FAIL ({} n={} not bit-exact in entry {})",
+            bad.plan, bad.n, latest.seq
+        );
+    }
+    let prior = &history.entries[..history.entries.len() - 1];
+    if prior.is_empty() {
+        return "BENCH HISTORY SKIP (no baseline)".into();
+    }
+    let comparable: Vec<&HistoryEntry> =
+        prior.iter().filter(|e| e.is_parallel() == latest.is_parallel()).collect();
+    let gated: Vec<_> = latest.report.rows.iter().filter(|r| r.n >= policy.min_n).collect();
+    if gated.is_empty() {
+        return format!("BENCH HISTORY SKIP (no benchmark size reaches {})", policy.min_n);
+    }
+    let mut checked = 0usize;
+    let mut worst: Option<(f64, String)> = None;
+    for row in &gated {
+        let mut baseline: Vec<f64> = comparable
+            .iter()
+            .flat_map(|e| &e.report.rows)
+            .filter(|r| r.plan == row.plan && r.n == row.n)
+            .map(|r| r.serial_s / r.threaded_s.max(1e-12))
+            .collect();
+        if baseline.is_empty() {
+            continue;
+        }
+        checked += 1;
+        let base = median(&mut baseline);
+        let floor = base * (1.0 - policy.band);
+        if row.speedup < floor {
+            return format!(
+                "BENCH HISTORY FAIL ({} n={} speedup {:.2}x fell below {:.2}x = median {:.2}x - {:.0}% band)",
+                row.plan,
+                row.n,
+                row.speedup,
+                floor,
+                base,
+                policy.band * 100.0
+            );
+        }
+        let ratio = row.speedup / base.max(1e-12);
+        let tag = format!("{} n={}", row.plan, row.n);
+        if worst.as_ref().is_none_or(|(w, _)| ratio < *w) {
+            worst = Some((ratio, tag));
+        }
+    }
+    if checked == 0 {
+        return "BENCH HISTORY SKIP (no comparable baseline)".into();
+    }
+    let (ratio, tag) = worst.expect("checked > 0 implies a worst point");
+    format!("BENCH HISTORY OK ({checked} gated points; worst vs median {:.2}x at {tag})", ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harness::bench_json::BenchRow;
+
+    fn report(speedups: &[(&str, usize, f64)], bitexact: bool) -> BenchReport {
+        BenchReport {
+            threads: 4,
+            available_parallelism: 8,
+            rows: speedups
+                .iter()
+                .map(|&(plan, n, s)| BenchRow {
+                    plan: plan.to_string(),
+                    n,
+                    serial_s: 1.0,
+                    threaded_s: 1.0 / s,
+                    speedup: s,
+                    bitexact,
+                })
+                .collect(),
+        }
+    }
+
+    fn history_of(speedups: &[f64]) -> History {
+        let mut h = History::default();
+        for (i, &s) in speedups.iter().enumerate() {
+            h.append(&format!("e{i}"), report(&[("jw-parallel", 8192, s)], true));
+        }
+        h
+    }
+
+    // the four golden verdicts the satellite task specifies
+
+    #[test]
+    fn golden_improvement_is_ok() {
+        let h = history_of(&[1.5, 1.6, 2.1]);
+        let v = verdict(&h, &GatePolicy::default());
+        assert!(v.starts_with("BENCH HISTORY OK"), "{v}");
+    }
+
+    #[test]
+    fn golden_within_noise_jitter_is_ok() {
+        // 1.4 vs median 1.5 is a 6.7% dip — well inside the 35% band
+        let h = history_of(&[1.5, 1.55, 1.45, 1.4]);
+        let v = verdict(&h, &GatePolicy::default());
+        assert!(v.starts_with("BENCH HISTORY OK"), "{v}");
+    }
+
+    #[test]
+    fn golden_genuine_regression_is_fail() {
+        // 0.6 vs median 1.55 is a 61% collapse — far outside the band
+        let h = history_of(&[1.5, 1.6, 1.55, 0.6]);
+        let v = verdict(&h, &GatePolicy::default());
+        assert!(v.starts_with("BENCH HISTORY FAIL"), "{v}");
+        assert!(v.contains("jw-parallel n=8192"), "regression must be named: {v}");
+    }
+
+    #[test]
+    fn golden_missing_baseline_is_skip() {
+        let h = history_of(&[1.5]);
+        let v = verdict(&h, &GatePolicy::default());
+        assert_eq!(v, "BENCH HISTORY SKIP (no baseline)");
+        let empty = History::default();
+        assert_eq!(verdict(&empty, &GatePolicy::default()), "BENCH HISTORY SKIP (no history)");
+    }
+
+    #[test]
+    fn bitexactness_is_never_waived() {
+        // even with no baseline at all, a non-bit-exact row fails
+        let mut h = History::default();
+        h.append("only", report(&[("jw-parallel", 8192, 2.0)], false));
+        let v = verdict(&h, &GatePolicy::default());
+        assert!(v.starts_with("BENCH HISTORY FAIL"), "{v}");
+        assert!(v.contains("not bit-exact"), "{v}");
+    }
+
+    #[test]
+    fn classes_do_not_cross_pollinate() {
+        // a multi-core baseline must not gate a single-core latest entry
+        let mut h = History::default();
+        h.append("fast-box", report(&[("jw-parallel", 8192, 3.0)], true));
+        let mut single = report(&[("jw-parallel", 8192, 1.0)], true);
+        single.available_parallelism = 1;
+        h.append("laptop", single);
+        let v = verdict(&h, &GatePolicy::default());
+        assert_eq!(v, "BENCH HISTORY SKIP (no comparable baseline)");
+        // and same-class single-core entries DO gate each other
+        let mut single2 = report(&[("jw-parallel", 8192, 0.98)], true);
+        single2.available_parallelism = 1;
+        h.append("laptop2", single2);
+        let v = verdict(&h, &GatePolicy::default());
+        assert!(v.starts_with("BENCH HISTORY OK"), "{v}");
+    }
+
+    #[test]
+    fn small_sizes_are_not_gated() {
+        let mut h = History::default();
+        h.append("a", report(&[("i-parallel", 1024, 1.5)], true));
+        h.append("b", report(&[("i-parallel", 1024, 0.2)], true));
+        let v = verdict(&h, &GatePolicy::default());
+        assert!(v.starts_with("BENCH HISTORY SKIP (no benchmark size reaches"), "{v}");
+        // ... unless the policy lowers the bar
+        let v = verdict(&h, &GatePolicy { min_n: 1024, ..GatePolicy::default() });
+        assert!(v.starts_with("BENCH HISTORY FAIL"), "{v}");
+    }
+
+    #[test]
+    fn median_baseline_resists_one_noisy_run() {
+        // one absurd 10x outlier must not drag the baseline up to failing
+        let h = history_of(&[1.5, 10.0, 1.5, 1.4]);
+        let v = verdict(&h, &GatePolicy::default());
+        assert!(v.starts_with("BENCH HISTORY OK"), "{v}");
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_append_renumbers() {
+        let mut h = history_of(&[1.5, 1.6]);
+        h.append("third", report(&[("w-parallel", 4096, 1.2)], true));
+        let text = h.render_jsonl();
+        let back = History::parse(&text).unwrap();
+        assert_eq!(back.entries.len(), 3);
+        assert_eq!(back.entries.last().unwrap().seq, 3);
+        assert_eq!(back.entries.last().unwrap().label, "third");
+        assert_eq!(back.render_jsonl(), text);
+        // blank lines tolerated, garbage is a named error
+        assert!(History::parse("\n\n").unwrap().entries.is_empty());
+        let err = History::parse("not json\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn append_recomputes_speedup_defensively() {
+        let mut h = History::default();
+        let mut r = report(&[("jw-parallel", 8192, 2.0)], true);
+        r.rows[0].speedup = 99.0; // stale/hand-edited field
+        h.append("x", r);
+        let s = h.entries[0].report.rows[0].speedup;
+        assert!((s - 2.0).abs() < 1e-9, "recomputed from timings, got {s}");
+    }
+}

@@ -9,6 +9,8 @@
 //!   the *device model's* seconds, which is what the paper's tables contain,
 //!   independent of how fast the machine running the benchmark is.
 
+pub mod history;
+
 use gpu_sim::prelude::{Device, DeviceSpec, TransferModel};
 use nbody_core::body::ParticleSet;
 use nbody_core::gravity::GravityParams;

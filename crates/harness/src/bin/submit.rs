@@ -2,13 +2,22 @@
 //!
 //! ```text
 //! cargo run -p harness --release --bin submit -- --spool <dir> \
-//!     [--workload plummer] [--n 384] [--seed 1] [--plan jw-parallel] \
+//!     [--workload plummer] [--n 384] [--seed 1] [--plan jw-parallel|auto] \
 //!     [--steps 12] [--dt 1e-3] [--every 4] [--priority normal] \
 //!     [--deadline-s 0.5] [--tile 128] [--job-threads 4] \
 //!     [--backend auto|sim|host|f32] \
 //!     [--fault-seed 7] [--fault-prob 0.1] [--fault-loss-prob 0.01] \
 //!     [--count 1] [--wait] [--wait-timeout-s 120]
 //! ```
+//!
+//! `--plan auto` resolves the plan through the spool's persistent tuning
+//! DB (`<spool>/tuning.json`): DB hit → PTPM forecast → measured fallback
+//! (DESIGN.md §13). Resolution happens *before* hashing, so an
+//! auto-resolved job is content-identical to the same job submitted with
+//! the resolved plan and tile pinned explicitly; the resolution path is
+//! recorded as provenance in the spec and the job's `bench.json` artifact.
+//! `--tile` cannot be combined with `--plan auto` (the resolver owns the
+//! tile choice).
 //!
 //! Each submission is admission-checked client-side (a malformed spec is
 //! refused with a typed error before touching the spool), then durably
@@ -25,7 +34,7 @@
 
 use harness::error::{exit_with, or_exit, HarnessError};
 use jobs::prelude::*;
-use plans::prelude::{BackendKind, PlanKind};
+use plans::prelude::{BackendKind, PlanKind, TuneObjective, DEFAULT_SHORTLIST};
 use workloads::spec::{WorkloadKind, WorkloadSpec};
 
 fn parsed<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<Result<T, HarnessError>> {
@@ -45,7 +54,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(spool_dir) = flag_value(&args, "--spool") else {
-        eprintln!("usage: submit --spool <dir> [--workload k] [--n N] [--seed S] [--plan p]");
+        eprintln!("usage: submit --spool <dir> [--workload k] [--n N] [--seed S] [--plan p|auto]");
         eprintln!("              [--steps K] [--dt D] [--every E] [--priority c]");
         eprintln!("              [--deadline-s T] [--tile W] [--job-threads H] [--count C]");
         eprintln!("              [--backend auto|sim|host|f32]");
@@ -59,8 +68,12 @@ fn main() {
             exit_with(HarnessError::BadFlag { flag: "--workload".into(), value: id.into() })
         }),
     };
-    let plan = match flag_value(&args, "--plan") {
+    let plan_flag = flag_value(&args, "--plan");
+    let auto_plan = plan_flag == Some("auto");
+    let plan = match plan_flag {
         None => PlanKind::JwParallel,
+        // placeholder until resolution below; never submitted as-is
+        Some("auto") => PlanKind::JwParallel,
         Some(id) => PlanKind::parse(id).unwrap_or_else(|| {
             exit_with(HarnessError::BadFlag { flag: "--plan".into(), value: id.into() })
         }),
@@ -106,16 +119,44 @@ fn main() {
     }
     let count: usize = parsed(&args, "--count").map_or(1, or_exit);
 
+    // the resolver needs the spool's fs seam and tuning.json, so open first
+    let (spool, _recovery) = Spool::open(spool_dir).unwrap_or_else(|e| {
+        eprintln!("error: cannot open spool {spool_dir}: {e}");
+        std::process::exit(1);
+    });
+
+    if auto_plan {
+        if spec.tile.is_some() {
+            eprintln!("error: --tile cannot be combined with --plan auto (the resolver owns it)");
+            std::process::exit(2);
+        }
+        let resolution = resolve_plan(
+            spool.fs().as_ref(),
+            &spool.root().join("tuning.json"),
+            &spec.workload,
+            spec.backend.unwrap_or_default(),
+            TuneObjective::TotalTime,
+            DEFAULT_SHORTLIST,
+        );
+        if let Some(err) = &resolution.db_error {
+            eprintln!("warning: tuning db: {err}");
+        }
+        spec.plan = resolution.kind;
+        spec.tile = Some(resolution.tile());
+        spec.plan_source = Some(resolution.plan_source_label());
+        println!(
+            "plan auto: {} tile={} source={}",
+            resolution.kind.id(),
+            resolution.tile(),
+            resolution.source.id()
+        );
+    }
+
     // client-side admission: refuse malformed specs before spooling
     if let Err(err) = admit(&spec, &AdmissionPolicy::default()) {
         eprintln!("error: admission refused the spec: {err}");
         std::process::exit(1);
     }
-
-    let (spool, _recovery) = Spool::open(spool_dir).unwrap_or_else(|e| {
-        eprintln!("error: cannot open spool {spool_dir}: {e}");
-        std::process::exit(1);
-    });
     let mut ids = Vec::new();
     for _ in 0..count.max(1) {
         match spool.submit(&spec) {

@@ -59,6 +59,10 @@ pub struct BenchRecord {
     pub trace_launches: usize,
     /// PCIe transfers in the traced evaluation.
     pub trace_transfers: usize,
+    /// How `--plan auto` resolved the plan (`"auto:db-hit"` /
+    /// `"auto:forecast"` / `"auto:measured"`); `None` when the plan was
+    /// pinned explicitly.
+    pub plan_source: Option<String>,
 }
 
 /// Captures one traced force evaluation of the job's plan: a fresh traced
@@ -185,6 +189,7 @@ pub fn write_artifacts(
         retries: result.retries,
         trace_launches: trace.launches.len(),
         trace_transfers: trace.transfers.len(),
+        plan_source: result.spec.plan_source.clone(),
     };
     let bench_json = dir.join("bench.json");
     let json = serde_json::to_string_pretty(&record).map_err(|e| JobError::Parse {
@@ -227,6 +232,7 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(&set.bench_json).unwrap()).unwrap();
         assert_eq!(bench.job, result.hash_hex);
         assert_eq!(bench.steps, 2);
+        assert_eq!(bench.plan_source, None, "pinned plan has no auto provenance");
         assert!(bench.trace_launches > 0);
         assert!(bench.simulated_total_s > 0.0);
 
@@ -251,6 +257,22 @@ mod tests {
             text
         };
         assert_eq!(csv, csv2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plan_source_provenance_reaches_the_artifact() {
+        let mut spec = JobSpec::new(WorkloadSpec::plummer(64, 9), PlanKind::IParallel, 1);
+        spec.plan_source = Some("auto:db-hit".to_string());
+        let dir = tmp("provenance");
+        let result = match run_job(&spec, &dir, &RunOptions::default()).unwrap() {
+            RunStatus::Complete(result) => *result,
+            other => panic!("unexpected status {other:?}"),
+        };
+        let set = write_artifacts(&result, &dir, &crate::fsx::RealFs).unwrap();
+        let bench: BenchRecord =
+            serde_json::from_str(&std::fs::read_to_string(&set.bench_json).unwrap()).unwrap();
+        assert_eq!(bench.plan_source.as_deref(), Some("auto:db-hit"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -55,6 +55,7 @@ pub mod runner;
 pub mod server;
 pub mod spec;
 pub mod spool;
+pub mod tuning;
 
 /// Common imports.
 pub mod prelude {
@@ -68,6 +69,10 @@ pub mod prelude {
     pub use crate::server::{drain, DrainSummary, JobOutcome, JobReport, ServerConfig, ShedPolicy};
     pub use crate::spec::{admit, AdmissionError, AdmissionPolicy, JobSpec, Priority};
     pub use crate::spool::{JobRecord, JobState, Spool, SpoolRecovery};
+    pub use crate::tuning::{
+        db_key, device_spec_hash, expressible_grid, resolve_plan, PlanSource, Resolution, TuningDb,
+        TuningEntry, AUTO_TILES, DB_VERSION, FORECAST_MARGIN,
+    };
 }
 
 pub use prelude::*;

@@ -102,8 +102,11 @@ fn initial_set(spec: &JobSpec) -> ParticleSet {
 fn plan_config(spec: &JobSpec) -> PlanConfig {
     let mut config = PlanConfig::default();
     if let Some(tile) = spec.tile {
-        // one knob pins both block geometries; results are tile-invariant
-        // (DESIGN.md §8), only the simulated clocks move
+        // one knob pins both block geometries. The tile is part of the
+        // canonical hash precisely because it is NOT physics-neutral in
+        // general: j/jw slice grouping and walk-level MAC geometry depend
+        // on it (DESIGN.md §13), so differently-tiled runs must never share
+        // a cache entry.
         config.block_size = tile;
         config.walk_size = tile;
     }

@@ -98,6 +98,13 @@ pub struct JobSpec {
     /// f64-tier request, while `auto` and an explicit `sim` share one cache
     /// entry.
     pub backend: Option<BackendKind>,
+    /// How the plan was chosen when the submitter used `--plan auto`
+    /// (`"auto:db-hit"` / `"auto:forecast"` / `"auto:measured"`; `None` for
+    /// an explicitly pinned plan). Pure provenance: resolution happens
+    /// *before* hashing, so by the time a spec is hashed its plan and tile
+    /// are concrete — an auto-resolved job and the identical pinned job
+    /// share one cache entry, which is exactly the §13 invariant.
+    pub plan_source: Option<String>,
 }
 
 impl JobSpec {
@@ -118,6 +125,7 @@ impl JobSpec {
             fault_prob: None,
             fault_loss_prob: None,
             backend: None,
+            plan_source: None,
         }
     }
 
@@ -132,10 +140,12 @@ impl JobSpec {
     /// contract plus the backend/precision tier, which changes delivered
     /// bits between tiers.
     ///
-    /// Priority, deadline, and fault injection are deliberately *excluded*:
-    /// they change scheduling and simulated clocks but never the trajectory
-    /// (fault recovery is bit-exact), so two submissions differing only in
-    /// those fields share one cached result.
+    /// Priority, deadline, fault injection, and `plan_source` are
+    /// deliberately *excluded*: the first three change scheduling and
+    /// simulated clocks but never the trajectory (fault recovery is
+    /// bit-exact), and `plan_source` is pure provenance over an
+    /// already-resolved plan — so two submissions differing only in those
+    /// fields share one cached result.
     pub fn canonical_hash(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -444,6 +454,7 @@ mod tests {
             JobSpec { deadline_s: Some(1.0), ..base.clone() },
             JobSpec { fault_seed: Some(7), ..base.clone() },
             JobSpec { checkpoint_every: 3, ..base.clone() },
+            JobSpec { plan_source: Some("auto:db-hit".into()), ..base.clone() },
         ] {
             assert_eq!(base.canonical_hash(), same.canonical_hash());
         }
@@ -539,5 +550,18 @@ mod tests {
         let back: JobSpec = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back, s);
         assert_eq!(back.backend_kind(), BackendKind::Sim);
+    }
+
+    #[test]
+    fn legacy_json_without_plan_source_field_still_parses() {
+        // specs spooled before `--plan auto` existed must keep loading
+        let s = spec();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"plan_source\""));
+        let legacy = json.replace("\"plan_source\":null,", "").replace(",\"plan_source\":null", "");
+        assert!(!legacy.contains("\"plan_source\""), "{legacy}");
+        let back: JobSpec = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.plan_source, None);
     }
 }

@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod backend;
 pub mod common;
 pub mod conformance;
@@ -32,6 +33,11 @@ pub mod w_parallel;
 
 /// Common imports.
 pub mod prelude {
+    pub use crate::autotune::{
+        autotune, evaluate_forces, forecast_candidate, forecast_grid_points, full_grid, measure,
+        prune, selection_is_reproducible, AutotuneResult, Candidate, ForecastGeometry,
+        ForecastPoint, MeasurePoint, DEFAULT_SHORTLIST,
+    };
     pub use crate::backend::{
         default_device, make_backend, Backend, BackendKind, DeviceF32Backend, HostBackend,
         PrecisionTier, SimBackend,

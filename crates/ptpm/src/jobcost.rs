@@ -8,12 +8,17 @@
 //! For the blocked plans (`i-parallel`, `j-parallel`) the launch geometry is
 //! exact. The tree plans (`w-parallel`, `jw-parallel`) have data-dependent
 //! interaction lists that do not exist before the job runs, so admission
-//! uses a documented synthetic proxy: uniform lists of length
-//! `min(N, 8·log₂N)` — the classic Barnes–Hut O(log N) list-length scaling
-//! with a small constant — one walk per `walk` bodies. That is an
-//! *admission-grade* estimate (the right order of magnitude, monotone in N
-//! and steps), not a promise; the observed/forecast comparison machinery in
-//! [`crate::observed`] remains the precision instrument.
+//! uses a documented synthetic proxy: one walk per `walk` bodies, uniform
+//! lists of length `min(N, 32·√N)` — an empirical fit to this repo's
+//! walk-bbox MAC geometry (θ = 0.5, walk = 64, seeded Plummer spheres),
+//! which tracks the measured mean list length within ~20% over
+//! N ∈ [512, 16384]; the textbook `O(log N)` per-*body* scaling does not
+//! apply to per-*walk* lists, whose shared bounding box keeps far more of
+//! the tree unopened. That is an *admission-grade* estimate (the right
+//! order of magnitude, monotone in N and steps), not a promise — the
+//! `tests/jobcost_properties.rs` gate holds it to a factor bound of the
+//! real-geometry forecast, and the observed/forecast comparison machinery
+//! in [`crate::observed`] remains the precision instrument.
 //!
 //! Load shedding compares the sum of these forecasts over everything queued
 //! and running ("queue debt") against a budget; the forecast is
@@ -33,11 +38,11 @@ pub const DEFAULT_WALK: usize = 64;
 pub const DEFAULT_SLICES: usize = 54;
 
 /// Synthetic interaction-list lengths for tree-plan admission forecasts:
-/// one walk per `walk` bodies, each list `min(N, 8·log₂N)` long.
+/// one walk per `walk` bodies, each list `min(N, 32·√N)` long (see the
+/// module docs for where that fit comes from).
 fn proxy_list_lens(n: usize, walk: usize) -> Vec<usize> {
     let walks = n.div_ceil(walk.max(1)).max(1);
-    let log2n = (usize::BITS - n.max(2).leading_zeros()) as usize;
-    let len = n.min(8 * log2n).max(1);
+    let len = n.min((32.0 * (n as f64).sqrt()).round() as usize).max(1);
     vec![len; walks]
 }
 
@@ -99,5 +104,70 @@ mod tests {
         let a = forecast_job_seconds("jw-parallel", 3000, 12, Some(128));
         let b = forecast_job_seconds("jw-parallel", 3000, 12, Some(128));
         assert_eq!(a, b);
+    }
+
+    const PLANS: [&str; 4] = ["i-parallel", "j-parallel", "w-parallel", "jw-parallel"];
+
+    /// Tiny deterministic LCG for the seeded property sweeps (no rand shim
+    /// in this crate, and the tests must be reproducible anyway).
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+        fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + self.next() % (hi - lo)
+        }
+    }
+
+    #[test]
+    fn property_forecasts_finite_positive_over_seeded_sweep() {
+        let mut rng = Lcg(0x9e3779b97f4a7c15);
+        for _ in 0..200 {
+            let n = rng.in_range(1, 20_000) as usize;
+            let steps = rng.in_range(0, 1_000) as usize;
+            let tile = match rng.in_range(0, 4) {
+                0 => None,
+                t => Some(1usize << (5 + t)), // 64/128/256
+            };
+            for plan in PLANS {
+                let s = forecast_job_seconds(plan, n, steps, tile);
+                assert!(s.is_finite() && s > 0.0, "{plan} n={n} steps={steps} tile={tile:?}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn property_forecast_monotone_nondecreasing_in_n() {
+        // non-decreasing, not strict: block padding makes legitimate
+        // plateaus (n=250 and n=256 fill the same blocks)
+        let mut rng = Lcg(0xdeadbeefcafef00d);
+        for _ in 0..100 {
+            let n1 = rng.in_range(1, 16_000) as usize;
+            let n2 = n1 + rng.in_range(1, 4_000) as usize;
+            let steps = rng.in_range(0, 100) as usize;
+            let tile = if rng.in_range(0, 2) == 0 { None } else { Some(128) };
+            for plan in PLANS {
+                let a = forecast_job_seconds(plan, n1, steps, tile);
+                let b = forecast_job_seconds(plan, n2, steps, tile);
+                assert!(b >= a, "{plan}: f({n2})={b} < f({n1})={a} (steps={steps} tile={tile:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn property_forecast_monotone_nondecreasing_in_steps() {
+        let mut rng = Lcg(0x0123456789abcdef);
+        for _ in 0..100 {
+            let n = rng.in_range(1, 16_000) as usize;
+            let s1 = rng.in_range(0, 500) as usize;
+            let s2 = s1 + rng.in_range(1, 500) as usize;
+            for plan in PLANS {
+                let a = forecast_job_seconds(plan, n, s1, None);
+                let b = forecast_job_seconds(plan, n, s2, None);
+                assert!(b >= a, "{plan}: f(steps={s2})={b} < f(steps={s1})={a} (n={n})");
+            }
+        }
     }
 }

@@ -1,0 +1,71 @@
+//! Cross-crate property coverage for `ptpm::jobcost`: the admission
+//! forecast's tree-plan proxy (synthetic uniform interaction lists) must
+//! stay within a documented factor bound of the direct analytic model run
+//! on the *real* interaction lists of the workload it approximates.
+//!
+//! The proxy is admission-grade by design — one walk per `walk` bodies,
+//! every list `min(N, 8·log₂N)` long — so the bound here is deliberately
+//! loose: admission and load shedding need the right order of magnitude,
+//! not precision (that is `ptpm::observed`'s job). A proxy drifting
+//! outside an order of magnitude would silently mis-shed, which is what
+//! this test exists to catch.
+
+use gpu_sim::prelude::DeviceSpec;
+use ptpm::jobcost::{forecast_eval_seconds, DEFAULT_BLOCK, DEFAULT_WALK};
+use ptpm::model::{forecast_jw_parallel, forecast_w_parallel};
+use treecode::interaction_list::build_walks;
+use treecode::mac::OpeningAngle;
+use treecode::tree::{Octree, TreeParams};
+use workloads::spec::WorkloadSpec;
+
+/// The factor the proxy may deviate from the real-geometry forecast, in
+/// either direction. Observed ratios on seeded Plummer spheres at
+/// N ∈ [512, 8192] stay within ~1.6x; see the assertions for the exact
+/// values a failure prints.
+const PROXY_FACTOR_BOUND: f64 = 4.0;
+
+fn real_list_lens(n: usize, seed: u64, walk: usize) -> Vec<usize> {
+    let mut set = WorkloadSpec::plummer(n, seed).generate();
+    set.recenter();
+    let tree = Octree::build(&set, TreeParams { leaf_capacity: 16 });
+    let walks = build_walks(&tree, &set, OpeningAngle::new(0.5), walk);
+    walks.groups.iter().map(|g| g.list_len()).collect()
+}
+
+#[test]
+fn tree_plan_proxy_stays_within_factor_bound_of_real_geometry() {
+    let spec = DeviceSpec::radeon_hd_5850();
+    for &(n, seed) in &[(512usize, 1u64), (1024, 2), (2048, 3), (4096, 4), (8192, 5)] {
+        let lists = real_list_lens(n, seed, DEFAULT_WALK);
+        let real_w = forecast_w_parallel(&lists, DEFAULT_WALK, &spec).seconds;
+        let real_jw = forecast_jw_parallel(&lists, DEFAULT_WALK, DEFAULT_BLOCK, &spec).seconds;
+        let proxy_w = forecast_eval_seconds("w-parallel", n, None);
+        let proxy_jw = forecast_eval_seconds("jw-parallel", n, None);
+        for (plan, proxy, real) in
+            [("w-parallel", proxy_w, real_w), ("jw-parallel", proxy_jw, real_jw)]
+        {
+            assert!(proxy.is_finite() && proxy > 0.0 && real.is_finite() && real > 0.0);
+            let ratio = proxy / real;
+            assert!(
+                (1.0 / PROXY_FACTOR_BOUND..=PROXY_FACTOR_BOUND).contains(&ratio),
+                "{plan} n={n}: proxy {proxy:.3e} vs real {real:.3e} (ratio {ratio:.2}) \
+                 escaped the {PROXY_FACTOR_BOUND}x bound"
+            );
+        }
+    }
+}
+
+#[test]
+fn proxy_tracks_real_geometry_growth() {
+    // beyond staying bounded, the proxy must *grow* with the real cost:
+    // both quadruple N → both forecasts increase
+    let spec = DeviceSpec::radeon_hd_5850();
+    let small_real =
+        forecast_w_parallel(&real_list_lens(1024, 9, DEFAULT_WALK), DEFAULT_WALK, &spec).seconds;
+    let big_real =
+        forecast_w_parallel(&real_list_lens(4096, 9, DEFAULT_WALK), DEFAULT_WALK, &spec).seconds;
+    let small_proxy = forecast_eval_seconds("w-parallel", 1024, None);
+    let big_proxy = forecast_eval_seconds("w-parallel", 4096, None);
+    assert!(big_real > small_real);
+    assert!(big_proxy > small_proxy);
+}
