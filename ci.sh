@@ -69,6 +69,17 @@ fi
 grep -q 'BENCH_PR5 OK\|BENCH_PR5 SKIP' "$out/bench.log" || {
     echo "FAIL: pr5 bench gate did not pass:"; grep 'BENCH_PR5' "$out/bench.log" || true; exit 1; }
 
+# The same repro-all run also writes the out-of-core tree-pipeline rows.
+# Both bit-exactness columns must hold at every size; the 1.5x speedup and
+# PTPM-agreement gates only arm at N >= 1M (the SHARD smoke below).
+test -s "$out/BENCH_pr10.json" || { echo "FAIL: BENCH_pr10.json missing or empty"; exit 1; }
+grep -q '"rows"' "$out/BENCH_pr10.json" || { echo "FAIL: BENCH_pr10.json has no rows"; exit 1; }
+if grep -q '"device_bitexact": false\|"sharded_bitexact": false' "$out/BENCH_pr10.json"; then
+    echo "FAIL: BENCH_pr10.json reports an inexact out-of-core path"; exit 1
+fi
+grep -q 'BENCH_PR10 OK\|BENCH_PR10 SKIP' "$out/bench.log" || {
+    echo "FAIL: pr10 bench gate did not pass:"; grep 'BENCH_PR10' "$out/bench.log" || true; exit 1; }
+
 echo "==> bench-history trajectory gate (append-and-verify + negative control)"
 # The committed trajectory (bench/history.jsonl) is copied aside, this run's
 # snapshot is appended, and the noise-banded gate must say OK or SKIP (SKIP
@@ -96,6 +107,20 @@ test "$slow_code" -eq 1 || {
 grep -q 'BENCH HISTORY FAIL' "$out/history-slow.log" || {
     echo "FAIL: injected 10x slowdown was not flagged:"
     grep 'BENCH HISTORY' "$out/history-slow.log" || true; exit 1; }
+
+echo "==> SHARD release smoke (million-body out-of-core tree pipeline)"
+# The full PR10 gate: at N = 1M the on-device tree pipeline must beat the
+# host tree path by >= 1.5x, the PTPM pipeline forecast must agree with the
+# simulated clock within (0.8, 1.25), Morton sharding must shrink the peak
+# device working set, and both the device-built tree and every shard split
+# must reproduce the in-core forces bit-for-bit — all encoded in the
+# BENCH_PR10 OK verdict (a SKIP here means the 1M size never ran: fail).
+./target/release/bench-pr10 --quick --n 1048576 --shards 16 \
+    --json "$out/BENCH_pr10_1m.json" | tee "$out/shard-smoke.log"
+grep -q 'BENCH_PR10 OK' "$out/shard-smoke.log" || {
+    echo "FAIL: million-body shard smoke did not pass:"
+    grep 'BENCH_PR10' "$out/shard-smoke.log" || true; exit 1; }
+test -s "$out/BENCH_pr10_1m.json" || { echo "FAIL: BENCH_pr10_1m.json missing or empty"; exit 1; }
 
 echo "==> autotuner smoke test (forecast/measured, then db-hit, then --plan auto provenance)"
 # First resolution on a fresh spool must come from the model or a

@@ -1,12 +1,13 @@
 //! Device buffers.
 //!
 //! The simulated device owns all global memory. Host code refers to buffers
-//! through typed handles ([`BufF32`], [`BufU32`]) issued by the
+//! through typed handles ([`BufF32`], [`BufU32`], [`BufU64`]) issued by the
 //! [`BufferPool`]; kernels access them through the execution context so that
-//! every access is cost-accounted. Two element types cover everything the
+//! every access is cost-accounted. Three element types cover everything the
 //! N-body plans need: `f32` for positions/masses/accelerations (the device
-//! works in single precision like the real HD 5850) and `u32` for
-//! interaction lists and walk offsets.
+//! works in single precision like the real HD 5850), `u32` for interaction
+//! lists and walk offsets, and `u64` for Morton keys and f64 bit patterns in
+//! the on-device tree pipeline.
 
 use serde::{Deserialize, Serialize};
 
@@ -32,11 +33,24 @@ impl BufU32 {
     }
 }
 
+/// Handle to a `u64` device buffer (Morton keys, f64 bit patterns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BufU64(pub(crate) u32);
+
+impl BufU64 {
+    /// Raw handle index (used by the race detector's reports).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
 /// All global memory of one simulated device.
 #[derive(Debug, Default, Clone)]
 pub struct BufferPool {
     f32_bufs: Vec<Vec<f32>>,
     u32_bufs: Vec<Vec<u32>>,
+    u64_bufs: Vec<Vec<u64>>,
+    peak_bytes: usize,
 }
 
 impl BufferPool {
@@ -49,6 +63,7 @@ impl BufferPool {
     pub fn alloc_f32(&mut self, len: usize) -> BufF32 {
         let id = BufF32(self.f32_bufs.len() as u32);
         self.f32_bufs.push(vec![0.0; len]);
+        self.note_peak();
         id
     }
 
@@ -56,6 +71,15 @@ impl BufferPool {
     pub fn alloc_u32(&mut self, len: usize) -> BufU32 {
         let id = BufU32(self.u32_bufs.len() as u32);
         self.u32_bufs.push(vec![0; len]);
+        self.note_peak();
+        id
+    }
+
+    /// Allocates a zero-initialized `u64` buffer of `len` elements.
+    pub fn alloc_u64(&mut self, len: usize) -> BufU64 {
+        let id = BufU64(self.u64_bufs.len() as u32);
+        self.u64_bufs.push(vec![0; len]);
+        self.note_peak();
         id
     }
 
@@ -79,6 +103,16 @@ impl BufferPool {
         &mut self.u32_bufs[id.0 as usize]
     }
 
+    /// Read-only view of a `u64` buffer.
+    pub fn u64(&self, id: BufU64) -> &[u64] {
+        &self.u64_bufs[id.0 as usize]
+    }
+
+    /// Mutable view of a `u64` buffer.
+    pub fn u64_mut(&mut self, id: BufU64) -> &mut [u64] {
+        &mut self.u64_bufs[id.0 as usize]
+    }
+
     /// Length in elements of an `f32` buffer.
     pub fn len_f32(&self, id: BufF32) -> usize {
         self.f32_bufs[id.0 as usize].len()
@@ -89,16 +123,33 @@ impl BufferPool {
         self.u32_bufs[id.0 as usize].len()
     }
 
+    /// Length in elements of a `u64` buffer.
+    pub fn len_u64(&self, id: BufU64) -> usize {
+        self.u64_bufs[id.0 as usize].len()
+    }
+
     /// Total allocated bytes across all buffers.
     pub fn total_bytes(&self) -> usize {
         let f: usize = self.f32_bufs.iter().map(|b| b.len() * 4).sum();
         let u: usize = self.u32_bufs.iter().map(|b| b.len() * 4).sum();
-        f + u
+        let w: usize = self.u64_bufs.iter().map(|b| b.len() * 8).sum();
+        f + u + w
     }
 
-    /// Number of live buffers (both types).
+    /// High-water mark of [`BufferPool::total_bytes`] over this pool's
+    /// lifetime — the device-memory footprint an out-of-core shard plan is
+    /// budgeted against.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    fn note_peak(&mut self) {
+        self.peak_bytes = self.peak_bytes.max(self.total_bytes());
+    }
+
+    /// Number of live buffers (all types).
     pub fn buffer_count(&self) -> usize {
-        self.f32_bufs.len() + self.u32_bufs.len()
+        self.f32_bufs.len() + self.u32_bufs.len() + self.u64_bufs.len()
     }
 }
 
@@ -135,5 +186,20 @@ mod tests {
         p.alloc_u32(50);
         assert_eq!(p.total_bytes(), 600);
         assert_eq!(p.buffer_count(), 2);
+        p.alloc_u64(25);
+        assert_eq!(p.total_bytes(), 800);
+        assert_eq!(p.buffer_count(), 3);
+        assert_eq!(p.peak_bytes(), 800);
+    }
+
+    #[test]
+    fn u64_buffers_roundtrip() {
+        let mut p = BufferPool::new();
+        let k = p.alloc_u64(4);
+        assert_eq!(p.u64(k), &[0; 4]);
+        assert_eq!(p.len_u64(k), 4);
+        p.u64_mut(k)[2] = u64::MAX;
+        assert_eq!(p.u64(k)[2], u64::MAX);
+        assert_eq!(k.raw(), 0);
     }
 }

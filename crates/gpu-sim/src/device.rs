@@ -18,7 +18,7 @@
 //! faults treated as unrecoverable. With no fault plan installed the
 //! fallible methods take the exact pre-existing code path.
 
-use crate::buffer::{BufF32, BufU32, BufferPool};
+use crate::buffer::{BufF32, BufU32, BufU64, BufferPool};
 use crate::exec::{execute_launch, execute_launch_checked, execute_launch_profiled};
 use crate::fault::{CuHealth, FaultDecision, FaultError, FaultKind, FaultPlan};
 use crate::kernel::{Kernel, NdRange};
@@ -190,6 +190,11 @@ impl Device {
         self.pool.alloc_u32(len)
     }
 
+    /// Allocates a zeroed `u64` buffer (Morton keys, f64 bit patterns).
+    pub fn alloc_u64(&mut self, len: usize) -> BufU64 {
+        self.pool.alloc_u64(len)
+    }
+
     /// Host→device copy, charged to the transfer clock.
     ///
     /// # Panics
@@ -212,6 +217,16 @@ impl Device {
     /// Device→host copy of `u32` data, charged to the transfer clock.
     pub fn download_u32(&mut self, buf: BufU32) -> Vec<u32> {
         self.try_download_u32(buf).expect("unrecovered download fault")
+    }
+
+    /// Host→device copy of `u64` data, charged to the transfer clock.
+    pub fn upload_u64(&mut self, buf: BufU64, data: &[u64]) {
+        self.try_upload_u64(buf, data).expect("unrecovered upload fault");
+    }
+
+    /// Device→host copy of `u64` data, charged to the transfer clock.
+    pub fn download_u64(&mut self, buf: BufU64) -> Vec<u64> {
+        self.try_download_u64(buf).expect("unrecovered download fault")
     }
 
     /// Fallible host→device copy: consults the fault plan first. On an
@@ -249,6 +264,23 @@ impl Device {
         self.check_transfer(self.pool.len_u32(buf) * 4, false)?;
         let data = self.pool.u32(buf).to_vec();
         self.record_transfer(data.len() * 4, false);
+        Ok(data)
+    }
+
+    /// Fallible host→device copy of `u64` data (see
+    /// [`Device::try_upload_f32`] for fault semantics).
+    pub fn try_upload_u64(&mut self, buf: BufU64, data: &[u64]) -> Result<(), FaultError> {
+        self.check_transfer(data.len() * 8, true)?;
+        self.pool.u64_mut(buf)[..data.len()].copy_from_slice(data);
+        self.record_transfer(data.len() * 8, true);
+        Ok(())
+    }
+
+    /// Fallible device→host copy of `u64` data.
+    pub fn try_download_u64(&mut self, buf: BufU64) -> Result<Vec<u64>, FaultError> {
+        self.check_transfer(self.pool.len_u64(buf) * 8, false)?;
+        let data = self.pool.u64(buf).to_vec();
+        self.record_transfer(data.len() * 8, false);
         Ok(data)
     }
 
@@ -678,6 +710,17 @@ mod tests {
         let buf = dev.alloc_u32(3);
         dev.upload_u32(buf, &[7, 8, 9]);
         assert_eq!(dev.download_u32(buf), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn u64_buffers_roundtrip_and_charge_eight_bytes() {
+        let model = TransferModel { bandwidth_bytes_per_sec: 1e6, latency_s: 0.0 };
+        let mut dev = Device::with_transfer_model(DeviceSpec::tiny_test_device(), model);
+        let buf = dev.alloc_u64(3);
+        dev.upload_u64(buf, &[u64::MAX, 1, 2]);
+        assert_eq!(dev.download_u64(buf), vec![u64::MAX, 1, 2]);
+        assert_eq!(dev.transfers()[0].bytes, 24);
+        assert_eq!(dev.transfers()[1].bytes, 24);
     }
 
     #[test]

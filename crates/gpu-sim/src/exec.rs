@@ -19,7 +19,7 @@
 //! workspace already obey: a group reads pre-launch global memory plus its
 //! own writes, never another group's.
 
-use crate::buffer::{BufF32, BufU32, BufferPool};
+use crate::buffer::{BufF32, BufU32, BufU64, BufferPool};
 use crate::cost::GroupCost;
 use crate::kernel::{Control, GroupInfo, Kernel, NdRange};
 use crate::race::{Race, RaceDetector, Space};
@@ -58,6 +58,7 @@ pub struct ItemCtx<'a> {
 struct WriteLog {
     f32s: Vec<(BufF32, usize, f32)>,
     u32s: Vec<(BufU32, usize, u32)>,
+    u64s: Vec<(BufU64, usize, u64)>,
 }
 
 impl WriteLog {
@@ -67,6 +68,9 @@ impl WriteLog {
         }
         for &(buf, idx, v) in &self.u32s {
             pool.u32_mut(buf)[idx] = v;
+        }
+        for &(buf, idx, v) in &self.u64s {
+            pool.u64_mut(buf)[idx] = v;
         }
     }
 }
@@ -294,11 +298,73 @@ impl<'a> ItemCtx<'a> {
         self.pool.u32_mut(buf)[idx] = v;
     }
 
+    /// Reads one `u64` (a Morton key or f64 bit pattern), coalesced.
+    #[inline]
+    pub fn read_u64_coalesced(&mut self, buf: BufU64, idx: usize) -> u64 {
+        self.cost.read_bytes += 8.0;
+        self.cost.read_transactions += 8.0 * self.inv_transaction_bytes;
+        if let Some(d) = self.race.as_deref_mut() {
+            d.read(self.local_id, Space::GlobalU64(buf.raw()), idx);
+        }
+        self.pool.u64(buf)[idx]
+    }
+
+    /// Reads one `u64` as a gather.
+    #[inline]
+    pub fn read_u64(&mut self, buf: BufU64, idx: usize) -> u64 {
+        self.cost.read_bytes += 8.0;
+        self.cost.read_transactions += 1.0;
+        if let Some(d) = self.race.as_deref_mut() {
+            d.read(self.local_id, Space::GlobalU64(buf.raw()), idx);
+        }
+        self.pool.u64(buf)[idx]
+    }
+
+    /// Writes one `u64`, coalesced.
+    #[inline]
+    pub fn write_u64_coalesced(&mut self, buf: BufU64, idx: usize, v: u64) {
+        self.cost.write_bytes += 8.0;
+        self.cost.write_transactions += 8.0 * self.inv_transaction_bytes;
+        if let Some(d) = self.race.as_deref_mut() {
+            d.write(self.local_id, Space::GlobalU64(buf.raw()), idx);
+        }
+        if let Some(log) = self.log.as_deref_mut() {
+            log.u64s.push((buf, idx, v));
+        }
+        self.pool.u64_mut(buf)[idx] = v;
+    }
+
+    /// Writes one `u64` as a scatter.
+    #[inline]
+    pub fn write_u64(&mut self, buf: BufU64, idx: usize, v: u64) {
+        self.cost.write_bytes += 8.0;
+        self.cost.write_transactions += 1.0;
+        if let Some(d) = self.race.as_deref_mut() {
+            d.write(self.local_id, Space::GlobalU64(buf.raw()), idx);
+        }
+        if let Some(log) = self.log.as_deref_mut() {
+            log.u64s.push((buf, idx, v));
+        }
+        self.pool.u64_mut(buf)[idx] = v;
+    }
+
     /// Length of an `f32` buffer (free: lengths are kernel arguments on real
     /// devices).
     #[inline]
     pub fn len_f32(&self, buf: BufF32) -> usize {
         self.pool.len_f32(buf)
+    }
+
+    /// Length of a `u32` buffer (free, as with [`ItemCtx::len_f32`]).
+    #[inline]
+    pub fn len_u32(&self, buf: BufU32) -> usize {
+        self.pool.len_u32(buf)
+    }
+
+    /// Length of a `u64` buffer (free, as with [`ItemCtx::len_f32`]).
+    #[inline]
+    pub fn len_u64(&self, buf: BufU64) -> usize {
+        self.pool.len_u64(buf)
     }
 
     // --- Bulk accessors for hot inner loops -------------------------------
@@ -336,6 +402,89 @@ impl<'a> ItemCtx<'a> {
     #[inline]
     pub fn charge_flops(&mut self, n: f64) {
         self.cost.flops += n;
+    }
+
+    /// Charges a bulk global-memory read of `bytes` bytes in `transactions`
+    /// memory transactions, without touching memory. Pair with the uncounted
+    /// `global_*` views below; a coalesced stream of `b` bytes costs
+    /// `b / transaction_bytes` transactions, a gather costs one per access.
+    #[inline]
+    pub fn charge_global_read(&mut self, bytes: f64, transactions: f64) {
+        self.cost.read_bytes += bytes;
+        self.cost.read_transactions += transactions;
+    }
+
+    /// Charges a bulk global-memory write, as [`ItemCtx::charge_global_read`].
+    #[inline]
+    pub fn charge_global_write(&mut self, bytes: f64, transactions: f64) {
+        self.cost.write_bytes += bytes;
+        self.cost.write_transactions += transactions;
+    }
+
+    /// Transaction granularity helper: transactions for a coalesced stream of
+    /// `bytes` bytes on this device.
+    #[inline]
+    pub fn coalesced_transactions(&self, bytes: f64) -> f64 {
+        bytes * self.inv_transaction_bytes
+    }
+
+    /// Uncounted, race-untracked read-only view of a global `f32` buffer.
+    /// Pair with [`ItemCtx::charge_global_read`].
+    #[inline]
+    pub fn global_f32(&self, buf: BufF32) -> &[f32] {
+        self.pool.f32(buf)
+    }
+
+    /// Uncounted, race-untracked read-only view of a global `u32` buffer.
+    /// Pair with [`ItemCtx::charge_global_read`].
+    #[inline]
+    pub fn global_u32(&self, buf: BufU32) -> &[u32] {
+        self.pool.u32(buf)
+    }
+
+    /// Uncounted, race-untracked read-only view of a global `u64` buffer.
+    /// Pair with [`ItemCtx::charge_global_read`].
+    #[inline]
+    pub fn global_u64(&self, buf: BufU64) -> &[u64] {
+        self.pool.u64(buf)
+    }
+
+    /// Uncounted bulk store of `src` into a global `f32` buffer at `offset`.
+    /// Pair with [`ItemCtx::charge_global_write`]. Writes are logged so the
+    /// parallel executor replays them deterministically, but they are not
+    /// visible to the race detector.
+    #[inline]
+    pub fn store_f32_slice(&mut self, buf: BufF32, offset: usize, src: &[f32]) {
+        if let Some(log) = self.log.as_deref_mut() {
+            for (i, &v) in src.iter().enumerate() {
+                log.f32s.push((buf, offset + i, v));
+            }
+        }
+        self.pool.f32_mut(buf)[offset..offset + src.len()].copy_from_slice(src);
+    }
+
+    /// Uncounted bulk store into a global `u32` buffer, as
+    /// [`ItemCtx::store_f32_slice`].
+    #[inline]
+    pub fn store_u32_slice(&mut self, buf: BufU32, offset: usize, src: &[u32]) {
+        if let Some(log) = self.log.as_deref_mut() {
+            for (i, &v) in src.iter().enumerate() {
+                log.u32s.push((buf, offset + i, v));
+            }
+        }
+        self.pool.u32_mut(buf)[offset..offset + src.len()].copy_from_slice(src);
+    }
+
+    /// Uncounted bulk store into a global `u64` buffer, as
+    /// [`ItemCtx::store_f32_slice`].
+    #[inline]
+    pub fn store_u64_slice(&mut self, buf: BufU64, offset: usize, src: &[u64]) {
+        if let Some(log) = self.log.as_deref_mut() {
+            for (i, &v) in src.iter().enumerate() {
+                log.u64s.push((buf, offset + i, v));
+            }
+        }
+        self.pool.u64_mut(buf)[offset..offset + src.len()].copy_from_slice(src);
     }
 }
 

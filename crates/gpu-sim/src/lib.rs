@@ -64,7 +64,7 @@ pub mod trace;
 
 /// Common imports for writing and launching kernels.
 pub mod prelude {
-    pub use crate::buffer::{BufF32, BufU32, BufferPool};
+    pub use crate::buffer::{BufF32, BufU32, BufU64, BufferPool};
     pub use crate::cost::GroupCost;
     pub use crate::device::{Device, LaunchRecord, TransferRecord};
     pub use crate::exec::ItemCtx;

@@ -24,6 +24,8 @@ pub enum Space {
     GlobalF32(u32),
     /// A global `u32` buffer (by handle index).
     GlobalU32(u32),
+    /// A global `u64` buffer (by handle index).
+    GlobalU64(u32),
 }
 
 impl fmt::Display for Space {
@@ -32,6 +34,7 @@ impl fmt::Display for Space {
             Space::Lds => write!(f, "LDS"),
             Space::GlobalF32(b) => write!(f, "global f32 buffer #{b}"),
             Space::GlobalU32(b) => write!(f, "global u32 buffer #{b}"),
+            Space::GlobalU64(b) => write!(f, "global u64 buffer #{b}"),
         }
     }
 }

@@ -1,0 +1,286 @@
+//! Out-of-core tree-pipeline benchmark (`BENCH_pr10`).
+//!
+//! Compares the two ways a tree plan can get its interaction lists onto
+//! the device at million-body scale:
+//!
+//! * the **host path** — CPU octree build + walk generation + packed-list
+//!   upload, priced by the plans' host cost model and the PCIe transfer
+//!   model (the paper's original pipeline);
+//! * the **device pipeline** — the Morton/radix-sort/level-link/walk-emit
+//!   kernel chain of `plans::tree_pipeline`, whose simulated cost is
+//!   [`plans::prelude::PlanOutcome::pipeline_s`].
+//!
+//! Alongside the speedup, three invariants are checked per plan: the
+//! device-built path and the Morton-sharded out-of-core path must both
+//! reproduce the in-core reference accelerations bit-for-bit, and the
+//! PTPM forecast [`ptpm::model::forecast_pipeline`] of the observed
+//! pipeline shape must agree with the simulated pipeline time within the
+//! documented band.
+//!
+//! The verdict is machine-greppable (`BENCH_PR10 OK` / `BENCH_PR10 SKIP …`
+//! / `BENCH_PR10 FAIL …`). Bit-exactness always gates; the ≥ 1.5×
+//! pipeline speedup, the shard peak-memory reduction, and the PTPM
+//! agreement band (0.8, 1.25) only gate at sizes ≥ 1 M bodies, where the
+//! host tree path is the bottleneck the pipeline exists to remove.
+//!
+//! All measurements run serial (`par` pinned to one thread): serial mode
+//! streams walk scratch through bounded arenas, which is the regime the
+//! out-of-core path is built for.
+
+use crate::config::ExperimentConfig;
+use crate::error::HarnessError;
+use gpu_sim::prelude::{Device, DeviceSpec, TransferModel};
+use plans::prelude::{evaluate_tree_plan, PlanConfig, PlanKind};
+use ptpm::model::forecast_pipeline;
+use serde::{Deserialize, Serialize};
+
+/// Body count at which the speedup / agreement / memory gates apply.
+pub const GATE_N: usize = 1_000_000;
+/// Minimum pipeline-vs-host-path speedup the gate demands at [`GATE_N`].
+pub const GATE_SPEEDUP: f64 = 1.5;
+/// PTPM forecast / observed agreement band the gate demands at [`GATE_N`].
+pub const AGREEMENT_BAND: (f64, f64) = (0.8, 1.25);
+
+/// One plan's measured host-path-vs-device-pipeline point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pr10Row {
+    /// Plan id: `w-parallel` or `jw-parallel`.
+    pub plan: String,
+    /// Bodies in the workload.
+    pub n: usize,
+    /// Interaction-list entries the walks produced.
+    pub entries: usize,
+    /// Simulated seconds of the host path: tree build + walk generation +
+    /// packed-list PCIe upload.
+    pub host_prep_s: f64,
+    /// Simulated seconds of the on-device tree pipeline (build + emit).
+    pub pipeline_s: f64,
+    /// `host_prep_s / pipeline_s`.
+    pub speedup: f64,
+    /// PTPM forecast of the pipeline from its observed shape.
+    pub forecast_s: f64,
+    /// `forecast_s / pipeline_s`.
+    pub agreement: f64,
+    /// Shards the out-of-core run actually streamed through.
+    pub shards_used: usize,
+    /// High-water device bytes of the unsharded reference run.
+    pub peak_unsharded_bytes: usize,
+    /// High-water device bytes of the sharded run.
+    pub peak_sharded_bytes: usize,
+    /// True when the device-tree run reproduced the reference bit-for-bit.
+    pub device_bitexact: bool,
+    /// True when the sharded run reproduced the reference bit-for-bit.
+    pub sharded_bitexact: bool,
+}
+
+/// A full `BENCH_pr10.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pr10Report {
+    /// Shard count the out-of-core runs requested (realized counts may be
+    /// lower — boundaries snap to eligible Morton splits).
+    pub shards_requested: usize,
+    /// The measurements.
+    pub rows: Vec<Pr10Row>,
+}
+
+impl Pr10Report {
+    /// Gate verdict. Bit-exactness is never waived; the speedup, shard
+    /// memory-reduction, and PTPM-agreement gates apply at sizes ≥
+    /// [`GATE_N`].
+    pub fn verdict(&self) -> String {
+        if let Some(r) = self.rows.iter().find(|r| !r.device_bitexact) {
+            return format!("BENCH_PR10 FAIL ({} device tree diverges from the host tree)", r.plan);
+        }
+        if let Some(r) = self.rows.iter().find(|r| !r.sharded_bitexact) {
+            return format!("BENCH_PR10 FAIL ({} sharded run diverges from unsharded)", r.plan);
+        }
+        let gated: Vec<&Pr10Row> = self.rows.iter().filter(|r| r.n >= GATE_N).collect();
+        if gated.is_empty() {
+            return format!("BENCH_PR10 SKIP (no benchmark size reaches {GATE_N})");
+        }
+        if let Some(r) = gated.iter().find(|r| r.peak_sharded_bytes >= r.peak_unsharded_bytes) {
+            return format!(
+                "BENCH_PR10 FAIL ({} sharding does not shrink peak device bytes: {} >= {})",
+                r.plan, r.peak_sharded_bytes, r.peak_unsharded_bytes
+            );
+        }
+        if let Some(r) = gated
+            .iter()
+            .find(|r| r.agreement <= AGREEMENT_BAND.0 || r.agreement >= AGREEMENT_BAND.1)
+        {
+            return format!(
+                "BENCH_PR10 FAIL ({} PTPM agreement {:.3} outside ({}, {}))",
+                r.plan, r.agreement, AGREEMENT_BAND.0, AGREEMENT_BAND.1
+            );
+        }
+        let worst = gated.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+        if worst >= GATE_SPEEDUP {
+            format!(
+                "BENCH_PR10 OK (min pipeline speedup {worst:.2}x >= {GATE_SPEEDUP}x, \
+                 PTPM agreement in ({}, {}))",
+                AGREEMENT_BAND.0, AGREEMENT_BAND.1
+            )
+        } else {
+            format!("BENCH_PR10 FAIL (min pipeline speedup {worst:.2}x < {GATE_SPEEDUP}x)")
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> Result<String, HarnessError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| HarnessError::Json { what: "pr10 bench report".into(), source: e })
+    }
+
+    /// Parses a previously exported document.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Serializes and writes the document to `path` with typed errors.
+    pub fn write_json(&self, path: &str) -> Result<(), HarnessError> {
+        std::fs::write(path, self.to_json()?).map_err(|e| HarnessError::io(path, e))
+    }
+}
+
+fn fresh_device() -> Device {
+    Device::with_transfer_model(DeviceSpec::radeon_hd_5850(), TransferModel::pcie2_x16())
+}
+
+fn bench_plan(kind: PlanKind, cfg: &ExperimentConfig, n: usize, shards: usize) -> Pr10Row {
+    let set = cfg.workload(n).generate();
+    let params = cfg.gravity;
+    let spec = DeviceSpec::radeon_hd_5850();
+    let xfer = TransferModel::pcie2_x16();
+    let base = PlanConfig { device_tree: false, shards: None, mem_budget_bytes: None, ..cfg.plan };
+
+    // in-core host-path reference: the accelerations every variant must hit
+    let reference = evaluate_tree_plan(kind, &base, &mut fresh_device(), &set, &params);
+
+    let device_cfg = PlanConfig { device_tree: true, ..base };
+    let device_run = evaluate_tree_plan(kind, &device_cfg, &mut fresh_device(), &set, &params);
+
+    let sharded_cfg = PlanConfig { shards: Some(shards), ..base };
+    let sharded = evaluate_tree_plan(kind, &sharded_cfg, &mut fresh_device(), &set, &params);
+
+    let entries = device_run.shape.entries;
+    let host_prep_s =
+        reference.outcome.host_tree_s + reference.outcome.host_walk_s + xfer.seconds(16 * entries);
+    let pipeline_s = device_run.outcome.pipeline_s;
+    let forecast_s = forecast_pipeline(&device_run.shape, &spec, &xfer).seconds();
+
+    Pr10Row {
+        plan: kind.id().to_string(),
+        n,
+        entries,
+        host_prep_s,
+        pipeline_s,
+        speedup: host_prep_s / pipeline_s.max(1e-12),
+        forecast_s,
+        agreement: forecast_s / pipeline_s.max(1e-12),
+        shards_used: sharded.outcome.shards_used,
+        peak_unsharded_bytes: reference.outcome.peak_device_bytes,
+        peak_sharded_bytes: sharded.outcome.peak_device_bytes,
+        device_bitexact: device_run.outcome.acc == reference.outcome.acc,
+        sharded_bitexact: sharded.outcome.acc == reference.outcome.acc,
+    }
+}
+
+/// Runs the PR10 benchmark at the configuration's largest size for both
+/// tree plans. The shard count comes from `cfg.plan.shards` (default 8).
+/// Restores the configured thread count before returning.
+pub fn run_bench(cfg: &ExperimentConfig) -> Pr10Report {
+    let restore = cfg.threads.unwrap_or_else(par::threads).max(1);
+    par::set_threads(1);
+    let shards = cfg.plan.shards.unwrap_or(8);
+    let mut rows = Vec::new();
+    if let Some(&n) = cfg.sizes.last() {
+        for kind in [PlanKind::WParallel, PlanKind::JwParallel] {
+            rows.push(bench_plan(kind, cfg, n, shards));
+        }
+    }
+    par::set_threads(restore);
+    Pr10Report { shards_requested: shards, rows }
+}
+
+/// Human-readable table of the rows.
+pub fn render(report: &Pr10Report) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>10} {:>11} {:>11} {:>8} {:>9}  shards  peak bytes (full -> sharded)  exact\n",
+        "plan", "N", "entries", "host_s", "pipeline_s", "speedup", "agreement"
+    ));
+    for r in &report.rows {
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>10} {:>11.4} {:>11.4} {:>7.2}x {:>9.3}  {:>6}  {:>12} -> {:<12}  {}\n",
+            r.plan,
+            r.n,
+            r.entries,
+            r.host_prep_s,
+            r.pipeline_s,
+            r.speedup,
+            r.agreement,
+            r.shards_used,
+            r.peak_unsharded_bytes,
+            r.peak_sharded_bytes,
+            if r.device_bitexact && r.sharded_bitexact { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pr10_report_roundtrips_and_is_exact() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.sizes = vec![2048]; // keep the test fast; 1M gates fall to SKIP
+        let report = run_bench(&cfg);
+        par::set_threads(1);
+        assert_eq!(report.rows.len(), 2, "w-parallel + jw-parallel");
+        for r in &report.rows {
+            assert!(r.device_bitexact && r.sharded_bitexact, "{r:?}");
+            assert!(r.entries > 0 && r.pipeline_s > 0.0 && r.host_prep_s > 0.0, "{r:?}");
+            assert!(r.shards_used > 1, "{r:?}");
+            assert!(r.forecast_s > 0.0, "{r:?}");
+        }
+        let verdict = report.verdict();
+        assert!(verdict.starts_with("BENCH_PR10 SKIP"), "{verdict}");
+        let back = Pr10Report::from_json(&report.to_json().unwrap()).unwrap();
+        assert_eq!(back.rows.len(), report.rows.len());
+        assert_eq!(back.shards_requested, report.shards_requested);
+    }
+
+    #[test]
+    fn pr10_verdict_gates() {
+        let row = |n, speedup: f64, agreement, sharded_ok, peaks: (usize, usize)| Pr10Row {
+            plan: "jw-parallel".into(),
+            n,
+            entries: 1,
+            host_prep_s: speedup,
+            pipeline_s: 1.0,
+            speedup,
+            forecast_s: agreement,
+            agreement,
+            shards_used: 4,
+            peak_unsharded_bytes: peaks.0,
+            peak_sharded_bytes: peaks.1,
+            device_bitexact: true,
+            sharded_bitexact: sharded_ok,
+        };
+        let report = |rows| Pr10Report { shards_requested: 8, rows };
+        let ok = report(vec![row(GATE_N, 2.0, 1.0, true, (100, 40))]);
+        assert!(ok.verdict().starts_with("BENCH_PR10 OK"), "{}", ok.verdict());
+        let tiny = report(vec![row(512, 0.4, 3.0, true, (100, 40))]);
+        assert!(tiny.verdict().starts_with("BENCH_PR10 SKIP"), "{}", tiny.verdict());
+        let diverged = report(vec![row(512, 2.0, 1.0, false, (100, 40))]);
+        assert!(diverged.verdict().contains("diverges"), "{}", diverged.verdict());
+        let slow = report(vec![row(GATE_N, 1.2, 1.0, true, (100, 40))]);
+        assert!(slow.verdict().contains("speedup"), "{}", slow.verdict());
+        let drifted = report(vec![row(GATE_N, 2.0, 1.6, true, (100, 40))]);
+        assert!(drifted.verdict().contains("agreement"), "{}", drifted.verdict());
+        let bloated = report(vec![row(GATE_N, 2.0, 1.0, true, (100, 100))]);
+        assert!(bloated.verdict().contains("peak device bytes"), "{}", bloated.verdict());
+    }
+}

@@ -1,0 +1,34 @@
+//! Out-of-core tree-pipeline benchmark: host-path vs on-device tree
+//! pipeline, Morton-shard bit-exactness, and PTPM forecast agreement.
+//!
+//! Accepts the common harness flags plus `--n <N>` to benchmark a single
+//! explicit size (the million-body gate needs `--n 1048576`, far above the
+//! sweep sizes) and `--json <path>` to write the machine-readable
+//! `BENCH_pr10.json`. The verdict line is greppable: `BENCH_PR10 OK` /
+//! `BENCH_PR10 SKIP …` / `BENCH_PR10 FAIL …`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = harness::config_from_args(&args);
+    if let Some(pos) = args.iter().position(|a| a == "--n") {
+        let value = args.get(pos + 1).cloned().unwrap_or_default();
+        let n = harness::error::or_exit(
+            value
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or(harness::error::HarnessError::BadFlag { flag: "--n".into(), value }),
+        );
+        cfg.sizes = vec![n];
+    }
+    let json_path = args.iter().position(|a| a == "--json").and_then(|p| args.get(p + 1)).cloned();
+
+    println!("== out-of-core tree-pipeline benchmark ==\n");
+    let report = harness::bench_pr10::run_bench(&cfg);
+    print!("{}", harness::bench_pr10::render(&report));
+    if let Some(path) = json_path {
+        harness::error::or_exit(report.write_json(&path));
+        println!("rows written to {path}");
+    }
+    println!("{}", report.verdict());
+}

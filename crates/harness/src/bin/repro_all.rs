@@ -8,21 +8,22 @@
 //! writing its rows to `path` (default `BENCH_pr4.json`) and printing a
 //! greppable `BENCH OK` / `BENCH SKIP` / `BENCH FAIL` verdict, then the
 //! seed-vs-optimized hot-path benchmark (`BENCH_pr5.json` next to it,
-//! verdict `BENCH_PR5 …`). Build with `--features alloc-count` to install
-//! the counting allocator and gate steady-state allocations at zero.
+//! verdict `BENCH_PR5 …`) and the out-of-core tree-pipeline benchmark
+//! (`BENCH_pr10.json`, verdict `BENCH_PR10 …`; the million-body gates
+//! need the dedicated `bench-pr10 --n 1048576` binary). Build with
+//! `--features alloc-count` to install the counting allocator and gate
+//! steady-state allocations at zero.
 
 #[cfg(feature = "alloc-count")]
 #[global_allocator]
 static ALLOC: par::arena::CountingAlloc = par::arena::CountingAlloc;
 
-/// `BENCH_pr5.json` in the same directory as the `--bench-json` target.
-fn sibling_pr5_path(bench_path: &str) -> String {
+/// `name` in the same directory as the `--bench-json` target.
+fn sibling_path(bench_path: &str, name: &str) -> String {
     let p = std::path::Path::new(bench_path);
     match p.parent() {
-        Some(dir) if !dir.as_os_str().is_empty() => {
-            dir.join("BENCH_pr5.json").to_string_lossy().into_owned()
-        }
-        _ => "BENCH_pr5.json".to_string(),
+        Some(dir) if !dir.as_os_str().is_empty() => dir.join(name).to_string_lossy().into_owned(),
+        _ => name.to_string(),
     }
 }
 
@@ -70,10 +71,18 @@ fn main() {
         println!("\n== SoA hot-path benchmark (seed vs optimized) ==");
         let pr5 = harness::bench_pr5::run_bench(&results.config);
         print!("{}", harness::bench_pr5::render(&pr5));
-        let pr5_path = sibling_pr5_path(&path);
+        let pr5_path = sibling_path(&path, "BENCH_pr5.json");
         harness::error::or_exit(pr5.write_json(&pr5_path));
         println!("hot-path rows written to {pr5_path}");
         println!("{}", pr5.verdict());
+
+        println!("\n== out-of-core tree-pipeline benchmark ==");
+        let pr10 = harness::bench_pr10::run_bench(&results.config);
+        print!("{}", harness::bench_pr10::render(&pr10));
+        let pr10_path = sibling_path(&path, "BENCH_pr10.json");
+        harness::error::or_exit(pr10.write_json(&pr10_path));
+        println!("out-of-core rows written to {pr10_path}");
+        println!("{}", pr10.verdict());
     }
 
     if let Some(seed) = results.config.fault_seed {

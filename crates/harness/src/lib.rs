@@ -13,9 +13,13 @@
 //!
 //! `--bin repro-all` runs the full suite. Every binary accepts `--quick`
 //! for a reduced sweep, `--faults <seed>` for deterministic fault
-//! injection (see [`faults`]), and `--threads <N>` to pin the host
+//! injection (see [`faults`]), `--threads <N>` to pin the host
 //! worker-thread count (results are bit-exact across thread counts; the
-//! `NBODY_THREADS` environment variable is the flagless equivalent);
+//! `NBODY_THREADS` environment variable is the flagless equivalent), and
+//! the out-of-core trio `--shards <N>` / `--mem-budget <bytes>` /
+//! `--device-tree` (Morton-sharded streaming and the on-device tree
+//! pipeline — bit-exact vs the in-core host path, gated by
+//! [`bench_pr10`]);
 //! `repro-all` additionally accepts `--bench-json [path]` to measure and
 //! record the thread-pool wall-clock speedups (see [`bench_json`]) plus
 //! the seed-vs-optimized hot-path comparison (see [`bench_pr5`], written
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod bench_json;
+pub mod bench_pr10;
 pub mod bench_pr5;
 pub mod chart;
 pub mod config;
@@ -63,7 +68,13 @@ pub use runner::Runner;
 /// `--threads <N>` pins the host worker-thread count (every result is
 /// bit-exact across thread counts; absent the flag, the `NBODY_THREADS`
 /// environment variable and then the machine's available parallelism
-/// decide). Malformed values are reported as
+/// decide). Out-of-core execution is controlled by `--shards <N>` (split
+/// tree-plan interaction lists into N Morton key-range shards streamed
+/// through bounded scratch arenas), `--mem-budget <bytes>` (derive the
+/// shard count from a device-memory budget; accepts `K`/`M`/`G`
+/// suffixes), and `--device-tree` (build the octree with the on-device
+/// pipeline) — all three are bit-exact with respect to the default
+/// in-core host path. Malformed values are reported as
 /// [`error::HarnessError::BadFlag`].
 pub fn try_config_from_args(args: &[String]) -> Result<ExperimentConfig, error::HarnessError> {
     let mut cfg = if args.iter().any(|a| a == "--quick") {
@@ -91,6 +102,24 @@ pub fn try_config_from_args(args: &[String]) -> Result<ExperimentConfig, error::
         })?;
         cfg.backend = Some(kind);
     }
+    if let Some(pos) = args.iter().position(|a| a == "--shards") {
+        let value = args.get(pos + 1).cloned().unwrap_or_default();
+        let shards = value.parse::<usize>().ok().filter(|&s| s >= 1).ok_or_else(|| {
+            error::HarnessError::BadFlag { flag: "--shards".into(), value: value.clone() }
+        })?;
+        cfg.plan.shards = Some(shards);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--mem-budget") {
+        let value = args.get(pos + 1).cloned().unwrap_or_default();
+        let bytes = parse_byte_size(&value).ok_or_else(|| error::HarnessError::BadFlag {
+            flag: "--mem-budget".into(),
+            value: value.clone(),
+        })?;
+        cfg.plan.mem_budget_bytes = Some(bytes);
+    }
+    if args.iter().any(|a| a == "--device-tree") {
+        cfg.plan.device_tree = true;
+    }
     if cfg.fault_seed.is_some() && cfg.backend_kind() != plans::prelude::BackendKind::Sim {
         // fault injection needs a simulated device
         return Err(error::HarnessError::BadFlag {
@@ -100,6 +129,21 @@ pub fn try_config_from_args(args: &[String]) -> Result<ExperimentConfig, error::
     }
     cfg.threads = try_threads_from_args(args)?;
     Ok(cfg)
+}
+
+/// Parses a byte-size value: a plain integer byte count, optionally
+/// suffixed with `K`, `M`, or `G` (case-insensitive, binary multiples).
+/// Returns `None` for malformed or zero values.
+pub fn parse_byte_size(value: &str) -> Option<usize> {
+    let trimmed = value.trim();
+    let (digits, shift) = match trimmed.chars().last()? {
+        'k' | 'K' => (&trimmed[..trimmed.len() - 1], 10u32),
+        'm' | 'M' => (&trimmed[..trimmed.len() - 1], 20),
+        'g' | 'G' => (&trimmed[..trimmed.len() - 1], 30),
+        _ => (trimmed, 0),
+    };
+    let base = digits.parse::<usize>().ok()?;
+    base.checked_mul(1usize << shift).filter(|&b| b > 0)
 }
 
 /// Parses just the `--threads <N>` flag (`Ok(None)` when absent). Split out
@@ -187,6 +231,34 @@ mod tests {
         let args: Vec<String> =
             ["--backend", "sim", "--faults", "7"].iter().map(|s| s.to_string()).collect();
         assert!(try_config_from_args(&args).is_ok());
+    }
+
+    #[test]
+    fn out_of_core_flags_set_the_plan_and_reject_garbage() {
+        let cfg = try_config_from_args(&["--shards".to_string(), "8".to_string()]).unwrap();
+        assert_eq!(cfg.plan.shards, Some(8));
+        let cfg = try_config_from_args(&["--mem-budget".to_string(), "256M".to_string()]).unwrap();
+        assert_eq!(cfg.plan.mem_budget_bytes, Some(256 << 20));
+        let cfg = try_config_from_args(&["--device-tree".to_string()]).unwrap();
+        assert!(cfg.plan.device_tree);
+        let cfg = try_config_from_args(&[]).unwrap();
+        assert_eq!(cfg.plan.shards, None);
+        assert_eq!(cfg.plan.mem_budget_bytes, None);
+        assert!(!cfg.plan.device_tree);
+        for (flag, bad) in [("--shards", "0"), ("--shards", "xyz"), ("--mem-budget", "1.5G")] {
+            let err = try_config_from_args(&[flag.to_string(), bad.to_string()]).unwrap_err();
+            assert!(err.to_string().contains(flag), "{err}");
+        }
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_binary_suffixes() {
+        assert_eq!(parse_byte_size("1024"), Some(1024));
+        assert_eq!(parse_byte_size("64K"), Some(64 << 10));
+        assert_eq!(parse_byte_size("2g"), Some(2 << 30));
+        for bad in ["", "0", "0M", "-1", "xyz", "1T"] {
+            assert_eq!(parse_byte_size(bad), None, "{bad:?}");
+        }
     }
 
     #[test]

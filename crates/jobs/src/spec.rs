@@ -105,6 +105,22 @@ pub struct JobSpec {
     /// are concrete — an auto-resolved job and the identical pinned job
     /// share one cache entry, which is exactly the §13 invariant.
     pub plan_source: Option<String>,
+    /// Morton shard count for out-of-core tree execution. Sharding is
+    /// bit-exact at any count (DESIGN.md §14), so this is a scheduling
+    /// knob, *not* hashed — a sharded and an unsharded submission of the
+    /// same job share one cached result.
+    #[serde(default)]
+    pub shards: Option<usize>,
+    /// Device-memory budget in bytes for out-of-core tree execution; the
+    /// runner derives the shard count from it. Bit-exact like `shards`,
+    /// therefore also excluded from the canonical hash.
+    #[serde(default)]
+    pub mem_budget_bytes: Option<usize>,
+    /// Build the octree and interaction lists on the device (the PR-10 tree
+    /// pipeline). The device tree is byte-identical to the host build and
+    /// its forces bitwise-equal, so this too is excluded from the hash.
+    #[serde(default)]
+    pub device_tree: bool,
 }
 
 impl JobSpec {
@@ -126,7 +142,44 @@ impl JobSpec {
             fault_loss_prob: None,
             backend: None,
             plan_source: None,
+            shards: None,
+            mem_budget_bytes: None,
+            device_tree: false,
         }
+    }
+
+    /// True when this job asked for out-of-core (Morton-sharded) tree
+    /// execution — the case where admission budgets device *memory* instead
+    /// of applying the flat N cap.
+    pub fn is_sharded_tree(&self) -> bool {
+        self.plan.uses_tree() && (self.shards.is_some() || self.mem_budget_bytes.is_some())
+    }
+
+    /// Admission-grade peak-device-bytes estimate for this job: the fixed
+    /// per-body residency (float4 bodies + accelerations, plus the tree
+    /// pipeline's key/index and f64 bit-pattern buffers when `device_tree`)
+    /// plus one shard's packed interaction-list arena, sized from the same
+    /// synthetic list fit as [`ptpm::jobcost`]'s time forecasts. Like those,
+    /// this is the right order of magnitude, not a promise — the runner's
+    /// `peak_device_bytes` is the measured truth.
+    pub fn estimated_device_bytes(&self) -> u64 {
+        let n = self.workload.n as u64;
+        if !self.plan.uses_tree() {
+            // PP plans: padded float4 bodies up, float4 accelerations down
+            return 32 * n;
+        }
+        let walk = self.tile.unwrap_or(ptpm::jobcost::DEFAULT_WALK).max(1);
+        let entries = ptpm::jobcost::proxy_entries(self.workload.n, walk) as u64;
+        // packed float4 list entries + one target lane per walk body
+        let streamed = 16 * entries + 4 * n;
+        let fixed = if self.device_tree { 96 * n } else { 32 * n };
+        let per_shard = match (self.mem_budget_bytes, self.shards) {
+            // a budget caps the arena directly (never below the fixed set)
+            (Some(b), _) => (fixed + streamed).min((b as u64).max(fixed)) - fixed,
+            (None, Some(s)) => streamed.div_ceil(s.max(1) as u64),
+            (None, None) => streamed,
+        };
+        fixed + per_shard
     }
 
     /// The resolved backend this job runs on (`None`/`auto` → sim).
@@ -179,7 +232,13 @@ impl JobSpec {
     /// admission-time load shedding budgets against. Deterministic for a
     /// fixed spec.
     pub fn forecast_seconds(&self) -> f64 {
-        ptpm::jobcost::forecast_job_seconds(self.plan.id(), self.workload.n, self.steps, self.tile)
+        ptpm::jobcost::forecast_job_seconds_with(
+            self.plan.id(),
+            self.workload.n,
+            self.steps,
+            self.tile,
+            self.device_tree,
+        )
     }
 
     /// The fault plan seed and configuration this spec asks for, if any.
@@ -222,18 +281,35 @@ impl JobSpec {
 /// Resource budgets a job must fit inside to be admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AdmissionPolicy {
-    /// Largest admissible body count.
+    /// Largest admissible body count. **Not applied** to sharded tree jobs
+    /// ([`JobSpec::is_sharded_tree`]): those stream their interaction lists
+    /// through bounded arenas, so the binding resource is device memory
+    /// (`max_mem_bytes`), not N.
     pub max_n: usize,
     /// Largest admissible step count.
     pub max_steps: usize,
     /// Cap on `n² × (steps + 1)` — the pairwise-interaction budget of the
     /// whole job (the `+ 1` charges the priming force evaluation).
     pub max_interactions: u64,
+    /// Cap on [`JobSpec::estimated_device_bytes`] for sharded tree jobs —
+    /// the memory-budget rule that replaces the flat N cap for them.
+    /// Defaults to the reference device's 1 GiB of global memory.
+    #[serde(default = "default_max_mem_bytes")]
+    pub max_mem_bytes: u64,
+}
+
+fn default_max_mem_bytes() -> u64 {
+    1 << 30
 }
 
 impl Default for AdmissionPolicy {
     fn default() -> Self {
-        Self { max_n: 65_536, max_steps: 100_000, max_interactions: u64::MAX }
+        Self {
+            max_n: 65_536,
+            max_steps: 100_000,
+            max_interactions: u64::MAX,
+            max_mem_bytes: default_max_mem_bytes(),
+        }
     }
 }
 
@@ -276,6 +352,20 @@ pub enum AdmissionError {
     ZeroThreads,
     /// A pinned tile size of zero is meaningless.
     ZeroTile,
+    /// A shard count of zero is meaningless.
+    ZeroShards,
+    /// A memory budget of zero bytes admits nothing.
+    ZeroMemBudget,
+    /// Sharding requested for a plan without a tree to shard.
+    ShardsRequireTreePlan(&'static str),
+    /// A sharded tree job's estimated peak device bytes exceed the policy's
+    /// memory budget (the rule that replaces the flat N cap for them).
+    OverMemoryBudget {
+        /// The job's estimated peak device bytes.
+        bytes: u64,
+        /// The policy cap it exceeded.
+        max: u64,
+    },
     /// The fault configuration is invalid (probability outside `[0, 1]` or
     /// a non-finite penalty).
     BadFaultConfig(String),
@@ -300,6 +390,10 @@ impl AdmissionError {
             AdmissionError::ZeroCheckpointEvery => "zero-checkpoint-every",
             AdmissionError::ZeroThreads => "zero-threads",
             AdmissionError::ZeroTile => "zero-tile",
+            AdmissionError::ZeroShards => "zero-shards",
+            AdmissionError::ZeroMemBudget => "zero-mem-budget",
+            AdmissionError::ShardsRequireTreePlan(_) => "shards-require-tree-plan",
+            AdmissionError::OverMemoryBudget { .. } => "over-memory-budget",
             AdmissionError::BadFaultConfig(_) => "bad-fault-config",
             AdmissionError::FaultsUnsupportedBackend(_) => "faults-unsupported-backend",
             AdmissionError::DeadlineUnsupportedBackend(_) => "deadline-unsupported-backend",
@@ -329,6 +423,14 @@ impl std::fmt::Display for AdmissionError {
             AdmissionError::ZeroCheckpointEvery => write!(f, "checkpoint_every must be >= 1"),
             AdmissionError::ZeroThreads => write!(f, "a pinned thread count must be >= 1"),
             AdmissionError::ZeroTile => write!(f, "a pinned tile size must be >= 1"),
+            AdmissionError::ZeroShards => write!(f, "a pinned shard count must be >= 1"),
+            AdmissionError::ZeroMemBudget => write!(f, "a memory budget must be >= 1 byte"),
+            AdmissionError::ShardsRequireTreePlan(p) => {
+                write!(f, "plan '{p}' has no tree to shard or build on the device")
+            }
+            AdmissionError::OverMemoryBudget { bytes, max } => {
+                write!(f, "estimated peak device bytes {bytes} exceed the memory budget of {max}")
+            }
             AdmissionError::BadFaultConfig(msg) => write!(f, "fault config invalid: {msg}"),
             AdmissionError::FaultsUnsupportedBackend(b) => {
                 write!(f, "backend '{b}' has no simulated device to inject faults into")
@@ -347,7 +449,25 @@ pub fn admit(spec: &JobSpec, policy: &AdmissionPolicy) -> Result<(), AdmissionEr
     if spec.workload.n == 0 {
         return Err(AdmissionError::ZeroBodies);
     }
-    if spec.workload.n > policy.max_n {
+    if spec.shards == Some(0) {
+        return Err(AdmissionError::ZeroShards);
+    }
+    if spec.mem_budget_bytes == Some(0) {
+        return Err(AdmissionError::ZeroMemBudget);
+    }
+    if (spec.shards.is_some() || spec.mem_budget_bytes.is_some() || spec.device_tree)
+        && !spec.plan.uses_tree()
+    {
+        return Err(AdmissionError::ShardsRequireTreePlan(spec.plan.id()));
+    }
+    if spec.is_sharded_tree() {
+        // out-of-core tree jobs stream bounded arenas: the flat N cap is
+        // replaced by the device-memory budget
+        let bytes = spec.estimated_device_bytes();
+        if bytes > policy.max_mem_bytes {
+            return Err(AdmissionError::OverMemoryBudget { bytes, max: policy.max_mem_bytes });
+        }
+    } else if spec.workload.n > policy.max_n {
         return Err(AdmissionError::TooManyBodies { n: spec.workload.n, max: policy.max_n });
     }
     if spec.steps == 0 {
@@ -455,6 +575,11 @@ mod tests {
             JobSpec { fault_seed: Some(7), ..base.clone() },
             JobSpec { checkpoint_every: 3, ..base.clone() },
             JobSpec { plan_source: Some("auto:db-hit".into()), ..base.clone() },
+            // out-of-core execution is bit-exact, so these share the
+            // unsharded job's cache entry
+            JobSpec { shards: Some(4), ..base.clone() },
+            JobSpec { mem_budget_bytes: Some(1 << 24), ..base.clone() },
+            JobSpec { device_tree: true, ..base.clone() },
         ] {
             assert_eq!(base.canonical_hash(), same.canonical_hash());
         }
@@ -462,7 +587,12 @@ mod tests {
 
     #[test]
     fn admission_rejects_each_malformation_with_its_id() {
-        let policy = AdmissionPolicy { max_n: 1024, max_steps: 100, max_interactions: 1 << 20 };
+        let policy = AdmissionPolicy {
+            max_n: 1024,
+            max_steps: 100,
+            max_interactions: 1 << 20,
+            ..AdmissionPolicy::default()
+        };
         let cases: Vec<(JobSpec, &str)> = vec![
             (
                 JobSpec {
@@ -502,6 +632,93 @@ mod tests {
             assert_eq!(err.id(), id, "{bad:?} -> {err}");
             assert!(err.to_string().contains(id), "{err}");
         }
+    }
+
+    #[test]
+    fn sharded_tree_jobs_swap_the_n_cap_for_a_memory_budget() {
+        let policy = AdmissionPolicy { max_n: 1024, ..AdmissionPolicy::default() };
+        // over the N cap, unsharded: rejected on N
+        let big = JobSpec::new(WorkloadSpec::plummer(1_000_000, 1), PlanKind::WParallel, 2);
+        assert_eq!(admit(&big, &policy).unwrap_err().id(), "too-many-bodies");
+        // the same N with a shard count: admitted under the memory budget
+        let sharded = JobSpec { shards: Some(64), ..big.clone() };
+        assert!(sharded.is_sharded_tree());
+        admit(&sharded, &policy).unwrap();
+        // and with an explicit budget: also admitted
+        let budgeted = JobSpec { mem_budget_bytes: Some(256 << 20), ..big.clone() };
+        admit(&budgeted, &policy).unwrap();
+        // but a starvation-level policy budget still rejects
+        let tight = AdmissionPolicy { max_mem_bytes: 1 << 20, ..policy };
+        let err = admit(&sharded, &tight).unwrap_err();
+        assert_eq!(err.id(), "over-memory-budget");
+        assert!(err.to_string().contains("memory budget"), "{err}");
+    }
+
+    #[test]
+    fn out_of_core_malformations_get_typed_rejections() {
+        let policy = AdmissionPolicy::default();
+        let cases: Vec<(JobSpec, &str)> = vec![
+            (JobSpec { shards: Some(0), ..spec() }, "zero-shards"),
+            (JobSpec { mem_budget_bytes: Some(0), ..spec() }, "zero-mem-budget"),
+            (
+                JobSpec { shards: Some(2), plan: PlanKind::IParallel, ..spec() },
+                "shards-require-tree-plan",
+            ),
+            (
+                JobSpec { device_tree: true, plan: PlanKind::JParallel, ..spec() },
+                "shards-require-tree-plan",
+            ),
+        ];
+        for (bad, id) in cases {
+            let err = admit(&bad, &policy).unwrap_err();
+            assert_eq!(err.id(), id, "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn estimated_bytes_shrink_with_shards_and_respect_budgets() {
+        let big = JobSpec::new(WorkloadSpec::plummer(1_000_000, 1), PlanKind::WParallel, 2);
+        let unsharded = big.estimated_device_bytes();
+        let sharded = JobSpec { shards: Some(64), ..big.clone() }.estimated_device_bytes();
+        assert!(sharded < unsharded, "{sharded} !< {unsharded}");
+        let budget = 200u64 << 20;
+        let budgeted = JobSpec { mem_budget_bytes: Some(budget as usize), ..big.clone() }
+            .estimated_device_bytes();
+        assert!(budgeted <= budget, "{budgeted} > {budget}");
+        // device-tree jobs carry the pipeline's extra fixed buffers
+        let dt =
+            JobSpec { device_tree: true, shards: Some(64), ..big.clone() }.estimated_device_bytes();
+        assert!(dt > sharded);
+    }
+
+    #[test]
+    fn device_tree_forecast_differs_from_host_tree_forecast() {
+        let host = JobSpec::new(WorkloadSpec::plummer(65_536, 1), PlanKind::WParallel, 4);
+        let dev = JobSpec { device_tree: true, ..host.clone() };
+        let a = host.forecast_seconds();
+        let b = dev.forecast_seconds();
+        assert!(a.is_finite() && b.is_finite() && a > 0.0 && b > 0.0);
+        assert_ne!(a, b, "the pipeline phases must be priced differently");
+    }
+
+    #[test]
+    fn legacy_json_without_out_of_core_fields_still_parses() {
+        // specs spooled before PR 10 must keep loading with the defaults
+        let s = spec();
+        let json = serde_json::to_string(&s).unwrap();
+        let legacy = json
+            .replace("\"shards\":null,", "")
+            .replace("\"mem_budget_bytes\":null,", "")
+            .replace("\"device_tree\":false,", "")
+            .replace(",\"shards\":null", "")
+            .replace(",\"mem_budget_bytes\":null", "")
+            .replace(",\"device_tree\":false", "");
+        assert!(!legacy.contains("shards"), "{legacy}");
+        assert!(!legacy.contains("device_tree"), "{legacy}");
+        let back: JobSpec = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.shards, None);
+        assert!(!back.device_tree);
     }
 
     #[test]

@@ -32,24 +32,31 @@ use crate::common::{PlanConfig, PlanKind};
 use crate::j_parallel::auto_j_slices;
 use crate::jw_parallel::auto_slice_len;
 use crate::make_plan;
+use crate::tree_pipeline::predict_pipeline_shape;
 use crate::tune::{candidates, TuneObjective};
 use gpu_sim::prelude::{Device, DeviceSpec, TransferModel};
 use nbody_core::body::ParticleSet;
 use nbody_core::gravity::GravityParams;
 use nbody_core::vec3::Vec3;
 use ptpm::model::{
-    forecast_blocks, i_parallel_block_flops, j_parallel_block_flops, jw_parallel_block_flops,
-    w_parallel_block_flops,
+    forecast_blocks, forecast_pipeline, i_parallel_block_flops, j_parallel_block_flops,
+    jw_parallel_block_flops, w_parallel_block_flops, PipelineShape,
 };
 use serde::{Deserialize, Serialize};
 use treecode::interaction_list::build_walks;
 use treecode::mac::OpeningAngle;
 use treecode::tree::{Octree, TreeParams};
 
-/// Default shortlist size the pruner measures (out of the 21-candidate full
+/// Default shortlist size the pruner measures (out of the 25-candidate full
 /// grid): large enough that the measured winner has always been inside it
 /// on the conformance matrix, small enough to skip most measurements.
 pub const DEFAULT_SHORTLIST: usize = 8;
+
+/// Shard count the sharded tree-plan grid candidates use. Sharding is
+/// bit-exact at any count, so one representative point is enough for the
+/// tuner to learn whether the out-of-core path's per-shard overhead matters
+/// on this workload.
+pub const GRID_SHARDS: usize = 4;
 
 /// One `(plan kind, config)` point of the joint candidate grid.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -96,12 +103,18 @@ pub struct AutotuneResult {
 }
 
 /// The joint candidate grid: [`candidates`] of every plan kind, in the
-/// paper's plan order. 21 candidates on the reference device.
+/// paper's plan order, plus — for the tree kinds — one Morton-sharded
+/// variant ([`GRID_SHARDS`] shards) and one on-device tree-pipeline variant
+/// at the base walk size. 25 candidates on the reference device.
 pub fn full_grid(base: PlanConfig, spec: &DeviceSpec) -> Vec<Candidate> {
     let mut grid = Vec::new();
     for kind in PlanKind::all() {
         for config in candidates(kind, base, spec) {
             grid.push(Candidate { kind, config });
+        }
+        if kind.uses_tree() {
+            grid.push(Candidate { kind, config: PlanConfig { shards: Some(GRID_SHARDS), ..base } });
+            grid.push(Candidate { kind, config: PlanConfig { device_tree: true, ..base } });
         }
     }
     grid
@@ -117,6 +130,9 @@ pub struct ForecastGeometry {
     n: usize,
     /// `(walk_size, per-walk list lengths)`, one entry per distinct size.
     lists: Vec<(usize, Vec<usize>)>,
+    /// `(walk_size, predicted device-pipeline shape)`, one entry per
+    /// distinct walk size among `device_tree` candidates.
+    shapes: Vec<(usize, PipelineShape)>,
 }
 
 impl ForecastGeometry {
@@ -138,7 +154,18 @@ impl ForecastGeometry {
                 })
                 .collect()
         };
-        Self { n: set.len(), lists }
+        let mut shape_sizes: Vec<usize> = grid
+            .iter()
+            .filter(|c| c.kind.uses_tree() && c.config.device_tree)
+            .map(|c| c.config.walk_size)
+            .collect();
+        shape_sizes.sort_unstable();
+        shape_sizes.dedup();
+        let shapes = shape_sizes
+            .into_iter()
+            .map(|ws| (ws, predict_pipeline_shape(set, &PlanConfig { walk_size: ws, ..base })))
+            .collect();
+        Self { n: set.len(), lists, shapes }
     }
 
     fn lists_for(&self, walk_size: usize) -> &[usize] {
@@ -147,6 +174,14 @@ impl ForecastGeometry {
             .find(|(ws, _)| *ws == walk_size)
             .map(|(_, lens)| lens.as_slice())
             .expect("geometry covers every walk size in the grid")
+    }
+
+    fn shape_for(&self, walk_size: usize) -> &PipelineShape {
+        self.shapes
+            .iter()
+            .find(|(ws, _)| *ws == walk_size)
+            .map(|(_, shape)| shape)
+            .expect("geometry covers every device-tree walk size in the grid")
     }
 }
 
@@ -195,6 +230,21 @@ pub fn forecast_candidate(
         TuneObjective::KernelTime => kernel_s,
         TuneObjective::TotalTime => {
             let tm = TransferModel::pcie2_x16();
+            if c.kind.uses_tree() && c.config.device_tree {
+                // On-device pipeline: f64 bit patterns ride up inside the
+                // pipeline forecast (no packed lists cross PCIe), only the
+                // accelerations come back; the host contributes nothing
+                // unless the workload would force the coincident-point
+                // fallback.
+                let shape = geom.shape_for(c.config.walk_size);
+                let pipe = forecast_pipeline(shape, spec, &tm);
+                let host_s = if shape.fallback_host_build {
+                    c.config.host_model.tree_seconds(n)
+                } else {
+                    0.0
+                };
+                return tm.seconds(16 * n) + pipe.seconds() + host_s + kernel_s;
+            }
             // float4 bodies up + float4 accelerations down, every plan
             let mut total = tm.seconds(16 * n) + tm.seconds(16 * n);
             if c.kind.uses_tree() {
@@ -354,10 +404,41 @@ mod tests {
     #[test]
     fn full_grid_unions_every_kind() {
         let grid = full_grid(PlanConfig::default(), &spec());
-        assert_eq!(grid.len(), 3 + 3 + 3 + 12);
+        assert_eq!(grid.len(), 3 + 3 + (3 + 2) + (12 + 2));
         for kind in PlanKind::all() {
             assert!(grid.iter().any(|c| c.kind == kind));
         }
+        for kind in [PlanKind::WParallel, PlanKind::JwParallel] {
+            assert!(
+                grid.iter().any(|c| c.kind == kind && c.config.shards == Some(GRID_SHARDS)),
+                "{}: sharded candidate missing",
+                kind.id()
+            );
+            assert!(
+                grid.iter().any(|c| c.kind == kind && c.config.device_tree),
+                "{}: device-tree candidate missing",
+                kind.id()
+            );
+        }
+    }
+
+    #[test]
+    fn device_tree_forecast_prices_the_predicted_shape() {
+        let set = WorkloadSpec::plummer(700, 9).generate();
+        let base = PlanConfig::default();
+        let grid = full_grid(base, &spec());
+        let geom = ForecastGeometry::build(&set, base, &grid);
+        let dt = grid
+            .iter()
+            .find(|c| c.kind == PlanKind::WParallel && c.config.device_tree)
+            .expect("device-tree candidate in the grid");
+        let s = forecast_candidate(dt, &geom, &spec(), TuneObjective::TotalTime);
+        assert!(s.is_finite() && s > 0.0);
+        // the predicted shape equals the measured one, so the pipeline term
+        // must match ptpm's forecast over that shape exactly
+        let shape = predict_pipeline_shape(&set, &dt.config);
+        let pipe = forecast_pipeline(&shape, &spec(), &TransferModel::pcie2_x16()).seconds();
+        assert!(s > pipe, "total forecast must include the pipeline term");
     }
 
     #[test]

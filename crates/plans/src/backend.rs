@@ -43,8 +43,10 @@ use nbody_core::soa::{accelerations_pp_tiled_parallel, accelerations_pp_tiled_wi
 use nbody_core::vec3::Vec3;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
-use treecode::interaction_list::build_walks;
+use treecode::interaction_list::{build_walks, WalkSet};
 use treecode::mac::OpeningAngle;
+use treecode::morton::keys_in_order;
+use treecode::shards::MortonShards;
 use treecode::tree::{Octree, TreeParams};
 
 /// Which execution substrate to run plans on (`--backend` CLI values).
@@ -269,10 +271,42 @@ impl HostBackend {
         }
     }
 
-    fn evaluate_tree(&self, set: &ParticleSet, params: &GravityParams, acc: &mut [Vec3]) -> u64 {
+    /// The Morton-shard decomposition of the walk range for out-of-core
+    /// configs. The host has no device arenas, so a memory budget is read
+    /// against the same packed-list byte estimate the device path arenas
+    /// hold (16 bytes per entry + the target lane); the result only chunks
+    /// the evaluation order, which the disjoint-target scatter makes
+    /// bit-invariant.
+    fn shard_decomposition(
+        &self,
+        set: &ParticleSet,
+        tree: &Octree,
+        walks: &WalkSet,
+    ) -> MortonShards {
+        let ws = self.config.walk_size;
+        let keys = keys_in_order(set, tree.order());
+        if let Some(count) = self.config.shards {
+            return MortonShards::by_count(&keys, ws, count);
+        }
+        if let Some(budget) = self.config.mem_budget_bytes {
+            let bytes: Vec<usize> =
+                walks.groups.iter().map(|g| 16 * g.list_len() + 4 * ws).collect();
+            return MortonShards::by_budget(&keys, ws, &bytes, 0, budget);
+        }
+        MortonShards::unsharded(set.len(), ws)
+    }
+
+    /// Returns `(interactions, shards used)`.
+    fn evaluate_tree(
+        &self,
+        set: &ParticleSet,
+        params: &GravityParams,
+        acc: &mut [Vec3],
+    ) -> (u64, usize) {
         let tree = Octree::build(set, TreeParams { leaf_capacity: self.config.leaf_capacity });
         let walks =
             build_walks(&tree, set, OpeningAngle::new(self.config.theta), self.config.walk_size);
+        let decomp = self.shard_decomposition(set, &tree, &walks);
         let pos = set.pos();
         let mass = set.mass();
         let eps_sq = params.eps_sq();
@@ -295,40 +329,44 @@ impl HostBackend {
                 out.push((i, a * params.g));
             }
         };
-        let threads = par::threads().min(walks.groups.len().max(1));
-        if threads <= 1 {
-            let mut out = Vec::new();
-            for group in &walks.groups {
-                eval_group(group, &mut out);
-            }
-            for (i, a) in out {
-                acc[i as usize] = a;
-            }
-        } else {
-            let ranges = par::chunk_ranges(walks.groups.len(), threads);
-            let groups = &walks.groups;
-            let eval_group = &eval_group;
-            let results = par::run_tasks(
-                ranges
-                    .into_iter()
-                    .map(|range| {
-                        move || {
-                            let mut out = Vec::new();
-                            for group in &groups[range] {
-                                eval_group(group, &mut out);
-                            }
-                            out
-                        }
-                    })
-                    .collect(),
-            );
-            for out in results {
+        // one pass per shard (a single pass when unsharded) — walks own
+        // disjoint bodies, so any shard cut is bit-invariant
+        for shard in decomp.shards() {
+            let groups = &walks.groups[shard.walk_start..shard.walk_end.min(walks.groups.len())];
+            let threads = par::threads().min(groups.len().max(1));
+            if threads <= 1 {
+                let mut out = Vec::new();
+                for group in groups {
+                    eval_group(group, &mut out);
+                }
                 for (i, a) in out {
                     acc[i as usize] = a;
                 }
+            } else {
+                let ranges = par::chunk_ranges(groups.len(), threads);
+                let eval_group = &eval_group;
+                let results = par::run_tasks(
+                    ranges
+                        .into_iter()
+                        .map(|range| {
+                            move || {
+                                let mut out = Vec::new();
+                                for group in &groups[range] {
+                                    eval_group(group, &mut out);
+                                }
+                                out
+                            }
+                        })
+                        .collect(),
+                );
+                for out in results {
+                    for (i, a) in out {
+                        acc[i as usize] = a;
+                    }
+                }
             }
         }
-        walks.total_interactions()
+        (walks.total_interactions(), decomp.len())
     }
 }
 
@@ -346,13 +384,15 @@ impl Backend for HostBackend {
         let n = set.len();
         let t0 = Instant::now();
         let mut acc = vec![Vec3::ZERO; n];
-        let interactions = if plan.uses_tree() {
+        let (interactions, shards) = if plan.uses_tree() {
             self.evaluate_tree(set, params, &mut acc)
         } else {
             self.evaluate_pp(set, params, &mut acc);
-            (n as u64) * (n as u64)
+            ((n as u64) * (n as u64), 1)
         };
-        host_outcome(acc, interactions, t0.elapsed().as_secs_f64(), 0)
+        let mut outcome = host_outcome(acc, interactions, t0.elapsed().as_secs_f64(), 0);
+        outcome.shards_used = shards;
+        outcome
     }
 }
 
@@ -568,6 +608,7 @@ fn host_outcome(acc: Vec<Vec3>, interactions: u64, wall_s: f64, passes: usize) -
         recovery_s: 0.0,
         launches: passes,
         overlap_walk_with_kernel: false,
+        ..PlanOutcome::empty()
     }
 }
 
@@ -721,6 +762,61 @@ mod tests {
             let got = host.evaluate(plan, &set, &params());
             assert_eq!(got.acc, exact, "{plan:?}: host tree diverged from evaluate_walks_cpu");
             assert_eq!(got.interactions, walks.total_interactions());
+        }
+    }
+
+    #[test]
+    fn host_tree_sharding_is_bit_invariant_and_reported() {
+        let set = random_set(600, 15);
+        let base = PlanConfig::default();
+        for plan in [PlanKind::WParallel, PlanKind::JwParallel] {
+            let mut host = make_backend(BackendKind::Host, base);
+            let reference = host.evaluate(plan, &set, &params());
+            assert_eq!(reference.shards_used, 1);
+            for shards in [2, 5] {
+                let mut sharded =
+                    make_backend(BackendKind::Host, PlanConfig { shards: Some(shards), ..base });
+                let got = sharded.evaluate(plan, &set, &params());
+                assert_eq!(got.acc, reference.acc, "{plan:?}: {shards} shards diverged");
+                // eligible Morton splits may cap the realized count below
+                // the request, but never above it
+                assert!(
+                    got.shards_used > 1 && got.shards_used <= shards,
+                    "{plan:?}: asked {shards}, used {}",
+                    got.shards_used
+                );
+            }
+            let mut budgeted = make_backend(
+                BackendKind::Host,
+                PlanConfig { mem_budget_bytes: Some(64 * 1024), ..base },
+            );
+            let got = budgeted.evaluate(plan, &set, &params());
+            assert_eq!(got.acc, reference.acc, "{plan:?}: budget sharding diverged");
+            assert!(got.shards_used >= 1, "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn sim_backend_routes_out_of_core_configs_bit_exactly() {
+        // the sim backend must dispatch sharded and device-tree configs to
+        // the tree pipeline, and both must reproduce the legacy forces
+        let set = random_set(500, 16);
+        let base = PlanConfig::default();
+        for plan in [PlanKind::WParallel, PlanKind::JwParallel] {
+            let mut legacy = make_backend(BackendKind::Sim, base);
+            let reference = legacy.evaluate(plan, &set, &params());
+            for config in
+                [PlanConfig { shards: Some(3), ..base }, PlanConfig { device_tree: true, ..base }]
+            {
+                let mut sim = make_backend(BackendKind::Sim, config);
+                let got = sim.evaluate(plan, &set, &params());
+                assert_eq!(got.acc, reference.acc, "{plan:?}: {config:?} diverged on sim");
+                // and the f32 host re-execution tracks the sim bit-for-bit
+                // even though it ignores the out-of-core knobs
+                let mut f32b = make_backend(BackendKind::F32, config);
+                let host_got = f32b.evaluate(plan, &set, &params());
+                assert_eq!(host_got.acc, reference.acc, "{plan:?}: f32 backend diverged");
+            }
         }
     }
 

@@ -127,6 +127,21 @@ pub struct PlanConfig {
     pub jw_slice_len: Option<usize>,
     /// Simulated host (CPU) cost model for tree builds and walk generation.
     pub host_model: HostCostModel,
+    /// Build the tree and emit interaction lists **on the device** (the
+    /// Morton/sort/level-link/walk-emit pipeline of `tree_pipeline`) instead
+    /// of on the host. Tree plans only.
+    #[serde(default)]
+    pub device_tree: bool,
+    /// Explicit Morton-shard count for the tree plans' out-of-core path;
+    /// `None` defers to `mem_budget_bytes` (or runs unsharded). Shard
+    /// boundaries snap to eligible Morton splits, so any count yields
+    /// bit-identical forces.
+    #[serde(default)]
+    pub shards: Option<usize>,
+    /// Device-memory budget driving the shard decomposition; `None` leaves
+    /// the working set unsharded (unless `shards` asks otherwise).
+    #[serde(default)]
+    pub mem_budget_bytes: Option<usize>,
 }
 
 impl Default for PlanConfig {
@@ -139,6 +154,9 @@ impl Default for PlanConfig {
             leaf_capacity: 16,
             jw_slice_len: None,
             host_model: HostCostModel::default(),
+            device_tree: false,
+            shards: None,
+            mem_budget_bytes: None,
         }
     }
 }
@@ -173,6 +191,12 @@ impl PlanConfig {
         if self.j_slices == Some(0) || self.jw_slice_len == Some(0) {
             return Err("explicit slice parameters must be positive".into());
         }
+        if self.shards == Some(0) {
+            return Err("shard count must be positive".into());
+        }
+        if self.mem_budget_bytes == Some(0) {
+            return Err("memory budget must be positive".into());
+        }
         Ok(())
     }
 }
@@ -206,9 +230,45 @@ pub struct PlanOutcome {
     /// True if the plan pipelines host walk generation with device kernels
     /// (the paper's w-parallel/jw-parallel do; see §4.2).
     pub overlap_walk_with_kernel: bool,
+    /// Device seconds (kernels + descriptor traffic) spent in the on-device
+    /// tree pipeline. Informational: already contained in `kernel_s` /
+    /// `transfer_s`, never added to [`PlanOutcome::total_seconds`] again.
+    #[serde(default)]
+    pub pipeline_s: f64,
+    /// Morton shards the evaluation streamed through (1 = unsharded).
+    #[serde(default = "one")]
+    pub shards_used: usize,
+    /// High-water device-buffer bytes over the evaluation (the quantity the
+    /// shard decomposition's memory budget caps).
+    #[serde(default)]
+    pub peak_device_bytes: usize,
+}
+
+fn one() -> usize {
+    1
 }
 
 impl PlanOutcome {
+    /// An all-zero outcome — the canonical `..PlanOutcome::empty()` tail for
+    /// construction sites that only care about a subset of the fields.
+    pub fn empty() -> Self {
+        Self {
+            acc: Vec::new(),
+            interactions: 0,
+            host_tree_s: 0.0,
+            host_walk_s: 0.0,
+            host_measured_s: 0.0,
+            kernel_s: 0.0,
+            transfer_s: 0.0,
+            recovery_s: 0.0,
+            launches: 0,
+            overlap_walk_with_kernel: false,
+            pipeline_s: 0.0,
+            shards_used: 1,
+            peak_device_bytes: 0,
+        }
+    }
+
     /// Kernel-only time: the paper's Table 3 column.
     pub fn kernel_seconds(&self) -> f64 {
         self.kernel_s
@@ -410,6 +470,7 @@ mod tests {
             recovery_s: 0.0,
             launches: 1,
             overlap_walk_with_kernel: false,
+            ..PlanOutcome::empty()
         };
         assert_eq!(base.kernel_seconds(), 3.0);
         assert_eq!(base.total_seconds(), 6.5);

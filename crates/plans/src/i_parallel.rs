@@ -201,6 +201,8 @@ impl ExecutionPlan for IParallel {
             recovery_s: device.stall_seconds(),
             launches: device.launches().len(),
             overlap_walk_with_kernel: false,
+            peak_device_bytes: device.debug_pool().peak_bytes(),
+            ..PlanOutcome::empty()
         }
     }
 }

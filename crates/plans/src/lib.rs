@@ -27,6 +27,7 @@ pub mod jw_parallel;
 pub mod multi_gpu;
 pub mod potential;
 pub mod recover;
+pub mod tree_pipeline;
 pub mod tune;
 pub mod validate;
 pub mod w_parallel;
@@ -59,6 +60,10 @@ pub mod prelude {
     pub use crate::multi_gpu::{MultiGpuJw, MultiGpuOutcome, MultiGpuPp};
     pub use crate::potential::potential_on_device;
     pub use crate::recover::{launch_with_recovery, with_retry};
+    pub use crate::tree_pipeline::{
+        build_tree_on_device, evaluate_tree_plan, geometric_key, predict_pipeline_shape,
+        DeviceTreeBuild, TreePipelineRun,
+    };
     pub use crate::tune::{
         candidates, tune, tune_host_tile, HostTilePoint, TuneObjective, TuneResult,
     };

@@ -274,6 +274,7 @@ impl MultiGpuJw {
             recovery_s,
             launches,
             overlap_walk_with_kernel: true,
+            ..PlanOutcome::empty()
         };
         MultiGpuOutcome {
             combined,
@@ -498,6 +499,7 @@ impl MultiGpuPp {
             recovery_s: 0.0,
             launches,
             overlap_walk_with_kernel: false,
+            ..PlanOutcome::empty()
         };
         MultiGpuOutcome {
             combined,

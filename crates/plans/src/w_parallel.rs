@@ -267,6 +267,19 @@ impl ExecutionPlan for WParallel {
         set: &ParticleSet,
         params: &GravityParams,
     ) -> PlanOutcome {
+        if self.config.device_tree
+            || self.config.shards.is_some()
+            || self.config.mem_budget_bytes.is_some()
+        {
+            return crate::tree_pipeline::evaluate_tree_plan(
+                PlanKind::WParallel,
+                &self.config,
+                device,
+                set,
+                params,
+            )
+            .outcome;
+        }
         assert!(params.softening > 0.0, "device plans require softening > 0");
         self.config.validate(device.spec()).expect("invalid plan config");
         device.reset_clocks();
@@ -318,6 +331,8 @@ impl ExecutionPlan for WParallel {
             recovery_s: device.stall_seconds(),
             launches: device.launches().len(),
             overlap_walk_with_kernel: true,
+            peak_device_bytes: device.debug_pool().peak_bytes(),
+            ..PlanOutcome::empty()
         }
     }
 }

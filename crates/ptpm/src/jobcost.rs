@@ -25,8 +25,10 @@
 //! deterministic, so shedding decisions are reproducible.
 
 use crate::model::{
-    forecast_i_parallel, forecast_j_parallel, forecast_jw_parallel, forecast_w_parallel,
+    forecast_i_parallel, forecast_j_parallel, forecast_jw_parallel, forecast_pipeline,
+    forecast_w_parallel, PipelineShape,
 };
+use gpu_sim::pcie::TransferModel;
 use gpu_sim::spec::DeviceSpec;
 
 /// Default work-group size when the job does not pin a tile.
@@ -36,6 +38,14 @@ pub const DEFAULT_WALK: usize = 64;
 /// Default j-parallel slice count (the paper's sweet spot for the reference
 /// device at the N range the admission budgets allow).
 pub const DEFAULT_SLICES: usize = 54;
+/// Host tree-build cost per body, mirroring the default
+/// `plans::common::HostCostModel` (150 ns/body). Admission cannot import
+/// `plans` (the dependency points the other way), so the default is pinned
+/// here and a workspace test keeps the two in sync.
+pub const HOST_TREE_NS_PER_BODY: f64 = 150.0;
+/// Host walk-generation cost per interaction-list entry, mirroring the
+/// default `plans::common::HostCostModel` (15 ns/entry).
+pub const HOST_WALK_NS_PER_ENTRY: f64 = 15.0;
 
 /// Synthetic interaction-list lengths for tree-plan admission forecasts:
 /// one walk per `walk` bodies, each list `min(N, 32·√N)` long (see the
@@ -46,27 +56,137 @@ fn proxy_list_lens(n: usize, walk: usize) -> Vec<usize> {
     vec![len; walks]
 }
 
-/// Forecast simulated seconds for one force evaluation of `plan_id` at `n`
-/// bodies. Unknown plan ids fall back to the i-parallel forecast (the most
-/// expensive plan — shedding stays conservative).
-pub fn forecast_eval_seconds(plan_id: &str, n: usize, tile: Option<usize>) -> f64 {
+/// Total proxy interaction-list entries at `n` bodies — the same synthetic
+/// fit the admission forecasts use, exposed so admission can also estimate
+/// packed-list *bytes* (out-of-core memory budgeting) from one model.
+pub fn proxy_entries(n: usize, walk: usize) -> usize {
+    proxy_list_lens(n, walk).iter().sum()
+}
+
+/// Admission-grade synthetic [`PipelineShape`] for device-tree forecasts:
+/// half-full leaves at the repo's default capacity, 8-ary fan-out levels
+/// that saturate geometrically, and the same proxy interaction lists as the
+/// host-tree forecast. Like [`proxy_list_lens`], this is the right order of
+/// magnitude and monotone in N, not a promise.
+fn proxy_pipeline_shape(n: usize, walk: usize) -> PipelineShape {
+    let lens = proxy_list_lens(n, walk);
+    let walks = lens.len();
+    let entries: usize = lens.iter().sum();
+    let leaves = n.div_ceil(8).max(1);
+    let internal = (leaves / 7).max(1);
+    let mut levels = Vec::new();
+    let mut width = 1_usize;
+    let mut remaining = internal;
+    while remaining > 0 && levels.len() < 21 {
+        let ranges = width.min(remaining);
+        levels.push((ranges, n));
+        remaining -= ranges;
+        width = width.saturating_mul(8);
+    }
+    PipelineShape {
+        n,
+        levels,
+        nodes: leaves + internal,
+        leaf_ranges: leaves,
+        leaf_bodies: n,
+        walks,
+        walk_size: walk,
+        entries,
+        body_entries: entries / 2,
+        visited: 2 * entries,
+        fallback_host_build: false,
+    }
+}
+
+/// One force evaluation's forecast, split into the phases admission and
+/// shedding reason about: the device kernel time, the serial host tree
+/// build, the host walk generation (which the plans overlap with the
+/// kernels), and — for device-tree jobs — the on-device tree pipeline that
+/// replaces both host phases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalPhases {
+    /// Force-kernel seconds on the simulated device.
+    pub kernel_s: f64,
+    /// Serial host tree-build seconds (zero for PP and device-tree jobs).
+    pub host_tree_s: f64,
+    /// Host walk-generation seconds (overlapped with the kernels).
+    pub host_walk_s: f64,
+    /// On-device tree-pipeline seconds (zero unless `device_tree`).
+    pub pipeline_s: f64,
+}
+
+impl EvalPhases {
+    /// Critical-path seconds: the tree build and pipeline are serial, walk
+    /// generation hides under the kernels (exactly how
+    /// `plans::common::PlanOutcome::total_seconds` composes them).
+    pub fn seconds(&self) -> f64 {
+        self.host_tree_s + self.pipeline_s + self.host_walk_s.max(self.kernel_s)
+    }
+}
+
+/// Forecast one force evaluation of `plan_id` at `n` bodies, phase by
+/// phase. Unknown plan ids fall back to the i-parallel forecast (the most
+/// expensive plan — shedding stays conservative). `device_tree` prices the
+/// on-device pipeline instead of the host tree/walk phases.
+pub fn forecast_eval_phases(
+    plan_id: &str,
+    n: usize,
+    tile: Option<usize>,
+    device_tree: bool,
+) -> EvalPhases {
     let spec = DeviceSpec::radeon_hd_5850();
     let block = tile.unwrap_or(DEFAULT_BLOCK).max(1);
     let walk = tile.unwrap_or(DEFAULT_WALK).max(1);
-    match plan_id {
+    let mut phases =
+        EvalPhases { kernel_s: 0.0, host_tree_s: 0.0, host_walk_s: 0.0, pipeline_s: 0.0 };
+    let tree_plan = matches!(plan_id, "w-parallel" | "jw-parallel");
+    phases.kernel_s = match plan_id {
         "j-parallel" => forecast_j_parallel(n, block, DEFAULT_SLICES, &spec).seconds,
         "w-parallel" => forecast_w_parallel(&proxy_list_lens(n, walk), walk, &spec).seconds,
         "jw-parallel" => {
             forecast_jw_parallel(&proxy_list_lens(n, walk), walk, block, &spec).seconds
         }
         _ => forecast_i_parallel(n, block, &spec).seconds,
+    };
+    if tree_plan {
+        if device_tree {
+            let shape = proxy_pipeline_shape(n, walk);
+            phases.pipeline_s =
+                forecast_pipeline(&shape, &spec, &TransferModel::pcie2_x16()).seconds();
+        } else {
+            let entries: usize = proxy_list_lens(n, walk).iter().sum();
+            phases.host_tree_s = n as f64 * HOST_TREE_NS_PER_BODY * 1e-9;
+            phases.host_walk_s = entries as f64 * HOST_WALK_NS_PER_ENTRY * 1e-9;
+        }
     }
+    phases
+}
+
+/// Forecast simulated seconds for one force evaluation of `plan_id` at `n`
+/// bodies — the critical path of [`forecast_eval_phases`] with the host
+/// tree path (the tree plans' host build/walk phases are now priced
+/// explicitly instead of being absorbed into the kernel term).
+pub fn forecast_eval_seconds(plan_id: &str, n: usize, tile: Option<usize>) -> f64 {
+    forecast_eval_phases(plan_id, n, tile, false).seconds()
 }
 
 /// Forecast simulated seconds for a whole job: `steps` integration force
 /// evaluations plus the priming one.
 pub fn forecast_job_seconds(plan_id: &str, n: usize, steps: usize, tile: Option<usize>) -> f64 {
-    (steps as f64 + 1.0) * forecast_eval_seconds(plan_id, n, tile)
+    forecast_job_seconds_with(plan_id, n, steps, tile, false)
+}
+
+/// [`forecast_job_seconds`] with the device-tree pipeline knob exposed:
+/// sharded/device-tree jobs admitted under a memory budget forecast the
+/// pipeline instead of the host tree phases.
+pub fn forecast_job_seconds_with(
+    plan_id: &str,
+    n: usize,
+    steps: usize,
+    tile: Option<usize>,
+    device_tree: bool,
+) -> f64 {
+    (steps as f64 + 1.0) * forecast_eval_phases(plan_id, n, tile, device_tree).seconds()
 }
 
 #[cfg(test)]
@@ -97,6 +217,43 @@ mod tests {
         let unknown = forecast_job_seconds("quantum-parallel", 2048, 4, None);
         let i = forecast_job_seconds("i-parallel", 2048, 4, None);
         assert_eq!(unknown, i, "unknown ids take the most expensive forecast");
+    }
+
+    #[test]
+    fn tree_phases_are_explicit_and_compose_into_the_total() {
+        for plan in ["w-parallel", "jw-parallel"] {
+            let p = forecast_eval_phases(plan, 8192, None, false);
+            assert!(p.host_tree_s > 0.0, "{plan}: host tree phase must be priced");
+            assert!(p.host_walk_s > 0.0, "{plan}: host walk phase must be priced");
+            assert_eq!(p.pipeline_s, 0.0, "{plan}: no pipeline on the host tree path");
+            assert_eq!(p.seconds(), p.host_tree_s + p.host_walk_s.max(p.kernel_s));
+            assert_eq!(forecast_eval_seconds(plan, 8192, None), p.seconds());
+        }
+        for plan in ["i-parallel", "j-parallel"] {
+            let p = forecast_eval_phases(plan, 8192, None, false);
+            assert_eq!(p.host_tree_s + p.host_walk_s + p.pipeline_s, 0.0, "{plan}");
+            assert_eq!(p.seconds(), p.kernel_s, "{plan}");
+        }
+    }
+
+    #[test]
+    fn device_tree_variant_replaces_host_phases_with_the_pipeline() {
+        for plan in ["w-parallel", "jw-parallel"] {
+            let host = forecast_eval_phases(plan, 65536, None, false);
+            let dev = forecast_eval_phases(plan, 65536, None, true);
+            assert_eq!(dev.host_tree_s, 0.0, "{plan}");
+            assert_eq!(dev.host_walk_s, 0.0, "{plan}");
+            assert!(dev.pipeline_s > 0.0, "{plan}: pipeline must be priced");
+            assert_eq!(dev.kernel_s, host.kernel_s, "{plan}: force kernels unchanged");
+            let job_host = forecast_job_seconds_with(plan, 65536, 4, None, false);
+            let job_dev = forecast_job_seconds_with(plan, 65536, 4, None, true);
+            assert!(job_host.is_finite() && job_dev.is_finite());
+            assert!(job_dev > 0.0 && job_host > 0.0);
+        }
+        // PP plans have no tree: the knob is a no-op
+        let a = forecast_eval_phases("i-parallel", 4096, None, true);
+        let b = forecast_eval_phases("i-parallel", 4096, None, false);
+        assert_eq!(a, b);
     }
 
     #[test]

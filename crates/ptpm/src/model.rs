@@ -154,6 +154,362 @@ pub fn forecast_jw_parallel(
     forecast_blocks(&jw_parallel_block_flops(list_lens, walk_size, slice_len), spec)
 }
 
+// ---------------------------------------------------------------------------
+// On-device tree pipeline (Morton keys → sort → level link → walk emit)
+// ---------------------------------------------------------------------------
+//
+// The pipeline's kernels in `plans::tree_pipeline` charge their events from
+// the constants below, and [`forecast_pipeline`] re-derives the same charges
+// from a measured [`PipelineShape`] and feeds them through the *actual*
+// simulator scheduler (`gpu_sim::sched::schedule_launch`) with uniform
+// per-group costs. Forecast and measurement therefore share one cost
+// vocabulary; the residual error is purely the per-group raggedness the
+// uniform approximation ignores.
+
+use gpu_sim::cost::GroupCost;
+use gpu_sim::pcie::TransferModel;
+use gpu_sim::sched::schedule_launch;
+
+/// Levels of the geometric key / linked build (21 octant choices fit a
+/// 63-bit key).
+pub const PIPELINE_LEVELS: usize = 21;
+/// LSD radix passes over the 64-bit keys (one byte per pass).
+pub const SORT_PASSES: usize = 8;
+/// Work-group size of the per-item pipeline kernels.
+pub const PIPELINE_LOCAL: usize = 256;
+/// Work-group size of the per-walk / per-range pipeline kernels.
+pub const PIPELINE_GROUP_LOCAL: usize = 64;
+/// LDS words the radix kernel stages (histogram + scan scratch).
+pub const SORT_LDS_WORDS: usize = 512;
+/// Flops per body per key level (octant compares + center update).
+pub const KEY_FLOPS_PER_LEVEL: f64 = 8.0;
+/// Flops per item per radix pass (digit extract + bucket bookkeeping).
+pub const SORT_FLOPS_PER_ITEM: f64 = 4.0;
+/// LDS words per item per radix pass (histogram traffic).
+pub const SORT_LDS_PER_ITEM: f64 = 2.0;
+/// Flops per key scanned by the level-link run detector.
+pub const LINK_FLOPS_PER_KEY: f64 = 2.0;
+/// Flops per body of the leaf canonicalization sort (~n log n amortized).
+pub const LEAF_SORT_FLOPS_PER_BODY: f64 = 8.0;
+/// Flops per body of the multipole gather (mass add + weighted position).
+pub const MULTIPOLE_FLOPS_PER_BODY: f64 = 7.0;
+/// Flops per node of the multipole combine (children sum + division).
+pub const MULTIPOLE_FLOPS_PER_NODE: f64 = 24.0;
+/// Flops per body of a walk bounding-box reduction.
+pub const BBOX_FLOPS_PER_BODY: f64 = 6.0;
+/// Flops per tree node visited by a walk traversal (MAC evaluation).
+pub const SCAN_FLOPS_PER_VISIT: f64 = 12.0;
+/// Flops per interaction-list entry packed by the emit kernel.
+pub const EMIT_FLOPS_PER_ENTRY: f64 = 4.0;
+/// Flops per body of the f64→f32 position/mass conversion.
+pub const CONVERT_FLOPS_PER_BODY: f64 = 4.0;
+/// `u32` words per node of the uploaded tree metadata
+/// (start, count, leaf flag, 8 children).
+pub const META_U32_PER_NODE: usize = 11;
+/// `u64` words per node of the uploaded tree geometry
+/// (center ×3, half, com ×3, mass — f64 bit patterns).
+pub const GEOM_U64_PER_NODE: usize = 8;
+
+/// Measured geometry of one on-device tree-pipeline run — everything the
+/// forecast needs, nothing it could not know on a real device (counts come
+/// from descriptor readbacks the pipeline performs anyway).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineShape {
+    /// Bodies.
+    pub n: usize,
+    /// Per linked level: `(open ranges, keys scanned)`.
+    pub levels: Vec<(usize, usize)>,
+    /// Tree nodes built.
+    pub nodes: usize,
+    /// Leaf ranges canonicalized (leaves holding ≥ 2 bodies).
+    pub leaf_ranges: usize,
+    /// Bodies covered by those leaf ranges.
+    pub leaf_bodies: usize,
+    /// Walk groups of the global walk grid.
+    pub walks: usize,
+    /// Bodies per walk group (threads per emit/scan block).
+    pub walk_size: usize,
+    /// Interaction-list entries over all walks (cells + bodies).
+    pub entries: usize,
+    /// Direct-body entries among `entries`.
+    pub body_entries: usize,
+    /// Tree nodes visited across all walk traversals.
+    pub visited: usize,
+    /// True when the level build hit the key-depth floor and the tree came
+    /// from the host fallback (keys/sort/link launches still ran; leaf-sort
+    /// and multipole kernels did not).
+    pub fallback_host_build: bool,
+}
+
+/// Forecast of one pipeline run, split the way the device clocks split.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineForecast {
+    /// Predicted seconds inside pipeline kernels.
+    pub kernel_s: f64,
+    /// Predicted seconds of pipeline transfers (uploads + descriptor
+    /// readbacks).
+    pub transfer_s: f64,
+    /// Per-phase second breakdown, in pipeline order.
+    pub phases: Vec<(String, f64)>,
+}
+
+impl PipelineForecast {
+    /// Total predicted pipeline seconds (kernels + transfers).
+    pub fn seconds(&self) -> f64 {
+        self.kernel_s + self.transfer_s
+    }
+}
+
+/// Times one launch of `groups` equal work-groups through the simulator's
+/// scheduler — the uniform-cost core of the pipeline forecast.
+fn uniform_launch_s(
+    spec: &DeviceSpec,
+    local: usize,
+    lds_words: usize,
+    groups: usize,
+    per_group: GroupCost,
+) -> f64 {
+    if groups == 0 {
+        return 0.0;
+    }
+    schedule_launch(spec, local, lds_words, &vec![per_group; groups]).seconds
+}
+
+/// Forecasts the on-device tree pipeline from its measured shape: every
+/// kernel's charges are re-derived from the shared constants and scheduled
+/// exactly as the simulator schedules them (uniform per-group costs), and
+/// every transfer is priced by the same PCIe model the device charges.
+pub fn forecast_pipeline(
+    shape: &PipelineShape,
+    spec: &DeviceSpec,
+    xfer: &TransferModel,
+) -> PipelineForecast {
+    let n = shape.n as f64;
+    let cts = |bytes: f64| bytes / f64::from(spec.transaction_bytes);
+    let mut phases: Vec<(String, f64)> = Vec::new();
+    let mut kernel_s = 0.0;
+    let mut transfer_s = 0.0;
+    let mut kernel = |phases: &mut Vec<(String, f64)>, name: &str, s: f64| {
+        phases.push((name.to_string(), s));
+        kernel_s += s;
+    };
+
+    // Upload of f64 position/mass bit patterns (3n + n u64).
+    let up = xfer.seconds(24 * shape.n) + xfer.seconds(8 * shape.n);
+    phases.push(("upload-bits".into(), up));
+    transfer_s += up;
+
+    // Morton keys: per-item kernel over n items.
+    let key_groups = shape.n.div_ceil(PIPELINE_LOCAL).max(1);
+    let ipg = n / key_groups as f64;
+    kernel(
+        &mut phases,
+        "morton-keys",
+        uniform_launch_s(
+            spec,
+            PIPELINE_LOCAL,
+            0,
+            key_groups,
+            GroupCost {
+                flops: KEY_FLOPS_PER_LEVEL * PIPELINE_LEVELS as f64 * ipg,
+                read_bytes: 24.0 * ipg,
+                read_transactions: cts(24.0 * ipg),
+                write_bytes: 12.0 * ipg,
+                write_transactions: cts(12.0 * ipg),
+                barriers: 1,
+                ..Default::default()
+            },
+        ),
+    );
+
+    // Radix sort: SORT_PASSES identical launches.
+    let pass_s = uniform_launch_s(
+        spec,
+        PIPELINE_LOCAL,
+        SORT_LDS_WORDS,
+        key_groups,
+        GroupCost {
+            flops: SORT_FLOPS_PER_ITEM * ipg,
+            lds_accesses: SORT_LDS_PER_ITEM * ipg,
+            read_bytes: 12.0 * ipg,
+            read_transactions: cts(12.0 * ipg),
+            write_bytes: 12.0 * ipg,
+            write_transactions: 2.0 * cts(12.0 * ipg),
+            barriers: 1,
+            ..Default::default()
+        },
+    );
+    kernel(&mut phases, "radix-sort", SORT_PASSES as f64 * pass_s);
+
+    // Level linking: one launch per level, one group per open range, with a
+    // per-level counts readback (each level's descriptors come back before
+    // the next level launches).
+    let mut link_s = 0.0;
+    let mut desc_s = 0.0;
+    for &(ranges, keys) in &shape.levels {
+        let kpg = keys as f64 / ranges.max(1) as f64;
+        link_s += uniform_launch_s(
+            spec,
+            PIPELINE_GROUP_LOCAL,
+            0,
+            ranges,
+            GroupCost {
+                flops: LINK_FLOPS_PER_KEY * kpg,
+                read_bytes: 8.0 * kpg,
+                read_transactions: cts(8.0 * kpg),
+                write_bytes: 32.0,
+                write_transactions: cts(32.0),
+                barriers: 1,
+                ..Default::default()
+            },
+        );
+        desc_s += xfer.seconds(32 * ranges);
+    }
+    kernel(&mut phases, "level-link", link_s);
+    phases.push(("desc-readback".into(), desc_s));
+    transfer_s += desc_s;
+
+    if !shape.fallback_host_build {
+        // Leaf canonicalization.
+        let bpg = shape.leaf_bodies as f64 / shape.leaf_ranges.max(1) as f64;
+        kernel(
+            &mut phases,
+            "leaf-sort",
+            uniform_launch_s(
+                spec,
+                PIPELINE_GROUP_LOCAL,
+                0,
+                shape.leaf_ranges,
+                GroupCost {
+                    flops: LEAF_SORT_FLOPS_PER_BODY * bpg,
+                    read_bytes: 4.0 * bpg,
+                    read_transactions: cts(4.0 * bpg),
+                    write_bytes: 4.0 * bpg,
+                    write_transactions: cts(4.0 * bpg),
+                    barriers: 1,
+                    ..Default::default()
+                },
+            ),
+        );
+        // Multipoles: per-item body gather plus amortized node combine.
+        let nodes = shape.nodes as f64;
+        let node_read = (META_U32_PER_NODE * 4) as f64 * nodes + 32.0 * (nodes - 1.0).max(0.0);
+        kernel(
+            &mut phases,
+            "multipoles",
+            uniform_launch_s(
+                spec,
+                PIPELINE_LOCAL,
+                0,
+                key_groups,
+                GroupCost {
+                    flops: (MULTIPOLE_FLOPS_PER_BODY * n + MULTIPOLE_FLOPS_PER_NODE * nodes)
+                        / key_groups as f64,
+                    read_bytes: (36.0 * n + node_read) / key_groups as f64,
+                    read_transactions: (4.0 * n + n * cts(4.0) + cts(node_read))
+                        / key_groups as f64,
+                    write_bytes: 32.0 * nodes / key_groups as f64,
+                    write_transactions: cts(32.0 * nodes) / key_groups as f64,
+                    barriers: 1,
+                    ..Default::default()
+                },
+            ),
+        );
+        // Tree meta/geometry round trip + permutation readback.
+        let meta_up = xfer.seconds(META_U32_PER_NODE * 4 * shape.nodes)
+            + xfer.seconds(GEOM_U64_PER_NODE * 8 * shape.nodes);
+        let geom_down = xfer.seconds(GEOM_U64_PER_NODE * 8 * shape.nodes);
+        let idx_down = xfer.seconds(4 * shape.n);
+        phases.push(("tree-roundtrip".into(), meta_up + geom_down + idx_down));
+        transfer_s += meta_up + geom_down + idx_down;
+    } else {
+        // Host fallback: the permutation is uploaded instead of downloaded.
+        let idx_up = xfer.seconds(4 * shape.n);
+        phases.push(("fallback-idx-upload".into(), idx_up));
+        transfer_s += idx_up;
+    }
+
+    // f64 → f32 conversion.
+    kernel(
+        &mut phases,
+        "convert-f32",
+        uniform_launch_s(
+            spec,
+            PIPELINE_LOCAL,
+            0,
+            key_groups,
+            GroupCost {
+                flops: CONVERT_FLOPS_PER_BODY * ipg,
+                read_bytes: 32.0 * ipg,
+                read_transactions: cts(32.0 * ipg),
+                write_bytes: 16.0 * ipg,
+                write_transactions: cts(16.0 * ipg),
+                barriers: 1,
+                ..Default::default()
+            },
+        ),
+    );
+
+    // Walk scan + emit: one group per walk each; the emit kernel re-traverses
+    // and additionally gathers/writes the packed entries.
+    let walks = shape.walks.max(1) as f64;
+    let cpw = n / walks;
+    let vpw = shape.visited as f64 / walks;
+    let bepw = shape.body_entries as f64 / walks;
+    let cepw = (shape.entries - shape.body_entries) as f64 / walks;
+    let epw = shape.entries as f64 / walks;
+    kernel(
+        &mut phases,
+        "walk-scan",
+        uniform_launch_s(
+            spec,
+            PIPELINE_GROUP_LOCAL,
+            0,
+            shape.walks,
+            GroupCost {
+                flops: BBOX_FLOPS_PER_BODY * cpw + SCAN_FLOPS_PER_VISIT * vpw,
+                read_bytes: 24.0 * cpw + 48.0 * vpw + 4.0 * bepw,
+                read_transactions: 3.0 * cpw + 2.0 * vpw + cts(4.0 * bepw),
+                write_bytes: 12.0,
+                write_transactions: cts(12.0),
+                barriers: 1,
+                ..Default::default()
+            },
+        ),
+    );
+    let lens_down = xfer.seconds(12 * shape.walks.max(1));
+    phases.push(("lens-readback".into(), lens_down));
+    transfer_s += lens_down;
+    let ws = shape.walk_size as f64;
+    kernel(
+        &mut phases,
+        "walk-emit",
+        uniform_launch_s(
+            spec,
+            PIPELINE_GROUP_LOCAL,
+            0,
+            shape.walks,
+            GroupCost {
+                flops: BBOX_FLOPS_PER_BODY * cpw
+                    + SCAN_FLOPS_PER_VISIT * vpw
+                    + EMIT_FLOPS_PER_ENTRY * epw,
+                read_bytes: 24.0 * cpw + 48.0 * vpw + 4.0 * bepw + 32.0 * bepw + 32.0 * cepw,
+                read_transactions: 3.0 * cpw
+                    + 2.0 * vpw
+                    + cts(4.0 * bepw)
+                    + 4.0 * bepw
+                    + 2.0 * cepw,
+                write_bytes: 16.0 * epw + 4.0 * ws,
+                write_transactions: cts(16.0 * epw) + cts(4.0 * ws),
+                barriers: 1,
+                ..Default::default()
+            },
+        ),
+    );
+
+    PipelineForecast { kernel_s, transfer_s, phases }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

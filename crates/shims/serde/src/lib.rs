@@ -159,6 +159,21 @@ pub fn field<T: Deserialize>(fields: &[(String, Value)], key: &str) -> Result<T,
     }
 }
 
+/// Like [`field`], but a missing key yields `default()` instead of an error
+/// — the expansion target of the derive's `#[serde(default)]` /
+/// `#[serde(default = "path")]` forms, which keep old persisted JSON
+/// readable after a struct grows fields.
+pub fn field_or_else<T: Deserialize>(
+    fields: &[(String, Value)],
+    key: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, DeError> {
+    match fields.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| DeError::new(format!("field `{key}`: {e}"))),
+        None => Ok(default()),
+    }
+}
+
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()

@@ -5,16 +5,29 @@
 //! variants are all unit variants. There is no `syn`/`quote` available in
 //! the offline environment, so parsing walks the raw [`proc_macro`] token
 //! stream directly and code generation builds a string that is parsed back
-//! into a `TokenStream`. Anything outside the supported shapes (generics,
-//! tuple structs, data-carrying variants, `#[serde(...)]` attributes)
-//! panics with a clear compile-time message rather than silently
-//! mis-serializing.
+//! into a `TokenStream`.
+//!
+//! The only `#[serde(...)]` attributes supported are the field-level
+//! `#[serde(default)]` and `#[serde(default = "path")]` forms (missing keys
+//! deserialize via `Default::default` / the named function — the backward
+//! compatibility hook for fields added to persisted formats). Anything else
+//! outside the supported shapes (generics, data-carrying variants, other
+//! `#[serde(...)]` attributes) panics with a clear compile-time message
+//! rather than silently mis-serializing.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named struct field: its name plus the `#[serde(default…)]` marker —
+/// `None` (required), `Some(None)` (`Default::default`), or
+/// `Some(Some(path))` (named default function).
+struct Field {
+    name: String,
+    default: Option<Option<String>>,
+}
+
 enum Shape {
-    /// Named-field struct: type name + field names in declaration order.
-    Struct { name: String, fields: Vec<String> },
+    /// Named-field struct: type name + fields in declaration order.
+    Struct { name: String, fields: Vec<Field> },
     /// Tuple struct: type name + field count. A single-field tuple struct
     /// (newtype) serializes transparently as its inner value, matching
     /// serde's newtype convention; wider tuples serialize as arrays.
@@ -27,13 +40,14 @@ enum Shape {
 }
 
 /// Derives `serde::Serialize` (the shim's `to_value` form).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = parse_shape(input);
     let code = match &shape {
         Shape::Struct { name, fields } => {
             let mut pairs = String::new();
             for f in fields {
+                let f = &f.name;
                 pairs.push_str(&format!(
                     "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
                 ));
@@ -92,14 +106,24 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` (the shim's `from_value` form).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse_shape(input);
     let code = match &shape {
         Shape::Struct { name, fields } => {
             let mut inits = String::new();
             for f in fields {
-                inits.push_str(&format!("{f}: ::serde::field(fields, \"{f}\")?,"));
+                let init = match (&f.name, &f.default) {
+                    (f, None) => format!("{f}: ::serde::field(fields, \"{f}\")?,"),
+                    (f, Some(None)) => format!(
+                        "{f}: ::serde::field_or_else(fields, \"{f}\", \
+                         ::std::default::Default::default)?,"
+                    ),
+                    (f, Some(Some(path))) => {
+                        format!("{f}: ::serde::field_or_else(fields, \"{f}\", {path})?,")
+                    }
+                };
+                inits.push_str(&init);
             }
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -272,15 +296,81 @@ fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Extracts field names from a named-field struct body: for each field,
-/// skips attributes/visibility, takes the identifier before `:`, then skips
-/// type tokens to the next top-level comma.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Parses one field's attribute list for the supported `#[serde(...)]`
+/// forms while advancing past attributes and visibility. Non-serde
+/// attributes (doc comments etc.) are skipped; unsupported serde attributes
+/// panic so they cannot silently mis-deserialize.
+fn take_field_attrs(tokens: &[TokenTree], i: &mut usize) -> Option<Option<String>> {
+    let mut default = None;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if let Some(d) = parse_serde_attr(g.stream()) {
+                        default = Some(d);
+                    }
+                }
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// If the attribute body (the tokens inside `#[...]`) is a
+/// `serde(default…)` form, returns its default spec (`None` =
+/// `Default::default`, `Some(path)` = named function). Other attributes
+/// return `None`; other serde attributes panic.
+fn parse_serde_attr(body: TokenStream) -> Option<Option<String>> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner: Vec<TokenTree> = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            g.stream().into_iter().collect()
+        }
+        other => panic!("serde_derive: malformed `#[serde(...)]` attribute: {other:?}"),
+    };
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        other => panic!(
+            "serde_derive: only `#[serde(default)]` / `#[serde(default = \"path\")]` are \
+             supported by the offline shim, found {other:?}"
+        ),
+    }
+    match inner.get(1) {
+        None => Some(None),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+            let lit = match inner.get(2) {
+                Some(TokenTree::Literal(l)) => l.to_string(),
+                other => panic!("serde_derive: expected path literal after `default =`: {other:?}"),
+            };
+            let path = lit.trim_matches('"').to_string();
+            Some(Some(path))
+        }
+        other => panic!("serde_derive: malformed `#[serde(default…)]` attribute: {other:?}"),
+    }
+}
+
+/// Extracts fields from a named-field struct body: for each field, parses
+/// its attributes (capturing `#[serde(default…)]`), takes the identifier
+/// before `:`, then skips type tokens to the next top-level comma.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attributes_and_visibility(&tokens, &mut i);
+        let default = take_field_attrs(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -293,7 +383,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
             other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
         }
-        fields.push(name);
+        fields.push(Field { name, default });
         // skip the type up to the next comma at angle-bracket depth 0
         let mut angle_depth = 0_i32;
         while i < tokens.len() {

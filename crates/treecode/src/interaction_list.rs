@@ -123,6 +123,46 @@ pub fn build_walks(
     WalkSet { groups, theta, walk_size }
 }
 
+/// Builds the walks of one contiguous sub-range of the **global** walk grid
+/// (walk indices `walk_range` of the grid [`build_walks`] produces), used by
+/// the Morton-sharded out-of-core path: each shard builds only its own
+/// walks, yet every group is identical to the corresponding group of the
+/// full build, so per-walk results are bit-exact against the unsharded
+/// reference.
+///
+/// # Panics
+/// Panics if `walk_size == 0` or the range exceeds the walk grid.
+pub fn build_walks_range(
+    tree: &Octree,
+    set: &ParticleSet,
+    theta: OpeningAngle,
+    walk_size: usize,
+    walk_range: std::ops::Range<usize>,
+) -> WalkSet {
+    assert!(walk_size > 0, "walk_size must be positive");
+    let num_walks = tree.order().len().div_ceil(walk_size);
+    assert!(walk_range.end <= num_walks, "walk range {walk_range:?} exceeds grid {num_walks}");
+    let pos = set.pos();
+    let chunks = par::map_chunks(walk_range.len(), |range| {
+        range
+            .map(|r| {
+                let w = walk_range.start + r;
+                let start = w * walk_size;
+                let end = (start + walk_size).min(tree.order().len());
+                let bodies = &tree.order()[start..end];
+                let bbox = Aabb::from_points(bodies.iter().map(|&b| pos[b as usize]));
+                let (cell_list, body_list) = collect_list(tree, &bbox, theta);
+                WalkGroup { bodies: bodies.to_vec(), bbox, cell_list, body_list }
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut groups = Vec::with_capacity(walk_range.len());
+    for chunk in chunks {
+        groups.extend(chunk);
+    }
+    WalkSet { groups, theta, walk_size }
+}
+
 /// Rebuilds a walk set **in place**, reusing every group's `bodies`,
 /// `cell_list`, and `body_list` capacity and pooling the traversal stack in
 /// `scratch` — after a warmup build, a steady-state rebuild over a
@@ -182,8 +222,10 @@ pub fn build_walks_into(
 }
 
 /// Traverses the tree once for a group box, splitting accepted cells from
-/// leaf bodies.
-fn collect_list(tree: &Octree, bbox: &Aabb, theta: OpeningAngle) -> (Vec<u32>, Vec<u32>) {
+/// leaf bodies. Public so alternative walk generators (the GPU tree
+/// pipeline's emit kernel) produce lists with the exact traversal order of
+/// the host path.
+pub fn collect_list(tree: &Octree, bbox: &Aabb, theta: OpeningAngle) -> (Vec<u32>, Vec<u32>) {
     let mut cells = Vec::new();
     let mut bodies = Vec::new();
     let mut stack: Vec<u32> = Vec::with_capacity(64);
@@ -193,7 +235,7 @@ fn collect_list(tree: &Octree, bbox: &Aabb, theta: OpeningAngle) -> (Vec<u32>, V
 
 /// [`collect_list`] into caller-provided buffers (cleared on entry), with a
 /// reusable traversal stack.
-fn collect_list_into(
+pub fn collect_list_into(
     tree: &Octree,
     bbox: &Aabb,
     theta: OpeningAngle,
@@ -376,6 +418,19 @@ mod tests {
         // and shrink back, reusing capacity
         build_walks_into(&mut walks, &tree, &set, OpeningAngle::new(0.5), 32, &mut scratch);
         assert_eq!(walks, fresh);
+    }
+
+    #[test]
+    fn ranged_build_matches_slices_of_the_full_build() {
+        let (set, tree, full) = setup(700, 11, 32);
+        let num_walks = full.groups.len();
+        for (a, b) in [(0, num_walks), (0, 3), (3, 9), (num_walks - 1, num_walks)] {
+            let part = build_walks_range(&tree, &set, OpeningAngle::new(0.5), 32, a..b);
+            assert_eq!(part.groups.as_slice(), &full.groups[a..b], "range {a}..{b}");
+        }
+        // empty range is fine
+        let empty = build_walks_range(&tree, &set, OpeningAngle::new(0.5), 32, 5..5);
+        assert!(empty.groups.is_empty());
     }
 
     #[test]

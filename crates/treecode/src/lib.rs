@@ -27,6 +27,7 @@ pub mod interaction_list;
 pub mod mac;
 pub mod morton;
 pub mod multipole;
+pub mod shards;
 pub mod traverse;
 pub mod tree;
 
@@ -34,18 +35,21 @@ pub mod tree;
 pub mod prelude {
     pub use crate::engine::BarnesHut;
     pub use crate::interaction_list::{
-        build_walks, build_walks_into, evaluate_walks_cpu, WalkGroup, WalkSet,
+        build_walks, build_walks_into, build_walks_range, collect_list, collect_list_into,
+        evaluate_walks_cpu, WalkGroup, WalkSet,
     };
     pub use crate::mac::{accepts_group, accepts_point, Aabb, OpeningAngle};
     pub use crate::morton::{
-        demorton3, morton3, morton_of, morton_order, morton_order_incremental,
+        demorton3, eligible_walk_splits, keys_in_order, morton3, morton_of, morton_order,
+        morton_order_incremental,
     };
     pub use crate::multipole::{accelerations_bh_quad, compute_quadrupoles, Quadrupole};
+    pub use crate::shards::{MortonShard, MortonShards};
     pub use crate::traverse::{
         acceleration_on, acceleration_on_with_stack, accelerations_bh, accelerations_bh_scratch,
         WalkStats,
     };
-    pub use crate::tree::{Node, Octree, TreeParams, NO_CHILD};
+    pub use crate::tree::{octant, octant_offset, root_cube, Node, Octree, TreeParams, NO_CHILD};
 }
 
 pub use prelude::*;

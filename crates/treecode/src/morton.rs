@@ -206,6 +206,43 @@ fn natural_merge_sort(keys: &mut Vec<(u64, u32)>, tmp: &mut Vec<(u64, u32)>) {
     }
 }
 
+/// Morton keys of the bodies of `set` listed in `order` (typically a tree
+/// order or a [`morton_order`]), over the set's bounding box. Duplicate and
+/// clamped positions produce *equal* keys — the shard decomposition treats
+/// equal-key runs as atomic (see [`eligible_walk_splits`]).
+pub fn keys_in_order(set: &ParticleSet, order: &[u32]) -> Vec<u64> {
+    let Some((lo, hi)) = set.bounding_box() else {
+        return vec![0; order.len()];
+    };
+    let pos = set.pos();
+    order.iter().map(|&i| morton_of(pos[i as usize], lo, hi)).collect()
+}
+
+/// Walk-grid positions where a shard boundary may be cut.
+///
+/// A split at walk boundary `w` (body position `w * walk_size`) is eligible
+/// only when the Morton keys on either side differ: bodies with identical
+/// (duplicate or clamped) keys must land in one shard, so an equal-key run
+/// is never divided. Within such a run the ordering is already deterministic
+/// — both [`morton_order`] and the octree's stable bucketing tie-break on
+/// the original body index — so shard contents are a pure function of the
+/// key sequence. The degenerate all-same-position workload has no eligible
+/// split at all and collapses to a single shard regardless of the requested
+/// shard count.
+///
+/// Returns eligible split positions in *walk indices* (exclusive prefix
+/// ends), strictly between `0` and `num_walks`.
+pub fn eligible_walk_splits(keys: &[u64], walk_size: usize) -> Vec<usize> {
+    assert!(walk_size > 0, "walk_size must be positive");
+    let num_walks = keys.len().div_ceil(walk_size);
+    (1..num_walks)
+        .filter(|&w| {
+            let p = w * walk_size;
+            keys[p - 1] != keys[p]
+        })
+        .collect()
+}
+
 /// Merges two sorted runs of unique `(code, index)` pairs.
 fn merge_runs(a: Vec<(u64, u32)>, b: Vec<(u64, u32)>) -> Vec<(u64, u32)> {
     let mut out = Vec::with_capacity(a.len() + b.len());
@@ -370,6 +407,40 @@ mod tests {
                 assert_eq!(keys, expected, "n={n} reverse={reverse}");
             }
         }
+    }
+
+    #[test]
+    fn eligible_splits_skip_equal_key_runs() {
+        // keys: [1,1,1,1, 2,2,2,2, 2,2,3,3] with walk_size 4:
+        // boundary 1 (pos 4): 1 != 2 eligible; boundary 2 (pos 8): 2 == 2 not
+        let keys = vec![1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 3, 3];
+        assert_eq!(eligible_walk_splits(&keys, 4), vec![1]);
+        // walk_size 2: boundaries at 2,4,6,8,10 → eligible at 4 (1|2), 10 (2|3)
+        assert_eq!(eligible_walk_splits(&keys, 2), vec![2, 5]);
+    }
+
+    #[test]
+    fn all_same_position_has_no_eligible_split() {
+        let bodies: Vec<nbody_core::body::Body> =
+            (0..64).map(|_| nbody_core::body::Body::at_rest(Vec3::ONE, 1.0)).collect();
+        let set = ParticleSet::from_bodies(&bodies);
+        let order: Vec<u32> = (0..64).collect();
+        let keys = keys_in_order(&set, &order);
+        assert!(keys.windows(2).all(|w| w[0] == w[1]), "coincident points share a key");
+        assert!(eligible_walk_splits(&keys, 8).is_empty());
+    }
+
+    #[test]
+    fn keys_in_order_follow_the_permutation() {
+        let set = random_set(128, 30);
+        let order = morton_order(&set);
+        let keys = keys_in_order(&set, &order);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "morton order sorts keys");
+        // equal keys keep ascending body index: (key, index) pairs are sorted
+        let pairs: Vec<(u64, u32)> = keys.iter().copied().zip(order.iter().copied()).collect();
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]), "tie-break on body index");
+        // empty set degenerates safely
+        assert!(keys_in_order(&ParticleSet::new(), &[]).is_empty());
     }
 
     use nbody_core::body::ParticleSet;

@@ -1,0 +1,265 @@
+//! Morton-sharded out-of-core domain decomposition.
+//!
+//! At N ≫ device memory the interaction-list working set (not the bodies)
+//! blows the budget: a walk's packed list is hundreds of entries per ~64
+//! targets. [`MortonShards`] cuts the key-sorted body set into contiguous
+//! key-range shards, each a run of **whole walk groups** of the global walk
+//! grid. Because every walk's interaction list — and therefore every force
+//! it produces — depends only on the (shared, far smaller) tree and its own
+//! bodies, evaluating the shards in sequence and concatenating their
+//! accelerations is *bit-exact* against the unsharded run for any shard
+//! count and any thread count.
+//!
+//! Shard boundaries are restricted to eligible walk-grid splits
+//! ([`crate::morton::eligible_walk_splits`]): an equal-Morton-key run
+//! (duplicate or clamped positions) is never divided, so shard membership is
+//! a deterministic function of the key sequence with ties broken on body
+//! index. The degenerate all-same-position workload has no eligible split
+//! and always collapses to one shard.
+
+use crate::morton::eligible_walk_splits;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// One shard: a contiguous run of walk groups of the global walk grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MortonShard {
+    /// First walk index of the shard (inclusive, global walk grid).
+    pub walk_start: usize,
+    /// One past the last walk index (exclusive).
+    pub walk_end: usize,
+}
+
+impl MortonShard {
+    /// Number of walk groups in the shard.
+    pub fn num_walks(&self) -> usize {
+        self.walk_end - self.walk_start
+    }
+}
+
+/// A complete decomposition of the walk grid into contiguous shards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MortonShards {
+    shards: Vec<MortonShard>,
+    walk_size: usize,
+    num_bodies: usize,
+}
+
+impl MortonShards {
+    /// The trivial single-shard decomposition (the unsharded reference).
+    pub fn unsharded(num_bodies: usize, walk_size: usize) -> Self {
+        assert!(walk_size > 0, "walk_size must be positive");
+        let num_walks = num_bodies.div_ceil(walk_size);
+        Self {
+            shards: vec![MortonShard { walk_start: 0, walk_end: num_walks }],
+            walk_size,
+            num_bodies,
+        }
+    }
+
+    /// Cuts the walk grid into (up to) `shard_count` shards of near-equal
+    /// walk counts, snapping every cut to the nearest eligible split so
+    /// equal-key runs stay whole. Fewer shards result when eligible splits
+    /// run out (one shard for the degenerate all-same-key workload).
+    ///
+    /// `keys` are the Morton keys of the bodies **in evaluation order**
+    /// (tree order), from [`crate::morton::keys_in_order`].
+    ///
+    /// # Panics
+    /// Panics if `walk_size == 0` or `shard_count == 0`.
+    pub fn by_count(keys: &[u64], walk_size: usize, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "shard_count must be positive");
+        let eligible = eligible_walk_splits(keys, walk_size);
+        let num_walks = keys.len().div_ceil(walk_size);
+        let mut cuts: Vec<usize> = Vec::with_capacity(shard_count.saturating_sub(1));
+        for i in 1..shard_count.min(num_walks.max(1)) {
+            let target = i * num_walks / shard_count;
+            // nearest eligible split, ties to the smaller; strictly after the
+            // previous cut so shards stay non-empty
+            let floor = cuts.last().copied().unwrap_or(0);
+            let pick = eligible
+                .iter()
+                .copied()
+                .filter(|&e| e > floor)
+                .min_by_key(|&e| (e.abs_diff(target), e));
+            match pick {
+                Some(e) => cuts.push(e),
+                None => break,
+            }
+        }
+        Self::from_cuts(&cuts, num_walks, walk_size, keys.len())
+    }
+
+    /// Greedy budget-driven decomposition: walks accumulate into the current
+    /// shard until the estimated device footprint would exceed
+    /// `budget_bytes`, then the shard is cut at the first eligible split.
+    /// `bytes_per_walk[w]` estimates walk `w`'s device bytes (packed list
+    /// data + targets); `fixed_bytes` is the per-shard resident overhead
+    /// (bodies + tree halo), charged to every shard. A single walk over
+    /// budget still forms its own shard — the decomposition always covers
+    /// the grid.
+    ///
+    /// # Panics
+    /// Panics if `walk_size == 0` or `bytes_per_walk` is shorter than the
+    /// walk grid.
+    pub fn by_budget(
+        keys: &[u64],
+        walk_size: usize,
+        bytes_per_walk: &[usize],
+        fixed_bytes: usize,
+        budget_bytes: usize,
+    ) -> Self {
+        let num_walks = keys.len().div_ceil(walk_size);
+        assert!(
+            bytes_per_walk.len() >= num_walks,
+            "need a byte estimate for each of the {num_walks} walks"
+        );
+        let eligible = eligible_walk_splits(keys, walk_size);
+        let mut next_eligible = eligible.iter().copied().peekable();
+        let mut cuts = Vec::new();
+        let mut shard_bytes = fixed_bytes;
+        let mut shard_start = 0_usize;
+        for (w, &wb) in bytes_per_walk.iter().enumerate().take(num_walks) {
+            // advance to the first eligible split at or past this walk
+            while next_eligible.peek().is_some_and(|&e| e < w) {
+                next_eligible.next();
+            }
+            let over = shard_bytes + wb > budget_bytes && w > shard_start;
+            if over && next_eligible.peek() == Some(&w) {
+                cuts.push(w);
+                shard_start = w;
+                shard_bytes = fixed_bytes;
+            }
+            shard_bytes += wb;
+        }
+        Self::from_cuts(&cuts, num_walks, walk_size, keys.len())
+    }
+
+    fn from_cuts(cuts: &[usize], num_walks: usize, walk_size: usize, num_bodies: usize) -> Self {
+        assert!(walk_size > 0, "walk_size must be positive");
+        let mut shards = Vec::with_capacity(cuts.len() + 1);
+        let mut start = 0;
+        for &c in cuts {
+            debug_assert!(c > start && c < num_walks);
+            shards.push(MortonShard { walk_start: start, walk_end: c });
+            start = c;
+        }
+        shards.push(MortonShard { walk_start: start, walk_end: num_walks });
+        Self { shards, walk_size, num_bodies }
+    }
+
+    /// The shards, in walk-grid order.
+    pub fn shards(&self) -> &[MortonShard] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// False: a decomposition always has at least one shard (the empty
+    /// grid still yields one empty shard).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// True when the decomposition is the trivial single shard.
+    pub fn is_unsharded(&self) -> bool {
+        self.shards.len() == 1
+    }
+
+    /// Walk-group size the grid was cut with.
+    pub fn walk_size(&self) -> usize {
+        self.walk_size
+    }
+
+    /// Body-index range (positions in the evaluation order) of one shard.
+    pub fn body_range(&self, shard: &MortonShard) -> Range<usize> {
+        let start = shard.walk_start * self.walk_size;
+        let end = (shard.walk_end * self.walk_size).min(self.num_bodies);
+        start..end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::morton::keys_in_order;
+    use nbody_core::body::{Body, ParticleSet};
+    use nbody_core::testutil::random_set;
+    use nbody_core::vec3::Vec3;
+
+    fn keys(n: usize, seed: u64) -> Vec<u64> {
+        let set = random_set(n, seed);
+        let order = crate::morton::morton_order(&set);
+        keys_in_order(&set, &order)
+    }
+
+    fn covers_grid(s: &MortonShards, num_walks: usize) {
+        assert_eq!(s.shards()[0].walk_start, 0);
+        assert_eq!(s.shards().last().unwrap().walk_end, num_walks);
+        for w in s.shards().windows(2) {
+            assert_eq!(w[0].walk_end, w[1].walk_start, "shards must tile the grid");
+            assert!(w[0].num_walks() > 0);
+        }
+    }
+
+    #[test]
+    fn by_count_tiles_the_walk_grid() {
+        let keys = keys(1000, 1);
+        for count in [1, 2, 7, 64] {
+            let s = MortonShards::by_count(&keys, 16, count);
+            covers_grid(&s, 1000_usize.div_ceil(16));
+            assert!(s.len() <= count, "requested {count}, got {}", s.len());
+            // plenty of distinct keys: the full count should be reachable
+            assert_eq!(s.len(), count.min(1000_usize.div_ceil(16)));
+        }
+    }
+
+    #[test]
+    fn shard_count_capped_by_walks() {
+        let keys = keys(40, 2);
+        let s = MortonShards::by_count(&keys, 16, 64); // only 3 walks exist
+        assert!(s.len() <= 3);
+        covers_grid(&s, 3);
+    }
+
+    #[test]
+    fn degenerate_all_same_position_is_one_shard() {
+        let bodies: Vec<Body> = (0..256).map(|_| Body::at_rest(Vec3::ONE, 1.0)).collect();
+        let set = ParticleSet::from_bodies(&bodies);
+        let order: Vec<u32> = (0..256).collect();
+        let k = keys_in_order(&set, &order);
+        let s = MortonShards::by_count(&k, 16, 8);
+        assert!(s.is_unsharded(), "equal keys must never split");
+        let t = MortonShards::by_budget(&k, 16, &[1 << 20; 16], 0, 1 << 10);
+        assert!(t.is_unsharded(), "budget pressure cannot force an ineligible cut");
+    }
+
+    #[test]
+    fn by_budget_respects_the_cap_where_splits_allow() {
+        let keys = keys(4096, 3);
+        let num_walks = 4096 / 64;
+        let per_walk = vec![1000_usize; num_walks];
+        let s = MortonShards::by_budget(&keys, 64, &per_walk, 500, 8_500);
+        covers_grid(&s, num_walks);
+        assert!(s.len() > 1, "a tight budget must shard");
+        for sh in s.shards() {
+            let bytes = 500 + sh.num_walks() * 1000;
+            assert!(bytes <= 8_500 || sh.num_walks() == 1, "shard over budget: {bytes}");
+        }
+    }
+
+    #[test]
+    fn unsharded_and_body_ranges() {
+        let s = MortonShards::unsharded(100, 16);
+        assert!(s.is_unsharded());
+        assert_eq!(s.walk_size(), 16);
+        assert_eq!(s.body_range(&s.shards()[0]), 0..100);
+        let keys = keys(100, 4);
+        let t = MortonShards::by_count(&keys, 16, 3);
+        let total: usize = t.shards().iter().map(|sh| t.body_range(sh).len()).sum();
+        assert_eq!(total, 100, "body ranges partition the set");
+    }
+}

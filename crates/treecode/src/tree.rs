@@ -93,6 +93,18 @@ impl Octree {
         tree
     }
 
+    /// Assembles a tree from an externally produced node array and body
+    /// permutation — the handoff point for alternative builders (the GPU
+    /// tree pipeline constructs nodes level by level over Morton-sorted keys
+    /// and materializes its host mirror through here). Callers own the
+    /// invariants: `nodes` must be in DFS preorder with index 0 the root,
+    /// and `order` a permutation of `0..n` consistent with the node body
+    /// ranges. [`Octree::check_invariants`] verifies both in tests.
+    pub fn from_parts(nodes: Vec<Node>, order: Vec<u32>, params: TreeParams) -> Self {
+        assert!(!nodes.is_empty(), "a tree needs at least a root node");
+        Self { nodes, order, params }
+    }
+
     /// Rebuilds the tree **in place** for the current positions of `set`,
     /// reusing the node pool, the permutation buffer, and the bucketing
     /// scratch from `scratch` — after a warmup build, a steady-state rebuild
@@ -289,8 +301,9 @@ impl Octree {
 }
 
 /// Smallest cube (center, half-side) covering all positions, slightly
-/// inflated so boundary points fall strictly inside.
-fn root_cube(set: &ParticleSet) -> (Vec3, f64) {
+/// inflated so boundary points fall strictly inside. Public so alternative
+/// builders (the GPU tree pipeline) start from bit-identical root geometry.
+pub fn root_cube(set: &ParticleSet) -> (Vec3, f64) {
     match set.bounding_box() {
         None => (Vec3::ZERO, 1.0),
         Some((lo, hi)) => {
@@ -302,9 +315,9 @@ fn root_cube(set: &ParticleSet) -> (Vec3, f64) {
 }
 
 /// Octant index of `p` relative to `center`: bit 0 = x ≥ cx, bit 1 = y,
-/// bit 2 = z.
+/// bit 2 = z. Public for builders that must reproduce the exact predicate.
 #[inline]
-fn octant(p: Vec3, center: Vec3) -> usize {
+pub fn octant(p: Vec3, center: Vec3) -> usize {
     (usize::from(p.x >= center.x))
         | (usize::from(p.y >= center.y) << 1)
         | (usize::from(p.z >= center.z) << 2)
@@ -345,8 +358,9 @@ fn bucket_by_octant(
 }
 
 /// Geometric center offset of octant `o` within a cell of half-side `half`.
+/// Public alongside [`octant`] for exact-geometry builders.
 #[inline]
-fn octant_offset(o: usize, quarter: f64) -> Vec3 {
+pub fn octant_offset(o: usize, quarter: f64) -> Vec3 {
     Vec3::new(
         if o & 1 != 0 { quarter } else { -quarter },
         if o & 2 != 0 { quarter } else { -quarter },

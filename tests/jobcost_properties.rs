@@ -11,7 +11,10 @@
 //! this test exists to catch.
 
 use gpu_sim::prelude::DeviceSpec;
-use ptpm::jobcost::{forecast_eval_seconds, DEFAULT_BLOCK, DEFAULT_WALK};
+use ptpm::jobcost::{
+    forecast_eval_seconds, DEFAULT_BLOCK, DEFAULT_WALK, HOST_TREE_NS_PER_BODY,
+    HOST_WALK_NS_PER_ENTRY,
+};
 use ptpm::model::{forecast_jw_parallel, forecast_w_parallel};
 use treecode::interaction_list::build_walks;
 use treecode::mac::OpeningAngle;
@@ -32,13 +35,28 @@ fn real_list_lens(n: usize, seed: u64, walk: usize) -> Vec<usize> {
     walks.groups.iter().map(|g| g.list_len()).collect()
 }
 
+/// Composes a kernel forecast with the explicit host tree/walk phases the
+/// admission forecast now prices, using the *real* entry count — the
+/// like-for-like total the proxy approximates.
+fn with_host_phases(kernel_s: f64, n: usize, entries: usize) -> f64 {
+    let tree_s = n as f64 * HOST_TREE_NS_PER_BODY * 1e-9;
+    let walk_s = entries as f64 * HOST_WALK_NS_PER_ENTRY * 1e-9;
+    tree_s + walk_s.max(kernel_s)
+}
+
 #[test]
 fn tree_plan_proxy_stays_within_factor_bound_of_real_geometry() {
     let spec = DeviceSpec::radeon_hd_5850();
     for &(n, seed) in &[(512usize, 1u64), (1024, 2), (2048, 3), (4096, 4), (8192, 5)] {
         let lists = real_list_lens(n, seed, DEFAULT_WALK);
-        let real_w = forecast_w_parallel(&lists, DEFAULT_WALK, &spec).seconds;
-        let real_jw = forecast_jw_parallel(&lists, DEFAULT_WALK, DEFAULT_BLOCK, &spec).seconds;
+        let entries: usize = lists.iter().sum();
+        let real_w =
+            with_host_phases(forecast_w_parallel(&lists, DEFAULT_WALK, &spec).seconds, n, entries);
+        let real_jw = with_host_phases(
+            forecast_jw_parallel(&lists, DEFAULT_WALK, DEFAULT_BLOCK, &spec).seconds,
+            n,
+            entries,
+        );
         let proxy_w = forecast_eval_seconds("w-parallel", n, None);
         let proxy_jw = forecast_eval_seconds("jw-parallel", n, None);
         for (plan, proxy, real) in

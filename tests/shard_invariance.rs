@@ -1,0 +1,147 @@
+//! Out-of-core invariance matrix: Morton-sharded and device-tree execution
+//! must be *observably absent* — every shard count, thread count, and
+//! backend substrate reproduces that substrate's unsharded forces and
+//! post-kick total energy bit-for-bit, the memory budget actually bounds
+//! the device working set, and the PTPM pipeline forecast tracks the
+//! simulated pipeline clock at moderate N.
+
+use nbody_core::body::ParticleSet;
+use nbody_core::energy::total_energy;
+use nbody_core::gravity::GravityParams;
+use nbody_core::vec3::Vec3;
+use plans::prelude::{
+    build_tree_on_device, default_device, evaluate_tree_plan, make_backend, predict_pipeline_shape,
+    BackendKind, PlanConfig, PlanKind,
+};
+use ptpm::model::forecast_pipeline;
+use treecode::tree::{Octree, TreeParams};
+use workloads::spec::WorkloadSpec;
+
+fn params() -> GravityParams {
+    GravityParams { g: 1.0, softening: 0.05 }
+}
+
+fn set(n: usize, seed: u64) -> ParticleSet {
+    let mut s = WorkloadSpec::plummer(n, seed).generate();
+    s.recenter();
+    s
+}
+
+/// Total energy after kicking the velocities with `acc` — a scalar that is
+/// bitwise-sensitive to every force component.
+fn kicked_energy(set: &ParticleSet, acc: &[Vec3]) -> f64 {
+    let mut kicked = set.clone();
+    for (v, a) in kicked.vel_mut().iter_mut().zip(acc) {
+        *v += *a * 1e-3;
+    }
+    total_energy(&kicked, &params())
+}
+
+#[test]
+fn shard_matrix_reproduces_unsharded_forces_and_energy_bitwise() {
+    let bodies = set(2048, 11);
+    let p = params();
+    for plan in [PlanKind::WParallel, PlanKind::JwParallel] {
+        for backend in [BackendKind::Sim, BackendKind::Host] {
+            par::set_threads(1);
+            let reference =
+                make_backend(backend, PlanConfig::default()).evaluate(plan, &bodies, &p);
+            let ref_energy = kicked_energy(&bodies, &reference.acc);
+            for shards in [1usize, 2, 7, 64] {
+                for threads in [1usize, 4] {
+                    par::set_threads(threads);
+                    let config = PlanConfig { shards: Some(shards), ..Default::default() };
+                    let got = make_backend(backend, config).evaluate(plan, &bodies, &p);
+                    let label =
+                        format!("{} {} shards={shards} threads={threads}", plan.id(), backend.id());
+                    assert_eq!(got.acc, reference.acc, "forces diverged: {label}");
+                    assert_eq!(
+                        kicked_energy(&bodies, &got.acc).to_bits(),
+                        ref_energy.to_bits(),
+                        "energy diverged: {label}"
+                    );
+                    assert!(
+                        got.shards_used >= 1 && got.shards_used <= shards,
+                        "shards_used {} outside [1, {shards}]: {label}",
+                        got.shards_used
+                    );
+                }
+            }
+        }
+    }
+    par::set_threads(1);
+}
+
+#[test]
+fn memory_budget_bounds_the_device_working_set() {
+    par::set_threads(1);
+    let bodies = set(4096, 3);
+    let p = params();
+    for plan in [PlanKind::WParallel, PlanKind::JwParallel] {
+        let unsharded =
+            evaluate_tree_plan(plan, &PlanConfig::default(), &mut default_device(), &bodies, &p);
+        let budget = unsharded.outcome.peak_device_bytes / 2;
+        let config = PlanConfig { mem_budget_bytes: Some(budget), ..Default::default() };
+        let run = evaluate_tree_plan(plan, &config, &mut default_device(), &bodies, &p);
+        assert_eq!(run.outcome.acc, unsharded.outcome.acc, "{plan:?} budget run diverged");
+        assert!(run.outcome.shards_used > 1, "{plan:?} budget produced no sharding");
+        assert!(
+            run.outcome.peak_device_bytes < unsharded.outcome.peak_device_bytes,
+            "{plan:?} budget did not shrink the peak: {} vs {}",
+            run.outcome.peak_device_bytes,
+            unsharded.outcome.peak_device_bytes
+        );
+    }
+}
+
+#[test]
+fn device_tree_is_byte_identical_even_when_degenerate() {
+    par::set_threads(1);
+    let p = params();
+    // a healthy cloud and a fully coincident one (every body at one point,
+    // which forces the documented host-build fallback path)
+    let healthy = set(3000, 7);
+    let mut coincident = set(96, 8);
+    let anchor = coincident.pos()[0];
+    for q in coincident.pos_mut() {
+        *q = anchor;
+    }
+    for bodies in [&healthy, &coincident] {
+        let tree_params = TreeParams { leaf_capacity: 16 };
+        let host = Octree::build(bodies, tree_params);
+        let built = build_tree_on_device(&mut default_device(), bodies, tree_params);
+        assert_eq!(built.tree.nodes(), host.nodes(), "node records diverge");
+        assert_eq!(built.tree.order(), host.order(), "body order diverges");
+        for plan in [PlanKind::WParallel, PlanKind::JwParallel] {
+            let reference =
+                evaluate_tree_plan(plan, &PlanConfig::default(), &mut default_device(), bodies, &p);
+            let config = PlanConfig { device_tree: true, ..Default::default() };
+            let run = evaluate_tree_plan(plan, &config, &mut default_device(), bodies, &p);
+            assert_eq!(run.outcome.acc, reference.outcome.acc, "{plan:?} forces diverge");
+        }
+    }
+}
+
+#[test]
+fn ptpm_pipeline_forecast_tracks_the_simulated_clock() {
+    par::set_threads(1);
+    let bodies = set(8192, 5);
+    let config = PlanConfig { device_tree: true, ..Default::default() };
+    let spec = gpu_sim::prelude::DeviceSpec::radeon_hd_5850();
+    let xfer = gpu_sim::prelude::TransferModel::pcie2_x16();
+    for plan in [PlanKind::WParallel, PlanKind::JwParallel] {
+        let run = evaluate_tree_plan(plan, &config, &mut default_device(), &bodies, &params());
+        assert!(!run.shape.fallback_host_build, "{plan:?} unexpectedly fell back");
+        let forecast = forecast_pipeline(&run.shape, &spec, &xfer).seconds();
+        let ratio = forecast / run.outcome.pipeline_s;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "{plan:?}: forecast {forecast:.3e} vs observed {:.3e} (ratio {ratio:.3})",
+            run.outcome.pipeline_s
+        );
+        // the autotuner's shape predictor must agree with the observed shape
+        let predicted = predict_pipeline_shape(&bodies, &config);
+        assert_eq!(predicted.entries, run.shape.entries, "{plan:?} predicted entries drift");
+        assert_eq!(predicted.nodes, run.shape.nodes, "{plan:?} predicted nodes drift");
+    }
+}
